@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload construction is excluded from timed regions: generators are
+cached per (kind, size) so repeated benchmark rounds reuse the same
+database objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import manufacturing, mda, office
+
+_CACHE: dict = {}
+
+
+def office_workload(n: int, seed: int = 0):
+    key = ("office", n, seed)
+    if key not in _CACHE:
+        _CACHE[key] = office.generate(n, seed=seed)
+    return _CACHE[key]
+
+
+def mda_workload(goals: int, maneuvers: int, seed: int = 0):
+    key = ("mda", goals, maneuvers, seed)
+    if key not in _CACHE:
+        _CACHE[key] = mda.generate(goals, maneuvers, seed=seed)
+    return _CACHE[key]
+
+
+def manufacturing_workload(products: int, orders: int, seed: int = 0):
+    key = ("manufacturing", products, orders, seed)
+    if key not in _CACHE:
+        _CACHE[key] = manufacturing.generate(
+            products, n_orders=orders, seed=seed)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """Accessor bundle handed to benchmark functions."""
+    return {
+        "office": office_workload,
+        "mda": mda_workload,
+        "manufacturing": manufacturing_workload,
+    }

@@ -1,0 +1,53 @@
+"""E13 — end-to-end application queries from the three realms the paper
+motivates: office design, submarine MDA, manufacturing LP."""
+
+import pytest
+
+from repro import lyric
+from repro.workloads import manufacturing, mda, office
+from conftest import (
+    manufacturing_workload,
+    mda_workload,
+    office_workload,
+)
+
+
+def test_office_overlap_join(benchmark):
+    workload = office_workload(6, seed=4)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db, office.OVERLAP_QUERY),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) % 2 == 0  # symmetric pairs
+
+
+def test_mda_compatibility_join(benchmark):
+    workload = mda_workload(6, 5, seed=2)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db, mda.COMPATIBLE_QUERY),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) <= 30
+
+
+def test_mda_within_entailment(benchmark):
+    workload = mda_workload(6, 5, seed=2)
+    benchmark.pedantic(
+        lyric.query, args=(workload.db, mda.WITHIN_QUERY),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_manufacturing_cheapest_fill(benchmark):
+    workload = manufacturing_workload(3, 4, seed=1)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db,
+                           manufacturing.CHEAPEST_FILL_QUERY),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) >= 1
+
+
+def test_manufacturing_max_output(benchmark):
+    workload = manufacturing_workload(3, 4, seed=1)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db,
+                           manufacturing.MAX_OUTPUT_QUERY),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) == 6

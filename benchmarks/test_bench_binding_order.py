@@ -1,0 +1,47 @@
+"""E15 (extension) — binding order in the naive evaluator.
+
+Section 5's formal semantics "considers all substitutions of oids for
+variables"; joining skeleton paths as soon as their head is bound
+(interleaved) produces the same bindings while pruning early.  This
+ablation measures the gap on a two-variable query whose FROM product
+is quadratic but whose skeleton is selective."""
+
+import pytest
+
+from repro.core.evaluator import evaluate
+from conftest import office_workload
+
+QUERY = """
+    SELECT O, DSK, W FROM Object_in_Room O, Desk DSK, Drawer W
+    WHERE O.catalog_object[DSK] and DSK.drawer[W]
+"""
+
+SIZES = [8, 16, 32]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_interleaved_binding(benchmark, n):
+    workload = office_workload(n)
+    result = benchmark.pedantic(
+        evaluate, args=(workload.db, QUERY),
+        kwargs={"interleave": True},
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == (n + 1) // 2  # one row per desk
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_product_first_binding(benchmark, n):
+    workload = office_workload(n)
+    result = benchmark.pedantic(
+        evaluate, args=(workload.db, QUERY),
+        kwargs={"interleave": False},
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == (n + 1) // 2
+
+
+def test_orders_agree():
+    workload = office_workload(8)
+    fast = evaluate(workload.db, QUERY, interleave=True)
+    slow = evaluate(workload.db, QUERY, interleave=False)
+    assert sorted(str(r.values) for r in fast) \
+        == sorted(str(r.values) for r in slow)

@@ -1,0 +1,60 @@
+"""E10 — Section 3.1: canonical-form simplification costs.
+
+The paper's always-on simplifications (delete inconsistent disjuncts,
+delete syntactic duplicates, cheap conjunction cleanup) vs the
+optional LP-based redundant-atom removal; redundant *disjunct*
+detection stays off (co-NP-complete per [Sri92])."""
+
+import pytest
+
+from repro.constraints.canonical import (
+    canonical_conjunctive,
+    canonical_disjunctive,
+)
+from repro.workloads.random_constraints import (
+    random_dnf,
+    redundant_conjunction,
+)
+
+DISJUNCTS = [4, 8, 16]
+
+
+@pytest.mark.parametrize("k", DISJUNCTS)
+def test_paper_simplifications(benchmark, k):
+    """Drop unsat disjuncts + dedup, no per-atom redundancy pass."""
+    dnf = random_dnf(3, k, 5, seed=k, infeasible_fraction=0.5)
+    result = benchmark.pedantic(
+        canonical_disjunctive, args=(dnf,),
+        kwargs={"remove_redundant_atoms": False},
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) <= k
+
+
+@pytest.mark.parametrize("k", DISJUNCTS)
+def test_full_atom_redundancy(benchmark, k):
+    """Additionally remove LP-redundant atoms inside each disjunct."""
+    dnf = random_dnf(3, k, 5, seed=k, infeasible_fraction=0.5)
+    result = benchmark.pedantic(
+        canonical_disjunctive, args=(dnf,),
+        kwargs={"remove_redundant_atoms": True},
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert len(result) <= k
+
+
+def test_conjunction_redundancy(benchmark):
+    conj = redundant_conjunction(4, 8, 8, seed=3)
+    result = benchmark.pedantic(
+        canonical_conjunctive, args=(conj,),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) < len(conj)
+
+
+def test_space_savings():
+    """The size reduction the canonical form buys (reported by the
+    harness): unsat disjuncts vanish, redundant atoms vanish."""
+    dnf = random_dnf(3, 12, 5, seed=9, infeasible_fraction=0.5)
+    cheap = canonical_disjunctive(dnf, remove_redundant_atoms=False)
+    assert len(cheap) < len(dnf)
+    conj = redundant_conjunction(4, 8, 8, seed=3)
+    tight = canonical_conjunctive(conj)
+    assert len(tight) <= len(conj) - 8

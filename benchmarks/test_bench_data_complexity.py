@@ -1,0 +1,45 @@
+"""E7 — Section 5 claim: PTIME data complexity.
+
+A *fixed* query (one CST projection + SAT filter per placed object) is
+evaluated against office databases of growing size.  The paper claims
+translation to flat SQL with linear constraints gives polynomial data
+complexity; the harness fits the log-log slope of this series (expect
+~1 for this single-join query; see EXPERIMENTS.md)."""
+
+import pytest
+
+from repro import lyric
+from repro.workloads import office
+from conftest import office_workload
+
+SIZES = [4, 8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fixed_query_scaling_naive(benchmark, n):
+    workload = office_workload(n)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db, office.PLACED_EXTENT_QUERY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fixed_query_scaling_translated(benchmark, n):
+    workload = office_workload(n)
+    result = benchmark.pedantic(
+        lyric.query_translated,
+        args=(workload.db, office.PLACED_EXTENT_QUERY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_quadratic_join_scaling(benchmark, n):
+    """A two-variable join (the entailment filter query) grows with the
+    number of desks — still polynomial, a steeper fixed query."""
+    workload = office_workload(n)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db, office.RED_LEFT_DRAWER_QUERY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) <= n

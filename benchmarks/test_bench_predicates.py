@@ -1,0 +1,47 @@
+"""E12 — WHERE-clause constraint predicates: satisfiability and
+entailment cost vs system size (atoms) and disjunct count.
+
+Entailment against a k-disjunct right side expands a DNF product whose
+size depends on the *query* constraint only — the paper's data-
+complexity argument; the series shows the k-dependence."""
+
+import pytest
+
+from repro.constraints.implication import (
+    conjunctive_entails_conjunctive,
+    conjunctive_entails_disjunction,
+)
+from repro.constraints.satisfiability import is_satisfiable
+from repro.workloads.random_constraints import (
+    random_dnf,
+    random_polytope,
+)
+
+ATOMS = [8, 16, 32]
+
+
+@pytest.mark.parametrize("atoms", ATOMS)
+def test_satisfiability(benchmark, atoms):
+    poly = random_polytope(5, atoms, seed=atoms)
+    assert benchmark.pedantic(
+        is_satisfiable, args=(poly,),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("atoms", ATOMS)
+def test_conjunctive_entailment(benchmark, atoms):
+    inner = random_polytope(5, atoms, seed=atoms)
+    outer = random_polytope(5, max(2, atoms // 4), seed=atoms + 1)
+    benchmark.pedantic(
+        conjunctive_entails_conjunctive, args=(inner, outer),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("disjuncts", [2, 4, 8])
+def test_disjunctive_entailment(benchmark, disjuncts):
+    lhs = random_polytope(3, 6, seed=disjuncts)
+    rhs = random_dnf(3, disjuncts, 3, seed=disjuncts + 10)
+    benchmark.pedantic(
+        conjunctive_entails_disjunction,
+        args=(lhs, list(rhs.disjuncts)),
+        rounds=1, iterations=1, warmup_rounds=0)

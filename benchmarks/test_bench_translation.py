@@ -1,0 +1,50 @@
+"""E8 — the naive object-level evaluator vs the Section 5 translation
+to flat SQL with constraints (optimized and unoptimized plans).
+
+Same answers are asserted; relative cost is the measurement."""
+
+import pytest
+
+from repro import lyric
+from repro.workloads import office
+from conftest import office_workload
+
+N = 32
+
+
+def test_naive_evaluator(benchmark):
+    workload = office_workload(N)
+    result = benchmark.pedantic(
+        lyric.query, args=(workload.db, office.PLACED_EXTENT_QUERY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == N
+
+
+def test_translated_optimized(benchmark):
+    workload = office_workload(N)
+    result = benchmark.pedantic(
+        lyric.query_translated,
+        args=(workload.db, office.PLACED_EXTENT_QUERY),
+        kwargs={"use_optimizer": True},
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == N
+
+
+def test_translated_unoptimized(benchmark):
+    workload = office_workload(N)
+    result = benchmark.pedantic(
+        lyric.query_translated,
+        args=(workload.db, office.PLACED_EXTENT_QUERY),
+        kwargs={"use_optimizer": False},
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == N
+
+
+def test_agreement():
+    """Not a timing: the differential guarantee behind E8."""
+    workload = office_workload(8)
+    naive = lyric.query(workload.db, office.PLACED_EXTENT_QUERY)
+    translated = lyric.query_translated(workload.db,
+                                        office.PLACED_EXTENT_QUERY)
+    assert sorted(str(r.values) for r in naive) \
+        == sorted(str(r.values) for r in translated)

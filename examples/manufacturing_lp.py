@@ -1,0 +1,75 @@
+"""Manufacturing: linear programming generalized to a constraint
+database (the paper's third application realm).
+
+Run with::
+
+    python examples/manufacturing_lp.py
+
+Processes are stored constraint systems relating raw-material inputs,
+output quantity and cost; orders are plain tuples.  Queries return
+constraints ("what is the connection among the required raw
+materials?") and LP optima ("the best manufacturing process for a given
+set of orders").
+"""
+
+from repro import lyric
+from repro.workloads import manufacturing
+
+
+def main() -> None:
+    workload = manufacturing.generate(
+        n_products=3, processes_per_product=2, n_orders=3, seed=5)
+    db = workload.db
+    print(f"{len(workload.products)} products, "
+          f"{len(workload.processes)} candidate processes, "
+          f"{len(workload.orders)} orders")
+
+    print("\n[1] The raw-material connection per (order, process) — a "
+          "constraint-valued answer:")
+    connections = lyric.query(
+        db, manufacturing.MATERIAL_CONNECTION_QUERY)
+    for row in list(connections)[:4]:
+        print(f"    {row.values[0]} via {row.values[1]}:")
+        print(f"        {row.values[2]}")
+    print(f"    ... {len(connections)} combinations total")
+
+    print("\n[2] Cheapest way to fill each order (MIN cost SUBJECT "
+          "TO recipe):")
+    fills = lyric.query(db, manufacturing.CHEAPEST_FILL_QUERY)
+    best: dict = {}
+    for row in fills:
+        order, process, cost = row.values
+        key = str(order)
+        if key not in best or cost.value < best[key][1].value:
+            best[key] = (process, cost)
+    for order, (process, cost) in sorted(best.items()):
+        print(f"    {order}: {process} at cost {cost}")
+    unfillable = len(workload.orders) - len(best)
+    if unfillable:
+        print(f"    {unfillable} orders exceed every process capacity")
+
+    print("\n[3] Maximum output per process given 500 units of "
+          "material r1:")
+    outputs = lyric.query(db, manufacturing.MAX_OUTPUT_QUERY)
+    for row in list(outputs)[:6]:
+        print(f"    {row.values[0]}: up to {row.values[1]} units")
+
+    print("\n[4] Can profit improve by choosing per-order processes? "
+          "(price - min cost):")
+    for order in workload.orders:
+        product = db.attribute_values(order, "product")[0]
+        price = db.attribute_values(product, "unit_price")[0].value
+        quantity = db.attribute_values(order, "quantity")[0].value
+        candidates = [
+            (row.values[1], row.values[2].value)
+            for row in fills if row.values[0] == order]
+        if not candidates:
+            print(f"    {order}: not fillable at quantity {quantity}")
+            continue
+        process, cost = min(candidates, key=lambda pc: pc[1])
+        profit = price * quantity - cost
+        print(f"    {order}: best process {process}, profit {profit}")
+
+
+if __name__ == "__main__":
+    main()

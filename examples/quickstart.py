@@ -1,0 +1,91 @@
+"""Quickstart: the paper's Figure 1/2 database and worked queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the office schema and the ``my_desk`` instance exactly as in the
+paper, then walks through the queries of Section 4.1 — retrieving
+constraint oids, creating new CST objects with projection formulas
+(including the implicit schema equalities), the satisfiability and
+implication predicates, and the linear-programming operators.
+"""
+
+from repro import lyric
+from repro.model.office import build_office_database
+
+
+def main() -> None:
+    db, oids = build_office_database()
+    print("Loaded the paper's instance:",
+          ", ".join(str(o) for o in
+                    (oids.my_desk, oids.standard_desk,
+                     oids.standard_drawer)))
+
+    print("\n[1] Constraints as logical oids "
+          "(SELECT Y FROM Desk X WHERE X.drawer.extent[Y]):")
+    result = lyric.query(db, """
+        SELECT Y FROM Desk X WHERE X.drawer.extent[Y]
+    """)
+    print("   ", result.single().values[0])
+
+    print("\n[2] A new CST object: the desk extent in room coordinates"
+          " with center (6,4).")
+    result = lyric.query(db, """
+        SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    """)
+    co, extent = result.single().values
+    print(f"    {co} -> {extent}")
+    print("    (the paper derives ((u,v) | 2 <= u <= 10 and "
+          "2 <= v <= 6))")
+
+    print("\n[3] The drawer sweep area, using the implicit interface"
+          " equalities p = x1 and q = y1:")
+    result = lyric.query(db, """
+        SELECT O,
+          ((u,v) | D(w,z,x,y,u,v) and DD(w1,z1,x1,y1,u1,v1)
+                   and w = u1 and z = v1
+                   and DC(p,q) and DE(w1,z1) and L(x,y))
+        FROM Object_in_Room O, Desk DSK
+        WHERE O.location[L] and O.catalog_object[DSK]
+          and DSK.translation[D] and DSK.drawer_center[DC]
+          and DSK.drawer.translation[DD] and DSK.drawer.extent[DE]
+    """)
+    _, sweep = result.single().values
+    print(f"    {sweep}")
+
+    print("\n[4] The implication predicate: desks whose drawer line is"
+          " centered (C(p,q) |= p = 0):")
+    result = lyric.query(db, """
+        SELECT DSK FROM Desk DSK
+        WHERE DSK.drawer_center[C] and (C(p,q) |= p = 0)
+    """)
+    print(f"    {len(result)} rows (the standard desk's line is "
+          "p = -2)")
+
+    print("\n[5] Linear programming in the SELECT clause:")
+    result = lyric.query(db, """
+        SELECT MAX(u SUBJECT TO ((u,v) | E and D and x = 6 and y = 4)),
+               MIN_POINT(u + v SUBJECT TO
+                         ((u,v) | E and D and x = 6 and y = 4))
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    """)
+    rightmost, corner = result.single().values
+    print(f"    rightmost room coordinate reached: {rightmost}")
+    print(f"    lower-left corner (MIN_POINT of u+v): {corner}")
+
+    print("\n[6] The same query through the Section 5 translation to"
+          " flat SQL with constraints:")
+    result = lyric.query_translated(db, """
+        SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    """)
+    print("   ", result.single().values[1])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Room packing: the paper's opening design questions, solved with the
+constraint engine.
+
+Run with::
+
+    python examples/room_packing.py
+
+"Can we put in a room two desks and a file cabinet such that no two
+objects touch each other or the walls?  Can the system give constraints
+describing possible interconnections of centers of objects?  What would
+be the location of the objects if we want to maximize the size of a
+square of available empty space?"  (Section 1.2.)
+
+Object centers become constraint variables; non-overlap of two boxes is
+a 4-way disjunction (left / right / below / above), so the joint
+placement space is a disjunctive constraint the engine manipulates
+directly: satisfiability finds a placement, projection yields the
+"interconnection of centers", and branch-wise LP maximizes the free
+square.
+"""
+
+from fractions import Fraction
+
+from repro import lyric
+from repro.constraints import lp
+from repro.constraints.atoms import Ge, Le
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.terms import Variable
+from repro.model.office import add_file_cabinet, build_office_database
+
+ROOM_W, ROOM_H = 24, 14
+CLEARANCE = Fraction(1, 2)  # "not touch": strict gap, kept rational
+
+
+def catalog_half_extents(db):
+    """Half-widths/heights of catalog objects via a LyriC query (the
+    database side of the problem)."""
+    result = lyric.query(db, """
+        SELECT CO, E FROM Office_Object CO WHERE CO.extent[E]
+    """)
+    out = []
+    for row in result:
+        box = row.values[1].cst.bounding_box()
+        (wlo, whi), (zlo, zhi) = box
+        out.append((str(row.values[0]), (whi - wlo) / 2,
+                    (zhi - zlo) / 2))
+    return out
+
+
+def non_overlap(cx_a, cy_a, ha, cx_b, cy_b, hb) -> DisjunctiveConstraint:
+    """Centers (cx,cy) of two boxes with half-extents ha=(hw,hh),
+    hb must be separated in x or in y (with clearance)."""
+    (hwa, hha), (hwb, hhb) = ha, hb
+    dx = hwa + hwb + CLEARANCE
+    dy = hha + hhb + CLEARANCE
+    return DisjunctiveConstraint([
+        ConjunctiveConstraint.of(Le(cx_a - cx_b, -dx)),   # a left of b
+        ConjunctiveConstraint.of(Ge(cx_a - cx_b, dx)),    # a right of b
+        ConjunctiveConstraint.of(Le(cy_a - cy_b, -dy)),   # a below b
+        ConjunctiveConstraint.of(Ge(cy_a - cy_b, dy)),    # a above b
+    ])
+
+
+def main() -> None:
+    db, _ = build_office_database()
+    add_file_cabinet(db)
+    pieces = catalog_half_extents(db)
+    # Two desks and one cabinet: duplicate the desk entry.
+    desk = next(p for p in pieces if "desk" in p[0])
+    cabinet = next(p for p in pieces if "cabinet" in p[0])
+    to_place = [("desk_a", desk[1], desk[2]),
+                ("desk_b", desk[1], desk[2]),
+                ("cabinet", cabinet[1], cabinet[2])]
+    print(f"Placing {[p[0] for p in to_place]} in a "
+          f"{ROOM_W} x {ROOM_H} room, clearance {CLEARANCE}")
+
+    centers = {name: (Variable(f"cx_{name}"), Variable(f"cy_{name}"))
+               for name, _, _ in to_place}
+
+    inside = ConjunctiveConstraint([
+        atom
+        for name, hw, hh in to_place
+        for atom in (
+            Ge(centers[name][0], hw + CLEARANCE),
+            Le(centers[name][0], ROOM_W - hw - CLEARANCE),
+            Ge(centers[name][1], hh + CLEARANCE),
+            Le(centers[name][1], ROOM_H - hh - CLEARANCE),
+        )])
+
+    space = DisjunctiveConstraint.of_conjunctive(inside)
+    for i, (name_a, hwa, hha) in enumerate(to_place):
+        for name_b, hwb, hhb in to_place[i + 1:]:
+            space = space.conjoin(non_overlap(
+                centers[name_a][0], centers[name_a][1], (hwa, hha),
+                centers[name_b][0], centers[name_b][1], (hwb, hhb)))
+
+    print(f"\n[1] Joint placement space: {len(space)} disjuncts "
+          f"(4^3 arrangements, pruned to the feasible ones)")
+    placement = space.sample_point()
+    assert placement is not None, "room too small"
+    for name, _, _ in to_place:
+        cx, cy = centers[name]
+        print(f"    {name} center: "
+              f"({placement[cx]}, {placement[cy]})")
+
+    print("\n[2] Interconnection of the two desk centers "
+          "(projection; first disjuncts):")
+    desk_vars = [centers["desk_a"][0], centers["desk_b"][0]]
+    connection = space.project(desk_vars)
+    for disjunct in connection.disjuncts[:3]:
+        print(f"    {disjunct}")
+    print(f"    ... {len(connection)} disjuncts")
+
+    print("\n[3] Largest empty square with that placement:")
+    sx, sy, side = (Variable("sx"), Variable("sy"), Variable("s"))
+    square_system = ConjunctiveConstraint.of(
+        Ge(side, 0), Ge(sx, 0), Ge(sy, 0),
+        Le(sx + side, ROOM_W), Le(sy + side, ROOM_H))
+    square_space = DisjunctiveConstraint.of_conjunctive(square_system)
+    for name, hw, hh in to_place:
+        cx = placement[centers[name][0]]
+        cy = placement[centers[name][1]]
+        # The square [sx,sx+s]x[sy,sy+s] avoids the placed box.
+        square_space = square_space.conjoin(DisjunctiveConstraint([
+            ConjunctiveConstraint.of(Le(sx + side, cx - hw)),
+            ConjunctiveConstraint.of(Ge(sx, cx + hw)),
+            ConjunctiveConstraint.of(Le(sy + side, cy - hh)),
+            ConjunctiveConstraint.of(Ge(sy, cy + hh)),
+        ]))
+    best = lp.max_value(side.as_expression(), square_space)
+    print(f"    side {best.value} at "
+          f"({best.point[sx]}, {best.point[sy]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Submarine Maneuver Decision Aid over 4-dimensional CST objects.
+
+Run with::
+
+    python examples/submarine_mda.py
+
+Maneuvers are regions of the 4-D space (course, speed, depth, time);
+goals are constraints over the same space (the paper's second
+application realm, after [BVCS93]).  The example finds compatible
+maneuver/goal pairs, maneuvers satisfying every high-priority goal
+jointly, and the slowest speed achievable inside a feasible region.
+"""
+
+from repro import lyric
+from repro.workloads import mda
+
+
+def main() -> None:
+    workload = mda.generate(n_goals=6, n_maneuvers=5, seed=7)
+    db = workload.db
+    print(f"{len(workload.goals)} goals, "
+          f"{len(workload.maneuvers)} maneuver envelopes "
+          "(4-D: course, speed, depth, time)")
+
+    print("\n[1] Compatible maneuver/goal pairs (nonempty "
+          "intersection):")
+    compatible = lyric.query(db, mda.COMPATIBLE_QUERY)
+    print(f"    {len(compatible)} of "
+          f"{len(workload.goals) * len(workload.maneuvers)} pairs")
+
+    print("\n[2] Maneuvers lying wholly within a goal region "
+          "(entailment |=):")
+    within = lyric.query(db, mda.WITHIN_QUERY)
+    for row in within:
+        print(f"    {row.values[0]} within {row.values[1]}")
+    if not within:
+        print("    none - envelopes are larger than most goal bands")
+
+    print("\n[3] Joint feasibility against every priority >= 8 goal:")
+    hot_goals = [
+        g for g in workload.goals
+        if db.attribute_values(g, "priority")[0].value >= 8]
+    print(f"    {len(hot_goals)} high-priority goals")
+    for maneuver in workload.maneuvers:
+        envelope = db.cst_value(maneuver, "envelope")
+        region = envelope
+        for goal in hot_goals:
+            region = region.intersect(db.cst_value(goal, "region"))
+        verdict = "feasible" if region.is_satisfiable() else "infeasible"
+        print(f"    {maneuver}: {verdict}")
+
+    print("\n[4] Feasible region and slowest speed per compatible "
+          "pair:")
+    best = lyric.query(db, mda.BEST_SPEED_QUERY)
+    for row in list(best)[:5]:
+        maneuver, goal, region, speed = row.values
+        print(f"    {maneuver} + {goal}: min speed {speed}")
+    print(f"    ... {len(best)} pairs total")
+
+
+if __name__ == "__main__":
+    main()

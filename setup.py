@@ -1,0 +1,10 @@
+"""Shim for legacy (non-PEP-517) editable installs.
+
+The offline environment has setuptools but no wheel package, so
+``pip install -e . --no-use-pep517 --no-build-isolation`` is the
+supported install path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

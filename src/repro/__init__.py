@@ -1,0 +1,33 @@
+"""Reproduction of Brodsky & Kornatzky, "The LyriC Language: Querying
+Constraint Objects" (SIGMOD 1995).
+
+Layers (bottom-up):
+
+* :mod:`repro.constraints` — the linear-constraint engine (Section 3).
+* :mod:`repro.model` — the object-oriented data model with CST classes,
+  interfaces and variable schemas (Sections 2-3).
+* :mod:`repro.sqlc` — flat "SQL with constraints" relations and algebra,
+  the translation target of Section 5.
+* :mod:`repro.core` — the LyriC language: parser, semantics, naive
+  evaluator, translation to :mod:`repro.sqlc`, views (Sections 4-5).
+* :mod:`repro.workloads` — synthetic workload generators for the three
+  application realms the paper motivates.
+
+Quickstart::
+
+    from repro import lyric
+    from repro.model.office import build_office_database
+
+    db, oids = build_office_database()
+    result = lyric.query(db, '''
+        SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    ''')
+"""
+
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "__version__"]

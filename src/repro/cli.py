@@ -1,0 +1,200 @@
+"""Command-line interface: run LyriC against JSON databases.
+
+    python -m repro demo
+    python -m repro dump-office office.json
+    python -m repro query office.json "SELECT X FROM Desk X"
+    python -m repro query --office "SELECT X FROM Desk X" --translated
+    python -m repro view office.json "CREATE VIEW ... " --save out.json
+    python -m repro schema office.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import lyric
+from repro.errors import ReproError
+from repro.model.database import Database
+from repro.model.office import (
+    add_file_cabinet,
+    add_regions,
+    build_office_database,
+)
+from repro.model.serialize import read_database, save_database
+
+
+def _office_database() -> Database:
+    db, _ = build_office_database()
+    add_file_cabinet(db)
+    add_regions(db)
+    return db
+
+
+def _load(args) -> Database:
+    if getattr(args, "office", False):
+        return _office_database()
+    if not args.database:
+        raise SystemExit(
+            "a database file is required (or pass --office)")
+    return read_database(args.database)
+
+
+def cmd_demo(args) -> int:
+    db = _office_database()
+    print(f"office database: {len(db)} objects")
+    print(db.schema)
+    result = lyric.query(db, """
+        SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    """)
+    print("\nSELECT CO, ((u,v) | E and D and x = 6 and y = 4) ...")
+    print(result.pretty())
+    return 0
+
+
+def cmd_dump_office(args) -> int:
+    save_database(_office_database(), args.path)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    db = _load(args)
+    text = args.query
+    if text == "-":
+        text = sys.stdin.read()
+    if args.explain:
+        print(lyric.explain(db, text))
+        return 0
+    if args.translated:
+        result = lyric.query_translated(db, text)
+    else:
+        result = lyric.query(db, text)
+    print(result.pretty(limit=args.limit))
+    print(f"({len(result)} rows)")
+    return 0
+
+
+def cmd_shell(args) -> int:
+    """A line-oriented REPL: statements end with ';'."""
+    db = _load(args)
+    print(f"LyriC shell — {len(db)} objects; "
+          "end statements with ';', 'quit;' exits")
+    buffer: list[str] = []
+    stream = sys.stdin
+    while True:
+        try:
+            line = stream.readline()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            break
+        if not line:
+            break
+        buffer.append(line)
+        if ";" not in line:
+            continue
+        text = "".join(buffer).strip().rstrip(";").strip()
+        buffer = []
+        if not text:
+            continue
+        if text.lower() in ("quit", "exit"):
+            break
+        try:
+            if text.lower().startswith("create"):
+                created = lyric.view(db, text)
+                for name in created.classes:
+                    members = created.instances.get(name, [])
+                    print(f"{name}: {len(members)} instances")
+            else:
+                result = lyric.query(db, text)
+                print(result.pretty())
+                print(f"({len(result)} rows)")
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+    return 0
+
+
+def cmd_view(args) -> int:
+    db = _load(args)
+    text = args.view
+    if text == "-":
+        text = sys.stdin.read()
+    created = lyric.view(db, text)
+    for class_name in created.classes:
+        members = created.instances.get(class_name, [])
+        print(f"{class_name}: {len(members)} instances")
+    if args.save:
+        save_database(db, args.save)
+        print(f"wrote {args.save}")
+    return 0
+
+
+def cmd_schema(args) -> int:
+    db = _load(args)
+    print(db.schema)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LyriC constraint-object queries "
+                    "(Brodsky & Kornatzky, SIGMOD 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's worked example")
+    demo.set_defaults(fn=cmd_demo)
+
+    dump = sub.add_parser("dump-office",
+                          help="write the office database as JSON")
+    dump.add_argument("path")
+    dump.set_defaults(fn=cmd_dump_office)
+
+    query = sub.add_parser("query", help="evaluate a LyriC query")
+    query.add_argument("database", nargs="?",
+                       help="JSON database file")
+    query.add_argument("query", help="query text, or - for stdin")
+    query.add_argument("--office", action="store_true",
+                       help="use the built-in office database")
+    query.add_argument("--translated", action="store_true",
+                       help="evaluate via the Section 5 translation")
+    query.add_argument("--explain", action="store_true",
+                       help="print the translated plan instead of "
+                            "evaluating")
+    query.add_argument("--limit", type=int, default=20,
+                       help="rows to print")
+    query.set_defaults(fn=cmd_query)
+
+    shell = sub.add_parser("shell", help="interactive LyriC shell")
+    shell.add_argument("database", nargs="?")
+    shell.add_argument("--office", action="store_true")
+    shell.set_defaults(fn=cmd_shell)
+
+    view = sub.add_parser("view", help="execute a CREATE VIEW")
+    view.add_argument("database", nargs="?")
+    view.add_argument("view", help="view text, or - for stdin")
+    view.add_argument("--office", action="store_true")
+    view.add_argument("--save", help="write the updated database here")
+    view.set_defaults(fn=cmd_view)
+
+    schema = sub.add_parser("schema", help="print a database's schema")
+    schema.add_argument("database", nargs="?")
+    schema.add_argument("--office", action="store_true")
+    schema.set_defaults(fn=cmd_schema)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Allen's interval relations over one-dimensional CST objects.
+
+The temporal half of the paper's CST framework: a 1-D constraint object
+whose point set is a bounded interval supports the thirteen basic
+relations of Allen's interval algebra (before, meets, overlaps, starts,
+during, finishes, equals, and their inverses).  Endpoints come from the
+exact LP bounds, so the classification is exact for closed bounded
+intervals.
+
+For 1-D objects that are *unions* of intervals,
+:func:`normalize_intervals` produces the sorted list of maximal
+disjoint closed intervals — the canonical temporal form (cf. the
+linear-repeating-points literature the paper cites for infinite
+temporal data; we handle the finite-union case).
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+
+from repro.constraints.cst_object import CSTObject
+from repro.errors import ConstraintError, DimensionError
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen basic relations of Allen's interval algebra."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met-by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped-by"
+    STARTS = "starts"
+    STARTED_BY = "started-by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished-by"
+    EQUAL = "equal"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        pairs = {
+            AllenRelation.BEFORE: AllenRelation.AFTER,
+            AllenRelation.MEETS: AllenRelation.MET_BY,
+            AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+            AllenRelation.STARTS: AllenRelation.STARTED_BY,
+            AllenRelation.DURING: AllenRelation.CONTAINS,
+            AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+            AllenRelation.EQUAL: AllenRelation.EQUAL,
+        }
+        inverse = dict(pairs)
+        inverse.update({v: k for k, v in pairs.items()})
+        return inverse[self]
+
+
+def interval_of(obj: CSTObject) -> tuple[Fraction, Fraction]:
+    """The closed bounded interval [lo, hi] of a 1-D CST object.
+
+    Raises :class:`ConstraintError` for empty, unbounded or
+    non-interval (gapped) point sets and :class:`DimensionError` for
+    higher dimensions.
+    """
+    if obj.dimension != 1:
+        raise DimensionError("Allen relations need 1-D objects")
+    if not obj.is_satisfiable():
+        raise ConstraintError("empty interval")
+    intervals = normalize_intervals(obj)
+    if len(intervals) != 1:
+        raise ConstraintError(
+            f"point set is a union of {len(intervals)} intervals, "
+            "not a single interval")
+    return intervals[0]
+
+
+def normalize_intervals(obj: CSTObject
+                        ) -> list[tuple[Fraction, Fraction]]:
+    """The object's point set as sorted maximal disjoint closed
+    intervals (strictness is closed over, per interval hulls)."""
+    if obj.dimension != 1:
+        raise DimensionError("interval normalization needs 1-D objects")
+    raw: list[tuple[Fraction, Fraction]] = []
+    from repro.constraints import lp
+    for conj in obj._flat_disjuncts():
+        lo = lp.minimize(obj.schema[0], conj)
+        hi = lp.maximize(obj.schema[0], conj)
+        if lo.is_infeasible or hi.is_infeasible:
+            continue
+        if not (lo.is_optimal and hi.is_optimal):
+            raise ConstraintError("unbounded interval")
+        raw.append((lo.value, hi.value))
+    raw.sort()
+    merged: list[tuple[Fraction, Fraction]] = []
+    for lo, hi in raw:
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def relation(a: CSTObject, b: CSTObject) -> AllenRelation:
+    """The unique basic Allen relation between two proper intervals.
+
+    Point intervals (lo = hi) are accepted; the classification follows
+    the standard endpoint comparisons.
+    """
+    a_lo, a_hi = interval_of(a)
+    b_lo, b_hi = interval_of(b)
+
+    if a_hi < b_lo:
+        return AllenRelation.BEFORE
+    if b_hi < a_lo:
+        return AllenRelation.AFTER
+    if a_lo == b_lo and a_hi == b_hi:
+        return AllenRelation.EQUAL
+    if a_hi == b_lo:
+        return AllenRelation.MEETS
+    if b_hi == a_lo:
+        return AllenRelation.MET_BY
+    if a_lo == b_lo:
+        return AllenRelation.STARTS if a_hi < b_hi \
+            else AllenRelation.STARTED_BY
+    if a_hi == b_hi:
+        return AllenRelation.FINISHES if a_lo > b_lo \
+            else AllenRelation.FINISHED_BY
+    if b_lo < a_lo and a_hi < b_hi:
+        return AllenRelation.DURING
+    if a_lo < b_lo and b_hi < a_hi:
+        return AllenRelation.CONTAINS
+    if a_lo < b_lo:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def holds(a: CSTObject, b: CSTObject, wanted: AllenRelation) -> bool:
+    """Does the given relation hold between the two intervals?"""
+    return relation(a, b) is wanted

@@ -1,0 +1,183 @@
+"""Canonical forms of constraints — the logical oids of CST objects.
+
+Section 3.1 (following [BJM93]) chooses a canonical form computed by
+simplification and redundancy removal, with a deliberate cost cut-off:
+
+* detecting redundant *disjuncts* is co-NP-complete [Sri92], so
+  disjunctions only get (1) deletion of each inconsistent disjunct and
+  (2) deletion of syntactic duplicates;
+* quantifier elimination can explode, so only *simplifying* eliminations
+  are performed (see
+  :meth:`repro.constraints.existential.ExistentialConjunctiveConstraint.simplify`);
+* conjunctions "offer the greatest scope": we normalize atoms, collapse
+  unsatisfiable conjunctions to FALSE, and remove LP-redundant atoms.
+
+The *canonical key* additionally alpha-renames variables to positional
+names, implementing the paper's requirement that CST expressions "are
+invariant to variable names" — two constraints with the same canonical
+key denote the same CST object and therefore the same logical oid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints import implication
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import (
+    DisjunctiveExistentialConstraint,
+    ExistentialConjunctiveConstraint,
+)
+from repro.constraints.terms import Variable
+
+
+def canonical_conjunctive(conj: ConjunctiveConstraint,
+                          remove_redundant: bool = True
+                          ) -> ConjunctiveConstraint:
+    """Canonical form of a conjunction.
+
+    Unsatisfiable conjunctions collapse to the canonical FALSE; with
+    ``remove_redundant`` each atom implied by the others is dropped
+    (one LP check per atom — polynomially many simplex runs).
+    """
+    if conj.is_true():
+        return conj
+    if not conj.is_satisfiable():
+        return ConjunctiveConstraint.false()
+    if not remove_redundant:
+        return conj
+    atoms = list(conj.sorted_atoms())
+    kept: list = []
+    # A single backward pass relative to the full remaining context keeps
+    # the result order-independent: an atom is dropped iff implied by
+    # (kept so far) + (not yet examined).
+    for i, atom in enumerate(atoms):
+        context = ConjunctiveConstraint(kept + atoms[i + 1:])
+        if not implication.atom_redundant_in(atom, context):
+            kept.append(atom)
+    return ConjunctiveConstraint(kept)
+
+
+def canonical_disjunctive(dis: DisjunctiveConstraint,
+                          remove_redundant_atoms: bool = True
+                          ) -> DisjunctiveConstraint:
+    """The paper's two always-on disjunction simplifications, plus
+    per-disjunct conjunction canonicalization.
+
+    Redundant *disjuncts* (those implied by the union of the others) are
+    deliberately **not** removed — co-NP-complete per [Sri92].
+    """
+    canonical = []
+    for d in dis.disjuncts:
+        c = canonical_conjunctive(d, remove_redundant=remove_redundant_atoms)
+        if not c.is_syntactically_false():
+            canonical.append(c)
+    # The DisjunctiveConstraint constructor removes syntactic duplicates.
+    return DisjunctiveConstraint(canonical)
+
+
+def remove_subsumed_disjuncts(dis: DisjunctiveConstraint
+                              ) -> DisjunctiveConstraint:
+    """Delete disjuncts implied by the union of the others.
+
+    This is the operation the paper's canonical form deliberately
+    *excludes* — "detecting redundant disjuncts is a co-NP-complete
+    problem [Sri92]" — provided as an explicit opt-in for callers that
+    want minimal representations and can afford the entailment checks
+    (exponential in the disjunction size in the worst case).
+    """
+    kept = list(dis.disjuncts)
+    i = 0
+    while i < len(kept):
+        candidate = kept[i]
+        others = kept[:i] + kept[i + 1:]
+        if others and implication.conjunctive_entails_disjunction(
+                candidate, others):
+            kept.pop(i)
+            continue
+        i += 1
+    return DisjunctiveConstraint(kept)
+
+
+def canonical_existential(ex: ExistentialConjunctiveConstraint
+                          ) -> ExistentialConjunctiveConstraint:
+    """Simplifying eliminations + canonical body."""
+    simplified = ex.simplify()
+    body = canonical_conjunctive(simplified.body)
+    return ExistentialConjunctiveConstraint(body, simplified.quantified)
+
+
+def canonical_dex(dex: DisjunctiveExistentialConstraint
+                  ) -> DisjunctiveExistentialConstraint:
+    return DisjunctiveExistentialConstraint(
+        canonical_existential(d) for d in dex.disjuncts)
+
+
+def canonicalize(constraint):
+    """Canonical form of any family member.
+
+    The result is *lowered* to the most specific family that can
+    represent it (a quantifier-free existential becomes a plain
+    conjunction, a one-disjunct disjunction becomes its disjunct, ...)
+    so that equal point sets built through different constructors
+    produce the same canonical object and hence the same logical oid.
+    """
+    if isinstance(constraint, ConjunctiveConstraint):
+        return canonical_conjunctive(constraint)
+    if isinstance(constraint, DisjunctiveConstraint):
+        return lower(canonical_disjunctive(constraint))
+    if isinstance(constraint, ExistentialConjunctiveConstraint):
+        return lower(canonical_existential(constraint))
+    if isinstance(constraint, DisjunctiveExistentialConstraint):
+        return lower(canonical_dex(constraint))
+    raise TypeError(f"not a constraint: {constraint!r}")
+
+
+def lower(constraint):
+    """Rewrite a constraint into the most specific family representing
+    it syntactically (no satisfiability reasoning beyond what the
+    canonical formers already did)."""
+    if isinstance(constraint, ExistentialConjunctiveConstraint):
+        if constraint.is_quantifier_free():
+            return constraint.body
+        return constraint
+    if isinstance(constraint, DisjunctiveConstraint):
+        if len(constraint) == 0:
+            return ConjunctiveConstraint.false()
+        if len(constraint) == 1:
+            return constraint.disjuncts[0]
+        return constraint
+    if isinstance(constraint, DisjunctiveExistentialConstraint):
+        lowered = [lower(d) for d in constraint.disjuncts]
+        if not lowered:
+            return ConjunctiveConstraint.false()
+        if len(lowered) == 1:
+            return lowered[0]
+        if all(isinstance(d, ConjunctiveConstraint) for d in lowered):
+            return DisjunctiveConstraint(lowered)
+        return constraint
+    return constraint
+
+
+def canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
+    """Alpha-invariant identity key of a constraint under a variable
+    schema (the ordered tuple of its CST dimensions).
+
+    Variables are renamed positionally (schema variable i becomes
+    ``_i``), so two CST objects that differ only in variable names get
+    equal keys — the invariance Section 4.1 requires of logical oids.
+    """
+    mapping = {var: Variable(f"_{i}") for i, var in enumerate(schema)}
+    canon = canonicalize(constraint)
+    renamed = canon.rename(mapping)
+    renamed = canonicalize(renamed)
+    if isinstance(renamed, ConjunctiveConstraint):
+        return ("conj", renamed.sorted_atoms())
+    if isinstance(renamed, DisjunctiveConstraint):
+        return ("dis", frozenset(renamed.disjuncts))
+    if isinstance(renamed, ExistentialConjunctiveConstraint):
+        return ("ex", renamed._canonical_alpha())
+    if isinstance(renamed, DisjunctiveExistentialConstraint):
+        return ("dex", frozenset(renamed.disjuncts))
+    raise TypeError(f"not a constraint: {renamed!r}")

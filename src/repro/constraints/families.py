@@ -1,0 +1,153 @@
+"""The four constraint families of Section 3.1 and their closure rules.
+
+The paper defines four interrelated families so that representation size
+and manipulation time stay polynomial for a fixed number of logical
+connectives:
+
+========================  ==============================================
+CONJUNCTIVE               conjunction of linear atoms; closed under
+                          ``and`` and *restricted* projection
+EXISTENTIAL_CONJUNCTIVE   conjunctive + unrestricted (symbolic)
+                          projection; closed under ``and`` and projection
+DISJUNCTIVE               conjunctive constraints and their negations;
+                          closed under ``or``, ``and``, restricted
+                          projection
+DISJUNCTIVE_EXISTENTIAL   disjunction of existential conjunctives;
+                          closed under ``or`` and projection keeping all
+                          free variables
+========================  ==============================================
+
+Inclusions: CONJUNCTIVE < EXISTENTIAL_CONJUNCTIVE < DISJUNCTIVE_EXISTENTIAL
+and CONJUNCTIVE < DISJUNCTIVE < DISJUNCTIVE_EXISTENTIAL.
+
+:func:`combine` computes the least family closed under an operation
+applied to members of two families, raising
+:class:`ConstraintFamilyError` when the paper defines no closure for the
+combination.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConstraintFamilyError
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import (
+    DisjunctiveExistentialConstraint,
+    ExistentialConjunctiveConstraint,
+)
+
+
+class Family(enum.Enum):
+    CONJUNCTIVE = "conjunctive"
+    EXISTENTIAL_CONJUNCTIVE = "existential conjunctive"
+    DISJUNCTIVE = "disjunctive"
+    DISJUNCTIVE_EXISTENTIAL = "disjunctive existential"
+
+    def __le__(self, other: "Family") -> bool:
+        """Family inclusion."""
+        if self is other:
+            return True
+        if self is Family.CONJUNCTIVE:
+            return True
+        if other is Family.DISJUNCTIVE_EXISTENTIAL:
+            return True
+        return False
+
+    def __lt__(self, other: "Family") -> bool:
+        return self is not other and self.__le__(other)
+
+
+def classify(constraint) -> Family:
+    """The (most specific) family of a constraint object."""
+    if isinstance(constraint, ConjunctiveConstraint):
+        return Family.CONJUNCTIVE
+    if isinstance(constraint, ExistentialConjunctiveConstraint):
+        if constraint.is_quantifier_free():
+            return Family.CONJUNCTIVE
+        return Family.EXISTENTIAL_CONJUNCTIVE
+    if isinstance(constraint, DisjunctiveConstraint):
+        if len(constraint) <= 1:
+            return Family.CONJUNCTIVE
+        return Family.DISJUNCTIVE
+    if isinstance(constraint, DisjunctiveExistentialConstraint):
+        if len(constraint) <= 1:
+            return classify(constraint.disjuncts[0]) if constraint.disjuncts \
+                else Family.CONJUNCTIVE
+        if all(d.is_quantifier_free() for d in constraint.disjuncts):
+            return Family.DISJUNCTIVE
+        return Family.DISJUNCTIVE_EXISTENTIAL
+    raise TypeError(f"not a constraint family member: {constraint!r}")
+
+
+def join(a: Family, b: Family) -> Family:
+    """Least family containing both (the lattice join)."""
+    if a <= b:
+        return b
+    if b <= a:
+        return a
+    # The only incomparable pair is {EXISTENTIAL_CONJUNCTIVE, DISJUNCTIVE}.
+    return Family.DISJUNCTIVE_EXISTENTIAL
+
+
+class Operation(enum.Enum):
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    PROJECT_RESTRICTED = "restricted projection"
+    PROJECT = "projection"
+
+
+def combine(op: Operation, a: Family, b: Family | None = None) -> Family:
+    """Family of the result of ``op`` applied to members of ``a`` (and
+    ``b``), following the paper's closure rules exactly.
+
+    Raises :class:`ConstraintFamilyError` for combinations the paper
+    leaves undefined (e.g. negating an existential formula).
+    """
+    if op is Operation.NOT:
+        if a <= Family.CONJUNCTIVE:
+            return Family.DISJUNCTIVE
+        if a is Family.DISJUNCTIVE:
+            # Negation of a disjunctive constraint is a conjunction of
+            # negated conjunctives, each of which is disjunctive; the
+            # family is closed under "and".
+            return Family.DISJUNCTIVE
+        raise ConstraintFamilyError(
+            f"the {a.value} family is not closed under negation")
+
+    if b is None:
+        raise ConstraintFamilyError(f"{op.value} needs two operands")
+
+    upper = join(a, b)
+    if op is Operation.AND:
+        if upper in (Family.CONJUNCTIVE, Family.EXISTENTIAL_CONJUNCTIVE,
+                     Family.DISJUNCTIVE):
+            return upper
+        raise ConstraintFamilyError(
+            "the disjunctive existential family is not closed under "
+            "conjunction (Section 3.1); eliminate quantifiers or "
+            "restructure the formula")
+    if op is Operation.OR:
+        if upper is Family.CONJUNCTIVE:
+            return Family.DISJUNCTIVE
+        if upper is Family.DISJUNCTIVE:
+            return Family.DISJUNCTIVE
+        return Family.DISJUNCTIVE_EXISTENTIAL
+    raise ConstraintFamilyError(f"unsupported operation {op!r}")
+
+
+def project_family(a: Family, *, restricted: bool) -> Family:
+    """Family of a projection applied to a member of ``a``."""
+    if restricted:
+        if a in (Family.CONJUNCTIVE, Family.DISJUNCTIVE):
+            return a
+    if a in (Family.CONJUNCTIVE, Family.EXISTENTIAL_CONJUNCTIVE):
+        return Family.EXISTENTIAL_CONJUNCTIVE
+    if a is Family.DISJUNCTIVE_EXISTENTIAL or a is Family.DISJUNCTIVE:
+        # Allowed only when no free variable is hidden; the structural
+        # check happens at the constraint level.  The family is DEX.
+        return Family.DISJUNCTIVE_EXISTENTIAL
+    raise ConstraintFamilyError(
+        f"projection is not defined on the {a.value} family")

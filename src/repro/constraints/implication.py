@@ -1,0 +1,118 @@
+"""Entailment between constraint formulas — the paper's ``|=`` predicate.
+
+Section 4.2 defines ``((x..)|phi) |= ((y..)|psi)`` to hold iff for every
+real instantiation of all variables, truth of the left side implies truth
+of the right side.  We decide it completely:
+
+* ``conjunctive |= conjunctive``: for each atom ``a`` of the right side,
+  check ``phi and not(a)`` unsatisfiable.  Negation of ``=`` splits into
+  two strict branches.
+* ``disjunctive |= disjunctive``: every disjunct of the left side must
+  entail the right-side disjunction; ``D |= (C1 or ... or Ck)`` holds iff
+  ``D and not(C1) and ... and not(Ck)`` is unsatisfiable, where each
+  ``not(Cj)`` is a disjunction of negated atoms — expanded to DNF with
+  early unsatisfiability pruning.  The expansion is exponential only in
+  the size of the *query* constraint, matching the paper's data-complexity
+  analysis (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.atoms import LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.satisfiability import is_satisfiable
+
+
+def negated_atom_branches(atom: LinearConstraint
+                          ) -> tuple[LinearConstraint, ...]:
+    """The complement of an atom as a disjunction of =,<=,< atoms."""
+    negated = atom.negate()
+    if negated.relop is Relop.NE:
+        return negated.split_disequality()
+    return (negated,)
+
+
+def conjunctive_entails_conjunctive(lhs: ConjunctiveConstraint,
+                                    rhs: ConjunctiveConstraint) -> bool:
+    """``lhs |= rhs`` for two conjunctions."""
+    if not is_satisfiable(lhs):
+        return True
+    for atom in rhs.atoms:
+        for branch in negated_atom_branches(atom):
+            if is_satisfiable(lhs.conjoin(branch)):
+                return False
+    return True
+
+
+def conjunctive_entails_disjunction(lhs: ConjunctiveConstraint,
+                                    disjuncts: Sequence[ConjunctiveConstraint]
+                                    ) -> bool:
+    """``lhs |= (d1 or ... or dk)``.
+
+    Implemented as unsatisfiability of ``lhs and not(d1) and ... and
+    not(dk)``; the conjunction of negated disjuncts is explored as a DNF
+    product with depth-first early pruning, so the common case (few
+    disjuncts, early contradictions) stays fast.
+    """
+    if not is_satisfiable(lhs):
+        return True
+    if not disjuncts:
+        return False
+
+    # Fast path: some single disjunct already subsumes lhs.
+    for d in disjuncts:
+        if conjunctive_entails_conjunctive(lhs, d):
+            return True
+
+    negations: list[list[ConjunctiveConstraint]] = []
+    for d in disjuncts:
+        branches: list[ConjunctiveConstraint] = []
+        for atom in d.atoms:
+            for branch in negated_atom_branches(atom):
+                branches.append(ConjunctiveConstraint.of(branch))
+        if not branches:
+            # Negating TRUE gives FALSE: the disjunct covers everything.
+            return True
+        negations.append(branches)
+
+    # Order by fewest branches first to maximize pruning.
+    negations.sort(key=len)
+
+    def explore(base: ConjunctiveConstraint, level: int) -> bool:
+        """True iff some branch assignment from ``level`` on is
+        satisfiable together with ``base`` (i.e. entailment FAILS)."""
+        if not is_satisfiable(base):
+            return False
+        if level == len(negations):
+            return True
+        for branch in negations[level]:
+            if explore(base.conjoin(branch), level + 1):
+                return True
+        return False
+
+    return not explore(lhs, 0)
+
+
+def disjunction_entails_disjunction(
+        lhs: Sequence[ConjunctiveConstraint],
+        rhs: Sequence[ConjunctiveConstraint]) -> bool:
+    """``(l1 or ... or lm) |= (r1 or ... or rk)``."""
+    return all(conjunctive_entails_disjunction(l, rhs) for l in lhs)
+
+
+def equivalent(lhs: ConjunctiveConstraint,
+               rhs: ConjunctiveConstraint) -> bool:
+    """Mutual entailment of two conjunctions."""
+    return (conjunctive_entails_conjunctive(lhs, rhs)
+            and conjunctive_entails_conjunctive(rhs, lhs))
+
+
+def atom_redundant_in(atom: LinearConstraint,
+                      context: ConjunctiveConstraint) -> bool:
+    """Is ``atom`` implied by ``context`` (used by canonical forms)?"""
+    for branch in negated_atom_branches(atom):
+        if is_satisfiable(context.conjoin(branch)):
+            return False
+    return True

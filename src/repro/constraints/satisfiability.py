@@ -1,0 +1,109 @@
+"""Satisfiability of conjunctions of linear atoms over the reals.
+
+The paper's WHERE-clause satisfiability predicate ("a disjunctive
+existential formula is true iff satisfiable", Section 4.2) bottoms out
+here.  The decision procedure is complete for the full atom language:
+
+* equalities and non-strict inequalities go to the exact simplex directly;
+* strict inequalities use the classical epsilon trick — replace each
+  ``a.x < b`` by ``a.x + eps <= b``, bound ``eps <= 1``, and maximize
+  ``eps``; the strict system is satisfiable iff the optimum is positive
+  (over the rationals a positive slack can always be realized);
+* disequalities branch: ``a.x != b`` splits into ``a.x < b`` or
+  ``a.x > b``.  The number of disequalities is a query-size quantity, so
+  the branching does not affect data complexity (Section 5).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.constraints import simplex
+from repro.constraints.atoms import LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.terms import Variable
+
+#: Reserved variable for the strict-inequality slack.  The name cannot be
+#: produced by :func:`repro.constraints.terms.variables`, and collisions
+#: with user variables are checked at use.
+_EPSILON_NAME = "__eps__"
+
+
+def is_satisfiable(conj: ConjunctiveConstraint) -> bool:
+    """Decide satisfiability over the reals."""
+    return sample_point(conj) is not None
+
+
+def sample_point(conj: ConjunctiveConstraint
+                 ) -> Mapping[Variable, Fraction] | None:
+    """A rational point satisfying ``conj``, or None when unsatisfiable.
+
+    The returned point satisfies every atom, including strict
+    inequalities and disequalities.
+    """
+    if conj.is_syntactically_false():
+        return None
+    base = [a for a in conj.atoms if a.relop is not Relop.NE]
+    disequalities = conj.disequalities()
+    return _solve_branches(base, list(disequalities), conj.variables)
+
+
+def _solve_branches(base: list[LinearConstraint],
+                    pending: list[LinearConstraint],
+                    all_vars: frozenset[Variable]
+                    ) -> Mapping[Variable, Fraction] | None:
+    """DFS over the <,> splits of pending disequalities."""
+    if not pending:
+        return _solve_strict(base, all_vars)
+    atom, rest = pending[0], pending[1:]
+    below, above = atom.split_disequality()
+    for branch in (below, above):
+        point = _solve_branches(base + [branch], rest, all_vars)
+        if point is not None:
+            return point
+    return None
+
+
+def _solve_strict(atoms: list[LinearConstraint],
+                  all_vars: frozenset[Variable]
+                  ) -> Mapping[Variable, Fraction] | None:
+    """Feasible point of a system of =, <=, < atoms, or None."""
+    strict = [a for a in atoms if a.relop is Relop.LT]
+    non_strict = [a for a in atoms if a.relop is not Relop.LT]
+    if not strict:
+        point = simplex.feasible_point(non_strict)
+        return _restrict(point, all_vars) if point is not None else None
+
+    for atom in atoms:
+        for var in atom.variables:
+            if var.name == _EPSILON_NAME:
+                raise ValueError(
+                    f"variable name {_EPSILON_NAME!r} is reserved")
+    eps = Variable(_EPSILON_NAME)
+    relaxed = list(non_strict)
+    for atom in strict:
+        relaxed.append(LinearConstraint.build(
+            atom.expression + eps, Relop.LE, atom.bound))
+    relaxed.append(LinearConstraint.build(
+        eps.as_expression(), Relop.LE, 1))
+    relaxed.append(LinearConstraint.build(
+        -eps.as_expression(), Relop.LE, 0))
+
+    result = simplex.solve(eps.as_expression(), relaxed, maximize=True)
+    if not result.is_optimal or result.value <= 0:
+        return None
+    point = dict(result.point)
+    point.pop(eps, None)
+    return _restrict(point, all_vars)
+
+
+def _restrict(point: Mapping[Variable, Fraction] | None,
+              all_vars: frozenset[Variable]
+              ) -> Mapping[Variable, Fraction] | None:
+    """Project the solver's point onto the constraint's variables, binding
+    any variable the solver never saw to 0."""
+    if point is None:
+        return None
+    result = {v: point.get(v, Fraction(0)) for v in all_vars}
+    return result

@@ -1,0 +1,27 @@
+"""The LyriC query language: parser, semantics, evaluator, views, and
+the Section 5 translation to flat SQL with constraints."""
+
+from repro.core import ast
+from repro.core.evaluator import evaluate
+from repro.core.parser import parse, parse_query, parse_view
+from repro.core.result import ResultRow, ResultSet
+from repro.core.semantics import AnalyzedQuery, analyze
+from repro.core.translator import TranslationError, run_translated, translate
+from repro.core.views import ViewResult, create_view
+
+__all__ = [
+    "AnalyzedQuery",
+    "ResultRow",
+    "ResultSet",
+    "TranslationError",
+    "ViewResult",
+    "analyze",
+    "ast",
+    "create_view",
+    "evaluate",
+    "parse",
+    "parse_query",
+    "parse_view",
+    "run_translated",
+    "translate",
+]

@@ -1,0 +1,197 @@
+"""Fluent programmatic construction of LyriC queries.
+
+Applications embedding LyriC often assemble queries from fragments
+instead of formatting text; the builder keeps the concrete syntax for
+the fragments (paths, formulas, predicates — parsed with the real
+parser, so there is exactly one grammar) while composing the clause
+structure programmatically::
+
+    from repro.core.builder import QueryBuilder
+
+    query = (QueryBuilder()
+             .select("CO")
+             .select_formula("u,v", "E and D and x = 6 and y = 4",
+                             name="placed")
+             .from_("Office_Object", "CO")
+             .where("CO.extent[E]", "CO.translation[D]")
+             .build())
+    result = query_builder_result = lyric.query(db, query)
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+from repro.core.parser import _Parser
+from repro.errors import LyricSyntaxError
+
+
+def _fragment_parser(text: str) -> _Parser:
+    return _Parser(text)
+
+
+def parse_select_item(text: str) -> ast.SelectItem:
+    parser = _fragment_parser(text)
+    item = parser.parse_select_item()
+    parser.expect("eof")
+    return item
+
+
+def parse_predicate(text: str) -> ast.Where:
+    parser = _fragment_parser(text)
+    node = parser.parse_where()
+    parser.expect("eof")
+    return node
+
+
+def parse_formula(head: str | None, body: str) -> ast.CstFormula:
+    if head is not None:
+        text = f"(({head}) | {body})"
+        parser = _fragment_parser(text)
+        formula = parser.parse_projection_formula()
+    else:
+        parser = _fragment_parser(body)
+        formula = ast.CstFormula(None, parser.parse_formula_body())
+    parser.expect("eof")
+    return formula
+
+
+def parse_arith(text: str) -> ast.Arith:
+    parser = _fragment_parser(text)
+    node = parser.parse_arith()
+    parser.expect("eof")
+    return node
+
+
+class QueryBuilder:
+    """Accumulates SELECT/FROM/WHERE pieces and builds a Query AST.
+
+    All ``where`` additions are conjoined; use :meth:`where_any` for a
+    disjunctive group.  The builder is mutable and chainable; ``build``
+    may be called repeatedly (snapshots).
+    """
+
+    def __init__(self):
+        self._select: list[ast.SelectItem] = []
+        self._from: list[ast.FromItem] = []
+        self._where: list[ast.Where] = []
+        self._oid_function_of: tuple[str, ...] | None = None
+        self._oid_function_name = "result"
+
+    # -- SELECT -----------------------------------------------------------
+
+    def select(self, *items: str) -> "QueryBuilder":
+        """Add SELECT items in concrete syntax (``"X"``,
+        ``"name = X.name"``, a full formula, ...)."""
+        for text in items:
+            self._select.append(parse_select_item(text))
+        return self
+
+    def select_formula(self, head: str, body: str,
+                       name: str | None = None) -> "QueryBuilder":
+        """Add a CST-formula item ``((head) | body)``."""
+        formula = parse_formula(head, body)
+        self._select.append(
+            ast.SelectItem(ast.FormulaOut(formula), name))
+        return self
+
+    def _select_optimize(self, kind: ast.OptimizeKind, objective: str,
+                         head: str | None, body: str,
+                         name: str | None) -> "QueryBuilder":
+        item = ast.OptimizeOut(kind, parse_arith(objective),
+                               parse_formula(head, body))
+        self._select.append(ast.SelectItem(item, name))
+        return self
+
+    def select_max(self, objective: str, body: str,
+                   head: str | None = None,
+                   name: str | None = None) -> "QueryBuilder":
+        return self._select_optimize(ast.OptimizeKind.MAX, objective,
+                                     head, body, name)
+
+    def select_min(self, objective: str, body: str,
+                   head: str | None = None,
+                   name: str | None = None) -> "QueryBuilder":
+        return self._select_optimize(ast.OptimizeKind.MIN, objective,
+                                     head, body, name)
+
+    def select_max_point(self, objective: str, body: str,
+                         head: str | None = None,
+                         name: str | None = None) -> "QueryBuilder":
+        return self._select_optimize(ast.OptimizeKind.MAX_POINT,
+                                     objective, head, body, name)
+
+    def select_min_point(self, objective: str, body: str,
+                         head: str | None = None,
+                         name: str | None = None) -> "QueryBuilder":
+        return self._select_optimize(ast.OptimizeKind.MIN_POINT,
+                                     objective, head, body, name)
+
+    # -- FROM ------------------------------------------------------------------
+
+    def from_(self, class_name: str, var: str) -> "QueryBuilder":
+        self._from.append(ast.FromItem(class_name, var))
+        return self
+
+    # -- WHERE -----------------------------------------------------------------------
+
+    def where(self, *predicates: str) -> "QueryBuilder":
+        """Conjoin predicates given in concrete syntax."""
+        for text in predicates:
+            self._where.append(parse_predicate(text))
+        return self
+
+    def where_any(self, *predicates: str) -> "QueryBuilder":
+        """Conjoin a disjunctive group ``(p1 or p2 or ...)``."""
+        parts = tuple(parse_predicate(t) for t in predicates)
+        if not parts:
+            raise LyricSyntaxError("where_any needs predicates")
+        self._where.append(parts[0] if len(parts) == 1
+                           else ast.WOr(parts))
+        return self
+
+    def where_sat(self, body: str) -> "QueryBuilder":
+        """Conjoin the satisfiability predicate SAT(body)."""
+        self._where.append(ast.WSat(parse_formula(None, body)))
+        return self
+
+    def where_entails(self, lhs: str, rhs: str) -> "QueryBuilder":
+        """Conjoin the implication predicate ``lhs |= rhs`` (two
+        formula bodies in concrete syntax)."""
+        self._where.append(ast.WEntails(parse_formula(None, lhs),
+                                        parse_formula(None, rhs)))
+        return self
+
+    def where_not(self, predicate: str) -> "QueryBuilder":
+        self._where.append(ast.WNot(parse_predicate(predicate)))
+        return self
+
+    # -- OID FUNCTION -------------------------------------------------------------------
+
+    def oid_function_of(self, *variables: str,
+                        name: str = "result") -> "QueryBuilder":
+        self._oid_function_of = tuple(variables)
+        self._oid_function_name = name
+        return self
+
+    # -- build -----------------------------------------------------------------------------
+
+    def build(self) -> ast.Query:
+        if not self._select:
+            raise LyricSyntaxError("a query needs a SELECT clause")
+        if not self._from:
+            raise LyricSyntaxError("a query needs a FROM clause")
+        where: ast.Where | None = None
+        if self._where:
+            where = self._where[0] if len(self._where) == 1 \
+                else ast.WAnd(tuple(self._where))
+        return ast.Query(
+            select=tuple(self._select),
+            from_items=tuple(self._from),
+            where=where,
+            oid_function_of=self._oid_function_of,
+            oid_function_name=self._oid_function_name)
+
+    def run(self, db):
+        """Build and evaluate against a database."""
+        from repro.core.evaluator import evaluate
+        return evaluate(db, self.build())

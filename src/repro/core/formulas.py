@@ -1,0 +1,432 @@
+"""Instantiation of CST formulas (the constraint side of Section 4).
+
+Given a variable environment produced by the evaluator, a
+:class:`~repro.core.ast.CstFormula` is turned into a constraint-engine
+object by:
+
+1. evaluating pseudo-linear atoms — path expressions and object
+   variables bound to numbers become rational constants, every other
+   name becomes a constraint variable;
+2. instantiating constraint-object references — the referenced CST
+   value is renamed onto the attribute's declared variable schema
+   ("variables are simply copied from the schema") or onto the explicit
+   argument list ``O(x1..xn)``;
+3. adding the **implicit equalities** of Section 4.1: for the last
+   interface-renamed edge on the reference's binding path, each
+   interface formal that occurs in the reference's schema is equated
+   with the corresponding actual (``p = x1 and q = y1`` in the paper's
+   drawer example) — together with textual variable identity inside the
+   formula this reproduces every worked example in the paper;
+4. composing with ``and``/``or``/``not`` under the family rules, and
+   projecting onto the formula head.
+
+One refinement over a literal reading of the paper: an implicit edge
+equality is only *emitted* when its actual-parameter variable is used
+somewhere else in the formula (or is a head variable).  When the actual
+is used nowhere, the equality merely links an otherwise-unconstrained
+variable and is semantically vacuous; dropping it also prevents two
+same-named edges of *different* parent objects (e.g. two
+``catalog_object`` traversals in one formula) from accidentally
+identifying both parents' coordinate frames through the shared literal
+actual names.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.constraints.atoms import Eq, LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.cst_object import (
+    CSTObject,
+    _conjoin_any,
+    _disjoin_any,
+)
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import (
+    DisjunctiveExistentialConstraint,
+    ExistentialConjunctiveConstraint,
+)
+from repro.constraints.terms import LinearExpression, Variable
+from repro.core import ast
+from repro.core.semantics import AnalyzedQuery
+from repro.errors import EvaluationError
+from repro.model.database import Database
+from repro.model.oid import CstOid, LiteralOid, Oid
+from repro.model.paths import PathExpression, VarRef, path_values
+
+_RELOP_MAP = {
+    "=": Relop.EQ, "!=": Relop.NE, "<": Relop.LT, "<=": Relop.LE,
+    ">": Relop.GT, ">=": Relop.GE,
+}
+
+
+#: A pending implicit equality from an interface-renamed edge:
+#: (runtime oids of the edge's source object, actual spec variable,
+#: renamed formal variable).
+PendingEq = tuple[frozenset, Variable, Variable]
+
+#: An anchor: a reference that can resolve an actual variable to the
+#: name the formula actually uses for it — (runtime oids of the
+#: reference's parent object, spec-variable -> used-variable map).
+Anchor = tuple[frozenset, dict]
+
+
+def instantiate_body(db: Database, analysis: AnalyzedQuery,
+                     node: ast.Formula, env
+                     ) -> tuple[object, list[PendingEq], list[Anchor]]:
+    """The formula body as a constraint-engine object (one of the four
+    families), plus the not-yet-emitted implicit edge equalities and
+    the anchors that can resolve them."""
+    if isinstance(node, ast.FAtom):
+        left = _arith(db, analysis, node.left, env)
+        right = _arith(db, analysis, node.right, env)
+        atom = ConjunctiveConstraint.of(
+            LinearConstraint.build(left, _RELOP_MAP[node.relop], right))
+        return atom, [], []
+    if isinstance(node, ast.FRef):
+        return _ref_constraint(db, analysis, node, env)
+    if isinstance(node, ast.FAnd):
+        result = ConjunctiveConstraint.true()
+        pending: list[PendingEq] = []
+        anchors: list[Anchor] = []
+        for part in node.parts:
+            constraint, part_pending, part_anchors = instantiate_body(
+                db, analysis, part, env)
+            result = _conjoin_any(result, constraint)
+            pending.extend(part_pending)
+            anchors.extend(part_anchors)
+        return result, pending, anchors
+    if isinstance(node, ast.FOr):
+        # Implicit equalities are scoped to their own disjunct.
+        parts = []
+        for p in node.parts:
+            constraint, part_pending, part_anchors = instantiate_body(
+                db, analysis, p, env)
+            parts.append(_apply_pending(
+                constraint, part_pending, part_anchors, frozenset()))
+        result = parts[0]
+        for part in parts[1:]:
+            result = _disjoin_any(result, part)
+        return result, [], []
+    if isinstance(node, ast.FNot):
+        inner, pending, anchors = instantiate_body(
+            db, analysis, node.part, env)
+        inner = _apply_pending(inner, pending, anchors, frozenset())
+        return _negate(inner), [], []
+    if isinstance(node, ast.FTrue):
+        return ConjunctiveConstraint.true(), [], []
+    raise EvaluationError(f"unknown formula node {node!r}")
+
+
+def _apply_pending(constraint, pending: list[PendingEq],
+                   anchors: list[Anchor],
+                   extra_used: frozenset[Variable]):
+    """Emit the applicable implicit edge equalities.
+
+    For each pending ``actual = formal'``: references whose parent
+    object *is* the edge's source object and whose schema contains the
+    actual variable resolve it to the name they use in this formula
+    (the paper's "arguments of DSK.drawer_center must be equal to the
+    arguments of DSK.drawer.translation").  Without such an anchor the
+    equality is emitted with the literal actual name if — and only if —
+    that name is used elsewhere in the formula or is a head variable;
+    otherwise it is vacuous and dropped.
+    """
+    if not pending:
+        return constraint
+    used = frozenset(constraint.variables) | extra_used
+    equalities = []
+    for sources, actual, formal in pending:
+        resolved = set()
+        for parent_keys, rename in anchors:
+            if sources and (parent_keys & sources) and actual in rename:
+                resolved.add(rename[actual])
+        if resolved:
+            for name in resolved:
+                if name != formal:
+                    equalities.append(Eq(name, formal))
+        elif actual in used:
+            if actual != formal:
+                equalities.append(Eq(actual, formal))
+    if not equalities:
+        return constraint
+    return _conjoin_any(constraint, ConjunctiveConstraint(equalities))
+
+
+def instantiate_formula(db: Database, analysis: AnalyzedQuery,
+                        formula: ast.CstFormula, env) -> object:
+    """Instantiate and, when the formula has a head, project onto it."""
+    if formula.head is not None:
+        return formula_to_cst(db, analysis, formula, env).constraint
+    body, pending, anchors = instantiate_body(
+        db, analysis, formula.body, env)
+    return _apply_pending(body, pending, anchors, frozenset())
+
+
+def formula_to_cst(db: Database, analysis: AnalyzedQuery,
+                   formula: ast.CstFormula, env) -> CSTObject:
+    """The CST object denoted by a formula with a projection head."""
+    if formula.head is None:
+        raise EvaluationError(
+            "a SELECT-clause formula needs a projection head "
+            "((x1..xn) | ...)")
+    head_vars = [Variable(name) for name in formula.head]
+    body, pending, anchors = instantiate_body(
+        db, analysis, formula.body, env)
+    body = _apply_pending(body, pending, anchors, frozenset(head_vars))
+    projected = _project(body, head_vars)
+    return CSTObject(head_vars, projected)
+
+
+def satisfiable(db: Database, analysis: AnalyzedQuery,
+                formula: ast.CstFormula, env) -> bool:
+    """The WHERE-clause satisfiability predicate."""
+    body = instantiate_formula(db, analysis, formula, env)
+    return body.is_satisfiable()
+
+
+def entails(db: Database, analysis: AnalyzedQuery,
+            lhs: ast.CstFormula, rhs: ast.CstFormula, env) -> bool:
+    """The WHERE-clause implication predicate ``lhs |= rhs``.
+
+    Variables are matched by name (the Section 4.2 semantics).  When
+    both sides carry definite schemas with disjoint names and equal
+    dimension — e.g. two bare references to CST objects of the same
+    class — matching falls back to positional renaming of the right
+    side onto the left schema.
+    """
+    left_constraint, left_schema = _side(db, analysis, lhs, env)
+    right_constraint, right_schema = _side(db, analysis, rhs, env)
+
+    if (left_schema is not None and right_schema is not None
+            and len(left_schema) == len(right_schema)
+            and not ({v.name for v in left_schema}
+                     & {v.name for v in right_schema})):
+        mapping = dict(zip(right_schema, left_schema))
+        right_constraint = right_constraint.rename(mapping)
+
+    lhs_dex = DisjunctiveExistentialConstraint.of(left_constraint)
+    rhs_dex = DisjunctiveExistentialConstraint.of(right_constraint)
+    return lhs_dex.entails(rhs_dex)
+
+
+def _side(db, analysis, formula: ast.CstFormula, env):
+    """Instantiate one side of ``|=``; returns (constraint, schema) where
+    schema is a definite variable order or None."""
+    if formula.head is not None:
+        cst = formula_to_cst(db, analysis, formula, env)
+        return cst.constraint, cst.schema
+    if isinstance(formula.body, ast.FRef):
+        cst = _ref_cst_object(db, analysis, formula.body, env)
+        return cst.constraint, cst.schema
+    body = instantiate_formula(db, analysis, formula, env)
+    return body, None
+
+
+# ---------------------------------------------------------------------------
+# Optimization operators
+# ---------------------------------------------------------------------------
+
+
+def optimize(db: Database, analysis: AnalyzedQuery,
+             item: ast.OptimizeOut, env) -> Oid:
+    """Evaluate MAX/MIN/MAX_POINT/MIN_POINT; returns the result oid
+    (a numeric literal, or a singleton-point CST object)."""
+    from repro.constraints import lp
+
+    body, pending, anchors = instantiate_body(
+        db, analysis, item.formula.body, env)
+    head_vars = frozenset(Variable(n) for n in item.formula.head or ())
+    system = _apply_pending(body, pending, anchors, head_vars)
+    objective = _arith(db, analysis, item.objective, env)
+
+    maximize = item.kind in (ast.OptimizeKind.MAX,
+                             ast.OptimizeKind.MAX_POINT)
+    # The lp module accepts every family: a disjunctive system is
+    # optimized branch-wise (an extension over the paper's
+    # existential-conjunctive typing; see lp._coerce_systems).
+    result = lp.max_value(objective, system) if maximize \
+        else lp.min_value(objective, system)
+
+    if item.kind in (ast.OptimizeKind.MAX, ast.OptimizeKind.MIN):
+        return LiteralOid(result.value)
+
+    if item.formula.head is not None:
+        point_vars = [Variable(n) for n in item.formula.head]
+    else:
+        point_vars = sorted(system.variables, key=lambda v: v.name)
+    point = result.point_on(point_vars)
+    atoms = [Eq(var, point[var]) for var in point_vars]
+    return CstOid(CSTObject(point_vars, ConjunctiveConstraint(atoms)))
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _project(body, head_vars: list[Variable]):
+    head = frozenset(head_vars)
+    if isinstance(body, ConjunctiveConstraint):
+        body = ExistentialConjunctiveConstraint.of_conjunctive(body)
+    return body.project(head)
+
+
+def _negate(body):
+    if isinstance(body, ConjunctiveConstraint):
+        return DisjunctiveConstraint.negation_of_conjunctive(body)
+    if isinstance(body, DisjunctiveConstraint):
+        return body.negate()
+    raise EvaluationError(
+        "negation is only defined on conjunctive and disjunctive "
+        "formulas (Section 3.1)")
+
+
+def _arith(db: Database, analysis: AnalyzedQuery, node: ast.Arith,
+           env) -> LinearExpression:
+    if isinstance(node, ast.ANum):
+        return LinearExpression.constant(node.value)
+    if isinstance(node, ast.AName):
+        bound = env.get(node.name)
+        if bound is None:
+            return Variable(node.name).as_expression()
+        if isinstance(bound, LiteralOid) \
+                and isinstance(bound.value, Fraction):
+            return LinearExpression.constant(bound.value)
+        raise EvaluationError(
+            f"variable {node.name!r} is bound to {bound}, which is not "
+            "a numeric constant usable in a pseudo-linear formula")
+    if isinstance(node, ast.APath):
+        return LinearExpression.constant(
+            _numeric_path_value(db, node.path, env))
+    if isinstance(node, ast.ABinary):
+        left = _arith(db, analysis, node.left, env)
+        right = _arith(db, analysis, node.right, env)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            if not right.is_constant():
+                raise EvaluationError(
+                    "division by a non-constant is not linear")
+            return left / right.constant_term
+        raise EvaluationError(f"unknown operator {node.op!r}")
+    if isinstance(node, ast.ANeg):
+        return -_arith(db, analysis, node.operand, env)
+    raise EvaluationError(f"unknown arithmetic node {node!r}")
+
+
+def _numeric_path_value(db: Database, path: PathExpression,
+                        env) -> Fraction:
+    values = path_values(db, path, env)
+    if len(values) != 1:
+        raise EvaluationError(
+            f"path {path} must denote exactly one value in a "
+            f"pseudo-linear formula; it denotes {len(values)}")
+    (value,) = values
+    if isinstance(value, LiteralOid) and isinstance(value.value, Fraction):
+        return value.value
+    raise EvaluationError(
+        f"path {path} denotes {value}, which is not numeric")
+
+
+def _ref_value(db: Database, ref: ast.FRef, env) -> CSTObject:
+    if isinstance(ref.source, str):
+        bound = env.get(ref.source)
+        if bound is None:
+            raise EvaluationError(
+                f"constraint reference {ref.source!r} is unbound")
+        if not isinstance(bound, CstOid):
+            raise EvaluationError(
+                f"constraint reference {ref.source!r} is bound to "
+                f"{bound}, not a CST object")
+        return bound.cst
+    values = path_values(db, ref.source, env)
+    cst_values = [v for v in values if isinstance(v, CstOid)]
+    if len(cst_values) != 1:
+        raise EvaluationError(
+            f"path reference {ref.source} must denote exactly one CST "
+            f"object; it denotes {len(cst_values)}")
+    return cst_values[0].cst
+
+
+def _ref_cst_object(db: Database, analysis: AnalyzedQuery,
+                    ref: ast.FRef, env) -> CSTObject:
+    """The referenced CST object renamed onto its schema-variable names
+    (the attribute's CST spec) and then onto explicit arguments."""
+    cst = _ref_value(db, ref, env)
+    info = analysis.ref_info.get(ref)
+    spec = info.spec if info is not None else None
+    if spec is not None:
+        if cst.dimension != spec.dimension:
+            raise EvaluationError(
+                f"reference {ref}: stored CST object has dimension "
+                f"{cst.dimension}, schema declares {spec.dimension}")
+        cst = cst.rename(spec.variables)
+    if ref.args is not None:
+        if len(ref.args) != cst.dimension:
+            raise EvaluationError(
+                f"reference {ref}: {len(ref.args)} arguments for a "
+                f"{cst.dimension}-dimensional CST object")
+        cst = cst.rename([Variable(a) for a in ref.args])
+    return cst
+
+
+def _ref_constraint(db: Database, analysis: AnalyzedQuery,
+                    ref: ast.FRef, env
+                    ) -> tuple[object, list[PendingEq], list[Anchor]]:
+    """Reference constraint plus pending implicit equalities and the
+    reference's anchor record."""
+    info = analysis.ref_info.get(ref)
+    base = _ref_value(db, ref, env)
+    spec = info.spec if info is not None else None
+    if spec is not None:
+        if base.dimension != spec.dimension:
+            raise EvaluationError(
+                f"reference {ref}: stored CST object has dimension "
+                f"{base.dimension}, schema declares {spec.dimension}")
+        base = base.rename(spec.variables)
+    schema_before_args = base.schema
+    if ref.args is not None:
+        if len(ref.args) != base.dimension:
+            raise EvaluationError(
+                f"reference {ref}: {len(ref.args)} arguments for a "
+                f"{base.dimension}-dimensional CST object")
+        base = base.rename([Variable(a) for a in ref.args])
+
+    used_names = dict(zip(schema_before_args, base.schema))
+
+    anchors: list[Anchor] = []
+    if info is not None and info.parent_prefix is not None:
+        parent_keys = _prefix_oids(db, info.parent_prefix, env)
+        if parent_keys:
+            anchors.append((parent_keys, used_names))
+
+    pending: list[PendingEq] = []
+    if info is not None and info.last_edge is not None \
+            and info.last_edge.interface_args is not None:
+        source_keys = _prefix_oids(db, info.edge_source, env)
+        schema_set = set(schema_before_args)
+        for actual, formal in zip(info.last_edge.interface_args,
+                                  info.edge_formals):
+            if formal in schema_set:
+                pending.append((source_keys, actual,
+                                used_names[formal]))
+    return base.constraint, pending, anchors
+
+
+def _prefix_oids(db: Database, prefix, env) -> frozenset:
+    """Runtime oids denoted by an object-path prefix (empty when the
+    prefix is unknown or unresolvable)."""
+    if prefix is None:
+        return frozenset()
+    if not prefix.steps and isinstance(prefix.head, VarRef):
+        bound = env.get(prefix.head.name)
+        return frozenset((bound,)) if bound is not None else frozenset()
+    if not prefix.steps:
+        return frozenset((prefix.head,))
+    return frozenset(path_values(db, prefix, env))

@@ -1,0 +1,273 @@
+"""An FP-style constraint algebra over collections of CST objects.
+
+Section 5 of the paper sketches the "more sophisticated implementation"
+it leaves to future work: *"a constraint algebra in which higher-order
+operators manipulate collections of objects (e.g. sets, lists) some of
+whose elements may be constraints.  Thus, the algebra is an FP-like
+language [Bac78] in which functional forms capture common data
+collections processing abstractions such as filtering elements, and
+applying a function to all elements of a collection, and primitive
+functions manipulate objects of different types such as intersecting
+constraints."*
+
+This module realizes that sketch:
+
+* **primitive functions** on CST objects — ``intersect``, ``union_with``,
+  ``project``, ``rename``, ``satisfiable``, ``entails``, ``overlaps``,
+  ``bounding_box`` — curried so they compose;
+* **functional forms** — ``Map``, ``Filter``, ``Fold``, ``Compose`` —
+  over Python iterables of :class:`CSTObject`;
+* **algebraic rewriting** — :func:`optimize` applies the classic fusion
+  laws (``map f . map g = map (f . g)``,
+  ``filter p . filter q = filter (p and q)``,
+  ``filter p . map f = map f . filter (p . f)`` is *not* applied since
+  predicates here are cheap relative to maps) so a pipeline makes one
+  pass.
+
+The algebra plugs into the data model through :func:`collect`, which
+pulls a CST collection out of a class extent's attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.terms import Variable
+from repro.model.database import Database
+
+#: A unary primitive over CST objects.
+CstFunction = Callable[[CSTObject], CSTObject]
+CstPredicate = Callable[[CSTObject], bool]
+
+
+# ---------------------------------------------------------------------------
+# Primitive functions (curried constructors)
+# ---------------------------------------------------------------------------
+
+
+def intersect(other: CSTObject) -> CstFunction:
+    """``intersect(B)(A) = A ∧ B`` (constraint conjunction)."""
+    def fn(obj: CSTObject) -> CSTObject:
+        return obj.intersect(other)
+    fn.__name__ = "intersect"
+    return fn
+
+
+def union_with(other: CSTObject) -> CstFunction:
+    def fn(obj: CSTObject) -> CSTObject:
+        return obj.union(other)
+    fn.__name__ = "union_with"
+    return fn
+
+
+def project(schema: Sequence[Variable | str]) -> CstFunction:
+    resolved = [v if isinstance(v, Variable) else Variable(v)
+                for v in schema]
+
+    def fn(obj: CSTObject) -> CSTObject:
+        return obj.project(resolved)
+    fn.__name__ = "project"
+    return fn
+
+
+def rename(schema: Sequence[Variable | str]) -> CstFunction:
+    resolved = [v if isinstance(v, Variable) else Variable(v)
+                for v in schema]
+
+    def fn(obj: CSTObject) -> CSTObject:
+        return obj.rename(resolved)
+    fn.__name__ = "rename"
+    return fn
+
+
+def satisfiable() -> CstPredicate:
+    def fn(obj: CSTObject) -> bool:
+        return obj.is_satisfiable()
+    fn.__name__ = "satisfiable"
+    return fn
+
+
+def entails(rhs: CSTObject) -> CstPredicate:
+    def fn(obj: CSTObject) -> bool:
+        return obj.entails(rhs)
+    fn.__name__ = "entails"
+    return fn
+
+
+def overlaps(other: CSTObject) -> CstPredicate:
+    def fn(obj: CSTObject) -> bool:
+        return obj.overlaps(other)
+    fn.__name__ = "overlaps"
+    return fn
+
+
+def contains_point(*coordinates) -> CstPredicate:
+    def fn(obj: CSTObject) -> bool:
+        return obj.contains_point(*coordinates)
+    fn.__name__ = "contains_point"
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Functional forms
+# ---------------------------------------------------------------------------
+
+
+class Form:
+    """A collection-to-collection (or collection-to-value) operator."""
+
+    def __call__(self, collection: Iterable[CSTObject]):
+        raise NotImplementedError
+
+    def then(self, next_form: "Form") -> "Compose":
+        """Left-to-right composition: ``a.then(b)`` runs ``a`` first."""
+        return Compose((self, next_form))
+
+
+class Map(Form):
+    """Apply a primitive to every element."""
+
+    def __init__(self, fn: CstFunction):
+        self.fn = fn
+
+    def __call__(self, collection):
+        return [self.fn(obj) for obj in collection]
+
+    def __repr__(self):
+        return f"Map({getattr(self.fn, '__name__', 'fn')})"
+
+
+class Filter(Form):
+    """Keep elements satisfying a predicate."""
+
+    def __init__(self, predicate: CstPredicate):
+        self.predicate = predicate
+
+    def __call__(self, collection):
+        return [obj for obj in collection if self.predicate(obj)]
+
+    def __repr__(self):
+        return f"Filter({getattr(self.predicate, '__name__', 'p')})"
+
+
+class Fold(Form):
+    """Combine the collection with a binary constraint operation.
+
+    ``Fold(lambda a, b: a.union(b))`` computes the union of the whole
+    collection; an explicit ``initial`` handles the empty case.
+    """
+
+    def __init__(self, combine: Callable[[CSTObject, CSTObject],
+                                         CSTObject],
+                 initial: CSTObject | None = None):
+        self.combine = combine
+        self.initial = initial
+
+    def __call__(self, collection):
+        items = list(collection)
+        if not items:
+            if self.initial is None:
+                raise ValueError("fold of an empty collection needs "
+                                 "an initial value")
+            return self.initial
+        result = items[0] if self.initial is None else self.initial
+        rest = items[1:] if self.initial is None else items
+        for obj in rest:
+            result = self.combine(result, obj)
+        return result
+
+    def __repr__(self):
+        return "Fold(...)"
+
+
+class Compose(Form):
+    """Left-to-right pipeline of forms."""
+
+    def __init__(self, forms: Sequence[Form]):
+        flattened: list[Form] = []
+        for form in forms:
+            if isinstance(form, Compose):
+                flattened.extend(form.forms)
+            else:
+                flattened.append(form)
+        self.forms = tuple(flattened)
+
+    def __call__(self, collection):
+        result = collection
+        for form in self.forms:
+            result = form(result)
+        return result
+
+    def then(self, next_form: Form) -> "Compose":
+        return Compose(self.forms + (next_form,))
+
+    def __repr__(self):
+        return " . ".join(repr(f) for f in self.forms)
+
+
+# ---------------------------------------------------------------------------
+# Algebraic rewriting: fusion
+# ---------------------------------------------------------------------------
+
+
+def optimize(form: Form) -> Form:
+    """Fuse adjacent Maps and adjacent Filters so the pipeline makes a
+    single pass per fused group (the classic FP/algebra laws the paper
+    expects the optimizer to exploit)."""
+    if not isinstance(form, Compose):
+        return form
+    fused: list[Form] = []
+    for step in form.forms:
+        if fused and isinstance(step, Map) \
+                and isinstance(fused[-1], Map):
+            first = fused.pop().fn
+            second = step.fn
+
+            def fn(obj, _f=first, _g=second):
+                return _g(_f(obj))
+            fn.__name__ = (f"{getattr(second, '__name__', 'g')}."
+                           f"{getattr(first, '__name__', 'f')}")
+            fused.append(Map(fn))
+        elif fused and isinstance(step, Filter) \
+                and isinstance(fused[-1], Filter):
+            first = fused.pop().predicate
+            second = step.predicate
+
+            def pred(obj, _p=first, _q=second):
+                return _p(obj) and _q(obj)
+            pred.__name__ = (f"{getattr(first, '__name__', 'p')}&"
+                             f"{getattr(second, '__name__', 'q')}")
+            fused.append(Filter(pred))
+        else:
+            fused.append(step)
+    if len(fused) == 1:
+        return fused[0]
+    return Compose(fused)
+
+
+# ---------------------------------------------------------------------------
+# Database bridge
+# ---------------------------------------------------------------------------
+
+
+def collect(db: Database, class_name: str, attribute: str,
+            schema: Sequence[Variable | str] | None = None
+            ) -> list[CSTObject]:
+    """The CST values of ``attribute`` over the extent of
+    ``class_name``, optionally renamed onto a common schema — the
+    entry point that turns stored data into an algebra collection."""
+    from repro.model.oid import CstOid
+    resolved = None
+    if schema is not None:
+        resolved = [v if isinstance(v, Variable) else Variable(v)
+                    for v in schema]
+    out: list[CSTObject] = []
+    for oid in db.extent(class_name):
+        for value in db.attribute_values(oid, attribute):
+            if isinstance(value, CstOid):
+                cst = value.cst
+                if resolved is not None:
+                    cst = cst.rename(resolved)
+                out.append(cst)
+    return out

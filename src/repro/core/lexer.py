@@ -1,0 +1,73 @@
+"""Tokenizer for the LyriC concrete syntax.
+
+Keywords are case-insensitive (``SELECT``/``select``); identifiers keep
+their case.  The token stream carries line/column positions for error
+messages.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import LyricSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not",
+    "create", "view", "as", "subclass", "of",
+    "signature", "oid", "function",
+    "max", "min", "max_point", "min_point", "subject", "to",
+    "sat", "contains", "in", "true", "false", "exists",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol>\|=|=>>|=>|<=|>=|==|!=|<>|[-+*/().,\[\]|=<>])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'kw', 'ident', 'number', 'string', 'symbol', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return self.value or self.kind
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise LyricSyntaxError(
+                f"unexpected character {text[pos]!r}",
+                line, pos - line_start + 1)
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos - len(value) + value.rfind("\n") + 1
+            continue
+        if kind == "ident" and value.lower() in KEYWORDS:
+            tokens.append(Token("kw", value.lower(), line, column))
+        elif kind == "string":
+            inner = value[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token("string", inner, line, column))
+        else:
+            tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,527 @@
+"""Recursive-descent parser for the LyriC concrete syntax.
+
+The grammar follows the paper's examples closely::
+
+    SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+    FROM Office_Object CO
+    WHERE CO.extent[E] and CO.translation[D]
+
+    CREATE VIEW Overlap AS SUBCLASS OF Office_Object
+    SELECT first = X, second = Y
+    SIGNATURE first => Office_Object, second => Office_Object
+    FROM Office_Object X, Office_Object Y
+    OID FUNCTION OF X, Y
+    WHERE X.extent[U] and Y.extent[V] and ((U and V))
+
+Notable conventions:
+
+* ``((x,y) | body)`` is a CST formula with an explicit head;
+* a parenthesized formula body in WHERE (e.g. ``((L and 0 <= x))``) is
+  the satisfiability predicate; ``SAT(body)`` is an explicit synonym;
+* ``(lhs |= rhs)`` is the implication predicate;
+* path selectors and heads are parsed as names; resolving which names
+  are variables vs ground oids vs attribute names happens in
+  :mod:`repro.core.semantics`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core import ast
+from repro.core.lexer import Token, tokenize
+from repro.errors import LyricSyntaxError
+from repro.model.oid import LiteralOid, Oid
+from repro.model.paths import PathExpression, Step, VarRef
+
+_RELOPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+_NORMALIZED_RELOPS = {"==": "=", "<>": "!="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, value: str | None = None,
+           ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token.kind == kind and (value is None
+                                       or token.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            wanted = value if value is not None else kind
+            raise LyricSyntaxError(
+                f"expected {wanted!r}, found {token.value or token.kind!r}",
+                token.line, token.column)
+        return self.next()
+
+    def error(self, message: str) -> LyricSyntaxError:
+        token = self.peek()
+        return LyricSyntaxError(message, token.line, token.column)
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_statement(self):
+        if self.at("kw", "create"):
+            return self.parse_create_view()
+        query = self.parse_query()
+        self.expect("eof")
+        return query
+
+    def parse_create_view(self) -> ast.CreateView:
+        self.expect("kw", "create")
+        self.expect("kw", "view")
+        name = self.expect("ident").value
+        self.expect("kw", "as")
+        self.expect("kw", "subclass")
+        self.expect("kw", "of")
+        superclass = self.parse_class_name()
+        query, signature = self.parse_query(allow_signature=True,
+                                            view_name=name)
+        self.expect("eof")
+        return ast.CreateView(name=name, superclass=superclass,
+                              query=query, signature=tuple(signature))
+
+    def parse_query(self, allow_signature: bool = False,
+                    view_name: str | None = None):
+        self.expect("kw", "select")
+        select = [self.parse_select_item()]
+        while self.accept("symbol", ","):
+            select.append(self.parse_select_item())
+
+        signature: list[ast.SignatureItem] = []
+        if allow_signature and self.accept("kw", "signature"):
+            signature.append(self.parse_signature_item())
+            while self.accept("symbol", ","):
+                signature.append(self.parse_signature_item())
+
+        self.expect("kw", "from")
+        from_items = [self.parse_from_item()]
+        while self.accept("symbol", ","):
+            from_items.append(self.parse_from_item())
+
+        oid_function_of = None
+        if self.at("kw", "oid"):
+            self.next()
+            self.expect("kw", "function")
+            self.expect("kw", "of")
+            oid_function_of = [self.expect("ident").value]
+            while self.accept("symbol", ","):
+                oid_function_of.append(self.expect("ident").value)
+
+        where = None
+        if self.accept("kw", "where"):
+            where = self.parse_where()
+
+        query = ast.Query(
+            select=tuple(select),
+            from_items=tuple(from_items),
+            where=where,
+            oid_function_of=tuple(oid_function_of)
+            if oid_function_of else None,
+            oid_function_name=view_name or "result")
+        if allow_signature:
+            return query, signature
+        return query
+
+    def parse_signature_item(self) -> ast.SignatureItem:
+        name = self.expect("ident").value
+        if self.accept("symbol", "=>>"):
+            set_valued = True
+        else:
+            self.expect("symbol", "=>")
+            set_valued = False
+        target = self.parse_class_name()
+        return ast.SignatureItem(name, target, set_valued)
+
+    def parse_from_item(self) -> ast.FromItem:
+        class_name = self.parse_class_name()
+        var = self.expect("ident").value
+        return ast.FromItem(class_name, var)
+
+    def parse_class_name(self) -> str:
+        name = self.expect("ident").value
+        # Allow CST(2)-style class names.
+        if name == "CST" and self.at("symbol", "("):
+            self.next()
+            dim = self.expect("number").value
+            self.expect("symbol", ")")
+            name = f"CST({dim})"
+        return name
+
+    # -- SELECT items -----------------------------------------------------------
+
+    def parse_select_item(self) -> ast.SelectItem:
+        name = None
+        if self.at("ident") and self.at("symbol", "=", ahead=1):
+            name = self.next().value
+            self.next()
+        return ast.SelectItem(self.parse_select_expr(), name)
+
+    def parse_select_expr(self) -> ast.SelectExpr:
+        token = self.peek()
+        if token.kind == "kw" and token.value in (
+                "max", "min", "max_point", "min_point"):
+            return self.parse_optimize()
+        if self.at("symbol", "(") and self.at("symbol", "(", ahead=1):
+            return ast.FormulaOut(self.parse_projection_formula())
+        return ast.PathOut(self.parse_path())
+
+    def parse_optimize(self) -> ast.OptimizeOut:
+        kind = ast.OptimizeKind[self.next().value.upper()]
+        self.expect("symbol", "(")
+        objective = self.parse_arith()
+        self.expect("kw", "subject")
+        self.expect("kw", "to")
+        if self.at("symbol", "(") and self.at("symbol", "(", ahead=1):
+            formula = self.parse_projection_formula()
+        else:
+            formula = ast.CstFormula(None, self.parse_formula_body())
+        self.expect("symbol", ")")
+        return ast.OptimizeOut(kind, objective, formula)
+
+    # -- WHERE --------------------------------------------------------------------
+
+    def parse_where(self) -> ast.Where:
+        parts = [self.parse_where_and()]
+        while self.accept("kw", "or"):
+            parts.append(self.parse_where_and())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.WOr(tuple(parts))
+
+    def parse_where_and(self) -> ast.Where:
+        parts = [self.parse_where_unit()]
+        while self.accept("kw", "and"):
+            parts.append(self.parse_where_unit())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.WAnd(tuple(parts))
+
+    def parse_where_unit(self) -> ast.Where:
+        if self.accept("kw", "not"):
+            return ast.WNot(self.parse_where_unit())
+        if self.at("kw", "sat"):
+            self.next()
+            self.expect("symbol", "(")
+            body = self.parse_formula_body()
+            self.expect("symbol", ")")
+            return ast.WSat(ast.CstFormula(None, body))
+        if self.at("symbol", "(") and self.at("symbol", "(", ahead=1):
+            # Could be a projection-form formula or nested parens.
+            saved = self.pos
+            try:
+                formula = self.parse_projection_formula()
+                return self.maybe_entailment(formula)
+            except LyricSyntaxError:
+                self.pos = saved
+        if self.at("symbol", "("):
+            saved = self.pos
+            # Try boolean grouping first.
+            try:
+                self.next()
+                inner = self.parse_where()
+                self.expect("symbol", ")")
+                return inner
+            except LyricSyntaxError:
+                self.pos = saved
+            # Fall back to a parenthesized CST formula: satisfiability
+            # predicate or the lhs of |=.
+            self.next()
+            body = self.parse_formula_body()
+            if self.accept("symbol", "|="):
+                rhs = self.parse_entailment_operand()
+                self.expect("symbol", ")")
+                return ast.WEntails(ast.CstFormula(None, body), rhs)
+            self.expect("symbol", ")")
+            formula = ast.CstFormula(None, body)
+            if self.at("symbol", "|="):
+                self.next()
+                rhs = self.parse_entailment_operand()
+                return ast.WEntails(formula, rhs)
+            return ast.WSat(formula)
+        return self.parse_comparison_or_path()
+
+    def maybe_entailment(self, formula: ast.CstFormula) -> ast.Where:
+        if self.accept("symbol", "|="):
+            rhs = self.parse_entailment_operand()
+            return ast.WEntails(formula, rhs)
+        return ast.WSat(formula)
+
+    def parse_entailment_operand(self) -> ast.CstFormula:
+        if self.at("symbol", "(") and self.at("symbol", "(", ahead=1):
+            saved = self.pos
+            try:
+                return self.parse_projection_formula()
+            except LyricSyntaxError:
+                self.pos = saved
+        if self.accept("symbol", "("):
+            body = self.parse_formula_body()
+            self.expect("symbol", ")")
+            return ast.CstFormula(None, body)
+        return ast.CstFormula(None, self.parse_formula_body())
+
+    def parse_comparison_or_path(self) -> ast.Where:
+        left = self.parse_path_or_literal()
+        token = self.peek()
+        if token.kind == "symbol" and token.value in _RELOPS:
+            op = _NORMALIZED_RELOPS.get(self.next().value,
+                                        token.value)
+            right = self.parse_path_or_literal()
+            return ast.WCompare(left, op, right)
+        if token.kind == "kw" and token.value in ("contains", "in"):
+            self.next()
+            right = self.parse_path_or_literal()
+            return ast.WCompare(left, token.value, right)
+        if isinstance(left, PathExpression):
+            return ast.WPath(left)
+        raise self.error("a literal is not a predicate")
+
+    def parse_path_or_literal(self):
+        token = self.peek()
+        if token.kind == "string":
+            self.next()
+            return LiteralOid(token.value)
+        if token.kind == "number":
+            self.next()
+            return LiteralOid(Fraction(token.value))
+        if self.at("symbol", "-") and self.peek(1).kind == "number":
+            self.next()
+            return LiteralOid(-Fraction(self.next().value))
+        return self.parse_path()
+
+    # -- path expressions ------------------------------------------------------------
+
+    def parse_path(self) -> PathExpression:
+        head = VarRef(self.expect("ident").value)
+        steps: list[Step] = []
+        while self.accept("symbol", "."):
+            attribute = VarRef(self.expect("ident").value)
+            selector = None
+            if self.accept("symbol", "["):
+                selector = self.parse_selector()
+                self.expect("symbol", "]")
+            steps.append(Step(attribute, selector))
+        return PathExpression(head, tuple(steps))
+
+    def parse_selector(self):
+        token = self.peek()
+        if token.kind == "string":
+            self.next()
+            return LiteralOid(token.value)
+        if token.kind == "number":
+            self.next()
+            return LiteralOid(Fraction(token.value))
+        if self.at("symbol", "-") and self.peek(1).kind == "number":
+            self.next()
+            return LiteralOid(-Fraction(self.next().value))
+        return VarRef(self.expect("ident").value)
+
+    # -- CST formulas --------------------------------------------------------------------
+
+    def parse_projection_formula(self) -> ast.CstFormula:
+        self.expect("symbol", "(")
+        self.expect("symbol", "(")
+        head = [self.expect("ident").value]
+        while self.accept("symbol", ","):
+            head.append(self.expect("ident").value)
+        self.expect("symbol", ")")
+        self.expect("symbol", "|")
+        body = self.parse_formula_body()
+        self.expect("symbol", ")")
+        return ast.CstFormula(tuple(head), body)
+
+    def parse_formula_body(self) -> ast.Formula:
+        parts = [self.parse_formula_conj()]
+        while self.accept("kw", "or"):
+            parts.append(self.parse_formula_conj())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.FOr(tuple(parts))
+
+    def parse_formula_conj(self) -> ast.Formula:
+        parts = [self.parse_formula_unit()]
+        while self.accept("kw", "and"):
+            parts.append(self.parse_formula_unit())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.FAnd(tuple(parts))
+
+    def parse_formula_unit(self) -> ast.Formula:
+        if self.accept("kw", "not"):
+            return ast.FNot(self.parse_formula_unit())
+        if self.accept("kw", "true"):
+            return ast.FTrue()
+        if self.accept("kw", "false"):
+            return ast.FNot(ast.FTrue())
+        if self.at("symbol", "("):
+            saved = self.pos
+            try:
+                self.next()
+                inner = self.parse_formula_body()
+                self.expect("symbol", ")")
+                if self.peek().kind == "symbol" \
+                        and self.peek().value in _RELOPS:
+                    raise self.error("arithmetic context")
+                return inner
+            except LyricSyntaxError:
+                self.pos = saved
+        return self.parse_ref_or_atom()
+
+    def parse_ref_or_atom(self) -> ast.Formula:
+        saved = self.pos
+        ref = self.try_parse_ref()
+        if ref is not None:
+            return ref
+        self.pos = saved
+        return self.parse_atom_chain()
+
+    def try_parse_ref(self) -> ast.FRef | None:
+        """A constraint-object reference: NAME, NAME(args), path, or
+        path(args) — recognized when *not* followed by a comparison."""
+        if not self.at("ident"):
+            return None
+        path = self.parse_path()
+        args: tuple[str, ...] | None = None
+        if self.at("symbol", "("):
+            # Only an identifier list in parens counts as ref arguments.
+            saved = self.pos
+            self.next()
+            names = []
+            ok = True
+            if self.at("ident"):
+                names.append(self.next().value)
+                while self.accept("symbol", ","):
+                    if not self.at("ident"):
+                        ok = False
+                        break
+                    names.append(self.next().value)
+            else:
+                ok = False
+            if ok and self.accept("symbol", ")"):
+                args = tuple(names)
+            else:
+                self.pos = saved
+                return None
+        follower = self.peek()
+        if follower.kind == "symbol" and follower.value in _RELOPS:
+            return None
+        if follower.kind == "symbol" and follower.value in (
+                "+", "-", "*", "/"):
+            return None
+        source = path.head.name if not path.steps else path
+        return ast.FRef(source, args)
+
+    def parse_atom_chain(self) -> ast.Formula:
+        left = self.parse_arith()
+        token = self.peek()
+        if not (token.kind == "symbol" and token.value in _RELOPS):
+            raise self.error(
+                f"expected a comparison operator in formula, found "
+                f"{token.value or token.kind!r}")
+        atoms: list[ast.Formula] = []
+        while self.peek().kind == "symbol" \
+                and self.peek().value in _RELOPS:
+            op = _NORMALIZED_RELOPS.get(self.peek().value,
+                                        self.peek().value)
+            self.next()
+            right = self.parse_arith()
+            atoms.append(ast.FAtom(left, op, right))
+            left = right
+        if len(atoms) == 1:
+            return atoms[0]
+        return ast.FAnd(tuple(atoms))
+
+    # -- arithmetic --------------------------------------------------------------------------
+
+    def parse_arith(self) -> ast.Arith:
+        negate = bool(self.accept("symbol", "-"))
+        result = self.parse_term()
+        if negate:
+            result = ast.ANeg(result)
+        while True:
+            if self.accept("symbol", "+"):
+                result = ast.ABinary("+", result, self.parse_term())
+            elif self.accept("symbol", "-"):
+                result = ast.ABinary("-", result, self.parse_term())
+            else:
+                return result
+
+    def parse_term(self) -> ast.Arith:
+        result = self.parse_factor()
+        while True:
+            if self.accept("symbol", "*"):
+                result = ast.ABinary("*", result, self.parse_factor())
+            elif self.accept("symbol", "/"):
+                result = ast.ABinary("/", result, self.parse_factor())
+            else:
+                return result
+
+    def parse_factor(self) -> ast.Arith:
+        token = self.peek()
+        if token.kind == "number":
+            self.next()
+            value = Fraction(token.value)
+            if self.at("ident"):
+                # Implicit multiplication "2x".
+                return ast.ABinary(
+                    "*", ast.ANum(value),
+                    self.parse_factor())
+            return ast.ANum(value)
+        if token.kind == "ident":
+            path = self.parse_path()
+            if not path.steps:
+                return ast.AName(path.head.name)
+            return ast.APath(path)
+        if self.at("symbol", "("):
+            self.next()
+            inner = self.parse_arith()
+            self.expect("symbol", ")")
+            return inner
+        if self.at("symbol", "-"):
+            self.next()
+            return ast.ANeg(self.parse_factor())
+        raise self.error(
+            f"expected a number, name or '(', found "
+            f"{token.value or token.kind!r}")
+
+
+def parse(text: str):
+    """Parse a LyriC statement: a :class:`~repro.core.ast.Query` or a
+    :class:`~repro.core.ast.CreateView`."""
+    return _Parser(text).parse_statement()
+
+
+def parse_query(text: str) -> ast.Query:
+    result = parse(text)
+    if not isinstance(result, ast.Query):
+        raise LyricSyntaxError("expected a query, found a view definition")
+    return result
+
+
+def parse_view(text: str) -> ast.CreateView:
+    result = parse(text)
+    if not isinstance(result, ast.CreateView):
+        raise LyricSyntaxError("expected a view definition")
+    return result

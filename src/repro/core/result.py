@@ -1,0 +1,112 @@
+"""Query results.
+
+XSQL queries produce relations of oids with set semantics; with an
+``OID FUNCTION OF`` clause each tuple additionally carries its own
+object identity (used by views to materialize new objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from repro.model.oid import CstOid, LiteralOid, Oid
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    values: tuple[Oid, ...]
+    oid: Oid | None = None
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self):
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+
+class ResultSet:
+    """An ordered, duplicate-free collection of result rows."""
+
+    def __init__(self, columns: tuple[str, ...]):
+        self._columns = columns
+        self._rows: list[ResultRow] = []
+        self._seen: set[tuple] = set()
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    def add(self, row: ResultRow) -> None:
+        key = (row.values, row.oid)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    @property
+    def rows(self) -> tuple[ResultRow, ...]:
+        return tuple(self._rows)
+
+    def column(self, name: str) -> list[Oid]:
+        index = self._columns.index(name)
+        return [row.values[index] for row in self._rows]
+
+    def first(self) -> ResultRow:
+        if not self._rows:
+            raise LookupError("empty result")
+        return self._rows[0]
+
+    def single(self) -> ResultRow:
+        if len(self._rows) != 1:
+            raise LookupError(
+                f"expected exactly one row, found {len(self._rows)}")
+        return self._rows[0]
+
+    def scalars(self, column: str | int = 0) -> list:
+        """A column as plain Python values: numbers/strings unwrapped,
+        CST oids as CSTObject instances, other oids as-is."""
+        if isinstance(column, str):
+            index = self._columns.index(column)
+        else:
+            index = column
+        out = []
+        for row in self._rows:
+            value = row.values[index]
+            if isinstance(value, LiteralOid):
+                raw = value.value
+                out.append(float(raw) if isinstance(raw, Fraction)
+                           and raw.denominator != 1 else
+                           int(raw) if isinstance(raw, Fraction)
+                           else raw)
+            elif isinstance(value, CstOid):
+                out.append(value.cst)
+            else:
+                out.append(value)
+        return out
+
+    def pretty(self, limit: int = 20) -> str:
+        lines = [" | ".join(self._columns)]
+        for row in self._rows[:limit]:
+            cells = [str(v) for v in row.values]
+            if row.oid is not None:
+                cells.insert(0, f"<{row.oid}>")
+            lines.append(" | ".join(cells))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"ResultSet({self._columns!r}, {len(self._rows)} rows)")

@@ -1,0 +1,470 @@
+"""Static analysis of LyriC queries.
+
+The parser produces paths whose heads, selectors and attribute
+expressions are all plain names; this pass decides what each name is:
+
+* an **object variable** — declared in FROM, or bound by a selector in
+  the query's *binding skeleton* (the path expressions reachable through
+  positive conjunctions in WHERE);
+* a **ground oid** — a path head that is no declared variable resolves
+  to a symbolic oid (``standard_desk.drawer.color``);
+* an **attribute name** — an identifier in attribute position that
+  names an attribute of the statically-known class (or of any class
+  when the class is unknown);
+* an **attribute variable** — any other identifier in attribute
+  position (the paper's higher-order variables).
+
+For constraint-object references the pass also records the *variable
+schema* (the CST spec of the attribute the value came from) and the
+*last interface-renamed edge* traversed to reach it — the information
+the formula instantiation needs to add the implicit equalities of
+Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import ast
+from repro.errors import SemanticError
+from repro.model.oid import Oid, SymbolicOid
+from repro.model.paths import PathExpression, Step, VarRef
+from repro.model.schema import AttributeDef, CSTSpec, Schema
+from repro.constraints.terms import Variable
+
+
+@dataclass
+class VarInfo:
+    """What the analysis knows about one variable."""
+
+    name: str
+    kind: str                   # 'object' | 'cst' | 'attribute'
+    class_name: str | None = None
+    cst_spec: CSTSpec | None = None
+    #: The last class-valued, interface-renamed edge on the binding
+    #: path; its formals are the interface of the class declaring the
+    #: attribute the value was read from.
+    last_edge: AttributeDef | None = None
+    edge_formals: tuple[Variable, ...] = ()
+    #: Path to the object the last edge starts from (the owner of the
+    #: edge's actual parameters) — used to anchor implicit equalities
+    #: to the right object at run time.
+    edge_source: PathExpression | None = None
+    #: Path to the immediate parent object the variable's value was
+    #: read from (for CST variables: the object holding the attribute).
+    parent_prefix: PathExpression | None = None
+    declared_in_from: bool = False
+
+
+@dataclass(frozen=True)
+class RefInfo:
+    """Schema information for one constraint-object reference."""
+
+    spec: CSTSpec | None
+    last_edge: AttributeDef | None
+    edge_formals: tuple[Variable, ...]
+    edge_source: PathExpression | None = None
+    parent_prefix: PathExpression | None = None
+
+
+@dataclass
+class AnalyzedQuery:
+    query: ast.Query
+    schema: Schema
+    var_info: dict[str, VarInfo] = field(default_factory=dict)
+    #: Binding skeleton: resolved paths in evaluation order.
+    skeleton: list[PathExpression] = field(default_factory=list)
+    #: Schema info per FRef node (keyed by the node itself).
+    ref_info: dict[ast.FRef, RefInfo] = field(default_factory=dict)
+    #: Static diagnostics: paths that can never be satisfied ("the set
+    #: of database paths ... could be empty because of a type error",
+    #: Section 2.2).  Warnings, not errors — the query still runs.
+    warnings: list[str] = field(default_factory=list)
+
+    def info(self, name: str) -> VarInfo | None:
+        return self.var_info.get(name)
+
+    def warn(self, message: str) -> None:
+        if message not in self.warnings:
+            self.warnings.append(message)
+
+
+def analyze(schema: Schema, query: ast.Query) -> AnalyzedQuery:
+    """Resolve and type a query; raises :class:`SemanticError` on
+    unknown classes, malformed clauses or unsafe variable use."""
+    analysis = AnalyzedQuery(query=query, schema=schema)
+    _declare_from(analysis)
+    skeleton_raw = _collect_skeleton(query.where)
+    resolved_skeleton = _type_skeleton(analysis, skeleton_raw)
+    analysis.skeleton = resolved_skeleton
+
+    resolved_where = _resolve_where(analysis, query.where)
+    resolved_select = tuple(
+        ast.SelectItem(_resolve_select_expr(analysis, item.expr),
+                       item.name)
+        for item in query.select)
+    _check_oid_function(analysis)
+
+    analysis.query = replace(query, select=resolved_select,
+                             where=resolved_where)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Declaration & skeleton collection
+# ---------------------------------------------------------------------------
+
+
+def _declare_from(analysis: AnalyzedQuery) -> None:
+    for item in analysis.query.from_items:
+        if not analysis.schema.has_class(item.class_name):
+            raise SemanticError(
+                f"FROM clause: unknown class {item.class_name!r}")
+        if item.var in analysis.var_info:
+            raise SemanticError(
+                f"FROM clause: variable {item.var!r} declared twice")
+        class_def = analysis.schema.class_def(item.class_name)
+        info = VarInfo(name=item.var, kind="object",
+                       class_name=item.class_name,
+                       declared_in_from=True)
+        if class_def.cst_dimension is not None:
+            info.kind = "cst"
+        analysis.var_info[item.var] = info
+
+
+def _collect_skeleton(where: ast.Where | None) -> list[PathExpression]:
+    """Path expressions reachable through positive conjunctions — the
+    binding skeleton."""
+    paths: list[PathExpression] = []
+
+    def walk(node: ast.Where | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.WPath):
+            paths.append(node.path)
+        elif isinstance(node, ast.WAnd):
+            for part in node.parts:
+                walk(part)
+        # WOr / WNot / comparisons / CST predicates bind nothing.
+
+    walk(where)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# Skeleton typing: declares selector variables with schema provenance
+# ---------------------------------------------------------------------------
+
+
+def _type_skeleton(analysis: AnalyzedQuery,
+                   raw: list[PathExpression]) -> list[PathExpression]:
+    resolved: list[PathExpression] = []
+    for path in raw:
+        resolved.append(_type_path(analysis, path, declare=True))
+    return resolved
+
+
+def _type_path(analysis: AnalyzedQuery, path: PathExpression,
+               declare: bool) -> PathExpression:
+    """Resolve a parsed path and (optionally) declare its selector
+    variables, tracking class / CST spec / interface provenance."""
+    head, current_class, current_edge, current_formals, current_source = \
+        _resolve_head(analysis, path.head)
+    current_prefix = PathExpression(head, ())
+
+    steps: list[Step] = []
+    for step in path.steps:
+        attr_name, attr_def = _resolve_attr(
+            analysis, current_class, step.attribute)
+        if isinstance(attr_name, VarRef) \
+                and attr_name.name not in analysis.var_info:
+            if not declare:
+                raise SemanticError(
+                    f"attribute variable {attr_name.name!r} is used "
+                    "before being bound")
+            analysis.var_info[attr_name.name] = VarInfo(
+                name=attr_name.name, kind="attribute")
+
+        # Compute the post-step typing state.
+        next_class: str | None = None
+        next_spec: CSTSpec | None = None
+        next_edge, next_formals = current_edge, current_formals
+        next_source = current_source
+        if attr_def is not None:
+            if attr_def.is_cst:
+                next_spec = attr_def.target
+            else:
+                next_class = attr_def.target
+                if attr_def.interface_args is not None:
+                    next_edge = attr_def
+                    next_formals = analysis.schema.interface_of(
+                        attr_def.target)
+                    next_source = current_prefix
+
+        selector = step.selector
+        if isinstance(selector, VarRef):
+            name = selector.name
+            info = analysis.var_info.get(name)
+            if info is None:
+                if not declare:
+                    raise SemanticError(
+                        f"variable {name!r} is used before being bound "
+                        "(bind it in FROM or a conjunctive path "
+                        "predicate)")
+                info = VarInfo(name=name, kind="object")
+                analysis.var_info[name] = info
+            if attr_def is not None and attr_def.is_cst:
+                if not info.declared_in_from:
+                    info.kind = "cst"
+                info.cst_spec = next_spec
+                info.last_edge = current_edge
+                info.edge_formals = current_formals
+                info.edge_source = current_source
+                info.parent_prefix = current_prefix
+            elif attr_def is not None:
+                info.class_name = info.class_name or next_class
+                info.last_edge = next_edge
+                info.edge_formals = next_formals
+                info.edge_source = next_source
+                info.parent_prefix = current_prefix
+
+        steps.append(Step(attr_name, selector))
+        next_prefix = PathExpression(
+            current_prefix.head, current_prefix.steps
+            + (Step(attr_name, selector),))
+        if attr_def is not None and attr_def.is_cst:
+            current_class = None
+            current_edge, current_formals = None, ()
+            current_source = None
+        else:
+            current_class = next_class
+            current_edge, current_formals = next_edge, next_formals
+            current_source = next_source
+        current_prefix = next_prefix
+    return PathExpression(head, tuple(steps))
+
+
+def _resolve_head(analysis: AnalyzedQuery, head):
+    """Resolve a path head to a VarRef or ground oid, returning
+    (head, class, edge, formals, edge_source)."""
+    if isinstance(head, Oid):
+        return head, None, None, (), None
+    name = head.name
+    info = analysis.var_info.get(name)
+    if info is not None:
+        return (VarRef(name), info.class_name, info.last_edge,
+                info.edge_formals, info.edge_source)
+    # Unknown name: a ground symbolic oid.
+    return SymbolicOid(name), None, None, (), None
+
+
+def _resolve_attr(analysis: AnalyzedQuery, current_class: str | None,
+                  attribute) -> tuple[str | VarRef, AttributeDef | None]:
+    """Resolve an attribute expression to a name or attribute variable."""
+    if isinstance(attribute, str):
+        name = attribute
+    else:
+        name = attribute.name
+    if current_class is not None:
+        attr_def = analysis.schema.attributes_of(current_class).get(name)
+        if attr_def is not None:
+            return name, attr_def
+        if name in analysis.schema.methods_of(current_class):
+            # A 0-ary method used like an attribute: dynamically typed.
+            return name, None
+        # Not an attribute of the known class: an attribute variable if
+        # it is no attribute anywhere, else a (statically empty) name.
+        if _is_attribute_somewhere(analysis.schema, name):
+            analysis.warn(
+                f"attribute {name!r} is not defined on class "
+                f"{current_class!r}: the path is statically empty "
+                "(XSQL type error)")
+            return name, None
+        return VarRef(name), None
+    # Class unknown (e.g. after a ground head): attribute names known
+    # anywhere in the schema stay names, others become variables.
+    if _is_attribute_somewhere(analysis.schema, name):
+        return name, None
+    return VarRef(name), None
+
+
+def _is_attribute_somewhere(schema: Schema, name: str) -> bool:
+    for class_name in schema.class_names:
+        class_def = schema.class_def(class_name)
+        if name in class_def.attributes or name in class_def.methods:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# WHERE / SELECT resolution (after the skeleton declared the variables)
+# ---------------------------------------------------------------------------
+
+
+def _resolve_where(analysis: AnalyzedQuery,
+                   node: ast.Where | None) -> ast.Where | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.WPath):
+        return ast.WPath(_type_path(analysis, node.path, declare=True))
+    if isinstance(node, ast.WCompare):
+        left = node.left
+        right = node.right
+        if isinstance(left, PathExpression):
+            left = _type_path(analysis, left, declare=False)
+        if isinstance(right, PathExpression):
+            right = _type_path(analysis, right, declare=False)
+        return ast.WCompare(left, node.op, right)
+    if isinstance(node, ast.WSat):
+        return ast.WSat(_resolve_formula(analysis, node.formula))
+    if isinstance(node, ast.WEntails):
+        return ast.WEntails(_resolve_formula(analysis, node.left),
+                            _resolve_formula(analysis, node.right))
+    if isinstance(node, ast.WAnd):
+        return ast.WAnd(tuple(_resolve_where(analysis, p)
+                              for p in node.parts))
+    if isinstance(node, ast.WOr):
+        return ast.WOr(tuple(_resolve_where(analysis, p)
+                             for p in node.parts))
+    if isinstance(node, ast.WNot):
+        return ast.WNot(_resolve_where(analysis, node.part))
+    raise SemanticError(f"unknown WHERE node {node!r}")
+
+
+def _resolve_select_expr(analysis: AnalyzedQuery,
+                         expr: ast.SelectExpr) -> ast.SelectExpr:
+    if isinstance(expr, ast.PathOut):
+        return ast.PathOut(_type_path(analysis, expr.path,
+                                      declare=False))
+    if isinstance(expr, ast.FormulaOut):
+        return ast.FormulaOut(_resolve_formula(analysis, expr.formula))
+    if isinstance(expr, ast.OptimizeOut):
+        return ast.OptimizeOut(expr.kind,
+                               _resolve_arith(analysis, expr.objective),
+                               _resolve_formula(analysis, expr.formula))
+    raise SemanticError(f"unknown SELECT expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Formula resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_formula(analysis: AnalyzedQuery,
+                     formula: ast.CstFormula) -> ast.CstFormula:
+    return ast.CstFormula(formula.head,
+                          _resolve_formula_node(analysis, formula.body))
+
+
+def _resolve_formula_node(analysis: AnalyzedQuery,
+                          node: ast.Formula) -> ast.Formula:
+    if isinstance(node, ast.FAtom):
+        return ast.FAtom(_resolve_arith(analysis, node.left),
+                         node.relop,
+                         _resolve_arith(analysis, node.right))
+    if isinstance(node, ast.FRef):
+        return _resolve_ref(analysis, node)
+    if isinstance(node, ast.FAnd):
+        return ast.FAnd(tuple(_resolve_formula_node(analysis, p)
+                              for p in node.parts))
+    if isinstance(node, ast.FOr):
+        return ast.FOr(tuple(_resolve_formula_node(analysis, p)
+                             for p in node.parts))
+    if isinstance(node, ast.FNot):
+        return ast.FNot(_resolve_formula_node(analysis, node.part))
+    if isinstance(node, ast.FTrue):
+        return node
+    raise SemanticError(f"unknown formula node {node!r}")
+
+
+def _resolve_ref(analysis: AnalyzedQuery, ref: ast.FRef) -> ast.FRef:
+    if isinstance(ref.source, str):
+        info = analysis.var_info.get(ref.source)
+        if info is None:
+            raise SemanticError(
+                f"constraint reference {ref.source!r} is not a bound "
+                "variable")
+        if info.kind not in ("cst", "object"):
+            raise SemanticError(
+                f"constraint reference {ref.source!r} does not denote "
+                "a CST object")
+        resolved = ref
+        analysis.ref_info[resolved] = RefInfo(
+            spec=info.cst_spec,
+            last_edge=info.last_edge,
+            edge_formals=info.edge_formals,
+            edge_source=info.edge_source,
+            parent_prefix=info.parent_prefix
+            or PathExpression(VarRef(ref.source), ()))
+        return resolved
+
+    # Path reference: type it and extract the final CST attribute.
+    path = _type_path(analysis, ref.source, declare=False)
+    spec, last_edge, formals, source, parent = \
+        _path_cst_info(analysis, path)
+    resolved = ast.FRef(path, ref.args)
+    analysis.ref_info[resolved] = RefInfo(
+        spec=spec, last_edge=last_edge, edge_formals=formals,
+        edge_source=source, parent_prefix=parent)
+    return resolved
+
+
+def _path_cst_info(analysis: AnalyzedQuery, path: PathExpression):
+    """Recompute the CST spec and edge provenance of a path reference's
+    final attribute (mirrors the walk in :func:`_type_path`)."""
+    head = path.head
+    if isinstance(head, VarRef):
+        info = analysis.var_info.get(head.name)
+        current_class = info.class_name if info else None
+        edge = info.last_edge if info else None
+        formals = info.edge_formals if info else ()
+        source = info.edge_source if info else None
+    else:
+        current_class, edge, formals, source = None, None, (), None
+    prefix = PathExpression(head, ())
+    parent = prefix
+    spec: CSTSpec | None = None
+    for step in path.steps:
+        spec = None
+        parent = prefix
+        prefix = PathExpression(prefix.head, prefix.steps + (step,))
+        if current_class is None or not isinstance(step.attribute, str):
+            current_class = None
+            continue
+        attr_def = analysis.schema.attributes_of(current_class).get(
+            step.attribute)
+        if attr_def is None:
+            current_class = None
+            continue
+        if attr_def.is_cst:
+            spec = attr_def.target
+            current_class = None
+        else:
+            current_class = attr_def.target
+            if attr_def.interface_args is not None:
+                edge = attr_def
+                formals = analysis.schema.interface_of(attr_def.target)
+                source = parent
+    return spec, edge, formals, source, parent
+
+
+def _resolve_arith(analysis: AnalyzedQuery, node: ast.Arith) -> ast.Arith:
+    if isinstance(node, (ast.ANum, ast.AName)):
+        return node
+    if isinstance(node, ast.APath):
+        return ast.APath(_type_path(analysis, node.path, declare=False))
+    if isinstance(node, ast.ABinary):
+        return ast.ABinary(node.op,
+                           _resolve_arith(analysis, node.left),
+                           _resolve_arith(analysis, node.right))
+    if isinstance(node, ast.ANeg):
+        return ast.ANeg(_resolve_arith(analysis, node.operand))
+    raise SemanticError(f"unknown arithmetic node {node!r}")
+
+
+def _check_oid_function(analysis: AnalyzedQuery) -> None:
+    names = analysis.query.oid_function_of or ()
+    for name in names:
+        if name not in analysis.var_info:
+            raise SemanticError(
+                f"OID FUNCTION OF mentions unbound variable {name!r}")

@@ -1,0 +1,400 @@
+"""Translation of LyriC queries into flat SQL with constraints
+(Section 5).
+
+The naive implementation the paper sketches: flatten all path
+expressions into joins over the class-extent and attribute relations of
+:func:`repro.model.relations.flatten`, turn WHERE predicates into flat
+selections (constraint predicates become closures over the constraint
+engine), and compute SELECT-clause CST formulas as extended columns.
+
+The translated plan is executed by :func:`repro.sqlc.engine.execute`,
+optionally through the optimizer — giving a second, independent
+evaluation path that the tests differential-check against the naive
+evaluator.
+
+Supported fragment: conjunctive binding skeletons with variable or
+ground heads and attribute *names* (attribute variables need the
+object-level evaluator), arbitrary boolean WHERE combinations of
+comparisons and CST predicates over bound variables, and all SELECT
+expression forms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core import ast, formulas
+from repro.core.parser import parse_query
+from repro.core.result import ResultRow, ResultSet
+from repro.core.semantics import AnalyzedQuery, analyze
+from repro.errors import SemanticError
+from repro.model.database import Database
+from repro.model.oid import FunctionalOid, Oid
+from repro.model.paths import PathExpression, VarRef
+from repro.model.relations import (
+    attribute_relation_name,
+    extent_relation_name,
+    flatten,
+)
+from repro.sqlc import algebra, engine
+
+
+class TranslationError(SemanticError):
+    """The query uses a feature outside the translatable fragment."""
+
+
+@dataclass
+class TranslatedQuery:
+    plan: algebra.Plan
+    columns: tuple[str, ...]
+    #: Column holding the minted row oid, when OID FUNCTION OF is used.
+    oid_column: str | None = None
+
+
+def translate(db: Database, query: ast.Query | str) -> TranslatedQuery:
+    if isinstance(query, str):
+        query = parse_query(query)
+    analysis = analyze(db.schema, query)
+    return _Translator(db, analysis).translate()
+
+
+def run_translated(db: Database, query: ast.Query | str,
+                   use_optimizer: bool = True,
+                   stats: engine.ExecutionStats | None = None
+                   ) -> ResultSet:
+    """Translate, execute on the flat catalog, and re-package rows into
+    a :class:`ResultSet` comparable with the naive evaluator's."""
+    translated = translate(db, query)
+    catalog = flatten(db)
+    relation = engine.execute(translated.plan, catalog,
+                              use_optimizer=use_optimizer, stats=stats)
+    result = ResultSet(translated.columns)
+    for row in relation:
+        mapping = relation.row_dict(row)
+        values = tuple(mapping[c] for c in translated.columns)
+        oid = mapping.get(translated.oid_column) \
+            if translated.oid_column else None
+        result.add(ResultRow(values, oid))
+    return result
+
+
+class _Translator:
+    def __init__(self, db: Database, analysis: AnalyzedQuery):
+        self.db = db
+        self.analysis = analysis
+        self.query = analysis.query
+        self._fresh = itertools.count()
+
+    def fresh_column(self) -> str:
+        return f"_p{next(self._fresh)}"
+
+    # -- main ------------------------------------------------------------
+
+    def translate(self) -> TranslatedQuery:
+        plans: list[algebra.Plan] = []
+        for item in self.query.from_items:
+            scan = algebra.Scan(extent_relation_name(item.class_name),
+                                ("oid",))
+            plans.append(algebra.Rename(scan, (("oid", item.var),)))
+
+        for path in self.analysis.skeleton:
+            plans.extend(self.flatten_path(path))
+        residual = self.collect_residual(self.query.where)
+
+        plan = plans[0]
+        for part in plans[1:]:
+            plan = algebra.NaturalJoin(plan, part)
+
+        predicate = self.compile_where_parts(residual)
+        if predicate is not None:
+            plan = algebra.Select(plan, predicate)
+
+        # SELECT items become output columns (possibly computed).
+        out_columns: list[str] = []
+        for i, item in enumerate(self.query.select):
+            column, plan = self.compile_select_item(item, i, plan)
+            out_columns.append(column)
+
+        oid_column = None
+        if self.query.oid_function_of:
+            oid_column = "_rowoid"
+            names = self.query.oid_function_of
+            fn = self.query.oid_function_name
+
+            def mint(row, _names=names, _fn=fn):
+                return FunctionalOid(_fn, [row[n] for n in _names])
+
+            plan = algebra.Extend(plan, oid_column, mint, "oid-function")
+
+        kept = tuple(out_columns) + ((oid_column,) if oid_column else ())
+        plan = algebra.Distinct(algebra.Project(plan, kept))
+        return TranslatedQuery(plan, tuple(out_columns), oid_column)
+
+    # -- path flattening -------------------------------------------------------
+
+    def flatten_path(self, path: PathExpression,
+                     value_column: str | None = None
+                     ) -> list[algebra.Plan]:
+        """One plan fragment per step, joined by shared column names.
+
+        The tail value lands in ``value_column`` (or the final
+        selector's variable name / a fresh name).
+        """
+        plans: list[algebra.Plan] = []
+        head = path.head
+        if isinstance(head, VarRef):
+            current = head.name
+            ground: Oid | None = None
+        else:
+            current = self.fresh_column()
+            ground = head
+        if not path.steps and ground is not None:
+            raise TranslationError(
+                "a ground trivial path needs no translation")
+
+        for index, step in enumerate(path.steps):
+            if not isinstance(step.attribute, str):
+                raise TranslationError(
+                    "attribute variables are outside the translatable "
+                    "fragment; use the naive evaluator")
+            last = index == len(path.steps) - 1
+            if isinstance(step.selector, VarRef):
+                next_col = step.selector.name
+                literal = None
+            elif step.selector is not None:
+                next_col = self.fresh_column()
+                literal = step.selector
+            else:
+                next_col = (value_column if last and value_column
+                            else self.fresh_column())
+                literal = None
+
+            scan = algebra.Scan(
+                attribute_relation_name(step.attribute),
+                ("oid", "value"))
+            fragment: algebra.Plan = algebra.Rename(
+                scan, (("oid", current), ("value", next_col)))
+            if ground is not None:
+                fragment = algebra.Select(
+                    fragment, algebra.ColumnLiteral(current, ground))
+                ground = None
+            if literal is not None:
+                fragment = algebra.Select(
+                    fragment, algebra.ColumnLiteral(next_col, literal))
+            plans.append(fragment)
+            current = next_col
+        return plans
+
+    # -- WHERE residue -----------------------------------------------------------
+
+    def collect_residual(self, node: ast.Where | None) -> list[ast.Where]:
+        """WHERE parts other than the skeleton paths (which became
+        joins)."""
+        if node is None:
+            return []
+        if isinstance(node, ast.WAnd):
+            out: list[ast.Where] = []
+            for part in node.parts:
+                out.extend(self.collect_residual(part))
+            return out
+        if isinstance(node, ast.WPath):
+            return []  # skeleton, already joined
+        return [node]
+
+    def compile_where_parts(self, parts: list[ast.Where]
+                            ) -> algebra.Predicate | None:
+        predicates = [self.compile_predicate(p) for p in parts]
+        if not predicates:
+            return None
+        if len(predicates) == 1:
+            return predicates[0]
+        return algebra.And(tuple(predicates))
+
+    def compile_predicate(self, node: ast.Where) -> algebra.Predicate:
+        if isinstance(node, ast.WAnd):
+            return algebra.And(tuple(self.compile_predicate(p)
+                                     for p in node.parts))
+        if isinstance(node, ast.WOr):
+            return algebra.Or(tuple(self.compile_predicate(p)
+                                    for p in node.parts))
+        if isinstance(node, ast.WNot):
+            return algebra.Not(self.compile_predicate(node.part))
+        if isinstance(node, ast.WCompare):
+            return self.compile_compare(node)
+        if isinstance(node, ast.WSat):
+            return self.compile_cst(node.formula, kind="sat")
+        if isinstance(node, ast.WEntails):
+            return self.compile_entails(node)
+        if isinstance(node, ast.WPath):
+            raise TranslationError(
+                "path predicates under disjunction or negation are "
+                "outside the translatable fragment")
+        raise TranslationError(f"cannot translate {node!r}")
+
+    def compile_compare(self, node: ast.WCompare) -> algebra.Predicate:
+        """Comparisons over bare variables become flat column
+        predicates; comparisons involving multi-step paths compile to
+        closures over the evaluator's comparison semantics (so both
+        evaluation paths agree exactly, including under negation)."""
+        left = self.simple_column(node.left)
+        right = self.simple_column(node.right)
+        if left is not None and right is not None and node.op == "=":
+            if isinstance(right, Oid):
+                if isinstance(left, Oid):
+                    raise TranslationError(
+                        "constant comparison needs no translation")
+                return algebra.ColumnLiteral(left, right)
+            if isinstance(left, Oid):
+                return algebra.ColumnLiteral(right, left)
+            return algebra.ColumnEq(left, right)
+        if left is not None and right is not None and node.op == "!=":
+            return algebra.Not(self.compile_compare(
+                ast.WCompare(node.left, "=", node.right)))
+
+        columns = tuple(dict.fromkeys(
+            self.operand_variables(node.left)
+            + self.operand_variables(node.right)))
+        db = self.db
+
+        def test(*values, _cols=columns, _node=node):
+            from repro.core.evaluator import compare
+            env = dict(zip(_cols, values))
+            return compare(db, _node, env)
+
+        return algebra.CstPredicate(columns, test, f"compare:{node.op}")
+
+    def simple_column(self, operand):
+        """A bare variable's column name or a literal oid; None for
+        multi-step paths."""
+        if isinstance(operand, Oid):
+            return operand
+        if isinstance(operand, PathExpression) and not operand.steps \
+                and isinstance(operand.head, VarRef):
+            return operand.head.name
+        return None
+
+    def operand_variables(self, operand) -> tuple[str, ...]:
+        if not isinstance(operand, PathExpression):
+            return ()
+        names: list[str] = []
+        head = operand.head
+        if isinstance(head, VarRef):
+            names.append(head.name)
+        for step in operand.steps:
+            if isinstance(step.selector, VarRef) \
+                    and step.selector.name not in names:
+                names.append(step.selector.name)
+        return tuple(names)
+
+    # -- CST predicates ----------------------------------------------------------------
+
+    def formula_variables(self, formula: ast.CstFormula) -> tuple[str, ...]:
+        """Query variables the formula depends on (= columns the
+        CstPredicate needs)."""
+        names: list[str] = []
+
+        def visit(node: ast.Formula) -> None:
+            if isinstance(node, ast.FRef):
+                if isinstance(node.source, str):
+                    if node.source not in names:
+                        names.append(node.source)
+                else:
+                    head = node.source.head
+                    if isinstance(head, VarRef) \
+                            and head.name not in names:
+                        names.append(head.name)
+            elif isinstance(node, (ast.FAnd, ast.FOr)):
+                for part in node.parts:
+                    visit(part)
+            elif isinstance(node, ast.FNot):
+                visit(node.part)
+            elif isinstance(node, ast.FAtom):
+                for side in (node.left, node.right):
+                    self._arith_vars(side, names)
+
+        visit(formula.body)
+        return tuple(names)
+
+    def _arith_vars(self, node: ast.Arith, names: list[str]) -> None:
+        if isinstance(node, ast.AName):
+            if node.name in self.analysis.var_info \
+                    and node.name not in names:
+                names.append(node.name)
+        elif isinstance(node, ast.APath):
+            head = node.path.head
+            if isinstance(head, VarRef) and head.name not in names:
+                names.append(head.name)
+        elif isinstance(node, ast.ABinary):
+            self._arith_vars(node.left, names)
+            self._arith_vars(node.right, names)
+        elif isinstance(node, ast.ANeg):
+            self._arith_vars(node.operand, names)
+
+    def compile_cst(self, formula: ast.CstFormula,
+                    kind: str) -> algebra.Predicate:
+        columns = self.formula_variables(formula)
+        db, analysis = self.db, self.analysis
+
+        def test(*values, _cols=columns):
+            env = dict(zip(_cols, values))
+            return formulas.satisfiable(db, analysis, formula, env)
+
+        return algebra.CstPredicate(columns, test, "SAT")
+
+    def compile_entails(self, node: ast.WEntails) -> algebra.Predicate:
+        columns = tuple(dict.fromkeys(
+            self.formula_variables(node.left)
+            + self.formula_variables(node.right)))
+        db, analysis = self.db, self.analysis
+
+        def test(*values, _cols=columns):
+            env = dict(zip(_cols, values))
+            return formulas.entails(db, analysis, node.left,
+                                    node.right, env)
+
+        return algebra.CstPredicate(columns, test, "|=")
+
+    # -- SELECT ------------------------------------------------------------------------
+
+    def compile_select_item(self, item: ast.SelectItem, index: int,
+                            plan: algebra.Plan
+                            ) -> tuple[str, algebra.Plan]:
+        expr = item.expr
+        if isinstance(expr, ast.PathOut):
+            if not expr.path.steps and isinstance(expr.path.head, VarRef):
+                name = expr.path.head.name
+                if name not in plan.columns:
+                    raise TranslationError(
+                        f"SELECT variable {name!r} is not bound by the "
+                        "translated joins")
+                return name, plan
+            raise TranslationError(
+                "multi-step SELECT paths are outside the translatable "
+                "fragment; bind the value with a selector variable")
+        column = item.name or f"expr{index}"
+        db, analysis = self.db, self.analysis
+        if isinstance(expr, ast.FormulaOut):
+            needed = self.formula_variables(expr.formula)
+            formula = expr.formula
+
+            def compute(row, _needed=needed, _formula=formula):
+                from repro.model.oid import CstOid
+                env = {n: row[n] for n in _needed}
+                return CstOid(formulas.formula_to_cst(
+                    db, analysis, _formula, env))
+
+            return column, algebra.Extend(plan, column, compute,
+                                          "cst-formula")
+        if isinstance(expr, ast.OptimizeOut):
+            needed = tuple(dict.fromkeys(
+                self.formula_variables(expr.formula)))
+            opt = expr
+
+            def compute_opt(row, _needed=needed, _opt=opt):
+                env = {n: row[n] for n in _needed}
+                return formulas.optimize(db, analysis, _opt, env)
+
+            return column, algebra.Extend(plan, column, compute_opt,
+                                          opt.kind.value)
+        raise TranslationError(f"cannot translate SELECT item {item!r}")

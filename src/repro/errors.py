@@ -1,0 +1,114 @@
+"""Exception hierarchy for the LyriC reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  The sub-hierarchy mirrors the
+package layout: constraint-engine errors, data-model errors, and query
+language errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Constraint engine
+# ---------------------------------------------------------------------------
+
+
+class ConstraintError(ReproError):
+    """Base class for errors raised by :mod:`repro.constraints`."""
+
+
+class ConstraintFamilyError(ConstraintError):
+    """An operation would leave the paper's four constraint families.
+
+    Section 3.1 of the paper restricts projection on conjunctive and
+    disjunctive constraints to eliminating one, or all-but-one, variable,
+    and forbids existential quantification over disjunctive existential
+    constraints.  Violations raise this error instead of silently doing
+    potentially exponential work.
+    """
+
+
+class NonLinearError(ConstraintError):
+    """A term that must be linear (after instantiation) is not."""
+
+
+class InfeasibleError(ConstraintError):
+    """An LP optimisation was attempted over an unsatisfiable system."""
+
+
+class UnboundedError(ConstraintError):
+    """An LP objective is unbounded over the feasible region."""
+
+
+class ConstraintSyntaxError(ConstraintError):
+    """Textual constraint input could not be parsed."""
+
+
+class DimensionError(ConstraintError):
+    """A CST object was used with the wrong number of variables."""
+
+
+# ---------------------------------------------------------------------------
+# Object-oriented data model
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for errors raised by :mod:`repro.model`."""
+
+
+class SchemaError(ModelError):
+    """Invalid schema definition (duplicate class, cyclic IS-A, ...)."""
+
+
+class UnknownClassError(SchemaError):
+    """Reference to a class that is not defined in the schema."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Reference to an attribute that is not defined on a class."""
+
+
+class IntegrityError(ModelError):
+    """A database instance violates its schema."""
+
+
+class UnknownObjectError(ModelError):
+    """Reference to an oid not present in the database."""
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class LyricSyntaxError(QueryError):
+    """Textual LyriC input could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(QueryError):
+    """A parsed query refers to unknown names or is ill-typed."""
+
+
+class EvaluationError(QueryError):
+    """A runtime failure while evaluating a query."""

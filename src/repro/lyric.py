@@ -1,0 +1,122 @@
+"""Top-level facade: the one-import API for LyriC users.
+
+    from repro import lyric
+    from repro.model.office import build_office_database
+
+    db, oids = build_office_database()
+    result = lyric.query(db, '''
+        SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+    ''')
+    print(result.pretty())
+"""
+
+from __future__ import annotations
+
+from repro.core import ast
+from repro.core.evaluator import evaluate
+from repro.core.parser import parse, parse_query, parse_view
+from repro.core.result import ResultSet
+from repro.core.translator import run_translated
+from repro.core.views import ViewResult, create_view
+from repro.model.database import Database
+
+
+def query(db: Database, text: str | ast.Query) -> ResultSet:
+    """Evaluate a LyriC query with the naive object-level evaluator."""
+    return evaluate(db, text)
+
+
+def query_translated(db: Database, text: str | ast.Query,
+                     use_optimizer: bool = True) -> ResultSet:
+    """Evaluate via the Section 5 translation to flat SQL with
+    constraints (the second, independent evaluation path)."""
+    return run_translated(db, text, use_optimizer=use_optimizer)
+
+
+def view(db: Database, text: str | ast.CreateView) -> ViewResult:
+    """Execute a CREATE VIEW statement, materializing new classes."""
+    return create_view(db, text)
+
+
+def explain(db: Database, text: str | ast.Query,
+            use_optimizer: bool = True, analyze: bool = False) -> str:
+    """The flat-relational plan the Section 5 translation produces for
+    a query, rendered as a tree (after optimization by default).
+
+    With ``analyze`` the plan is executed and each node is annotated
+    with its actual output row count."""
+    from repro.core.translator import translate
+    from repro.model.relations import flatten
+    from repro.sqlc.engine import explain_analyze
+    from repro.sqlc.optimizer import optimize
+    translated = translate(db, text)
+    catalog = flatten(db)
+    if analyze:
+        return explain_analyze(translated.plan, catalog,
+                               use_optimizer=use_optimizer)
+    plan = translated.plan
+    if use_optimizer:
+        plan = optimize(plan, catalog)
+    return plan.explain()
+
+
+def warnings_for(db: Database, text: str | ast.Query) -> list[str]:
+    """Static diagnostics for a query (e.g. paths that are empty by
+    typing — XSQL's "type error" case)."""
+    from repro.core.parser import parse_query
+    from repro.core.semantics import analyze as analyze_query
+    query = parse_query(text) if isinstance(text, str) else text
+    return list(analyze_query(db.schema, query).warnings)
+
+
+class PreparedQuery:
+    """A parsed and analyzed query bound to a schema, reusable across
+    executions (and databases sharing that schema) without re-running
+    the parser or the semantic analysis."""
+
+    def __init__(self, schema, text: str | ast.Query):
+        from repro.core.parser import parse_query
+        from repro.core.semantics import analyze as analyze_query
+        query_ast = parse_query(text) if isinstance(text, str) else text
+        self._schema = schema
+        self._analysis = analyze_query(schema, query_ast)
+
+    @property
+    def warnings(self) -> list[str]:
+        return list(self._analysis.warnings)
+
+    @property
+    def query(self) -> ast.Query:
+        return self._analysis.query
+
+    def run(self, db: Database) -> ResultSet:
+        if db.schema is not self._schema:
+            raise ValueError(
+                "prepared query bound to a different schema")
+        from repro.core.evaluator import evaluate_analyzed
+        return evaluate_analyzed(db, self._analysis)
+
+
+def prepare(db: Database, text: str | ast.Query) -> PreparedQuery:
+    """Parse and analyze once; execute many times with ``.run(db)``."""
+    return PreparedQuery(db.schema, text)
+
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "ViewResult",
+    "create_view",
+    "evaluate",
+    "explain",
+    "prepare",
+    "PreparedQuery",
+    "parse",
+    "parse_query",
+    "parse_view",
+    "query",
+    "query_translated",
+    "view",
+]

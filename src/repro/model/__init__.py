@@ -1,0 +1,66 @@
+"""The object-oriented data model with constraint objects (Sections 2-3).
+
+Logical oids (including constraints-as-oids), schemas with IS-A,
+CST variable schemas and class interfaces, the object store, path
+expressions, and the flat-relation encoding used by the Section 5
+translation.
+"""
+
+from repro.model.database import Database, DBObject
+from repro.model.oid import (
+    AttributeNameOid,
+    ClassNameOid,
+    CstOid,
+    FunctionalOid,
+    LiteralOid,
+    Oid,
+    SymbolicOid,
+    as_oid,
+    oid,
+)
+from repro.model.paths import PathExpression, Step, VarRef, enumerate_paths, path_values
+from repro.model.relations import flatten
+from repro.model.schema import (
+    AttributeDef,
+    CSTSpec,
+    ClassDef,
+    MethodDef,
+    Schema,
+    cst_class_name,
+)
+from repro.model.serialize import (
+    dump_database,
+    load_database,
+    read_database,
+    save_database,
+)
+
+__all__ = [
+    "AttributeDef",
+    "AttributeNameOid",
+    "CSTSpec",
+    "ClassDef",
+    "ClassNameOid",
+    "CstOid",
+    "Database",
+    "DBObject",
+    "FunctionalOid",
+    "LiteralOid",
+    "MethodDef",
+    "Oid",
+    "PathExpression",
+    "Schema",
+    "Step",
+    "SymbolicOid",
+    "VarRef",
+    "as_oid",
+    "cst_class_name",
+    "dump_database",
+    "enumerate_paths",
+    "flatten",
+    "load_database",
+    "oid",
+    "path_values",
+    "read_database",
+    "save_database",
+]

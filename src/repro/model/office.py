@@ -1,0 +1,183 @@
+"""The paper's running example: the office-design schema (Figure 1) and
+database instance (Figure 2 / the ``my_desk`` table in Section 3.2).
+
+This module is both documentation and a reusable test fixture: the
+golden tests of experiments E1-E6 are phrased against exactly this
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.parser import parse_cst
+from repro.model.database import Database
+from repro.model.oid import SymbolicOid
+from repro.model.schema import AttributeDef, CSTSpec, Schema
+
+
+def build_office_schema() -> Schema:
+    """The Figure 1 schema (two-dimensional world, as in the paper)."""
+    schema = Schema()
+    schema.ensure_cst_class(2)
+
+    schema.define(
+        "Office_Object",
+        interface=("x", "y"),
+        attributes=[
+            AttributeDef("cat_number", "string"),
+            AttributeDef("name", "string"),
+            AttributeDef("color", "string"),
+            AttributeDef("extent", CSTSpec(["w", "z"])),
+            AttributeDef("translation",
+                         CSTSpec(["w", "z", "x", "y", "u", "v"])),
+        ])
+
+    schema.define(
+        "Object_in_Room",
+        attributes=[
+            AttributeDef("inv_number", "string"),
+            AttributeDef("location", CSTSpec(["x", "y"])),
+            AttributeDef("catalog_object", "Office_Object",
+                         interface_args=("x", "y")),
+        ])
+
+    schema.define(
+        "Drawer",
+        interface=("x", "y"),
+        attributes=[
+            AttributeDef("color", "string"),
+            AttributeDef("extent", CSTSpec(["w", "z"])),
+            AttributeDef("translation",
+                         CSTSpec(["w", "z", "x", "y", "u", "v"])),
+        ])
+
+    schema.define(
+        "Desk",
+        parents=("Office_Object",),
+        attributes=[
+            AttributeDef("drawer_center", CSTSpec(["p", "q"])),
+            AttributeDef("drawer", "Drawer", interface_args=("p", "q")),
+        ])
+
+    schema.define(
+        "File_Cabinet",
+        parents=("Office_Object",),
+        attributes=[
+            AttributeDef("drawer_center", CSTSpec(["p1", "q1"]),
+                         set_valued=True),
+            AttributeDef("drawer", "Drawer", interface_args=("p1", "q1")),
+        ])
+
+    # The Region class of the Section 4.1 view example: a user subclass
+    # of CST(2) whose instances are constraint objects with a name.
+    schema.define(
+        "Region",
+        parents=("CST(2)",),
+        cst_dimension=2,
+        attributes=[AttributeDef("region_name", "string")])
+
+    return schema
+
+
+@dataclass(frozen=True)
+class OfficeOids:
+    """Named oids of the paper instance, for readable tests."""
+
+    my_desk: SymbolicOid
+    standard_desk: SymbolicOid
+    standard_drawer: SymbolicOid
+
+
+def build_office_database(schema: Schema | None = None
+                          ) -> tuple[Database, OfficeOids]:
+    """The Figure 2 instance: ``my_desk`` at (6,4) with its catalog
+    object ``standard desk`` and that desk's drawer.
+
+    Every constraint below is verbatim from the paper's instance table.
+    """
+    db = Database(schema or build_office_schema())
+
+    drawer = db.add_object("standard_drawer", "Drawer", {
+        "color": "red",
+        "extent": parse_cst("((w,z) | -1 <= w <= 1 and -1 <= z <= 1)"),
+        "translation": parse_cst(
+            "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+    })
+
+    desk = db.add_object("standard_desk", "Desk", {
+        "cat_number": "CAT-17",
+        "name": "standard desk",
+        "color": "red",
+        "extent": parse_cst("((w,z) | -4 <= w <= 4 and -2 <= z <= 2)"),
+        "translation": parse_cst(
+            "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+        "drawer_center": parse_cst("((p,q) | p = -2 and -2 <= q <= 0)"),
+        "drawer": drawer.oid,
+    })
+
+    my_desk = db.add_object("my_desk", "Object_in_Room", {
+        "inv_number": "22-354",
+        "location": parse_cst("((x,y) | x = 6 and y = 4)"),
+        "catalog_object": desk.oid,
+    })
+
+    db.validate()
+    return db, OfficeOids(
+        my_desk=my_desk.oid,
+        standard_desk=desk.oid,
+        standard_drawer=drawer.oid,
+    )
+
+
+def add_file_cabinet(db: Database, name: str = "standard_cabinet",
+                     location: tuple[int, int] = (2, 8)) -> SymbolicOid:
+    """Add a file cabinet (exercising set-valued drawer_center) plus an
+    Object_in_Room placing it; returns the cabinet's oid."""
+    drawer = db.add_object(f"{name}_drawer", "Drawer", {
+        "color": "grey",
+        "extent": parse_cst(
+            "((w,z) | -1/2 <= w <= 1/2 and -1 <= z <= 1)"),
+        "translation": parse_cst(
+            "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+    })
+    cabinet = db.add_object(name, "File_Cabinet", {
+        "cat_number": "CAT-29",
+        "name": "standard cabinet",
+        "color": "grey",
+        "extent": parse_cst("((w,z) | -1 <= w <= 1 and -2 <= z <= 2)"),
+        "translation": parse_cst(
+            "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+        "drawer_center": [
+            parse_cst("((p1,q1) | p1 = 0 and 0 <= q1 <= 1)"),
+            parse_cst("((p1,q1) | p1 = 0 and -2 <= q1 <= -1)"),
+        ],
+        "drawer": drawer.oid,
+    })
+    lx, ly = location
+    db.add_object(f"{name}_in_room", "Object_in_Room", {
+        "inv_number": "22-901",
+        "location": parse_cst(f"((x,y) | x = {lx} and y = {ly})"),
+        "catalog_object": cabinet.oid,
+    })
+    db.validate()
+    return cabinet.oid
+
+
+def add_regions(db: Database) -> list:
+    """Populate the Region class (for the Section 4.1 view example):
+    the four quarters of a 20 x 10 room."""
+    quarters = [
+        ("left_lower", "0 <= x <= 10 and 0 <= y <= 5"),
+        ("left_upper", "0 <= x <= 10 and 5 <= y <= 10"),
+        ("right_lower", "10 <= x <= 20 and 0 <= y <= 5"),
+        ("right_upper", "10 <= x <= 20 and 5 <= y <= 10"),
+    ]
+    oids = []
+    for name, body in quarters:
+        obj = db.add_cst_instance(
+            "Region", parse_cst(f"((x,y) | {body})"),
+            {"region_name": name})
+        oids.append(obj.oid)
+    db.validate()
+    return oids

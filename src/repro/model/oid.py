@@ -1,0 +1,255 @@
+"""Logical object identities.
+
+Section 2.1 of the paper: objects are referred to via logical oids —
+syntactic terms such as ``20``, ``john23``, or ``secretary(dept77)``.
+Literal values (numbers, strings) are oids carrying their usual
+semantics; explicit *id-functions* create new oids from tuples of oids
+(the ``OID FUNCTION OF`` clause); and — the paper's key move — CST
+objects are "another kind of logical object identity" whose content is
+the canonical form of their constraint.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.terms import to_fraction
+
+
+class Oid:
+    """Base class of logical object identities.
+
+    Oids are immutable, hashable, and compare by content — two
+    syntactically equal id-terms denote the same object.
+    """
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        """Human-readable rendering (used by result printing)."""
+        return str(self)
+
+
+class LiteralOid(Oid):
+    """A value object: number, string or boolean.
+
+    The paper: "we consider '20' to be the oid of the abstract object
+    with the usual properties of the number 20."
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        if isinstance(value, bool) or isinstance(value, (str, Fraction)):
+            self._value = value
+        elif isinstance(value, int):
+            self._value = Fraction(value)
+        elif isinstance(value, float):
+            self._value = to_fraction(value)
+        else:
+            raise TypeError(f"not a literal value: {value!r}")
+
+    @property
+    def value(self):
+        return self._value
+
+    def __eq__(self, other):
+        if not isinstance(other, LiteralOid):
+            return NotImplemented
+        return (type(self._value) is type(other._value)
+                or isinstance(self._value, Fraction)
+                and isinstance(other._value, Fraction)) \
+            and self._value == other._value
+
+    def __hash__(self):
+        return hash(("LiteralOid", self._value))
+
+    def __repr__(self):
+        return f"LiteralOid({self._value!r})"
+
+    def __str__(self):
+        if isinstance(self._value, Fraction):
+            from repro.constraints.terms import format_fraction
+            return format_fraction(self._value)
+        if isinstance(self._value, str):
+            return f"'{self._value}'"
+        return str(self._value)
+
+
+class SymbolicOid(Oid):
+    """A named abstract object, e.g. ``desk123``."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"invalid oid name {name!r}")
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other):
+        if not isinstance(other, SymbolicOid):
+            return NotImplemented
+        return self._name == other._name
+
+    def __hash__(self):
+        return hash(("SymbolicOid", self._name))
+
+    def __repr__(self):
+        return f"SymbolicOid({self._name!r})"
+
+    def __str__(self):
+        return self._name
+
+
+class FunctionalOid(Oid):
+    """An id-function application ``f(o1, ..., ok)``.
+
+    Used by ``OID FUNCTION OF``: a query result tuple built from a
+    variable assignment (x, w) gets identity ``f(x, w)`` — re-running
+    the query yields the *same* objects.
+    """
+
+    __slots__ = ("_function", "_args")
+
+    def __init__(self, function: str, args: Iterable[Oid]):
+        self._function = function
+        self._args = tuple(args)
+        for arg in self._args:
+            if not isinstance(arg, Oid):
+                raise TypeError(f"id-function argument {arg!r} is not an Oid")
+
+    @property
+    def function(self) -> str:
+        return self._function
+
+    @property
+    def args(self) -> tuple[Oid, ...]:
+        return self._args
+
+    def __eq__(self, other):
+        if not isinstance(other, FunctionalOid):
+            return NotImplemented
+        return (self._function == other._function
+                and self._args == other._args)
+
+    def __hash__(self):
+        return hash(("FunctionalOid", self._function, self._args))
+
+    def __repr__(self):
+        return f"FunctionalOid({self._function!r}, {self._args!r})"
+
+    def __str__(self):
+        inner = ", ".join(str(a) for a in self._args)
+        return f"{self._function}({inner})"
+
+
+class CstOid(Oid):
+    """A constraint as a logical object identity (Section 3).
+
+    Wraps a :class:`CSTObject`; two CstOids are equal iff their CST
+    objects have the same canonical form (alpha-invariant).
+    """
+
+    __slots__ = ("_cst",)
+
+    def __init__(self, cst: CSTObject):
+        if not isinstance(cst, CSTObject):
+            raise TypeError(f"expected CSTObject, got {cst!r}")
+        self._cst = cst
+
+    @property
+    def cst(self) -> CSTObject:
+        return self._cst
+
+    def __eq__(self, other):
+        if not isinstance(other, CstOid):
+            return NotImplemented
+        return self._cst == other._cst
+
+    def __hash__(self):
+        return hash(("CstOid", self._cst))
+
+    def __repr__(self):
+        return f"CstOid({self._cst!r})"
+
+    def __str__(self):
+        return self._cst.oid_text()
+
+
+class AttributeNameOid(Oid):
+    """An attribute name as an object — the target of the paper's
+    higher-order attribute variables."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other):
+        if not isinstance(other, AttributeNameOid):
+            return NotImplemented
+        return self._name == other._name
+
+    def __hash__(self):
+        return hash(("AttributeNameOid", self._name))
+
+    def __repr__(self):
+        return f"AttributeNameOid({self._name!r})"
+
+    def __str__(self):
+        return f"@{self._name}"
+
+
+class ClassNameOid(Oid):
+    """A class name as an object — the target of class variables (used
+    by schema-querying and view-defining queries)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __eq__(self, other):
+        if not isinstance(other, ClassNameOid):
+            return NotImplemented
+        return self._name == other._name
+
+    def __hash__(self):
+        return hash(("ClassNameOid", self._name))
+
+    def __repr__(self):
+        return f"ClassNameOid({self._name!r})"
+
+    def __str__(self):
+        return f"class:{self._name}"
+
+
+def as_oid(value) -> Oid:
+    """Coerce a Python value / CST object into an oid."""
+    if isinstance(value, Oid):
+        return value
+    if isinstance(value, CSTObject):
+        return CstOid(value)
+    if isinstance(value, (int, float, str, Fraction)) \
+            and not isinstance(value, bool):
+        return LiteralOid(value)
+    raise TypeError(f"cannot interpret {value!r} as an oid")
+
+
+def oid(name: str) -> SymbolicOid:
+    """Shorthand constructor for symbolic oids."""
+    return SymbolicOid(name)

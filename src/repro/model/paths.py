@@ -1,0 +1,172 @@
+"""Path expressions over the composition hierarchy (Section 2.2).
+
+A path expression has the form::
+
+    selector0 . AttEx1[selector1] . AttEx2[selector2] . ... . AttExm[selectorm]
+
+where ``selector0`` is mandatory and each other selector optional.  A
+selector is *ground* (an oid) or a *variable*; attribute expressions are
+attribute names or attribute variables (the paper's higher-order
+variables).  A path expression describes the set of database paths
+satisfying one of its ground instances; evaluation here enumerates the
+satisfying variable bindings directly (the ground instances are never
+materialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.model.database import Database
+from repro.model.oid import AttributeNameOid, Oid
+from repro.errors import EvaluationError
+
+#: A variable binding environment.  Keys are variable names; values are
+#: oids (AttributeNameOid for attribute variables).
+Bindings = Mapping[str, Oid]
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A variable occurrence in a path expression."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Step:
+    """One ``.AttEx[selector]`` step."""
+
+    attribute: str | VarRef
+    selector: Oid | VarRef | None = None
+
+    def __str__(self) -> str:
+        text = str(self.attribute)
+        if self.selector is not None:
+            text += f"[{self.selector}]"
+        return text
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """``head.step1.step2...`` — a path expression."""
+
+    head: Oid | VarRef
+    steps: tuple[Step, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [str(self.head)]
+        parts.extend(str(s) for s in self.steps)
+        return ".".join(parts)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Names of every variable occurring in the expression, in
+        first-occurrence order."""
+        names: list[str] = []
+
+        def add(item):
+            if isinstance(item, VarRef) and item.name not in names:
+                names.append(item.name)
+
+        add(self.head)
+        for step in self.steps:
+            add(step.attribute if isinstance(step.attribute, VarRef)
+                else None)
+            add(step.selector)
+        return tuple(names)
+
+    def is_ground(self) -> bool:
+        return not self.variables
+
+
+def enumerate_paths(db: Database, path: PathExpression,
+                    bindings: Bindings) -> Iterator[tuple[dict, Oid]]:
+    """Yield ``(extended_bindings, tail_oid)`` for every database path
+    satisfying the expression under an extension of ``bindings``.
+
+    New variables encountered in the path are bound; already-bound
+    variables act as filters.  The same (bindings, tail) pair may be
+    produced once per satisfying database path; callers that need set
+    semantics deduplicate.
+    """
+    for env, head_oid in _resolve_head(db, path.head, bindings):
+        yield from _walk(db, head_oid, path.steps, env)
+
+
+def path_values(db: Database, path: PathExpression,
+                bindings: Bindings) -> set[Oid]:
+    """The *value* of a path expression under fixed bindings: the set of
+    tail objects of its satisfying database paths (used by the
+    comparison predicates of Section 2.2)."""
+    return {tail for _, tail in enumerate_paths(db, path, bindings)}
+
+
+def _resolve_head(db: Database, head, bindings: Bindings
+                  ) -> Iterator[tuple[dict, Oid]]:
+    if isinstance(head, VarRef):
+        bound = bindings.get(head.name)
+        if bound is not None:
+            yield dict(bindings), bound
+            return
+        # Unbound head: range over every stored object (FROM clauses
+        # normally bind path heads; this is the fallback semantics).
+        for obj in db.objects():
+            env = dict(bindings)
+            env[head.name] = obj.oid
+            yield env, obj.oid
+        return
+    if not isinstance(head, Oid):
+        raise EvaluationError(f"invalid path head {head!r}")
+    yield dict(bindings), head
+
+
+def _walk(db: Database, current: Oid, steps: tuple[Step, ...],
+          env: dict) -> Iterator[tuple[dict, Oid]]:
+    if not steps:
+        yield env, current
+        return
+    step, rest = steps[0], steps[1:]
+    for attr_env, attr_name in _resolve_attribute(db, current, step, env):
+        for value in db.attribute_values(current, attr_name):
+            sel_env = _match_selector(step.selector, value, attr_env)
+            if sel_env is None:
+                continue
+            yield from _walk(db, value, rest, sel_env)
+
+
+def _resolve_attribute(db: Database, current: Oid, step: Step,
+                       env: dict) -> Iterator[tuple[dict, str]]:
+    attribute = step.attribute
+    if isinstance(attribute, str):
+        yield env, attribute
+        return
+    bound = env.get(attribute.name)
+    if bound is not None:
+        if isinstance(bound, AttributeNameOid):
+            yield env, bound.name
+        return
+    obj = db.maybe_object(current)
+    if obj is None:
+        return
+    for name in sorted(db.schema.attributes_of(obj.class_name)):
+        extended = dict(env)
+        extended[attribute.name] = AttributeNameOid(name)
+        yield extended, name
+
+
+def _match_selector(selector, value: Oid, env: dict) -> dict | None:
+    if selector is None:
+        return env
+    if isinstance(selector, VarRef):
+        bound = env.get(selector.name)
+        if bound is None:
+            extended = dict(env)
+            extended[selector.name] = value
+            return extended
+        return env if bound == value else None
+    return env if selector == value else None

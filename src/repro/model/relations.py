@@ -1,0 +1,60 @@
+"""Flattening an object database into flat constraint relations.
+
+Section 5 of the paper: "the definition of a database in LyriC as a
+general structure means that it is essentially a collection of flat
+relations.  These represent the extent of classes and the mapping used
+to represent attributes."  We materialize:
+
+* one unary *extent* relation per class — ``class:Name(oid)`` — holding
+  the full extent (subclass instances included), and
+* one binary *attribute* relation per attribute name —
+  ``attr:name(oid, value)`` — with set-valued attributes unnested to one
+  row per member.
+
+Together these are the catalog the Section 5 translation runs against.
+"""
+
+from __future__ import annotations
+
+from repro.model.database import Database
+from repro.model.schema import BUILTIN_CLASSES
+from repro.sqlc.relation import ConstraintRelation
+
+EXTENT_PREFIX = "class:"
+ATTRIBUTE_PREFIX = "attr:"
+
+
+def extent_relation_name(class_name: str) -> str:
+    return EXTENT_PREFIX + class_name
+
+
+def attribute_relation_name(attribute: str) -> str:
+    return ATTRIBUTE_PREFIX + attribute
+
+
+def flatten(db: Database) -> dict[str, ConstraintRelation]:
+    """The flat-relation encoding of the database."""
+    catalog: dict[str, ConstraintRelation] = {}
+
+    for class_name in db.schema.class_names:
+        if class_name in BUILTIN_CLASSES:
+            continue
+        name = extent_relation_name(class_name)
+        rel = ConstraintRelation(name, ("oid",))
+        for oid in db.extent(class_name):
+            rel.add_row((oid,))
+        catalog[name] = rel
+
+    attribute_rows: dict[str, list] = {}
+    for obj in db.objects():
+        for attr_name in obj.attribute_names:
+            rows = attribute_rows.setdefault(attr_name, [])
+            for value in obj.values(attr_name):
+                rows.append((obj.oid, value))
+    for attr_name, rows in attribute_rows.items():
+        name = attribute_relation_name(attr_name)
+        rel = ConstraintRelation(name, ("oid", "value"))
+        for row in rows:
+            rel.add_row(row)
+        catalog[name] = rel
+    return catalog

@@ -1,0 +1,354 @@
+"""Database schemas: classes, IS-A, attributes, CST variable schemas and
+class interfaces.
+
+This is the data-model half of Sections 2-3 of the paper:
+
+* classes organize objects; the IS-A relation is acyclic and instances
+  of a class belong to all its superclasses;
+* attributes are scalar or set-valued (names ending in ``*`` in
+  Figure 1) and range over classes or over CST variable schemas
+  (``extent : CST(w,z)``);
+* a class whose CST attributes may be constrained from outside declares
+  an *interface* — a list of variables attached to its name, e.g.
+  ``Drawer(x,y)``;
+* an attribute ranging over such a class may *rename* the interface
+  with actual parameters (``drawer : (p,q)``), inducing the implicit
+  equality constraints of Section 4.1;
+* CST classes ``CST(n)`` hold constraint objects of dimension ``n``;
+  user classes (the ``Region`` example) may subclass them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.constraints.terms import Variable
+from repro.errors import SchemaError, UnknownAttributeError, UnknownClassError
+
+#: Built-in value classes.  Literal oids are instances of these.
+BUILTIN_CLASSES = ("string", "real", "integer", "boolean")
+
+
+def cst_class_name(dimension: int) -> str:
+    """Name of the built-in CST class of a given dimension."""
+    return f"CST({dimension})"
+
+
+@dataclass(frozen=True)
+class CSTSpec:
+    """The variable schema of a CST attribute: ``CST(w,z)``."""
+
+    variables: tuple[Variable, ...]
+
+    def __init__(self, variables: Iterable[Variable | str]):
+        resolved = tuple(
+            v if isinstance(v, Variable) else Variable(v)
+            for v in variables)
+        if len({v.name for v in resolved}) != len(resolved):
+            raise SchemaError(
+                f"duplicate variables in CST schema {resolved}")
+        object.__setattr__(self, "variables", resolved)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.variables)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def __str__(self) -> str:
+        return f"CST({','.join(self.names)})"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute of a class.
+
+    ``target`` is a class name (composition edge) or a :class:`CSTSpec`
+    (constraint-valued attribute).  ``interface_args`` optionally
+    renames the target class's interface — the paper's
+    ``drawer : (p,q)`` notation, stored as the variables ``(p, q)``.
+    """
+
+    name: str
+    target: str | CSTSpec
+    set_valued: bool = False
+    interface_args: tuple[Variable, ...] | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("attribute needs a name")
+        if self.interface_args is not None:
+            if isinstance(self.target, CSTSpec):
+                raise SchemaError(
+                    f"attribute {self.name!r}: interface renaming applies "
+                    "to class-valued attributes only")
+            object.__setattr__(
+                self, "interface_args",
+                tuple(v if isinstance(v, Variable) else Variable(v)
+                      for v in self.interface_args))
+
+    @property
+    def is_cst(self) -> bool:
+        return isinstance(self.target, CSTSpec)
+
+    def __str__(self) -> str:
+        star = "*" if self.set_valued else ""
+        if self.is_cst:
+            return f"{self.name}{star} : {self.target}"
+        rename = ""
+        if self.interface_args:
+            rename = f"({','.join(v.name for v in self.interface_args)})"
+        return f"{self.name}{star} : {self.target}{rename}"
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """A stored method (Section 2.1: "a method, invoked in the scope of
+    an object on a tuple of arguments, returns an answer").
+
+    Path expressions invoke 0-ary methods exactly like attributes ("an
+    attribute is regarded as a 0-ary method"); the implementation
+    receives ``(db, self_oid, *args)`` and returns a value (or an
+    iterable, for set-valued methods) coercible to oids.  Methods are
+    excluded from the Section 5 complexity analysis — "they provide
+    unlimited computational power" — and from the flat translation.
+    """
+
+    name: str
+    implementation: object  # Callable[[Database, Oid, ...], value]
+    result: str = "real"
+    arity: int = 0
+    set_valued: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("method needs a name")
+        if not callable(self.implementation):
+            raise SchemaError(
+                f"method {self.name!r}: implementation not callable")
+        if self.arity < 0:
+            raise SchemaError(f"method {self.name!r}: negative arity")
+
+    def __str__(self) -> str:
+        args = ", ".join("_" for _ in range(self.arity))
+        arrow = "=>>" if self.set_valued else "=>"
+        return f"{self.name}({args}) {arrow} {self.result}"
+
+
+@dataclass
+class ClassDef:
+    """A class: name, superclasses, interface, attributes, methods.
+
+    ``cst_dimension`` marks classes whose instances are CST objects —
+    the built-in ``CST(n)`` classes and user subclasses like ``Region``.
+    """
+
+    name: str
+    parents: tuple[str, ...] = ()
+    interface: tuple[Variable, ...] = ()
+    attributes: dict[str, AttributeDef] = field(default_factory=dict)
+    methods: dict[str, MethodDef] = field(default_factory=dict)
+    cst_dimension: int | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("class needs a name")
+        self.parents = tuple(self.parents)
+        self.interface = tuple(
+            v if isinstance(v, Variable) else Variable(v)
+            for v in self.interface)
+
+    def attribute(self, name: str) -> AttributeDef | None:
+        return self.attributes.get(name)
+
+    def __str__(self) -> str:
+        header = self.name
+        if self.interface:
+            header += f"({','.join(v.name for v in self.interface)})"
+        if self.parents:
+            header += " IS-A " + ", ".join(self.parents)
+        return header
+
+
+class Schema:
+    """A complete database schema with validation and resolution.
+
+    Built-in classes (``string``, ``real``, ``integer``, ``boolean``)
+    are always present; ``CST(n)`` classes are materialized on demand.
+    """
+
+    def __init__(self):
+        self._classes: dict[str, ClassDef] = {}
+        for name in BUILTIN_CLASSES:
+            self._classes[name] = ClassDef(name=name)
+
+    # -- construction -----------------------------------------------------
+
+    def add_class(self, class_def: ClassDef) -> ClassDef:
+        if class_def.name in self._classes:
+            raise SchemaError(f"class {class_def.name!r} already defined")
+        self._classes[class_def.name] = class_def
+        return class_def
+
+    def define(self, name: str, parents: Iterable[str] = (),
+               interface: Iterable[str | Variable] = (),
+               attributes: Iterable[AttributeDef] = (),
+               methods: Iterable[MethodDef] = (),
+               cst_dimension: int | None = None) -> ClassDef:
+        """Convenience builder used by fixtures and workload generators."""
+        class_def = ClassDef(
+            name=name, parents=tuple(parents),
+            interface=tuple(interface),
+            attributes={a.name: a for a in attributes},
+            methods={m.name: m for m in methods},
+            cst_dimension=cst_dimension)
+        return self.add_class(class_def)
+
+    def add_method(self, class_name: str, method: MethodDef) -> None:
+        """Attach a method to an existing class (inherited by
+        subclasses, like attributes)."""
+        self.class_def(class_name).methods[method.name] = method
+
+    def ensure_cst_class(self, dimension: int) -> ClassDef:
+        name = cst_class_name(dimension)
+        if name not in self._classes:
+            self._classes[name] = ClassDef(name=name,
+                                           cst_dimension=dimension)
+        return self._classes[name]
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._classes)
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def class_def(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(f"unknown class {name!r}") from None
+
+    def superclasses(self, name: str) -> tuple[str, ...]:
+        """All (transitive) superclasses, the class itself first."""
+        seen: list[str] = []
+        stack = [name]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            stack.extend(self.class_def(current).parents)
+        return tuple(seen)
+
+    def subclasses(self, name: str) -> tuple[str, ...]:
+        """All (transitive) subclasses, including the class itself."""
+        self.class_def(name)
+        result = [name]
+        changed = True
+        while changed:
+            changed = False
+            for cls in self._classes.values():
+                if cls.name in result:
+                    continue
+                if any(p in result for p in cls.parents):
+                    result.append(cls.name)
+                    changed = True
+        return tuple(result)
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        return ancestor in self.superclasses(name)
+
+    def attributes_of(self, name: str) -> Mapping[str, AttributeDef]:
+        """Attributes including inherited ones (subclass overrides win)."""
+        merged: dict[str, AttributeDef] = {}
+        for cls_name in reversed(self.superclasses(name)):
+            merged.update(self.class_def(cls_name).attributes)
+        return merged
+
+    def resolve_attribute(self, class_name: str, attr: str) -> AttributeDef:
+        attr_def = self.attributes_of(class_name).get(attr)
+        if attr_def is None:
+            raise UnknownAttributeError(
+                f"class {class_name!r} has no attribute {attr!r}")
+        return attr_def
+
+    def methods_of(self, name: str) -> Mapping[str, MethodDef]:
+        """Methods including inherited ones (overrides win)."""
+        merged: dict[str, MethodDef] = {}
+        for cls_name in reversed(self.superclasses(name)):
+            merged.update(self.class_def(cls_name).methods)
+        return merged
+
+    def interface_of(self, class_name: str) -> tuple[Variable, ...]:
+        """The class's own interface, or the nearest inherited one."""
+        for cls_name in self.superclasses(class_name):
+            interface = self.class_def(cls_name).interface
+            if interface:
+                return interface
+        return ()
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check well-formedness; raises :class:`SchemaError`."""
+        for cls in self._classes.values():
+            for parent in cls.parents:
+                if parent not in self._classes:
+                    raise SchemaError(
+                        f"class {cls.name!r}: unknown parent {parent!r}")
+        self._check_acyclic()
+        for cls in self._classes.values():
+            for attr in cls.attributes.values():
+                self._validate_attribute(cls, attr)
+        for cls in self._classes.values():
+            attributes = self.attributes_of(cls.name)
+            for method_name in self.methods_of(cls.name):
+                if method_name in attributes:
+                    raise SchemaError(
+                        f"class {cls.name!r}: {method_name!r} is both "
+                        "an attribute and a method")
+
+    def _check_acyclic(self) -> None:
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise SchemaError(f"cyclic IS-A involving {name!r}")
+            visiting.add(name)
+            for parent in self.class_def(name).parents:
+                visit(parent)
+            visiting.discard(name)
+            done.add(name)
+
+        for name in self._classes:
+            visit(name)
+
+    def _validate_attribute(self, cls: ClassDef, attr: AttributeDef) -> None:
+        if attr.is_cst:
+            return
+        if attr.target not in self._classes:
+            raise SchemaError(
+                f"class {cls.name!r}, attribute {attr.name!r}: unknown "
+                f"target class {attr.target!r}")
+        if attr.interface_args is not None:
+            formals = self.interface_of(attr.target)
+            if len(formals) != len(attr.interface_args):
+                raise SchemaError(
+                    f"class {cls.name!r}, attribute {attr.name!r}: "
+                    f"interface renaming has {len(attr.interface_args)} "
+                    f"arguments, class {attr.target!r} declares "
+                    f"{len(formals)}")
+
+    def __str__(self) -> str:
+        user = [c for n, c in sorted(self._classes.items())
+                if n not in BUILTIN_CLASSES]
+        return "\n".join(str(c) for c in user)

@@ -1,0 +1,222 @@
+"""Serialization of schemas and databases to JSON-able dictionaries.
+
+A practical necessity for an open-source release: constraint databases
+must survive a round trip to disk.  CST values serialize through the
+textual projection notation (the same concrete syntax users write), so
+dumps are human-readable and diff-able; oids serialize as tagged
+terms.
+
+    from repro.model.serialize import dump_database, load_database
+    payload = dump_database(db)          # plain dicts/lists/strings
+    clone = load_database(payload)       # a fresh, validated Database
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.constraints.parser import parse_cst
+from repro.errors import ModelError
+from repro.model.database import Database
+from repro.model.oid import (
+    AttributeNameOid,
+    ClassNameOid,
+    CstOid,
+    FunctionalOid,
+    LiteralOid,
+    Oid,
+    SymbolicOid,
+)
+from repro.model.schema import (
+    AttributeDef,
+    BUILTIN_CLASSES,
+    CSTSpec,
+    ClassDef,
+    Schema,
+)
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Oids
+# ---------------------------------------------------------------------------
+
+
+def dump_oid(oid: Oid) -> Any:
+    """Oid -> JSON-able tagged value."""
+    if isinstance(oid, SymbolicOid):
+        return {"t": "sym", "v": oid.name}
+    if isinstance(oid, LiteralOid):
+        value = oid.value
+        if isinstance(value, Fraction):
+            return {"t": "num", "v": str(value)}
+        return {"t": "str", "v": value}
+    if isinstance(oid, CstOid):
+        return {"t": "cst", "v": oid.cst.oid_text()}
+    if isinstance(oid, FunctionalOid):
+        return {"t": "fn", "f": oid.function,
+                "a": [dump_oid(a) for a in oid.args]}
+    if isinstance(oid, AttributeNameOid):
+        return {"t": "attr", "v": oid.name}
+    if isinstance(oid, ClassNameOid):
+        return {"t": "class", "v": oid.name}
+    raise ModelError(f"cannot serialize oid {oid!r}")
+
+
+def load_oid(payload: Any) -> Oid:
+    tag = payload.get("t")
+    if tag == "sym":
+        return SymbolicOid(payload["v"])
+    if tag == "num":
+        return LiteralOid(Fraction(payload["v"]))
+    if tag == "str":
+        return LiteralOid(payload["v"])
+    if tag == "cst":
+        return CstOid(parse_cst(payload["v"]))
+    if tag == "fn":
+        return FunctionalOid(payload["f"],
+                             [load_oid(a) for a in payload["a"]])
+    if tag == "attr":
+        return AttributeNameOid(payload["v"])
+    if tag == "class":
+        return ClassNameOid(payload["v"])
+    raise ModelError(f"unknown oid tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+
+def dump_schema(schema: Schema) -> dict:
+    classes = []
+    cst_dimensions = []
+    for name in schema.class_names:
+        if name in BUILTIN_CLASSES:
+            continue
+        cls = schema.class_def(name)
+        if name.startswith("CST(") and name.endswith(")"):
+            # Built-in CST classes are recorded by dimension only.
+            cst_dimensions.append(cls.cst_dimension)
+            continue
+        classes.append({
+            "name": cls.name,
+            "parents": list(cls.parents),
+            "interface": [v.name for v in cls.interface],
+            "cst_dimension": cls.cst_dimension,
+            "attributes": [_dump_attribute(a)
+                           for a in cls.attributes.values()],
+        })
+    return {"version": FORMAT_VERSION, "classes": classes,
+            "cst_classes": cst_dimensions}
+
+
+def _dump_attribute(attr: AttributeDef) -> dict:
+    out: dict = {"name": attr.name, "set_valued": attr.set_valued}
+    if attr.is_cst:
+        out["cst"] = list(attr.target.names)
+    else:
+        out["target"] = attr.target
+        if attr.interface_args is not None:
+            out["interface_args"] = [v.name
+                                     for v in attr.interface_args]
+    return out
+
+
+def load_schema(payload: dict) -> Schema:
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported schema format version "
+            f"{payload.get('version')!r}")
+    schema = Schema()
+    for dimension in payload.get("cst_classes", ()):
+        schema.ensure_cst_class(dimension)
+    # CST base classes may also appear only as parents (CST(n)).
+    for cls in payload["classes"]:
+        for parent in cls["parents"]:
+            if parent.startswith("CST(") and parent.endswith(")"):
+                schema.ensure_cst_class(int(parent[4:-1]))
+    for cls in payload["classes"]:
+        schema.add_class(ClassDef(
+            name=cls["name"],
+            parents=tuple(cls["parents"]),
+            interface=tuple(cls["interface"]),
+            attributes={a["name"]: _load_attribute(a)
+                        for a in cls["attributes"]},
+            cst_dimension=cls.get("cst_dimension")))
+    schema.validate()
+    return schema
+
+
+def _load_attribute(payload: dict) -> AttributeDef:
+    if "cst" in payload:
+        return AttributeDef(payload["name"], CSTSpec(payload["cst"]),
+                            set_valued=payload["set_valued"])
+    return AttributeDef(
+        payload["name"], payload["target"],
+        set_valued=payload["set_valued"],
+        interface_args=tuple(payload["interface_args"])
+        if payload.get("interface_args") else None)
+
+
+# ---------------------------------------------------------------------------
+# Database
+# ---------------------------------------------------------------------------
+
+
+def dump_database(db: Database) -> dict:
+    objects = []
+    for obj in db.objects():
+        values = {}
+        for name in obj.attribute_names:
+            raw = obj.get(name)
+            if isinstance(raw, frozenset):
+                values[name] = {"set": [dump_oid(v) for v in
+                                        sorted(raw, key=str)]}
+            else:
+                values[name] = dump_oid(raw)
+        objects.append({
+            "oid": dump_oid(obj.oid),
+            "class": obj.class_name,
+            "values": values,
+        })
+    return {
+        "version": FORMAT_VERSION,
+        "schema": dump_schema(db.schema),
+        "objects": objects,
+    }
+
+
+def load_database(payload: dict) -> Database:
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported database format version "
+            f"{payload.get('version')!r}")
+    schema = load_schema(payload["schema"])
+    db = Database(schema)
+    for obj in payload["objects"]:
+        values: dict = {}
+        for name, raw in obj["values"].items():
+            if isinstance(raw, dict) and "set" in raw:
+                values[name] = [load_oid(v) for v in raw["set"]]
+            else:
+                values[name] = load_oid(raw)
+        db.add_object(load_oid(obj["oid"]), obj["class"], values)
+    db.validate()
+    return db
+
+
+def save_database(db: Database, path: str) -> None:
+    """Write the database as JSON to ``path``."""
+    import json
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dump_database(db), handle, indent=1)
+
+
+def read_database(path: str) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    import json
+    with open(path, encoding="utf-8") as handle:
+        return load_database(json.load(handle))

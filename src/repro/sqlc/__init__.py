@@ -1,0 +1,49 @@
+"""Flat "SQL with constraints": relations, plan algebra, optimizer and
+execution engine — the Section 5 translation target."""
+
+from repro.sqlc.algebra import (
+    And,
+    ColumnEq,
+    ColumnLiteral,
+    CstPredicate,
+    Distinct,
+    Extend,
+    NaturalJoin,
+    Not,
+    Or,
+    Plan,
+    Predicate,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.sqlc.engine import ExecutionStats, execute
+from repro.sqlc.optimizer import optimize, push_selections, reorder_joins
+from repro.sqlc.relation import ConstraintRelation
+
+__all__ = [
+    "And",
+    "ColumnEq",
+    "ColumnLiteral",
+    "ConstraintRelation",
+    "CstPredicate",
+    "Distinct",
+    "ExecutionStats",
+    "Extend",
+    "NaturalJoin",
+    "Not",
+    "Or",
+    "Plan",
+    "Predicate",
+    "Project",
+    "Rename",
+    "Scan",
+    "Select",
+    "Union",
+    "execute",
+    "optimize",
+    "push_selections",
+    "reorder_joins",
+]

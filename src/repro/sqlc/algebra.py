@@ -1,0 +1,353 @@
+"""Plan algebra over flat constraint relations.
+
+Plans are small immutable trees of operators (scan, select, project,
+rename, join, product, union, distinct) over
+:class:`~repro.sqlc.relation.ConstraintRelation`.  Selection predicates
+include the constraint predicates of "SQL with constraints": CST-field
+satisfiability and entailment tests, evaluated by the constraint engine.
+
+This is the evaluation target of the Section 5 translation; the
+optimizer (:mod:`repro.sqlc.optimizer`) rewrites these trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import EvaluationError
+from repro.model.oid import CstOid, Oid
+from repro.sqlc.relation import ConstraintRelation
+
+#: The evaluation environment maps base-relation names to relations.
+Catalog = Mapping[str, ConstraintRelation]
+
+
+class Plan:
+    """Base class of plan nodes."""
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        raise NotImplementedError
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        children = getattr(self, "children", ())
+        text = f"{pad}{self.describe()}"
+        for child in children:
+            text += "\n" + child.explain(depth + 1)
+        return text
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """A base relation by catalog name."""
+
+    relation: str
+    _columns: tuple[str, ...]
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        try:
+            rel = catalog[self.relation]
+        except KeyError:
+            raise EvaluationError(
+                f"unknown base relation {self.relation!r}") from None
+        if rel.columns != self._columns:
+            raise EvaluationError(
+                f"catalog relation {self.relation!r} has columns "
+                f"{rel.columns}, plan expected {self._columns}")
+        return rel
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    def describe(self) -> str:
+        return f"Scan({self.relation})"
+
+
+@dataclass(frozen=True)
+class Rename(Plan):
+    """Column renaming."""
+
+    child: Plan
+    mapping: tuple[tuple[str, str], ...]
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.child.evaluate(catalog).rename(dict(self.mapping))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        mapping = dict(self.mapping)
+        return tuple(mapping.get(c, c) for c in self.child.columns)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{a}->{b}" for a, b in self.mapping)
+        return f"Rename({pairs})"
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    child: Plan
+    kept: tuple[str, ...]
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.child.evaluate(catalog).project(self.kept)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.kept
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.kept)})"
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    child: Plan
+    predicate: "Predicate"
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.child.evaluate(catalog).select(self.predicate)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def describe(self) -> str:
+        return f"Select({self.predicate})"
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Plan):
+    left: Plan
+    right: Plan
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.left.evaluate(catalog).natural_join(
+            self.right.evaluate(catalog))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        left = self.left.columns
+        return left + tuple(c for c in self.right.columns
+                            if c not in left)
+
+    def describe(self) -> str:
+        shared = set(self.left.columns) & set(self.right.columns)
+        return f"NaturalJoin(on {sorted(shared)})"
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    child: Plan
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.child.evaluate(catalog).distinct()
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    left: Plan
+    right: Plan
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.left.evaluate(catalog).union(
+            self.right.evaluate(catalog))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns
+
+
+@dataclass(frozen=True)
+class Extend(Plan):
+    """Append a computed column (used for SELECT-clause CST formulas
+    and OID functions)."""
+
+    child: Plan
+    column: str
+    compute: Callable[[dict[str, Oid]], Oid]
+    label: str = "expr"
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        base = self.child.evaluate(catalog)
+        result = ConstraintRelation(
+            base.name, base.columns + (self.column,))
+        for row in base:
+            value = self.compute(base.row_dict(row))
+            result.add_row(row + (value,))
+        return result
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.column,)
+
+    def describe(self) -> str:
+        return f"Extend({self.column} := {self.label})"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """A boolean test over a row (dict column -> oid)."""
+
+    def __call__(self, row: dict[str, Oid]) -> bool:
+        raise NotImplementedError
+
+    @property
+    def referenced_columns(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnEq(Predicate):
+    left: str
+    right: str
+
+    def __call__(self, row):
+        return row[self.left] == row[self.right]
+
+    @property
+    def referenced_columns(self):
+        return frozenset({self.left, self.right})
+
+    def __str__(self):
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ColumnLiteral(Predicate):
+    column: str
+    value: Oid
+
+    def __call__(self, row):
+        return row[self.column] == self.value
+
+    @property
+    def referenced_columns(self):
+        return frozenset({self.column})
+
+    def __str__(self):
+        return f"{self.column} = {self.value}"
+
+
+@dataclass(frozen=True)
+class CstPredicate(Predicate):
+    """A constraint predicate over the CST fields of a row.
+
+    ``test`` receives the row's oids for ``columns`` (in order) and
+    returns a bool; it is built by the translator from the query's
+    SAT / ``|=`` formulas and closes over the constraint engine.
+    """
+
+    columns: tuple[str, ...]
+    test: Callable[..., bool]
+    label: str = "cst"
+
+    def __call__(self, row):
+        return self.test(*(row[c] for c in self.columns))
+
+    @property
+    def referenced_columns(self):
+        return frozenset(self.columns)
+
+    def __str__(self):
+        return f"{self.label}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __call__(self, row):
+        return all(p(row) for p in self.parts)
+
+    @property
+    def referenced_columns(self):
+        cols: frozenset[str] = frozenset()
+        for p in self.parts:
+            cols |= p.referenced_columns
+        return cols
+
+    def __str__(self):
+        return " and ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __call__(self, row):
+        return any(p(row) for p in self.parts)
+
+    @property
+    def referenced_columns(self):
+        cols: frozenset[str] = frozenset()
+        for p in self.parts:
+            cols |= p.referenced_columns
+        return cols
+
+    def __str__(self):
+        return " or ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    part: Predicate
+
+    def __call__(self, row):
+        return not self.part(row)
+
+    @property
+    def referenced_columns(self):
+        return self.part.referenced_columns
+
+    def __str__(self):
+        return f"not ({self.part})"
+
+
+def is_cst(value: Oid) -> bool:
+    """Helper for predicates: is the cell a constraint?"""
+    return isinstance(value, CstOid)

@@ -1,0 +1,65 @@
+"""Execution entry point for flat constraint-relation plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlc.algebra import Catalog, Plan
+from repro.sqlc.optimizer import optimize
+from repro.sqlc.relation import ConstraintRelation
+
+
+@dataclass
+class ExecutionStats:
+    """Counters filled by :func:`execute` (used by the benchmarks)."""
+
+    optimized: bool = False
+    input_rows: int = 0
+    output_rows: int = 0
+
+
+def execute(plan: Plan, catalog: Catalog,
+            use_optimizer: bool = True,
+            stats: ExecutionStats | None = None) -> ConstraintRelation:
+    """Evaluate ``plan`` against ``catalog``.
+
+    With ``use_optimizer`` (default) the plan is rewritten by
+    :func:`repro.sqlc.optimizer.optimize` first; this is the knob the
+    E8 benchmark flips.
+    """
+    if use_optimizer:
+        plan = optimize(plan, catalog)
+    result = plan.evaluate(catalog)
+    if stats is not None:
+        stats.optimized = use_optimizer
+        stats.input_rows = sum(len(r) for r in catalog.values())
+        stats.output_rows = len(result)
+    return result
+
+
+def explain_analyze(plan: Plan, catalog: Catalog,
+                    use_optimizer: bool = True) -> str:
+    """The plan tree annotated with actual per-node output row counts
+    (evaluates the plan once; intermediate results are memoized)."""
+    if use_optimizer:
+        plan = optimize(plan, catalog)
+    counts: dict[int, int] = {}
+
+    def measure(node: Plan) -> ConstraintRelation:
+        for child in getattr(node, "children", ()):
+            measure(child)
+        result = node.evaluate(catalog)
+        counts[id(node)] = len(result)
+        return result
+
+    measure(plan)
+
+    def render(node: Plan, depth: int) -> str:
+        pad = "  " * depth
+        line = (f"{pad}{node.describe()}  "
+                f"[{counts.get(id(node), '?')} rows]")
+        for child in getattr(node, "children", ()):
+            line += "\n" + render(child, depth + 1)
+        return line
+
+    return render(plan, 0)

@@ -1,0 +1,221 @@
+"""Plan rewriting: selection pushdown and join ordering.
+
+The paper (Section 5) leaves a full constraint algebra and optimizer to
+future work but bases the naive implementation on SQL with constraints;
+we supply the two classic rewrites every such engine needs:
+
+* **selection pushdown** — a Select above a join whose predicate only
+  references one side's columns moves below the join; conjunctions are
+  split first so each conjunct sinks as deep as it can;
+* **join ordering** — chains of natural joins are re-associated
+  greedily, starting from the smallest base relation and always joining
+  the relation sharing columns with the partial result (avoiding
+  accidental cross products).
+
+The rewrites are semantics-preserving for the operators used by the
+translator (set/bag equivalence up to row order).
+"""
+
+from __future__ import annotations
+
+from repro.sqlc.algebra import (
+    And,
+    Catalog,
+    Distinct,
+    Extend,
+    NaturalJoin,
+    Plan,
+    Predicate,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+
+
+def optimize(plan: Plan, catalog: Catalog | None = None) -> Plan:
+    """Apply all rewrites; ``catalog`` (when given) provides the base
+    relation sizes used by the greedy join order."""
+    plan = push_selections(plan)
+    plan = reorder_joins(plan, catalog or {})
+    plan = push_selections(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Selection pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_selections(plan: Plan) -> Plan:
+    if isinstance(plan, Select):
+        child = push_selections(plan.child)
+        conjuncts = _split_conjuncts(plan.predicate)
+        return _sink_conjuncts(child, conjuncts)
+    if isinstance(plan, NaturalJoin):
+        return NaturalJoin(push_selections(plan.left),
+                           push_selections(plan.right))
+    if isinstance(plan, Project):
+        return Project(push_selections(plan.child), plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(push_selections(plan.child), plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(push_selections(plan.child))
+    if isinstance(plan, Union):
+        return Union(push_selections(plan.left),
+                     push_selections(plan.right))
+    if isinstance(plan, Extend):
+        return Extend(push_selections(plan.child), plan.column,
+                      plan.compute, plan.label)
+    return plan
+
+
+def _split_conjuncts(predicate: Predicate) -> list[Predicate]:
+    if isinstance(predicate, And):
+        out: list[Predicate] = []
+        for part in predicate.parts:
+            out.extend(_split_conjuncts(part))
+        return out
+    return [predicate]
+
+
+def _sink_conjuncts(plan: Plan, conjuncts: list[Predicate]) -> Plan:
+    """Push each conjunct as deep as possible into ``plan``."""
+    if not conjuncts:
+        return plan
+    if isinstance(plan, NaturalJoin):
+        left_cols = set(plan.left.columns)
+        right_cols = set(plan.right.columns)
+        left_side: list[Predicate] = []
+        right_side: list[Predicate] = []
+        stuck: list[Predicate] = []
+        for pred in conjuncts:
+            cols = pred.referenced_columns
+            if cols <= left_cols:
+                left_side.append(pred)
+            elif cols <= right_cols:
+                right_side.append(pred)
+            else:
+                stuck.append(pred)
+        new = NaturalJoin(_sink_conjuncts(plan.left, left_side),
+                          _sink_conjuncts(plan.right, right_side))
+        return _wrap(new, stuck)
+    if isinstance(plan, Rename):
+        mapping = dict(plan.mapping)
+        reverse = {b: a for a, b in mapping.items()}
+        child_cols = set(plan.child.columns)
+        pushable: list[Predicate] = []
+        stuck: list[Predicate] = []
+        for pred in conjuncts:
+            renamed = _rename_predicate(pred, reverse)
+            if renamed is not None \
+                    and renamed.referenced_columns <= child_cols:
+                pushable.append(renamed)
+            else:
+                stuck.append(pred)
+        new = Rename(_sink_conjuncts(plan.child, pushable), plan.mapping)
+        return _wrap(new, stuck)
+    if isinstance(plan, Select):
+        inner = _split_conjuncts(plan.predicate)
+        return _sink_conjuncts(plan.child, inner + conjuncts)
+    return _wrap(plan, conjuncts)
+
+
+def _wrap(plan: Plan, conjuncts: list[Predicate]) -> Plan:
+    if not conjuncts:
+        return plan
+    predicate = conjuncts[0] if len(conjuncts) == 1 \
+        else And(tuple(conjuncts))
+    return Select(plan, predicate)
+
+
+def _rename_predicate(pred: Predicate,
+                      reverse: dict[str, str]) -> Predicate | None:
+    """Predicate with columns renamed backwards through a Rename; None
+    when the predicate type cannot be renamed structurally."""
+    from repro.sqlc.algebra import ColumnEq, ColumnLiteral, CstPredicate
+    if isinstance(pred, ColumnEq):
+        return ColumnEq(reverse.get(pred.left, pred.left),
+                        reverse.get(pred.right, pred.right))
+    if isinstance(pred, ColumnLiteral):
+        return ColumnLiteral(reverse.get(pred.column, pred.column),
+                             pred.value)
+    if isinstance(pred, CstPredicate):
+        return CstPredicate(
+            tuple(reverse.get(c, c) for c in pred.columns),
+            pred.test, pred.label)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Join ordering
+# ---------------------------------------------------------------------------
+
+
+def reorder_joins(plan: Plan, catalog: Catalog) -> Plan:
+    if isinstance(plan, NaturalJoin):
+        leaves = _collect_join_leaves(plan)
+        if len(leaves) > 2:
+            original_columns = plan.columns
+            leaves = [reorder_joins(leaf, catalog) for leaf in leaves]
+            joined = _greedy_join(leaves, catalog)
+            if joined.columns == original_columns:
+                return joined
+            # Reordering permutes the natural-join column order;
+            # restore it so the rewrite is observationally neutral.
+            return Project(joined, original_columns)
+        return NaturalJoin(reorder_joins(plan.left, catalog),
+                           reorder_joins(plan.right, catalog))
+    if isinstance(plan, Select):
+        return Select(reorder_joins(plan.child, catalog), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(reorder_joins(plan.child, catalog), plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(reorder_joins(plan.child, catalog), plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(reorder_joins(plan.child, catalog))
+    if isinstance(plan, Union):
+        return Union(reorder_joins(plan.left, catalog),
+                     reorder_joins(plan.right, catalog))
+    if isinstance(plan, Extend):
+        return Extend(reorder_joins(plan.child, catalog), plan.column,
+                      plan.compute, plan.label)
+    return plan
+
+
+def _collect_join_leaves(plan: Plan) -> list[Plan]:
+    if isinstance(plan, NaturalJoin):
+        return _collect_join_leaves(plan.left) \
+            + _collect_join_leaves(plan.right)
+    return [plan]
+
+
+def _estimate(plan: Plan, catalog: Catalog) -> int:
+    if isinstance(plan, Scan):
+        rel = catalog.get(plan.relation)
+        return len(rel) if rel is not None else 1000
+    if isinstance(plan, (Select,)):
+        return max(1, _estimate(plan.child, catalog) // 3)
+    if isinstance(plan, (Project, Rename, Distinct, Extend)):
+        return _estimate(plan.child, catalog)
+    if isinstance(plan, NaturalJoin):
+        return _estimate(plan.left, catalog) \
+            * max(1, _estimate(plan.right, catalog))
+    return 1000
+
+
+def _greedy_join(leaves: list[Plan], catalog: Catalog) -> Plan:
+    remaining = sorted(leaves, key=lambda p: _estimate(p, catalog))
+    current = remaining.pop(0)
+    current_cols = set(current.columns)
+    while remaining:
+        # Prefer a leaf sharing columns (a real join); smallest first.
+        pick = next(
+            (i for i, leaf in enumerate(remaining)
+             if current_cols & set(leaf.columns)),
+            0)
+        leaf = remaining.pop(pick)
+        current = NaturalJoin(current, leaf)
+        current_cols |= set(leaf.columns)
+    return current

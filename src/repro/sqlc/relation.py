@@ -1,0 +1,171 @@
+"""Flat constraint relations — the data structure of [BJM93]-style
+"SQL with linear constraints", the paper's Section 5 translation target.
+
+A :class:`ConstraintRelation` is an ordinary named relation whose cells
+are logical oids; since CST objects are oids (:class:`CstOid`), a cell
+may hold a constraint, which is what makes the relation a *constraint
+relation*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import EvaluationError
+from repro.model.oid import Oid, as_oid
+
+
+class ConstraintRelation:
+    """An immutable-by-convention flat relation.
+
+    Rows are tuples of oids aligned with ``columns``.  Duplicate rows
+    are kept by default (bag semantics, like SQL); :meth:`distinct`
+    removes them.
+    """
+
+    __slots__ = ("_name", "_columns", "_rows", "_index")
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence] = ()):
+        self._name = name
+        self._columns = tuple(columns)
+        if len(set(self._columns)) != len(self._columns):
+            raise EvaluationError(
+                f"duplicate column names in relation {name!r}: "
+                f"{self._columns}")
+        self._rows: list[tuple[Oid, ...]] = []
+        self._index = {c: i for i, c in enumerate(self._columns)}
+        for row in rows:
+            self.add_row(row)
+
+    # -- construction ------------------------------------------------------
+
+    def add_row(self, row: Sequence) -> None:
+        values = tuple(as_oid(v) for v in row)
+        if len(values) != len(self._columns):
+            raise EvaluationError(
+                f"row arity {len(values)} does not match relation "
+                f"{self._name!r} arity {len(self._columns)}")
+        self._rows.append(values)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def arity(self) -> int:
+        return len(self._columns)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self._index[column]
+        except KeyError:
+            raise EvaluationError(
+                f"relation {self._name!r} has no column {column!r}; "
+                f"columns are {self._columns}") from None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Oid, ...]]:
+        return iter(self._rows)
+
+    def cell(self, row: tuple[Oid, ...], column: str) -> Oid:
+        return row[self.column_index(column)]
+
+    def row_dict(self, row: tuple[Oid, ...]) -> dict[str, Oid]:
+        return dict(zip(self._columns, row))
+
+    # -- basic operators (fluent style; the plan nodes in algebra.py
+    # compose these lazily) -----------------------------------------------------
+
+    def rename(self, mapping: dict[str, str],
+               name: str | None = None) -> "ConstraintRelation":
+        columns = [mapping.get(c, c) for c in self._columns]
+        result = ConstraintRelation(name or self._name, columns)
+        result._rows = list(self._rows)
+        return result
+
+    def project(self, columns: Sequence[str],
+                name: str | None = None) -> "ConstraintRelation":
+        indexes = [self.column_index(c) for c in columns]
+        result = ConstraintRelation(name or self._name, columns)
+        result._rows = [tuple(row[i] for i in indexes)
+                        for row in self._rows]
+        return result
+
+    def select(self, predicate: Callable[[dict[str, Oid]], bool],
+               name: str | None = None) -> "ConstraintRelation":
+        result = ConstraintRelation(name or self._name, self._columns)
+        result._rows = [row for row in self._rows
+                        if predicate(self.row_dict(row))]
+        return result
+
+    def distinct(self) -> "ConstraintRelation":
+        seen: set[tuple[Oid, ...]] = set()
+        result = ConstraintRelation(self._name, self._columns)
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                result._rows.append(row)
+        return result
+
+    def union(self, other: "ConstraintRelation") -> "ConstraintRelation":
+        if self._columns != other._columns:
+            raise EvaluationError(
+                f"union of incompatible relations {self._columns} vs "
+                f"{other._columns}")
+        result = ConstraintRelation(self._name, self._columns)
+        result._rows = self._rows + other._rows
+        return result
+
+    def natural_join(self, other: "ConstraintRelation",
+                     name: str | None = None) -> "ConstraintRelation":
+        """Hash join on the shared column names."""
+        shared = [c for c in self._columns if c in other._index]
+        other_only = [c for c in other._columns if c not in self._index]
+        out_columns = list(self._columns) + other_only
+        result = ConstraintRelation(
+            name or f"({self._name}*{other._name})", out_columns)
+
+        if not shared:
+            for left in self._rows:
+                for right in other._rows:
+                    result._rows.append(
+                        left + tuple(right[other.column_index(c)]
+                                     for c in other_only))
+            return result
+
+        table: dict[tuple, list[tuple[Oid, ...]]] = {}
+        shared_other = [other.column_index(c) for c in shared]
+        for right in other._rows:
+            key = tuple(right[i] for i in shared_other)
+            table.setdefault(key, []).append(right)
+        shared_self = [self.column_index(c) for c in shared]
+        other_only_idx = [other.column_index(c) for c in other_only]
+        for left in self._rows:
+            key = tuple(left[i] for i in shared_self)
+            for right in table.get(key, ()):
+                result._rows.append(
+                    left + tuple(right[i] for i in other_only_idx))
+        return result
+
+    # -- display -----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"ConstraintRelation({self._name!r}, "
+                f"{len(self._rows)} rows x {self.arity} cols)")
+
+    def pretty(self, limit: int = 20) -> str:
+        lines = [" | ".join(self._columns)]
+        for row in self._rows[:limit]:
+            lines.append(" | ".join(str(v) for v in row))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)

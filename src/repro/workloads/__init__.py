@@ -1,0 +1,14 @@
+"""Synthetic workload generators for the paper's three application
+realms (office design, submarine MDA, manufacturing LP) plus random
+constraint generators for the engine benchmarks."""
+
+from repro.workloads import (
+    manufacturing,
+    mda,
+    office,
+    random_constraints,
+    temporal,
+)
+
+__all__ = ["manufacturing", "mda", "office", "random_constraints",
+           "temporal"]

@@ -1,0 +1,151 @@
+"""Manufacturing / linear-programming workload (application realm 3).
+
+The paper's chemical-factory example: products are manufactured by
+processes described with linear constraints over raw-material and
+output quantities; LyriC generalizes classical LP by storing the
+constraint systems in the database and posing the objective in the
+query (``MAX/MIN ... SUBJECT TO``).
+
+The generator builds a two-level process hierarchy: each process
+converts raw materials into one product with a linear recipe plus
+capacity constraints; orders request product quantities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.parser import parse_cst
+from repro.model.database import Database
+from repro.model.oid import Oid
+from repro.model.schema import AttributeDef, CSTSpec, Schema
+
+#: Constraint dimensions: raw material quantities r1, r2, r3, product
+#: output quantity out, and cost.
+PROCESS_VARS = ("r1", "r2", "r3", "out", "cost")
+
+
+def build_manufacturing_schema() -> Schema:
+    schema = Schema()
+    schema.ensure_cst_class(len(PROCESS_VARS))
+    schema.define(
+        "Product",
+        attributes=[
+            AttributeDef("product_name", "string"),
+            AttributeDef("unit_price", "real"),
+        ])
+    schema.define(
+        "Process",
+        attributes=[
+            AttributeDef("process_name", "string"),
+            AttributeDef("product", "Product"),
+            AttributeDef("recipe", CSTSpec(PROCESS_VARS)),
+        ])
+    schema.define(
+        "Order",
+        attributes=[
+            AttributeDef("order_id", "string"),
+            AttributeDef("product", "Product"),
+            AttributeDef("quantity", "real"),
+        ])
+    schema.define(
+        "Stock",
+        attributes=[
+            AttributeDef("material_name", "string"),
+            AttributeDef("amount", "real"),
+        ])
+    return schema
+
+
+@dataclass(frozen=True)
+class ManufacturingWorkload:
+    db: Database
+    products: tuple[Oid, ...]
+    processes: tuple[Oid, ...]
+    orders: tuple[Oid, ...]
+
+
+def generate(n_products: int, processes_per_product: int = 2,
+             n_orders: int = 4, seed: int = 0
+             ) -> ManufacturingWorkload:
+    """Products, each with several candidate processes (different
+    recipes/costs), plus orders and raw-material stock."""
+    rng = random.Random(seed)
+    db = Database(build_manufacturing_schema())
+
+    for name, amount in (("alcohol", 500), ("acid", 300),
+                         ("base", 400)):
+        db.add_object(f"stock_{name}", "Stock", {
+            "material_name": name, "amount": amount})
+
+    products: list[Oid] = []
+    processes: list[Oid] = []
+    for i in range(n_products):
+        product = db.add_object(f"product_{i}", "Product", {
+            "product_name": f"compound-{i}",
+            "unit_price": rng.randint(10, 60),
+        })
+        products.append(product.oid)
+        for j in range(processes_per_product):
+            a1 = rng.randint(1, 4)
+            a2 = rng.randint(1, 4)
+            a3 = rng.randint(0, 2)
+            unit_cost = rng.randint(2, 9)
+            capacity = rng.randint(50, 150)
+            # Recipe: materials consumed proportionally to output, cost
+            # linear in output, capacity bounds output.
+            body = (f"r1 = {a1}out and r2 = {a2}out and r3 = {a3}out "
+                    f"and cost = {unit_cost}out "
+                    f"and 0 <= out <= {capacity}")
+            process = db.add_object(f"process_{i}_{j}", "Process", {
+                "process_name": f"process-{i}-{j}",
+                "product": product.oid,
+                "recipe": parse_cst(
+                    f"(({','.join(PROCESS_VARS)}) | {body})"),
+            })
+            processes.append(process.oid)
+
+    orders: list[Oid] = []
+    for k in range(n_orders):
+        product = products[k % len(products)]
+        order = db.add_object(f"order_{k}", "Order", {
+            "order_id": f"ORD-{k:04d}",
+            "product": product,
+            "quantity": rng.randint(10, 60),
+        })
+        orders.append(order.oid)
+
+    db.validate()
+    return ManufacturingWorkload(db, tuple(products), tuple(processes),
+                                 tuple(orders))
+
+
+#: For each order, the connection among required raw materials when
+#: filling it with a candidate process (a constraint-valued answer —
+#: "the answer to this query may also contain constraints").
+MATERIAL_CONNECTION_QUERY = """
+    SELECT O, P, ((r1,r2,r3) | R(r1,r2,r3,out,cost) and out = O.quantity)
+    FROM Order O, Process P
+    WHERE O.product[PR] and P.product[PR] and P.recipe[R]
+"""
+
+#: Cheapest way to fill each order: MIN cost over each candidate
+#: process, reported per (order, process).
+CHEAPEST_FILL_QUERY = """
+    SELECT O, P,
+           MIN(cost SUBJECT TO
+               ((r1,r2,r3,out,cost) | R and out = O.quantity))
+    FROM Order O, Process P
+    WHERE O.product[PR] and P.product[PR] and P.recipe[R]
+      and SAT(R(r1,r2,r3,out,cost) and out = O.quantity)
+"""
+
+#: Maximum producible quantity of each product per process given the
+#: alcohol stock (r1 bounded by a subquery-free stored constant).
+MAX_OUTPUT_QUERY = """
+    SELECT P, MAX(out SUBJECT TO
+                  ((r1,r2,r3,out,cost) | R and r1 <= 500))
+    FROM Process P
+    WHERE P.recipe[R]
+"""

@@ -1,0 +1,137 @@
+"""Submarine Maneuver Decision Aid workload (application realm 2).
+
+The paper motivates LyriC with the Naval Undersea Warfare Center's MDA
+[BVCS93]: maneuvers are points in the 4-dimensional space (course,
+speed, depth, time); goals such as "maintain depth at 200ft" or
+"minimize speed" are constraints over that space.  The real data is not
+public, so this generator synthesizes goal sets and maneuver envelopes
+with the same structure: conjunctive constraints over the four
+dimensions, some mutually compatible and some contradicting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.parser import parse_cst
+from repro.model.database import Database
+from repro.model.oid import Oid
+from repro.model.schema import AttributeDef, CSTSpec, Schema
+
+#: The four MDA dimensions: course (degrees), speed (knots), depth
+#: (feet), time (minutes).
+DIMENSIONS = ("c", "s", "d", "t")
+
+
+def build_mda_schema() -> Schema:
+    schema = Schema()
+    schema.ensure_cst_class(4)
+    schema.define(
+        "Goal",
+        attributes=[
+            AttributeDef("goal_name", "string"),
+            AttributeDef("priority", "real"),
+            AttributeDef("region", CSTSpec(DIMENSIONS)),
+        ])
+    schema.define(
+        "Maneuver",
+        attributes=[
+            AttributeDef("maneuver_name", "string"),
+            AttributeDef("envelope", CSTSpec(DIMENSIONS)),
+        ])
+    return schema
+
+
+@dataclass(frozen=True)
+class MdaWorkload:
+    db: Database
+    goals: tuple[Oid, ...]
+    maneuvers: tuple[Oid, ...]
+
+
+def generate(n_goals: int, n_maneuvers: int, seed: int = 0
+             ) -> MdaWorkload:
+    """Random goals (boxes/half-spaces in 4-D) and maneuver envelopes.
+
+    Roughly half of the goals constrain a single dimension ("maintain
+    depth at 200ft" becomes a tight depth band); the rest couple speed
+    and depth or course and time, which is what makes the constraint
+    view more natural than fixed spatial operators.
+    """
+    rng = random.Random(seed)
+    db = Database(build_mda_schema())
+
+    goals: list[Oid] = []
+    for i in range(n_goals):
+        kind = rng.choice(["band", "cap", "couple"])
+        if kind == "band":
+            dim = rng.choice(DIMENSIONS)
+            center = rng.randint(50, 350)
+            width = rng.randint(5, 40)
+            body = (f"{center - width} <= {dim} <= {center + width}")
+        elif kind == "cap":
+            dim = rng.choice(DIMENSIONS)
+            body = f"{dim} <= {rng.randint(100, 400)}"
+        else:
+            a, b = rng.sample(DIMENSIONS, 2)
+            body = (f"{a} + {rng.randint(1, 3)}{b} "
+                    f"<= {rng.randint(300, 900)}")
+        region = parse_cst(
+            f"(({','.join(DIMENSIONS)}) | {body} "
+            f"and 0 <= c <= 360 and 0 <= s <= 40 "
+            f"and 0 <= d <= 1000 and 0 <= t <= 240)")
+        goal = db.add_object(f"goal_{i}", "Goal", {
+            "goal_name": f"goal-{kind}-{i}",
+            "priority": rng.randint(1, 10),
+            "region": region,
+        })
+        goals.append(goal.oid)
+
+    maneuvers: list[Oid] = []
+    for i in range(n_maneuvers):
+        c0 = rng.randint(0, 300)
+        s0 = rng.randint(0, 30)
+        d0 = rng.randint(0, 800)
+        t0 = rng.randint(0, 200)
+        envelope = parse_cst(
+            f"((c,s,d,t) | {c0} <= c <= {c0 + 60} "
+            f"and {s0} <= s <= {s0 + 10} "
+            f"and {d0} <= d <= {d0 + 200} "
+            f"and {t0} <= t <= {t0 + 40})")
+        maneuver = db.add_object(f"maneuver_{i}", "Maneuver", {
+            "maneuver_name": f"maneuver-{i}",
+            "envelope": envelope,
+        })
+        maneuvers.append(maneuver.oid)
+
+    db.validate()
+    return MdaWorkload(db, tuple(goals), tuple(maneuvers))
+
+
+#: Maneuvers compatible with a given goal (SAT join).
+COMPATIBLE_QUERY = """
+    SELECT M, G
+    FROM Maneuver M, Goal G
+    WHERE M.envelope[E] and G.region[R]
+      and SAT(E(c,s,d,t) and R(c,s,d,t))
+"""
+
+#: Maneuvers wholly inside a goal region (entailment join).
+WITHIN_QUERY = """
+    SELECT M, G
+    FROM Maneuver M, Goal G
+    WHERE M.envelope[E] and G.region[R]
+      and (E(c,s,d,t) |= R(c,s,d,t))
+"""
+
+#: The feasible region of a maneuver under a goal, plus the slowest
+#: speed achievable in it.
+BEST_SPEED_QUERY = """
+    SELECT M, G,
+           ((c,s,d,t) | E(c,s,d,t) and R(c,s,d,t)),
+           MIN(s SUBJECT TO ((c,s,d,t) | E(c,s,d,t) and R(c,s,d,t)))
+    FROM Maneuver M, Goal G
+    WHERE M.envelope[E] and G.region[R]
+      and SAT(E(c,s,d,t) and R(c,s,d,t))
+"""

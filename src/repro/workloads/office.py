@@ -1,0 +1,120 @@
+"""Scalable office-design workload (application realm 1 of the paper).
+
+Generates databases with the Figure 1 schema and ``n`` placed objects
+(alternating desks and file cabinets on a grid inside a parametric
+room), plus the standard query set used by the E7/E8/E13 benchmarks.
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.parser import parse_cst
+from repro.model.database import Database
+from repro.model.office import build_office_schema
+from repro.model.oid import Oid
+
+
+@dataclass(frozen=True)
+class OfficeWorkload:
+    db: Database
+    room_width: int
+    room_height: int
+    placed: tuple[Oid, ...]
+
+
+def generate(n_objects: int, seed: int = 0,
+             room_width: int = 200, room_height: int = 100
+             ) -> OfficeWorkload:
+    """A room with ``n_objects`` placed catalog objects.
+
+    Objects are placed on a jittered grid so that sizes and positions
+    differ but never leave the room; desks get a drawer, cabinets get
+    two drawer positions.
+    """
+    rng = random.Random(seed)
+    db = Database(build_office_schema())
+    placed: list[Oid] = []
+    columns = max(1, int(n_objects ** 0.5))
+
+    for i in range(n_objects):
+        is_desk = i % 2 == 0
+        half_w = rng.randint(2, 4)
+        half_h = rng.randint(1, 2)
+        col, row = i % columns, i // columns
+        cx = 10 + col * 12 + rng.randint(-2, 2)
+        cy = 8 + row * 10 + rng.randint(-2, 2)
+
+        drawer = db.add_object(f"drawer_{i}", "Drawer", {
+            "color": rng.choice(["red", "grey", "blue"]),
+            "extent": parse_cst(
+                "((w,z) | -1 <= w <= 1 and -1 <= z <= 1)"),
+            "translation": parse_cst(
+                "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+        })
+        values = {
+            "cat_number": f"CAT-{i:04d}",
+            "name": f"{'desk' if is_desk else 'cabinet'} model {i}",
+            "color": rng.choice(["red", "grey", "blue", "white"]),
+            "extent": parse_cst(
+                f"((w,z) | -{half_w} <= w <= {half_w} "
+                f"and -{half_h} <= z <= {half_h})"),
+            "translation": parse_cst(
+                "((w,z,x,y,u,v) | u = x + w and v = y + z)"),
+            "drawer": drawer.oid,
+        }
+        if is_desk:
+            offset = rng.randint(1, 3)
+            values["drawer_center"] = parse_cst(
+                f"((p,q) | p = -{offset} and -2 <= q <= 0)")
+            catalog = db.add_object(f"desk_{i}", "Desk", values)
+        else:
+            values["drawer_center"] = [
+                parse_cst("((p1,q1) | p1 = 0 and 0 <= q1 <= 1)"),
+                parse_cst("((p1,q1) | p1 = 0 and -2 <= q1 <= -1)"),
+            ]
+            catalog = db.add_object(f"cabinet_{i}", "File_Cabinet",
+                                    values)
+
+        db.add_object(f"obj_{i}", "Object_in_Room", {
+            "inv_number": f"INV-{i:05d}",
+            "location": parse_cst(f"((x,y) | x = {cx} and y = {cy})"),
+            "catalog_object": catalog.oid,
+        })
+        placed.append(catalog.oid)
+    return OfficeWorkload(db, room_width, room_height, tuple(placed))
+
+
+#: The fixed query of experiment E7 (PTIME data complexity): each
+#: placed object's extent in room coordinates, with a satisfiability
+#: filter — one CST projection and one SAT check per binding.
+PLACED_EXTENT_QUERY = """
+    SELECT O, ((u,v) | E and D and L(x,y))
+    FROM Object_in_Room O, Office_Object CO
+    WHERE O.catalog_object[CO] and O.location[L]
+      and CO.extent[E] and CO.translation[D]
+"""
+
+#: The E13 office query: red desks whose drawer line sits left of the
+#: desk center (a WHERE-side entailment per desk).
+RED_LEFT_DRAWER_QUERY = """
+    SELECT DSK FROM Desk DSK
+    WHERE DSK.color = 'red' and DSK.drawer_center[C]
+      and (C(p,q) |= p <= 0)
+"""
+
+#: Pairwise overlap test among placed objects (quadratic join with a
+#: SAT predicate); kept to small n in benchmarks.
+OVERLAP_QUERY = """
+    SELECT OX, OY
+    FROM Object_in_Room OX, Object_in_Room OY
+    WHERE OX.catalog_object[X] and OY.catalog_object[Y]
+      and OX.location[LX] and OY.location[LY]
+      and X.extent[U] and X.translation[DX]
+      and Y.extent[V] and Y.translation[DY]
+      and not OX.inv_number = OY.inv_number
+      and SAT(U(w,z) and DX(w,z,x,y,u,v) and LX(x,y)
+              and V(w2,z2) and DY(w2,z2,x2,y2,u,v) and LY(x2,y2))
+"""

@@ -1,0 +1,135 @@
+"""Temporal workload: scheduling over time intervals as CST objects.
+
+The paper folds temporal data into the same framework ("we will not
+distinguish between constraint and spatio-temporal information") and
+cites the linear-repeating-points line of work on infinite temporal
+data.  This workload exercises the temporal reading of CST objects:
+bookings are 1-D constraint objects over time (minutes of a day),
+recurring availability is a small disjunction of windows, and the
+scheduling questions are the standard constraint predicates —
+conflicts are SAT joins, fitting inside working hours is ``|=``, and
+the earliest feasible start is a MIN.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.parser import parse_cst
+from repro.model.database import Database
+from repro.model.oid import Oid
+from repro.model.schema import AttributeDef, CSTSpec, Schema
+
+#: Working hours of the generator, minutes from midnight.
+DAY_START = 8 * 60
+DAY_END = 18 * 60
+
+
+def build_temporal_schema() -> Schema:
+    schema = Schema()
+    schema.ensure_cst_class(1)
+    schema.define(
+        "Room_",
+        attributes=[
+            AttributeDef("room_name", "string"),
+            AttributeDef("open_hours", CSTSpec(["t"])),
+        ])
+    schema.define(
+        "Booking",
+        attributes=[
+            AttributeDef("booking_name", "string"),
+            AttributeDef("room", "Room_"),
+            AttributeDef("slot", CSTSpec(["t"])),
+        ])
+    schema.define(
+        "Availability",
+        attributes=[
+            AttributeDef("person", "string"),
+            AttributeDef("windows", CSTSpec(["t"])),
+        ])
+    return schema
+
+
+@dataclass(frozen=True)
+class TemporalWorkload:
+    db: Database
+    rooms: tuple[Oid, ...]
+    bookings: tuple[Oid, ...]
+    people: tuple[Oid, ...]
+
+
+def generate(n_rooms: int, n_bookings: int, n_people: int,
+             seed: int = 0) -> TemporalWorkload:
+    rng = random.Random(seed)
+    db = Database(build_temporal_schema())
+
+    rooms: list[Oid] = []
+    for i in range(n_rooms):
+        open_from = DAY_START + rng.choice([0, 30, 60])
+        open_to = DAY_END - rng.choice([0, 30, 60])
+        room = db.add_object(f"room_{i}", "Room_", {
+            "room_name": f"room-{i}",
+            "open_hours": parse_cst(
+                f"((t) | {open_from} <= t <= {open_to})"),
+        })
+        rooms.append(room.oid)
+
+    bookings: list[Oid] = []
+    for i in range(n_bookings):
+        start = rng.randrange(DAY_START, DAY_END - 60, 15)
+        length = rng.choice([30, 45, 60, 90])
+        booking = db.add_object(f"booking_{i}", "Booking", {
+            "booking_name": f"booking-{i}",
+            "room": rooms[i % len(rooms)],
+            "slot": parse_cst(f"((t) | {start} <= t <= {start + length})"),
+        })
+        bookings.append(booking.oid)
+
+    people: list[Oid] = []
+    for i in range(n_people):
+        # Two availability windows: morning and afternoon.
+        m_from = DAY_START + rng.randrange(0, 60, 15)
+        m_to = m_from + rng.choice([90, 120, 180])
+        a_from = 13 * 60 + rng.randrange(0, 60, 15)
+        a_to = a_from + rng.choice([120, 180, 240])
+        person = db.add_object(f"person_{i}", "Availability", {
+            "person": f"person-{i}",
+            "windows": parse_cst(
+                f"((t) | ({m_from} <= t <= {m_to}) "
+                f"or ({a_from} <= t <= {a_to}))"),
+        })
+        people.append(person.oid)
+
+    db.validate()
+    return TemporalWorkload(db, tuple(rooms), tuple(bookings),
+                            tuple(people))
+
+
+#: Conflicting booking pairs in the same room (temporal SAT join).
+CONFLICT_QUERY = """
+    SELECT A, B
+    FROM Booking A, Booking B
+    WHERE A.room[R] and B.room[R]
+      and not A.booking_name = B.booking_name
+      and A.slot[SA] and B.slot[SB]
+      and SAT(SA(t) and SB(t))
+"""
+
+#: Bookings that fit wholly inside their room's open hours (|=).
+WITHIN_HOURS_QUERY = """
+    SELECT B FROM Booking B
+    WHERE B.room[R] and B.slot[S] and R.open_hours[H]
+      and (S(t) |= H(t))
+"""
+
+#: For each person/room pair, the feasible meeting times and the
+#: earliest one.
+EARLIEST_MEETING_QUERY = """
+    SELECT P, R,
+           ((t) | W(t) and H(t)),
+           MIN(t SUBJECT TO ((t) | W2(t) and H(t)))
+    FROM Availability P, Room_ R
+    WHERE P.windows[W] and R.open_hours[H] and P.windows[W2]
+      and SAT(W(t) and H(t))
+"""

@@ -1,0 +1,160 @@
+"""Tests for Allen's interval relations over 1-D CST objects."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.allen import (
+    AllenRelation,
+    holds,
+    interval_of,
+    normalize_intervals,
+    relation,
+)
+from repro.constraints.atoms import Ge, Le
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.parser import parse_cst
+from repro.constraints.terms import variables
+from repro.errors import ConstraintError, DimensionError
+
+t, = variables("t")
+
+
+def interval(lo, hi) -> CSTObject:
+    return CSTObject.from_atoms([t], [Ge(t, lo), Le(t, hi)])
+
+
+class TestIntervalOf:
+    def test_basic(self):
+        assert interval_of(interval(1, 4)) == (1, 4)
+
+    def test_point_interval(self):
+        assert interval_of(interval(2, 2)) == (2, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintError):
+            interval_of(interval(3, 1))
+
+    def test_unbounded_rejected(self):
+        unbounded = CSTObject.from_atoms([t], [Ge(t, 0)])
+        with pytest.raises(ConstraintError):
+            interval_of(unbounded)
+
+    def test_dimension_checked(self):
+        u, v = variables("u v")
+        square = CSTObject.from_atoms([u, v], [Ge(u, 0), Le(v, 1)])
+        with pytest.raises(DimensionError):
+            interval_of(square)
+
+    def test_gapped_union_rejected(self):
+        gapped = parse_cst("((t) | 0 <= t <= 1 or 3 <= t <= 4)")
+        with pytest.raises(ConstraintError):
+            interval_of(gapped)
+
+
+class TestNormalize:
+    def test_merges_overlapping(self):
+        union = parse_cst("((t) | 0 <= t <= 2 or 1 <= t <= 5)")
+        assert normalize_intervals(union) == [(0, 5)]
+
+    def test_merges_touching(self):
+        union = parse_cst("((t) | 0 <= t <= 2 or 2 <= t <= 4)")
+        assert normalize_intervals(union) == [(0, 4)]
+
+    def test_keeps_gaps(self):
+        union = parse_cst("((t) | 0 <= t <= 1 or 3 <= t <= 4)")
+        assert normalize_intervals(union) == [(0, 1), (3, 4)]
+
+    def test_sorted_output(self):
+        union = parse_cst("((t) | 5 <= t <= 6 or 0 <= t <= 1)")
+        assert normalize_intervals(union) == [(0, 1), (5, 6)]
+
+    def test_drops_empty_disjuncts(self):
+        union = parse_cst(
+            "((t) | (0 <= t <= 1) or (t <= 2 and t >= 3))")
+        assert normalize_intervals(union) == [(0, 1)]
+
+
+class TestRelations:
+    CASES = [
+        ((0, 1), (2, 3), AllenRelation.BEFORE),
+        ((2, 3), (0, 1), AllenRelation.AFTER),
+        ((0, 2), (2, 4), AllenRelation.MEETS),
+        ((2, 4), (0, 2), AllenRelation.MET_BY),
+        ((0, 3), (2, 5), AllenRelation.OVERLAPS),
+        ((2, 5), (0, 3), AllenRelation.OVERLAPPED_BY),
+        ((0, 2), (0, 5), AllenRelation.STARTS),
+        ((0, 5), (0, 2), AllenRelation.STARTED_BY),
+        ((2, 3), (0, 5), AllenRelation.DURING),
+        ((0, 5), (2, 3), AllenRelation.CONTAINS),
+        ((3, 5), (0, 5), AllenRelation.FINISHES),
+        ((0, 5), (3, 5), AllenRelation.FINISHED_BY),
+        ((1, 4), (1, 4), AllenRelation.EQUAL),
+    ]
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_all_thirteen(self, a, b, expected):
+        assert relation(interval(*a), interval(*b)) is expected
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_inverse_symmetry(self, a, b, expected):
+        assert relation(interval(*b), interval(*a)) \
+            is expected.inverse
+
+    def test_holds(self):
+        assert holds(interval(0, 1), interval(2, 3),
+                     AllenRelation.BEFORE)
+        assert not holds(interval(0, 1), interval(2, 3),
+                         AllenRelation.MEETS)
+
+    def test_inverse_is_involution(self):
+        for rel in AllenRelation:
+            assert rel.inverse.inverse is rel
+
+
+class TestAlgebraProperties:
+    bounds = st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=10))
+
+    @given(bounds, bounds)
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_relation(self, a, b):
+        """The thirteen relations partition all interval pairs: exactly
+        one holds."""
+        ia = interval(a[0], a[0] + a[1])
+        ib = interval(b[0], b[0] + b[1])
+        matching = [rel for rel in AllenRelation if holds(ia, ib, rel)]
+        assert len(matching) == 1
+
+    @given(bounds, bounds)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_law(self, a, b):
+        ia = interval(a[0], a[0] + a[1])
+        ib = interval(b[0], b[0] + b[1])
+        assert relation(ia, ib).inverse is relation(ib, ia)
+
+    @given(bounds, bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_consistency_with_overlap(self, a, b):
+        """Allen 'disjoint' relations agree with the constraint-level
+        overlap test (closed intervals: meets touch counts as
+        overlap)."""
+        ia = interval(a[0], a[0] + a[1])
+        ib = interval(b[0], b[0] + b[1])
+        rel = relation(ia, ib)
+        disjoint = rel in (AllenRelation.BEFORE, AllenRelation.AFTER)
+        assert ia.overlaps(ib) == (not disjoint)
+
+
+class TestSchedulingIntegration:
+    def test_booking_relations(self):
+        from repro.workloads import temporal
+        workload = temporal.generate(1, 4, 1, seed=3)
+        db = workload.db
+        slots = [db.cst_value(b, "slot") for b in workload.bookings]
+        # All pairwise relations are classifiable.
+        for i, a in enumerate(slots):
+            for b in slots[i + 1:]:
+                assert relation(a, b) in AllenRelation

@@ -1,0 +1,171 @@
+"""Unit tests for linear constraint atoms and their normal form."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import (
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    LinearConstraint,
+    Lt,
+    Ne,
+    Relop,
+)
+from repro.constraints.terms import variables
+from repro.errors import ConstraintError
+
+x, y = variables("x y")
+
+
+class TestNormalization:
+    def test_ge_flips_to_le(self):
+        atom = Ge(x, 3)
+        assert atom.relop is Relop.LE
+        assert atom.expression.coefficient(x) == -1
+        assert atom.bound == -3
+
+    def test_gt_flips_to_lt(self):
+        atom = Gt(x, 3)
+        assert atom.relop is Relop.LT
+
+    def test_constant_moved_to_bound(self):
+        atom = Le(x + 5, 7)
+        assert atom.bound == 2
+        assert atom.expression.constant_term == 0
+
+    def test_coefficients_scaled_to_coprime_integers(self):
+        assert Le(2 * x + 4 * y, 6) == Le(x + 2 * y, 3)
+
+    def test_fractional_coefficients_cleared(self):
+        atom = Le(x / 2 + y / 3, 1)
+        assert atom == Le(3 * x + 2 * y, 6)
+
+    def test_equality_sign_canonical(self):
+        assert Eq(-x + y, 1) == Eq(x - y, -1)
+
+    def test_disequality_sign_canonical(self):
+        assert Ne(-2 * x, 4) == Ne(x, -2)
+
+    def test_inequality_sign_not_flipped(self):
+        # -x <= 1 and x <= -1 are different constraints.
+        assert Le(-x, 1) != Le(x, -1)
+
+
+class TestOperatorOverloads:
+    def test_le_operator(self):
+        assert (x <= 5) == Le(x, 5)
+
+    def test_chained_via_expression(self):
+        assert (2 * x + 3 * y <= 5).relop is Relop.LE
+
+    def test_eq_via_expression(self):
+        atom = +x == 5
+        assert atom.relop is Relop.EQ
+
+    def test_eq_between_variables_via_helper(self):
+        atom = Eq(x, y)
+        assert atom.relop is Relop.EQ
+        assert atom.expression.coefficient(x) == 1
+        assert atom.expression.coefficient(y) == -1
+
+
+class TestPredicates:
+    def test_holds_at(self):
+        atom = Le(2 * x + y, 5)
+        assert atom.holds_at({x: 1, y: 3})
+        assert not atom.holds_at({x: 2, y: 3})
+
+    def test_strict_holds_at(self):
+        atom = Lt(x, 1)
+        assert atom.holds_at({x: Fraction(99, 100)})
+        assert not atom.holds_at({x: 1})
+
+    def test_disequality_holds_at(self):
+        atom = Ne(x, 1)
+        assert atom.holds_at({x: 0})
+        assert not atom.holds_at({x: 1})
+
+    def test_trivial_truth(self):
+        atom = Le(x - x, 1)
+        assert atom.is_trivial
+        assert atom.trivial_truth()
+
+    def test_trivial_false(self):
+        atom = Le(x - x, -1)
+        assert not atom.trivial_truth()
+
+    def test_trivial_truth_raises_on_nontrivial(self):
+        with pytest.raises(ConstraintError):
+            Le(x, 1).trivial_truth()
+
+    def test_bool_raises_on_nontrivial(self):
+        with pytest.raises(TypeError):
+            bool(Le(x, 1))
+
+    def test_bool_on_trivial(self):
+        assert bool(Le(x - x, 1))
+
+
+class TestLogicalOps:
+    def test_negate_le(self):
+        negated = Le(x, 3).negate()
+        assert negated.relop is Relop.LT
+        # not(x <= 3)  ==  x > 3  ==  -x < -3
+        assert negated.holds_at({x: 4})
+        assert not negated.holds_at({x: 3})
+
+    def test_negate_eq_gives_ne(self):
+        assert Eq(x, 3).negate().relop is Relop.NE
+
+    def test_negate_ne_gives_eq(self):
+        assert Ne(x, 3).negate().relop is Relop.EQ
+
+    def test_double_negation_roundtrip(self):
+        atom = Lt(2 * x - y, 7)
+        assert atom.negate().negate() == atom
+
+    def test_split_disequality(self):
+        below, above = Ne(x, 2).split_disequality()
+        assert below.holds_at({x: 1})
+        assert above.holds_at({x: 3})
+        assert not below.holds_at({x: 2})
+        assert not above.holds_at({x: 2})
+
+    def test_split_requires_disequality(self):
+        with pytest.raises(ConstraintError):
+            Le(x, 2).split_disequality()
+
+    def test_weakened(self):
+        assert Lt(x, 2).weakened().relop is Relop.LE
+        assert Le(x, 2).weakened().relop is Relop.LE
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        atom = Le(x + y, 3).substitute({x: 2 * y})
+        assert atom == Le(3 * y, 3)
+
+    def test_rename(self):
+        atom = Le(x + y, 3).rename({x: y})
+        assert atom == Le(2 * y, 3)
+
+    def test_substitution_to_trivial(self):
+        atom = Le(x, 3).substitute({x: 1})
+        assert atom.is_trivial
+        assert atom.trivial_truth()
+
+
+class TestIdentity:
+    def test_hash_equal_for_equal_atoms(self):
+        assert hash(Le(2 * x, 4)) == hash(Le(x, 2))
+
+    def test_sort_key_deterministic(self):
+        atoms = sorted([Le(y, 1), Le(x, 1), Eq(x, 0)],
+                       key=LinearConstraint.sort_key)
+        assert atoms == sorted(atoms, key=LinearConstraint.sort_key)
+
+    def test_str_renders_relop(self):
+        assert "<=" in str(Le(x, 2))

@@ -1,0 +1,178 @@
+"""Unit tests for CST objects (constraints as first-class objects)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import Eq, Ge, Le
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import ExistentialConjunctiveConstraint
+from repro.constraints.families import Family
+from repro.constraints.terms import variables
+from repro.errors import DimensionError
+
+w, z, x, y, u, v = variables("w z x y u v")
+
+
+def desk_extent() -> CSTObject:
+    """The paper's standard desk extent: -4<=w<=4, -2<=z<=2."""
+    return CSTObject.from_atoms(
+        [w, z], [Ge(w, -4), Le(w, 4), Ge(z, -2), Le(z, 2)])
+
+
+class TestConstruction:
+    def test_dimension(self):
+        assert desk_extent().dimension == 2
+
+    def test_schema_names(self):
+        assert [v_.name for v_ in desk_extent().schema] == ["w", "z"]
+
+    def test_extra_variables_rejected(self):
+        with pytest.raises(DimensionError):
+            CSTObject([w], ConjunctiveConstraint.of(Le(w + z, 1)))
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(DimensionError):
+            CSTObject([w, w], ConjunctiveConstraint.true())
+
+    def test_atom_coerced(self):
+        obj = CSTObject([w], Le(w, 1))
+        assert obj.family is Family.CONJUNCTIVE
+
+    def test_everything_and_empty(self):
+        assert CSTObject.everything([w, z]).is_satisfiable()
+        assert not CSTObject.empty([w, z]).is_satisfiable()
+
+
+class TestPoints:
+    def test_contains_point(self):
+        ext = desk_extent()
+        assert ext.contains_point(0, 0)
+        assert ext.contains_point(-4, 2)
+        assert not ext.contains_point(5, 0)
+
+    def test_contains_point_tuple_form(self):
+        assert desk_extent().contains_point((1, 1))
+
+    def test_wrong_arity(self):
+        with pytest.raises(DimensionError):
+            desk_extent().contains_point(1)
+
+    def test_sample_point(self):
+        point = desk_extent().sample_point()
+        assert desk_extent().contains_point(*point)
+
+    def test_empty_sample(self):
+        assert CSTObject.empty([w]).sample_point() is None
+
+
+class TestIdentity:
+    def test_alpha_invariant_oid(self):
+        a = CSTObject.from_atoms([w, z], [Le(w + z, 1)])
+        b = CSTObject.from_atoms([x, y], [Le(x + y, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_canonical_form_identity(self):
+        a = CSTObject.from_atoms([w], [Le(w, 1), Le(w, 9)])
+        b = CSTObject.from_atoms([w], [Le(2 * w, 2)])
+        assert a == b
+
+    def test_different_sets_differ(self):
+        a = CSTObject.from_atoms([w], [Le(w, 1)])
+        b = CSTObject.from_atoms([w], [Le(w, 2)])
+        assert a != b
+
+    def test_oid_text_mentions_schema(self):
+        assert "(w,z)" in desk_extent().oid_text().replace(" ", "")
+
+
+class TestOperations:
+    def test_rename_positional(self):
+        renamed = desk_extent().rename([u, v])
+        assert renamed.contains_point(4, 2)
+        assert renamed.schema == (u, v)
+        assert renamed == desk_extent()  # same point set, same oid
+
+    def test_rename_arity_check(self):
+        with pytest.raises(DimensionError):
+            desk_extent().rename([u])
+
+    def test_intersect_shared_names(self):
+        a = CSTObject.from_atoms([w, z], [Le(w, 1)])
+        b = CSTObject.from_atoms([w, z], [Ge(w, 0)])
+        both = a.intersect(b)
+        assert both.contains_point(0, 0)
+        assert not both.contains_point(2, 0)
+
+    def test_intersect_merges_schemas(self):
+        a = CSTObject.from_atoms([w, z], [Le(w, 1)])
+        b = CSTObject.from_atoms([z, x], [Ge(x, 0)])
+        both = a & b
+        assert [s.name for s in both.schema] == ["w", "z", "x"]
+
+    def test_union(self):
+        a = CSTObject.from_atoms([w], [Le(w, 0)])
+        b = CSTObject.from_atoms([w], [Ge(w, 1)])
+        either = a | b
+        assert either.contains_point(-1)
+        assert either.contains_point(2)
+        assert not either.contains_point(Fraction(1, 2))
+
+    def test_conjoin_atoms_extends_schema(self):
+        obj = desk_extent().conjoin_atoms([Eq(u, w + 6)])
+        assert u in obj.schema
+
+    def test_project_paper_example(self):
+        """Figure 2 worked example: extent + translation at (6,4)
+        projected on (u,v) equals the 2<=u<=10, 2<=v<=6 box."""
+        combined = desk_extent().conjoin_atoms([
+            Eq(u, x + w), Eq(v, y + z), Eq(x, 6), Eq(y, 4)])
+        room = combined.project([u, v])
+        expected = CSTObject.from_atoms(
+            [u, v], [Ge(u, 2), Le(u, 10), Ge(v, 2), Le(v, 6)])
+        assert room == expected
+
+    def test_entails(self):
+        small = CSTObject.from_atoms([w], [Ge(w, 0), Le(w, 1)])
+        big = CSTObject.from_atoms([w], [Ge(w, -1), Le(w, 2)])
+        assert small.entails(big)
+        assert not big.entails(small)
+
+    def test_overlaps(self):
+        a = CSTObject.from_atoms([w], [Ge(w, 0), Le(w, 2)])
+        b = CSTObject.from_atoms([w], [Ge(w, 1), Le(w, 3)])
+        c = CSTObject.from_atoms([w], [Ge(w, 5)])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_bounding_box(self):
+        assert desk_extent().bounding_box() == [(-4, 4), (-2, 2)]
+
+    def test_bounding_box_union(self):
+        a = ConjunctiveConstraint.of(Ge(w, 0), Le(w, 1))
+        b = ConjunctiveConstraint.of(Ge(w, 5), Le(w, 6))
+        obj = CSTObject([w], DisjunctiveConstraint([a, b]))
+        assert obj.bounding_box() == [(0, 6)]
+
+    def test_bounding_box_unbounded(self):
+        obj = CSTObject.from_atoms([w], [Ge(w, 0)])
+        assert obj.bounding_box() == [(0, None)]
+
+
+class TestFamilies:
+    def test_existential_family(self):
+        ex = ExistentialConjunctiveConstraint(
+            ConjunctiveConstraint.of(Ge(x, 0), Le(w - x, 0)), [x])
+        obj = CSTObject([w], ex)
+        assert obj.family in (Family.EXISTENTIAL_CONJUNCTIVE,
+                              Family.CONJUNCTIVE)
+
+    def test_disjunctive_family(self):
+        d = DisjunctiveConstraint([
+            ConjunctiveConstraint.of(Le(w, 0)),
+            ConjunctiveConstraint.of(Ge(w, 1)),
+        ])
+        assert CSTObject([w], d).family is Family.DISJUNCTIVE

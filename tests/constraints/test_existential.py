@@ -1,0 +1,258 @@
+"""Unit tests for existential conjunctive and disjunctive existential
+constraints."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import Eq, Ge, Le, Lt, Ne
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.existential import (
+    DisjunctiveExistentialConstraint,
+    ExistentialConjunctiveConstraint,
+)
+from repro.constraints.terms import Variable, variables
+from repro.errors import ConstraintFamilyError
+
+x, y, z, w = variables("x y z w")
+
+
+def conj(*atoms):
+    return ConjunctiveConstraint.of(*atoms)
+
+
+class TestConstruction:
+    def test_quantified_restricted_to_occurring(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x, 1)), [y])
+        assert ex.quantified == frozenset()
+
+    def test_free_variables(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Le(x + y, 1)), [y])
+        assert ex.free_variables == {x}
+
+    def test_variables_alias(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x + y, 1)), [y])
+        assert ex.variables == {x}
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ExistentialConjunctiveConstraint("nope")
+
+
+class TestFreshen:
+    def test_no_clash_returns_self(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x + y, 1)), [y])
+        assert ex.freshen(frozenset({z})) is ex
+
+    def test_clash_renamed(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x + y, 1)), [y])
+        fresh = ex.freshen(frozenset({y}))
+        assert y not in fresh.quantified
+        assert fresh.free_variables == {x}
+        # Semantics unchanged: x <= 1 - q for some q; both satisfiable
+        # with x arbitrary.
+        assert fresh.is_satisfiable()
+
+
+class TestConjoin:
+    def test_capture_avoidance(self):
+        # (exists y. x = y and y <= 0) and (y >= 5) must keep the free
+        # y of the right side distinct from the quantified y.
+        left = ExistentialConjunctiveConstraint(
+            conj(Eq(x, y), Le(y, 0)), [y])
+        right = conj(Ge(y, 5))
+        combined = left.conjoin(right)
+        assert y in combined.free_variables
+        assert combined.is_satisfiable()
+        # x must still be forced <= 0:
+        assert not combined.conjoin(conj(Ge(x, 1))).is_satisfiable()
+
+    def test_conjoin_atom(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x + y, 1)), [y])
+        combined = ex.conjoin(Ge(x, 0))
+        assert combined.free_variables == {x}
+
+
+class TestProjection:
+    def test_project_keeps_symbolic(self):
+        # Projection does not force elimination when elimination would
+        # grow the system; but simple cases are simplified away.
+        ex = ExistentialConjunctiveConstraint.of_conjunctive(
+            conj(Eq(y, x + 1), Le(y, 3)))
+        projected = ex.project([x])
+        assert projected.free_variables == {x}
+        # equality made the elimination simplifying:
+        assert projected.is_quantifier_free()
+        assert projected.body.holds_at({x: 2})
+        assert not projected.body.holds_at({x: 3})
+
+    def test_project_adds_new_free_variables(self):
+        ex = ExistentialConjunctiveConstraint.of_conjunctive(conj(Le(x, 1)))
+        projected = ex.project([x, w])
+        assert projected.free_variables == {x}
+
+    def test_eliminate_all(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 1), Eq(x, 2 * y)), [y])
+        flat = ex.eliminate_all()
+        assert flat.holds_at({x: 2})
+        assert not flat.holds_at({x: 3})
+
+    def test_eliminate_all_with_disequality_raises(self):
+        # No equality on y: Fourier-Motzkin would have to eliminate a
+        # variable occurring in a disequality, which leaves the family.
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y - x, 0), Ne(y, x)), [y])
+        with pytest.raises(ConstraintFamilyError):
+            ex.eliminate_all()
+
+    def test_eliminate_all_disequality_removed_by_equality(self):
+        # An equality witness substitutes the disequality away instead.
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 1), Ne(y, 0), Eq(x, y)), [y])
+        flat = ex.eliminate_all()
+        assert flat.holds_at({x: 1})
+        assert not flat.holds_at({x: 0})
+
+    def test_to_disjunctive_splits_disequality(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 2), Ne(y, 1), Eq(x, y)), [y])
+        d = ex.to_disjunctive()
+        assert d.holds_at({x: 0})
+        assert not d.holds_at({x: 1})
+
+
+class TestSemantics:
+    def test_holds_at_free_point(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 1), Eq(x, y + 1)), [y])
+        assert ex.holds_at({x: Fraction(3, 2)})
+        assert not ex.holds_at({x: 3})
+
+    def test_holds_at_missing_binding(self):
+        ex = ExistentialConjunctiveConstraint(conj(Le(x, 1)))
+        with pytest.raises(KeyError):
+            ex.holds_at({})
+
+    def test_sample_point_free_only(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 5), Eq(x, y)), [y])
+        point = ex.sample_point()
+        assert set(point) == {x}
+        assert point[x] >= 5
+
+    def test_entails(self):
+        narrow = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 1), Eq(x, y)), [y])     # x in [0,1]
+        wide = ExistentialConjunctiveConstraint(
+            conj(Ge(y, -1), Le(y, 2), Eq(x, y)), [y])    # x in [-1,2]
+        assert narrow.entails(wide)
+        assert not wide.entails(narrow)
+
+    def test_entails_with_shared_names(self):
+        # Quantified y on the left must not capture the free x of the
+        # right side's witness.
+        left = ExistentialConjunctiveConstraint(
+            conj(Ge(x, 0), Le(x, 1)))
+        right = ExistentialConjunctiveConstraint(
+            conj(Eq(x, y), Ge(y, -1), Le(y, 5)), [y])
+        assert left.entails(right)
+
+
+class TestSimplify:
+    def test_equality_witness_eliminated(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Eq(y, x + 1), Le(y, 3), Ge(y, 0)), [y])
+        simplified = ex.simplify()
+        assert simplified.is_quantifier_free()
+
+    def test_growth_causing_witness_kept(self):
+        # y bounded below by three atoms and above by three atoms: FM
+        # would produce 9 atoms from 6, so y stays symbolic.
+        atoms = [
+            Ge(y - x, 0), Ge(y - z, 0), Ge(y - w, 0),
+            Le(y + x, 10), Le(y + z, 10), Le(y + w, 10),
+        ]
+        ex = ExistentialConjunctiveConstraint(conj(*atoms), [y])
+        simplified = ex.simplify()
+        assert y in simplified.quantified
+
+    def test_disequality_witness_kept(self):
+        ex = ExistentialConjunctiveConstraint(
+            conj(Ne(y, 0), Le(y - x, 0)), [y])
+        assert y in ex.simplify().quantified
+
+
+class TestIdentityAlpha:
+    def test_alpha_equivalent_prefixes(self):
+        a = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Eq(x, y)), [y])
+        b = ExistentialConjunctiveConstraint(
+            conj(Ge(z, 0), Eq(x, z)), [z])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_bodies_differ(self):
+        a = ExistentialConjunctiveConstraint(conj(Ge(y, 0), Eq(x, y)), [y])
+        b = ExistentialConjunctiveConstraint(conj(Ge(y, 1), Eq(x, y)), [y])
+        assert a != b
+
+
+class TestDisjunctiveExistential:
+    def build(self):
+        left = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 0), Le(y, 1), Eq(x, y)), [y])    # x in [0,1]
+        right = ExistentialConjunctiveConstraint(
+            conj(Ge(y, 4), Le(y, 5), Eq(x, y)), [y])    # x in [4,5]
+        return DisjunctiveExistentialConstraint([left, right])
+
+    def test_membership(self):
+        dex = self.build()
+        assert dex.holds_at({x: Fraction(1, 2)})
+        assert dex.holds_at({x: 4})
+        assert not dex.holds_at({x: 2})
+
+    def test_disjoin(self):
+        dex = self.build().disjoin(conj(Eq(x, 100)))
+        assert dex.holds_at({x: 100})
+        assert len(dex) == 3
+
+    def test_conjoin_distributes(self):
+        dex = self.build().conjoin(conj(Le(x, 4)))
+        assert dex.holds_at({x: 4})
+        assert not dex.holds_at({x: 5})
+
+    def test_project_guard(self):
+        dex = self.build()
+        with pytest.raises(ConstraintFamilyError):
+            dex.project([], allow_quantification=False)
+        dex.project([x], allow_quantification=False)  # keeps all free
+
+    def test_entails(self):
+        small = self.build()
+        big = DisjunctiveExistentialConstraint(
+            [ExistentialConjunctiveConstraint.of_conjunctive(
+                conj(Ge(x, -1), Le(x, 10)))])
+        assert small.entails(big)
+        assert not big.entails(small)
+
+    def test_of_lifts_families(self):
+        from repro.constraints.disjunctive import DisjunctiveConstraint
+        d = DisjunctiveConstraint([conj(Le(x, 1))])
+        dex = DisjunctiveExistentialConstraint.of(d)
+        assert len(dex) == 1
+
+    def test_sample_point(self):
+        point = self.build().sample_point()
+        assert point is not None
+
+    def test_false_true(self):
+        assert DisjunctiveExistentialConstraint.false() \
+            .is_syntactically_false()
+        assert DisjunctiveExistentialConstraint.true().is_true()
+
+    def test_to_disjunctive(self):
+        flat = self.build().to_disjunctive()
+        assert flat.holds_at({x: 1})
+        assert not flat.holds_at({x: 3})

@@ -1,0 +1,138 @@
+"""Unit tests for the constraint-family lattice and closure rules."""
+
+import pytest
+
+from repro.constraints.atoms import Ge, Le
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import (
+    DisjunctiveExistentialConstraint,
+    ExistentialConjunctiveConstraint,
+)
+from repro.constraints.families import (
+    Family,
+    Operation,
+    classify,
+    combine,
+    join,
+    project_family,
+)
+from repro.constraints.terms import variables
+from repro.errors import ConstraintFamilyError
+
+x, y = variables("x y")
+
+CONJ = Family.CONJUNCTIVE
+ECONJ = Family.EXISTENTIAL_CONJUNCTIVE
+DISJ = Family.DISJUNCTIVE
+DEX = Family.DISJUNCTIVE_EXISTENTIAL
+
+
+class TestLattice:
+    def test_reflexive(self):
+        for fam in Family:
+            assert fam <= fam
+
+    def test_conjunctive_is_bottom(self):
+        for fam in Family:
+            assert CONJ <= fam
+
+    def test_dex_is_top(self):
+        for fam in Family:
+            assert fam <= DEX
+
+    def test_incomparable_middle(self):
+        assert not (ECONJ <= DISJ)
+        assert not (DISJ <= ECONJ)
+
+    def test_strict(self):
+        assert CONJ < DISJ
+        assert not (DISJ < DISJ)
+
+    def test_join(self):
+        assert join(ECONJ, DISJ) is DEX
+        assert join(CONJ, DISJ) is DISJ
+        assert join(CONJ, CONJ) is CONJ
+
+
+class TestClassify:
+    def test_conjunctive(self):
+        assert classify(ConjunctiveConstraint.of(Le(x, 1))) is CONJ
+
+    def test_quantifier_free_existential_degrades(self):
+        ex = ExistentialConjunctiveConstraint.of_conjunctive(
+            ConjunctiveConstraint.of(Le(x, 1)))
+        assert classify(ex) is CONJ
+
+    def test_genuine_existential(self):
+        ex = ExistentialConjunctiveConstraint(
+            ConjunctiveConstraint.of(Le(x - y, 0), Ge(y, 0)), [y])
+        assert classify(ex) is ECONJ
+
+    def test_single_disjunct_degrades(self):
+        d = DisjunctiveConstraint([ConjunctiveConstraint.of(Le(x, 1))])
+        assert classify(d) is CONJ
+
+    def test_genuine_disjunctive(self):
+        d = DisjunctiveConstraint([
+            ConjunctiveConstraint.of(Le(x, 0)),
+            ConjunctiveConstraint.of(Ge(x, 1))])
+        assert classify(d) is DISJ
+
+    def test_dex(self):
+        ex = ExistentialConjunctiveConstraint(
+            ConjunctiveConstraint.of(Le(x - y, 0), Ge(y, 0)), [y])
+        dex = DisjunctiveExistentialConstraint(
+            [ex, ExistentialConjunctiveConstraint.of_conjunctive(
+                ConjunctiveConstraint.of(Ge(x, 5)))])
+        assert classify(dex) is DEX
+
+    def test_non_constraint(self):
+        with pytest.raises(TypeError):
+            classify(3)
+
+
+class TestCombine:
+    def test_and_conjunctive(self):
+        assert combine(Operation.AND, CONJ, CONJ) is CONJ
+
+    def test_and_mixed(self):
+        assert combine(Operation.AND, CONJ, DISJ) is DISJ
+        assert combine(Operation.AND, ECONJ, CONJ) is ECONJ
+
+    def test_and_dex_rejected(self):
+        with pytest.raises(ConstraintFamilyError):
+            combine(Operation.AND, ECONJ, DISJ)
+
+    def test_or(self):
+        assert combine(Operation.OR, CONJ, CONJ) is DISJ
+        assert combine(Operation.OR, DISJ, DISJ) is DISJ
+        assert combine(Operation.OR, ECONJ, CONJ) is DEX
+        assert combine(Operation.OR, DEX, DISJ) is DEX
+
+    def test_not(self):
+        assert combine(Operation.NOT, CONJ) is DISJ
+        assert combine(Operation.NOT, DISJ) is DISJ
+
+    def test_not_existential_rejected(self):
+        with pytest.raises(ConstraintFamilyError):
+            combine(Operation.NOT, ECONJ)
+
+    def test_binary_needs_two(self):
+        with pytest.raises(ConstraintFamilyError):
+            combine(Operation.AND, CONJ)
+
+
+class TestProjectFamily:
+    def test_restricted_stays_in_family(self):
+        assert project_family(CONJ, restricted=True) is CONJ
+        assert project_family(DISJ, restricted=True) is DISJ
+
+    def test_unrestricted_conjunctive_becomes_existential(self):
+        assert project_family(CONJ, restricted=False) is ECONJ
+
+    def test_existential_stays(self):
+        assert project_family(ECONJ, restricted=False) is ECONJ
+
+    def test_dex(self):
+        assert project_family(DEX, restricted=False) is DEX

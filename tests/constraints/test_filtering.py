@@ -1,0 +1,107 @@
+"""Unit tests for bounding-box prefiltering (filter-and-refine)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import Ge, Le
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.filtering import (
+    BoxIndex,
+    boxes_overlap,
+    interval_hull,
+    overlap_join,
+)
+from repro.constraints.geometry import box
+from repro.constraints.terms import variables
+from repro.errors import DimensionError
+
+x, y = variables("x y")
+
+
+def unit_at(cx, cy):
+    return box([x, y], [(cx, cx + 1), (cy, cy + 1)])
+
+
+class TestBoxes:
+    def test_hull(self):
+        tri = CSTObject.from_atoms(
+            [x, y], [Ge(x, 0), Ge(y, 0), Le(x + y, 2)])
+        assert interval_hull(tri) == [(0, 2), (0, 2)]
+
+    def test_overlap_test(self):
+        assert boxes_overlap([(0, 2), (0, 2)], [(1, 3), (1, 3)])
+        assert not boxes_overlap([(0, 1), (0, 1)], [(2, 3), (0, 1)])
+        assert boxes_overlap([(0, 1), (0, 1)], [(1, 2), (1, 2)])  # touch
+
+    def test_unbounded_sides_pass(self):
+        assert boxes_overlap([(None, None)], [(5, 6)])
+        assert boxes_overlap([(0, None)], [(100, 200)])
+        assert not boxes_overlap([(None, 0)], [(1, 2)])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            boxes_overlap([(0, 1)], [(0, 1), (0, 1)])
+
+
+class TestBoxIndex:
+    def test_candidates_superset_of_overlaps(self):
+        index = BoxIndex(2)
+        index.extend((i, unit_at(2 * i, 0)) for i in range(5))
+        probe = unit_at(Fraction(1, 2), 0)
+        candidates = set(index.candidates(probe))
+        overlapping = set(index.overlapping(probe))
+        assert overlapping <= candidates
+        assert 0 in overlapping
+
+    def test_filter_prunes_far_objects(self):
+        index = BoxIndex(2)
+        index.extend((i, unit_at(10 * i, 10 * i)) for i in range(6))
+        probe = unit_at(0, 0)
+        assert index.candidates(probe) == [0]
+
+    def test_filter_is_conservative_for_diagonal(self):
+        """Boxes overlap but the convex objects do not: the candidate
+        survives the filter and is removed by the refine step."""
+        index = BoxIndex(2)
+        lower = CSTObject.from_atoms(
+            [x, y], [Ge(x, 0), Ge(y, 0), Le(x + y, 1)])
+        upper = CSTObject.from_atoms(
+            [x, y], [Le(x, 2), Le(y, 2), Ge(x + y, 3)])
+        index.insert("lower", lower)
+        assert index.candidates(upper) == ["lower"]
+        assert index.overlapping(upper) == []
+
+    def test_dimension_checked(self):
+        index = BoxIndex(2)
+        with pytest.raises(DimensionError):
+            index.insert("bad", box([x], [(0, 1)]))
+
+    def test_len(self):
+        index = BoxIndex(2)
+        index.insert(1, unit_at(0, 0))
+        assert len(index) == 1
+
+
+class TestOverlapJoin:
+    def items(self):
+        return [(i, unit_at(3 * (i % 3), 3 * (i // 3)))
+                for i in range(6)]
+
+    def test_same_matches_with_and_without_filter(self):
+        items = self.items()
+        with_filter, stats_f = overlap_join(items, prefilter=True)
+        without, stats_n = overlap_join(items, prefilter=False)
+        assert sorted(with_filter) == sorted(without)
+
+    def test_filter_reduces_exact_tests(self):
+        items = self.items()
+        _, stats_f = overlap_join(items, prefilter=True)
+        _, stats_n = overlap_join(items, prefilter=False)
+        assert stats_f.exact_tests < stats_n.exact_tests
+        assert stats_f.pairs_considered == stats_n.pairs_considered
+
+    def test_dense_cluster_all_match(self):
+        items = [(i, unit_at(Fraction(i, 10), 0)) for i in range(4)]
+        matches, stats = overlap_join(items)
+        assert stats.matches == 6  # all C(4,2) pairs overlap

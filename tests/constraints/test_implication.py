@@ -1,0 +1,148 @@
+"""Unit tests for entailment (the |= predicate)."""
+
+from fractions import Fraction  # noqa: F401 (kept for interactive use)
+
+from repro.constraints.atoms import Eq, Ge, Le, Lt, Ne
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.implication import (
+    atom_redundant_in,
+    conjunctive_entails_conjunctive,
+    conjunctive_entails_disjunction,
+    disjunction_entails_disjunction,
+    equivalent,
+    negated_atom_branches,
+)
+from repro.constraints.terms import variables
+
+x, y = variables("x y")
+
+
+def conj(*atoms):
+    return ConjunctiveConstraint.of(*atoms)
+
+
+class TestNegatedBranches:
+    def test_le(self):
+        (branch,) = negated_atom_branches(Le(x, 1))
+        assert branch.holds_at({x: 2})
+        assert not branch.holds_at({x: 1})
+
+    def test_eq_splits(self):
+        branches = negated_atom_branches(Eq(x, 1))
+        assert len(branches) == 2
+
+    def test_ne(self):
+        (branch,) = negated_atom_branches(Ne(x, 1))
+        assert branch == Eq(x, 1)
+
+
+class TestConjunctiveEntailment:
+    def test_interval_containment(self):
+        small = conj(Ge(x, 1), Le(x, 2))
+        big = conj(Ge(x, 0), Le(x, 3))
+        assert conjunctive_entails_conjunctive(small, big)
+        assert not conjunctive_entails_conjunctive(big, small)
+
+    def test_self_entailment(self):
+        c = conj(Ge(x, 0), Le(x + y, 1))
+        assert conjunctive_entails_conjunctive(c, c)
+
+    def test_false_entails_everything(self):
+        assert conjunctive_entails_conjunctive(
+            ConjunctiveConstraint.false(), conj(Le(x, -99)))
+
+    def test_everything_entails_true(self):
+        assert conjunctive_entails_conjunctive(
+            conj(Le(x, 0)), ConjunctiveConstraint.true())
+
+    def test_equality_to_inequalities(self):
+        assert conjunctive_entails_conjunctive(
+            conj(Eq(x, 1)), conj(Ge(x, 1), Le(x, 1)))
+
+    def test_inequalities_to_equality(self):
+        assert conjunctive_entails_conjunctive(
+            conj(Ge(x, 1), Le(x, 1)), conj(Eq(x, 1)))
+
+    def test_strict_entails_nonstrict(self):
+        assert conjunctive_entails_conjunctive(
+            conj(Lt(x, 1)), conj(Le(x, 1)))
+
+    def test_nonstrict_does_not_entail_strict(self):
+        assert not conjunctive_entails_conjunctive(
+            conj(Le(x, 1)), conj(Lt(x, 1)))
+
+    def test_implied_disequality(self):
+        assert conjunctive_entails_conjunctive(
+            conj(Ge(x, 2)), conj(Ne(x, 0)))
+
+    def test_unimplied_disequality(self):
+        assert not conjunctive_entails_conjunctive(
+            conj(Ge(x, 0)), conj(Ne(x, 1)))
+
+    def test_linear_combination(self):
+        # x >= 1 and y >= 1 implies x + y >= 2.
+        assert conjunctive_entails_conjunctive(
+            conj(Ge(x, 1), Ge(y, 1)), conj(Ge(x + y, 2)))
+
+    def test_paper_drawer_center_example(self):
+        """Section 4.1: C(p,q) |= p = 0 for a drawer whose center line is
+        p = -2 is false; for one pinned at p = 0 it is true."""
+        p, q = variables("p q")
+        my_desk_center = conj(Eq(p, -2), Ge(q, -2), Le(q, 0))
+        centered = conj(Eq(p, 0), Ge(q, -2), Le(q, 0))
+        middle = conj(Eq(p, 0))
+        assert not conjunctive_entails_conjunctive(my_desk_center, middle)
+        assert conjunctive_entails_conjunctive(centered, middle)
+
+
+class TestDisjunctionEntailment:
+    def test_split_interval(self):
+        # 0<=x<=2  |=  (0<=x<=1 or 1<=x<=2)
+        whole = conj(Ge(x, 0), Le(x, 2))
+        left = conj(Ge(x, 0), Le(x, 1))
+        right = conj(Ge(x, 1), Le(x, 2))
+        assert conjunctive_entails_disjunction(whole, [left, right])
+
+    def test_gap_not_covered(self):
+        whole = conj(Ge(x, 0), Le(x, 2))
+        left = conj(Ge(x, 0), Le(x, 1))
+        right = conj(Ge(2 * x, 3), Le(x, 2))  # gap (1, 3/2) uncovered
+        assert not conjunctive_entails_disjunction(whole, [left, right])
+
+    def test_single_disjunct_fast_path(self):
+        whole = conj(Ge(x, 0), Le(x, 1))
+        assert conjunctive_entails_disjunction(
+            whole, [conj(Ge(x, -1), Le(x, 2))])
+
+    def test_empty_disjunction(self):
+        assert not conjunctive_entails_disjunction(conj(Ge(x, 0)), [])
+        assert conjunctive_entails_disjunction(
+            ConjunctiveConstraint.false(), [])
+
+    def test_true_disjunct_covers(self):
+        assert conjunctive_entails_disjunction(
+            conj(Ge(x, 0)), [ConjunctiveConstraint.true()])
+
+    def test_two_dimensional_cover(self):
+        # Unit square covered by the two triangles split on the diagonal.
+        square = conj(Ge(x, 0), Le(x, 1), Ge(y, 0), Le(y, 1))
+        lower = square.conjoin(Le(y - x, 0))
+        upper = square.conjoin(Ge(y - x, 0))
+        assert conjunctive_entails_disjunction(square, [lower, upper])
+
+    def test_disjunction_entails_disjunction(self):
+        d1 = [conj(Ge(x, 0), Le(x, 1)), conj(Ge(x, 2), Le(x, 3))]
+        d2 = [conj(Ge(x, 0), Le(x, 3))]
+        assert disjunction_entails_disjunction(d1, d2)
+        assert not disjunction_entails_disjunction(d2, d1)
+
+
+class TestHelpers:
+    def test_equivalent(self):
+        assert equivalent(conj(Eq(2 * x, 2)), conj(Eq(x, 1)))
+        assert not equivalent(conj(Le(x, 1)), conj(Lt(x, 1)))
+
+    def test_atom_redundant_in(self):
+        context = conj(Ge(x, 1))
+        assert atom_redundant_in(Ge(x, 0), context)
+        assert not atom_redundant_in(Ge(x, 2), context)

@@ -1,0 +1,151 @@
+"""Unit tests for the constraint text parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.disjunctive import DisjunctiveConstraint
+from repro.constraints.existential import ExistentialConjunctiveConstraint
+from repro.constraints.parser import parse_constraint, parse_cst
+from repro.constraints.terms import variables
+from repro.errors import ConstraintSyntaxError
+
+x, y = variables("x y")
+
+
+class TestAtoms:
+    def test_simple(self):
+        c = parse_constraint("x + 2*y <= 5")
+        assert isinstance(c, ConjunctiveConstraint)
+        assert c.holds_at({x: 1, y: 2})
+        assert not c.holds_at({x: 2, y: 2})
+
+    def test_implicit_multiplication(self):
+        assert parse_constraint("2x <= 4") == parse_constraint("x <= 2")
+
+    def test_chained_comparison(self):
+        c = parse_constraint("-4 <= x <= 4")
+        assert len(c) == 2
+        assert c.holds_at({x: 0})
+        assert not c.holds_at({x: 5})
+
+    def test_rationals(self):
+        c = parse_constraint("x <= 1/2")
+        assert c.holds_at({x: Fraction(1, 2)})
+        assert not c.holds_at({x: Fraction(51, 100)})
+
+    def test_decimals(self):
+        c = parse_constraint("x <= 0.5")
+        assert c.holds_at({x: Fraction(1, 2)})
+
+    def test_all_relops(self):
+        for text, inside, outside in [
+            ("x < 1", 0, 1), ("x > 1", 2, 1), ("x >= 1", 1, 0),
+            ("x = 1", 1, 0), ("x == 1", 1, 2), ("x != 1", 0, 1),
+            ("x <> 1", 0, 1),
+        ]:
+            c = parse_constraint(text)
+            assert c.holds_at({x: inside}), text
+            assert not c.holds_at({x: outside}), text
+
+    def test_parenthesized_arithmetic(self):
+        c = parse_constraint("2*(x + y) <= 4")
+        assert c == parse_constraint("x + y <= 2")
+
+    def test_unary_minus(self):
+        c = parse_constraint("-x <= 1")
+        assert c.holds_at({x: 0})
+        assert not c.holds_at({x: -2})
+
+    def test_variable_division(self):
+        assert parse_constraint("x/2 <= 1") == parse_constraint("x <= 2")
+
+    def test_nonconstant_division_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x / y <= 1")
+
+
+class TestFormulas:
+    def test_conjunction(self):
+        c = parse_constraint("x >= 0 and x <= 1 and y = x")
+        assert isinstance(c, ConjunctiveConstraint)
+        assert len(c) == 3
+
+    def test_disjunction(self):
+        c = parse_constraint("x < 0 or x > 1")
+        assert isinstance(c, DisjunctiveConstraint)
+        assert c.holds_at({x: -1})
+        assert not c.holds_at({x: Fraction(1, 2)})
+
+    def test_negation(self):
+        c = parse_constraint("not (0 <= x <= 1)")
+        assert c.holds_at({x: 2})
+        assert not c.holds_at({x: 0})
+
+    def test_exists(self):
+        c = parse_constraint("exists y . (y >= 0 and x = y + 1)")
+        assert isinstance(c, ExistentialConjunctiveConstraint)
+        assert c.free_variables == {x}
+
+    def test_true_false_literals(self):
+        assert parse_constraint("true").is_true()
+        assert parse_constraint("false").is_syntactically_false()
+
+    def test_parenthesized_formula(self):
+        c = parse_constraint("(x <= 1 or x >= 3) and x >= 0")
+        assert c.holds_at({x: 0})
+        assert c.holds_at({x: 4})
+        assert not c.holds_at({x: 2})
+
+    def test_precedence_and_over_or(self):
+        c = parse_constraint("x <= 0 or x >= 2 and x <= 3")
+        assert c.holds_at({x: -1})
+        assert c.holds_at({x: 2})
+        assert not c.holds_at({x: 4})
+
+
+class TestCstNotation:
+    def test_projection_header(self):
+        obj = parse_cst("((x,y) | -4 <= x <= 4 and -2 <= y <= 2)")
+        assert obj.dimension == 2
+        assert obj.contains_point(0, 0)
+        assert not obj.contains_point(5, 0)
+
+    def test_hidden_variables_quantified(self):
+        obj = parse_cst("((u) | 0 <= t <= 1 and u = 2*t)")
+        assert obj.dimension == 1
+        assert obj.contains_point(1)
+        assert not obj.contains_point(3)
+
+    def test_paper_my_desk_location(self):
+        obj = parse_cst("((x,y) | x = 6 and y = 4)")
+        assert obj.contains_point(6, 4)
+        assert not obj.contains_point(6, 5)
+
+    def test_disjunctive_cst(self):
+        obj = parse_cst("((x) | x < 0 or x > 1)")
+        assert obj.contains_point(-1)
+        assert not obj.contains_point(Fraction(1, 2))
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x # 1")
+
+    def test_missing_relop(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x + 1")
+
+    def test_dangling_tokens(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x <= 1 1")
+
+    def test_negating_existential_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("not exists y . (x = y and y <= 1)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("(x <= 1")

@@ -1,0 +1,144 @@
+"""Unit tests for Fourier-Motzkin projection and the paper's restricted
+projection operator."""
+
+import pytest
+
+from repro.constraints.atoms import Eq, Ge, Le, Lt, Ne
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.projection import (
+    eliminate_variable,
+    project_conjunctive,
+    prune_syntactic,
+    restricted_project,
+)
+from repro.constraints.terms import variables
+from repro.errors import ConstraintFamilyError
+
+x, y, z, u, v, w = variables("x y z u v w")
+
+
+class TestEliminateVariable:
+    def test_interval_projection(self):
+        # 0 <= x <= y  projected on y: exists x -> y >= 0.
+        conj = ConjunctiveConstraint.of(Ge(x, 0), Le(x - y, 0))
+        result = eliminate_variable(conj, x)
+        assert result.holds_at({y: 0})
+        assert not result.holds_at({y: -1})
+
+    def test_unbounded_variable_disappears(self):
+        conj = ConjunctiveConstraint.of(Ge(x, 0), Le(y, 1))
+        result = eliminate_variable(conj, x)
+        assert result == ConjunctiveConstraint.of(Le(y, 1))
+
+    def test_equality_substitution_path(self):
+        # x = y + 1 and x <= 3  ->  y <= 2
+        conj = ConjunctiveConstraint.of(Eq(x, y + 1), Le(x, 3))
+        result = eliminate_variable(conj, x)
+        assert result == ConjunctiveConstraint.of(Le(y, 2))
+
+    def test_strictness_propagates(self):
+        # y < x and x <= z  ->  y < z
+        conj = ConjunctiveConstraint.of(Lt(y - x, 0), Le(x - z, 0))
+        result = eliminate_variable(conj, x)
+        assert len(result) == 1
+        assert result.atoms[0].is_strict()
+
+    def test_disequality_on_variable_rejected(self):
+        conj = ConjunctiveConstraint.of(Le(x, 1), Ne(x, 0))
+        with pytest.raises(ConstraintFamilyError):
+            eliminate_variable(conj, x)
+
+    def test_disequality_on_other_variable_kept(self):
+        conj = ConjunctiveConstraint.of(Le(x, 1), Ne(y, 0))
+        result = eliminate_variable(conj, x)
+        assert Ne(y, 0) in result.atoms
+
+    def test_infeasibility_surfaces(self):
+        # x >= 1 and x <= 0 projects to the trivially-false 1 <= 0.
+        conj = ConjunctiveConstraint.of(Ge(x, 1), Le(x, 0))
+        result = eliminate_variable(conj, x)
+        assert result.is_syntactically_false()
+
+
+class TestProjectConjunctive:
+    def test_paper_translation_example(self):
+        """The Section 4.1 worked example: the desk extent translated to
+        room coordinates with center (6,4) is 2<=u<=10, 2<=v<=6."""
+        conj = ConjunctiveConstraint.of(
+            Ge(w, -4), Le(w, 4), Ge(z, -2), Le(z, 2),
+            Eq(u, x + w), Eq(v, y + z), Eq(x, 6), Eq(y, 4))
+        result = project_conjunctive(conj, [u, v])
+        expected = ConjunctiveConstraint.of(
+            Ge(u, 2), Le(u, 10), Ge(v, 2), Le(v, 6))
+        assert result == expected
+
+    def test_projection_adds_no_spurious_points(self):
+        conj = ConjunctiveConstraint.of(
+            Ge(x, 0), Le(x, 1), Eq(y, 2 * x))
+        result = project_conjunctive(conj, [y])
+        assert result.holds_at({y: 2})
+        assert result.holds_at({y: 0})
+        assert not result.holds_at({y: 3})
+
+    def test_project_to_nothing(self):
+        # Eliminating every variable of a satisfiable system gives TRUE.
+        conj = ConjunctiveConstraint.of(Ge(x, 0), Le(x, 1))
+        result = project_conjunctive(conj, [])
+        assert result.is_true()
+
+    def test_project_unsat_to_nothing(self):
+        conj = ConjunctiveConstraint.of(Ge(x, 1), Le(x, 0))
+        result = project_conjunctive(conj, [])
+        assert result.is_syntactically_false()
+
+    def test_free_variables_can_be_new(self):
+        conj = ConjunctiveConstraint.of(Le(x, 1))
+        result = project_conjunctive(conj, [x, y])
+        assert result == conj
+
+    def test_diamond_projection(self):
+        # |x| + |y| <= 1 as four atoms, projected on x -> -1 <= x <= 1.
+        conj = ConjunctiveConstraint.of(
+            Le(x + y, 1), Le(x - y, 1), Le(-x + y, 1), Le(-x - y, 1))
+        result = project_conjunctive(conj, [x])
+        assert result.holds_at({x: 1})
+        assert result.holds_at({x: -1})
+        assert not result.holds_at({x: 2})
+
+
+class TestRestrictedProject:
+    def test_eliminate_one_allowed(self):
+        conj = ConjunctiveConstraint.of(Le(x + y + z, 1))
+        restricted_project(conj, [x, y])  # eliminates z only
+
+    def test_keep_one_allowed(self):
+        conj = ConjunctiveConstraint.of(Le(x + y + z, 1))
+        restricted_project(conj, [x])  # keeps x only
+
+    def test_middle_ground_rejected(self):
+        conj = ConjunctiveConstraint.of(Le(x + y + z + u, 1), Ge(x, 0))
+        with pytest.raises(ConstraintFamilyError):
+            restricted_project(conj, [x, y])  # eliminates 2, keeps 2
+
+    def test_extra_free_variables_allowed(self):
+        conj = ConjunctiveConstraint.of(Le(x, 1))
+        result = restricted_project(conj, [x, v, w])
+        assert result == conj
+
+
+class TestPruneSyntactic:
+    def test_keeps_tightest_bound(self):
+        conj = ConjunctiveConstraint.of(Le(x, 5), Le(x, 3))
+        assert prune_syntactic(conj) == ConjunctiveConstraint.of(Le(x, 3))
+
+    def test_strict_beats_nonstrict_at_equal_bound(self):
+        conj = ConjunctiveConstraint.of(Le(x, 3), Lt(x, 3))
+        assert prune_syntactic(conj) == ConjunctiveConstraint.of(Lt(x, 3))
+
+    def test_different_directions_kept(self):
+        conj = ConjunctiveConstraint.of(Le(x, 3), Ge(x, 1))
+        assert len(prune_syntactic(conj)) == 2
+
+    def test_equalities_untouched(self):
+        conj = ConjunctiveConstraint.of(Eq(x, 3), Le(x, 5))
+        assert Eq(x, 3) in prune_syntactic(conj).atoms

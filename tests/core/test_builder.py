@@ -1,0 +1,135 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro import lyric
+from repro.core import ast
+from repro.core.builder import QueryBuilder
+from repro.errors import LyricSyntaxError
+from repro.model.office import build_office_database
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestBuilding:
+    def test_minimal(self):
+        query = QueryBuilder().select("X").from_("Desk", "X").build()
+        assert isinstance(query, ast.Query)
+        assert query.from_items == (ast.FromItem("Desk", "X"),)
+
+    def test_named_items(self):
+        query = (QueryBuilder()
+                 .select("kind = X.name", "X")
+                 .from_("Desk", "X").build())
+        assert query.select[0].name == "kind"
+
+    def test_where_conjunction(self):
+        query = (QueryBuilder().select("Y").from_("Desk", "X")
+                 .where("X.drawer[Y]", "X.color = 'red'").build())
+        assert isinstance(query.where, ast.WAnd)
+        assert len(query.where.parts) == 2
+
+    def test_where_any(self):
+        query = (QueryBuilder().select("X").from_("Desk", "X")
+                 .where_any("X.color = 'red'", "X.color = 'blue'")
+                 .build())
+        assert isinstance(query.where, ast.WOr)
+
+    def test_where_not(self):
+        query = (QueryBuilder().select("X").from_("Desk", "X")
+                 .where_not("X.color = 'red'").build())
+        assert isinstance(query.where, ast.WNot)
+
+    def test_missing_select_rejected(self):
+        with pytest.raises(LyricSyntaxError):
+            QueryBuilder().from_("Desk", "X").build()
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(LyricSyntaxError):
+            QueryBuilder().select("X").build()
+
+    def test_fragment_syntax_error_carries_position(self):
+        with pytest.raises(LyricSyntaxError):
+            QueryBuilder().select("X +")
+
+    def test_snapshots_are_independent(self):
+        builder = QueryBuilder().select("X").from_("Desk", "X")
+        first = builder.build()
+        builder.where("X.color = 'red'")
+        second = builder.build()
+        assert first.where is None
+        assert second.where is not None
+
+
+class TestExecution:
+    def test_equivalent_to_text_query(self, office):
+        db, _ = office
+        built = (QueryBuilder()
+                 .select("CO")
+                 .select_formula("u,v", "E and D and x = 6 and y = 4")
+                 .from_("Office_Object", "CO")
+                 .where("CO.extent[E]", "CO.translation[D]")
+                 .run(db))
+        text = lyric.query(db, """
+            SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        assert [r.values for r in built] == [r.values for r in text]
+
+    def test_where_sat(self, office):
+        db, _ = office
+        result = (QueryBuilder()
+                  .select("O")
+                  .from_("Object_in_Room", "O")
+                  .where("O.location[L]")
+                  .where_sat("L(x,y) and 0 <= x <= 10")
+                  .run(db))
+        assert len(result) == 1
+
+    def test_where_entails(self, office):
+        db, _ = office
+        result = (QueryBuilder()
+                  .select("DSK")
+                  .from_("Desk", "DSK")
+                  .where("DSK.drawer_center[C]")
+                  .where_entails("C(p,q)", "p = -2")
+                  .run(db))
+        assert len(result) == 1
+
+    def test_select_max(self, office):
+        db, _ = office
+        result = (QueryBuilder()
+                  .select_max("u", "E and D and x = 6 and y = 4",
+                              head="u,v", name="rightmost")
+                  .from_("Office_Object", "CO")
+                  .where("CO.extent[E]", "CO.translation[D]")
+                  .run(db))
+        assert result.columns == ("rightmost",)
+        assert result.scalars() == [10]
+
+    def test_select_min_point(self, office):
+        db, _ = office
+        result = (QueryBuilder()
+                  .select_min_point("u + v",
+                                    "E and D and x = 6 and y = 4",
+                                    head="u,v")
+                  .from_("Office_Object", "CO")
+                  .where("CO.extent[E]", "CO.translation[D]")
+                  .run(db))
+        point = result.single().values[0].cst
+        assert point.contains_point(2, 2)
+
+    def test_oid_function(self, office):
+        db, oids = office
+        result = (QueryBuilder()
+                  .select("X")
+                  .from_("Desk", "X")
+                  .oid_function_of("X", name="pick")
+                  .run(db))
+        from repro.model.oid import FunctionalOid
+        assert result.single().oid \
+            == FunctionalOid("pick", [oids.standard_desk])

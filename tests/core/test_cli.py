@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "office database" in out
+        assert "u <= 10" in out
+
+
+class TestDumpAndQuery:
+    def test_dump_office(self, tmp_path, capsys):
+        path = str(tmp_path / "office.json")
+        assert main(["dump-office", path]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+
+    def test_query_from_file(self, tmp_path, capsys):
+        path = str(tmp_path / "office.json")
+        main(["dump-office", path])
+        capsys.readouterr()
+        assert main(["query", path, "SELECT X FROM Desk X"]) == 0
+        out = capsys.readouterr().out
+        assert "standard_desk" in out
+        assert "(1 rows)" in out
+
+    def test_query_builtin_office(self, capsys):
+        assert main(["query", "--office",
+                     "SELECT X FROM Desk X"]) == 0
+        assert "standard_desk" in capsys.readouterr().out
+
+    def test_query_translated(self, capsys):
+        assert main(["query", "--office", "--translated",
+                     "SELECT X FROM Desk X"]) == 0
+        assert "standard_desk" in capsys.readouterr().out
+
+    def test_query_limit(self, capsys):
+        assert main(["query", "--office", "--limit", "1",
+                     "SELECT R FROM Region R"]) == 0
+        assert "more rows" in capsys.readouterr().out
+
+    def test_syntax_error_reported(self, capsys):
+        assert main(["query", "--office", "SELECT FROM"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_database(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "SELECT X FROM Desk X"])
+
+
+class TestViewAndSchema:
+    VIEW = ("CREATE VIEW Red AS SUBCLASS OF Office_Object "
+            "SELECT item = X SIGNATURE item => Office_Object "
+            "FROM Office_Object X OID FUNCTION OF X "
+            "WHERE X.color = 'red'")
+
+    def test_view(self, capsys):
+        assert main(["view", "--office", self.VIEW]) == 0
+        out = capsys.readouterr().out
+        assert "Red: 1 instances" in out
+
+    def test_view_save(self, tmp_path, capsys):
+        path = str(tmp_path / "out.json")
+        assert main(["view", "--office", self.VIEW,
+                     "--save", path]) == 0
+        from repro.model.serialize import read_database
+        db = read_database(path)
+        assert db.schema.has_class("Red")
+
+    def test_schema(self, capsys):
+        assert main(["schema", "--office"]) == 0
+        out = capsys.readouterr().out
+        assert "Desk IS-A Office_Object" in out

@@ -1,0 +1,213 @@
+"""Unit tests for the naive evaluator beyond the paper's golden
+queries (covered in tests/integration/test_paper_examples.py)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import lyric
+from repro.errors import EvaluationError
+from repro.model.office import add_file_cabinet, build_office_database
+from repro.model.oid import FunctionalOid, LiteralOid
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+@pytest.fixture
+def office_with_cabinet():
+    db, oids = build_office_database()
+    cabinet = add_file_cabinet(db)
+    return db, oids, cabinet
+
+
+class TestFromAndSelect:
+    def test_extent_enumeration(self, office_with_cabinet):
+        db, oids, cabinet = office_with_cabinet
+        result = lyric.query(db, "SELECT X FROM Office_Object X")
+        values = {row.values[0] for row in result}
+        assert values == {oids.standard_desk, cabinet}
+
+    def test_cross_product(self, office_with_cabinet):
+        db, _, _ = office_with_cabinet
+        result = lyric.query(db,
+                             "SELECT X, Y FROM Desk X, File_Cabinet Y")
+        assert len(result) == 1
+
+    def test_column_names(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT kind = X.name, X FROM Desk X
+        """)
+        assert result.columns == ("kind", "X")
+
+    def test_select_path_value(self, office):
+        db, _ = office
+        result = lyric.query(db, "SELECT X.drawer.color FROM Desk X")
+        assert result.single().values == (LiteralOid("red"),)
+
+    def test_select_missing_path_drops_row(self, office):
+        db, _ = office
+        # Drawers have no drawer attribute: no rows, not an error.
+        result = lyric.query(db, "SELECT X.drawer FROM Drawer X")
+        assert len(result) == 0
+
+    def test_select_nonscalar_path_rejected(self, office_with_cabinet):
+        db, _, _ = office_with_cabinet
+        with pytest.raises(EvaluationError):
+            lyric.query(db,
+                        "SELECT X.drawer_center FROM File_Cabinet X")
+
+    def test_deduplication(self, office):
+        db, _ = office
+        # Two FROM variables over the same singleton class, projecting
+        # one column: one row after dedup.
+        result = lyric.query(db, "SELECT X FROM Desk X, Desk Y")
+        assert len(result) == 1
+
+
+class TestWhere:
+    def test_ground_head_path(self, office):
+        db, oids = office
+        result = lyric.query(db, """
+            SELECT Y FROM Drawer Y WHERE standard_desk.drawer[Y]
+        """)
+        assert result.single().values == (oids.standard_drawer,)
+
+    def test_negation(self, office_with_cabinet):
+        db, oids, cabinet = office_with_cabinet
+        result = lyric.query(db, """
+            SELECT X FROM Office_Object X WHERE not X.color = 'red'
+        """)
+        assert result.single().values == (cabinet,)
+
+    def test_disjunction(self, office_with_cabinet):
+        db, _, _ = office_with_cabinet
+        result = lyric.query(db, """
+            SELECT X FROM Office_Object X
+            WHERE X.color = 'red' or X.color = 'grey'
+        """)
+        assert len(result) == 2
+
+    def test_comparison_between_paths(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.color = X.drawer.color
+        """)
+        assert len(result) == 1
+
+    def test_numeric_comparison(self, office):
+        db, _ = office
+        db.add_object("d2", "Drawer", {"color": "blue"})
+        result = lyric.query(db, """
+            SELECT MAX(u SUBJECT TO ((u) | 0 <= u <= 3))
+            FROM Desk X WHERE 1 < 2
+        """)
+        assert result.single().values == (LiteralOid(3),)
+
+    def test_numeric_comparison_nonnumeric_rejected(self, office):
+        db, _ = office
+        with pytest.raises(EvaluationError):
+            lyric.query(db, """
+                SELECT X FROM Desk X WHERE X.color < 3
+            """)
+
+    def test_contains(self, office_with_cabinet):
+        db, _, cabinet = office_with_cabinet
+        result = lyric.query(db, """
+            SELECT C FROM File_Cabinet C
+            WHERE C.drawer_center contains C.drawer_center
+        """)
+        assert len(result) == 1
+
+
+class TestAttributeVariables:
+    def test_enumerates_attributes(self, office):
+        """The paper's higher-order variables: find which attribute of
+        the drawer holds the value 'red'."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT A FROM Drawer D WHERE D.A['red']
+        """)
+        names = {str(row.values[0]) for row in result}
+        assert names == {"@color"}
+
+    def test_attribute_variable_fanout(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT A, V FROM Drawer D WHERE D.A[V]
+        """)
+        # color, extent, translation on the single drawer.
+        assert len(result) == 3
+
+
+class TestOidFunction:
+    def test_mints_functional_oids(self, office):
+        db, oids = office
+        result = lyric.query(db, """
+            SELECT name = X.name, drawer = W
+            FROM Office_Object X
+            OID FUNCTION OF X, W
+            WHERE X.drawer[W]
+        """)
+        row = result.single()
+        assert row.oid == FunctionalOid(
+            "result", [oids.standard_desk, oids.standard_drawer])
+
+    def test_oids_are_deterministic(self, office):
+        db, _ = office
+        text = """
+            SELECT X FROM Desk X OID FUNCTION OF X
+        """
+        first = lyric.query(db, text).single().oid
+        second = lyric.query(db, text).single().oid
+        assert first == second
+
+
+class TestPseudoLinearPaths:
+    def test_path_constant_in_formula(self, office):
+        """A path expression inside a formula instantiates to a number."""
+        db, oids = office
+        db.object(oids.standard_desk).set("cat_number", "CAT-17")
+        db.add_object("measured", "Drawer", {"color": "blue"})
+        db.object(oids.my_desk).set("inv_number", "22-354")
+        # Use a numeric attribute:
+        schema = db.schema
+        from repro.model.schema import AttributeDef
+        schema.class_def("Drawer").attributes["width"] = \
+            AttributeDef("width", "real")
+        db.object(oids.standard_drawer).set("width", 2)
+        result = lyric.query(db, """
+            SELECT ((u) | 0 <= u <= D.width)
+            FROM Drawer D WHERE D.color = 'red'
+        """)
+        (value,) = result.single().values
+        assert value.cst.contains_point(2)
+        assert not value.cst.contains_point(3)
+
+    def test_nonnumeric_path_rejected(self, office):
+        db, _ = office
+        with pytest.raises(EvaluationError):
+            lyric.query(db, """
+                SELECT ((u) | u <= D.color) FROM Drawer D
+            """)
+
+
+class TestResultSet:
+    def test_pretty(self, office):
+        db, _ = office
+        result = lyric.query(db, "SELECT X FROM Desk X")
+        assert "X" in result.pretty()
+
+    def test_scalars(self, office):
+        db, _ = office
+        result = lyric.query(db, "SELECT X.color FROM Desk X")
+        assert result.scalars() == ["red"]
+
+    def test_single_raises_on_many(self, office_with_cabinet):
+        db, _, _ = office_with_cabinet
+        result = lyric.query(db, "SELECT X FROM Office_Object X")
+        with pytest.raises(LookupError):
+            result.single()

@@ -1,0 +1,153 @@
+"""Evaluator tests for disjunctive, negated and mixed formula shapes
+(the full Section 4.2 formula grammar)."""
+
+import pytest
+
+from repro import lyric
+from repro.errors import EvaluationError
+from repro.model.office import build_office_database
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestDisjunctiveFormulas:
+    def test_select_union_object(self, office):
+        """A SELECT formula with 'or' creates a disjunctive CST oid."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((s) | s < 0 or s > 1) FROM Desk X
+        """)
+        cst = result.single().values[0].cst
+        assert cst.contains_point(-1)
+        assert cst.contains_point(2)
+        assert not cst.contains_point(0)
+
+    def test_union_of_refs(self, office):
+        """Union of the desk extent and its shifted copy."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((w,z) | E or (E(a,b) and w = a + 100 and z = b))
+            FROM Desk X WHERE X.extent[E]
+        """)
+        cst = result.single().values[0].cst
+        assert cst.contains_point(0, 0)
+        assert cst.contains_point(100, 0)
+        assert not cst.contains_point(50, 0)
+
+    def test_sat_with_disjunction(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT O FROM Object_in_Room O
+            WHERE O.location[L]
+              and SAT(L(x,y) and (x >= 100 or y <= 5))
+        """)
+        assert len(result) == 1  # y = 4 <= 5
+
+    def test_entailment_into_disjunction(self, office):
+        """Stored extent is covered by two half-planes."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.extent[E]
+              and (E(w,z) |= (w <= 0 or w >= 0))
+        """)
+        assert len(result) == 1
+
+    def test_entailment_into_disjunction_gap(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.extent[E]
+              and (E(w,z) |= (w <= -1 or w >= 1))
+        """)
+        assert len(result) == 0  # extent crosses the gap (-1, 1)
+
+
+class TestNegatedFormulas:
+    def test_not_in_sat(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.extent[E]
+              and SAT(E(w,z) and not (0 <= w <= 1))
+        """)
+        assert len(result) == 1  # part of the extent is outside [0,1]
+
+    def test_negating_ref_conjunction(self, office):
+        """not(E) of a conjunctive stored constraint is fine (it is a
+        disjunction of negated atoms)."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((w,z) | not E) FROM Desk X WHERE X.extent[E]
+        """)
+        cst = result.single().values[0].cst
+        assert cst.contains_point(5, 0)
+        assert not cst.contains_point(0, 0)
+
+    def test_double_negation(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((w,z) | not (not E)) FROM Desk X WHERE X.extent[E]
+        """)
+        cst = result.single().values[0].cst
+        assert cst.contains_point(0, 0)
+        assert not cst.contains_point(5, 0)
+
+
+class TestFamilyErrorsSurface:
+    def test_negation_of_disjunction_de_morgan(self, office):
+        """Negating a disjunctive body stays in the families (the
+        result is the complementary region)."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((s) | not (s < 0 or s > 1)) FROM Desk X
+        """)
+        cst = result.single().values[0].cst
+        assert cst.contains_point(0)
+        assert cst.contains_point(1)
+        assert not cst.contains_point(2)
+
+    def test_negate_guard_on_existential(self):
+        """The engine-level guard: negating an existential constraint
+        is undefined in the paper's families.  (Unreachable from query
+        syntax — bodies are quantifier-free — but enforced for direct
+        API users.)"""
+        from repro.core.formulas import _negate
+        from repro.constraints.conjunctive import ConjunctiveConstraint
+        from repro.constraints.existential import (
+            ExistentialConjunctiveConstraint)
+        from repro.constraints.atoms import Le
+        from repro.constraints.terms import variables
+        a, b = variables("a b")
+        ex = ExistentialConjunctiveConstraint(
+            ConjunctiveConstraint.of(Le(a - b, 0)), [b])
+        with pytest.raises(EvaluationError):
+            _negate(ex)
+
+
+class TestMixedShapes:
+    def test_projection_of_disjunction(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((w) | E or (0 <= w <= 1 and z = 99))
+            FROM Desk X WHERE X.extent[E]
+        """)
+        cst = result.single().values[0].cst
+        assert cst.dimension == 1
+        assert cst.contains_point(-4)  # from the extent
+        assert cst.contains_point(1)   # from both
+
+    def test_chained_everything(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT X,
+                   ((u,v) | E and D and x = 0 and y = 0),
+                   MAX(u SUBJECT TO ((u,v) | E and D and x = 0
+                                     and y = 0))
+            FROM Desk X
+            WHERE X.extent[E] and X.translation[D]
+              and SAT(E and D) and not X.color = 'blue'
+        """)
+        row = result.single()
+        assert row.values[1].cst.contains_point(4, 2)
+        assert row.values[2].value == 4

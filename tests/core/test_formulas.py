@@ -1,0 +1,249 @@
+"""Unit tests for CST formula instantiation (implicit equalities,
+anchoring, entailment matching)."""
+
+import pytest
+
+from repro.core import ast, formulas
+from repro.core.parser import parse_query
+from repro.core.semantics import analyze
+from repro.core.evaluator import environments
+from repro.errors import EvaluationError
+from repro.model.office import build_office_database
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+def prepared(db, text):
+    """Analyze a query and produce its first binding environment."""
+    analysis = analyze(db.schema, parse_query(text))
+    env = next(environments(db, analysis), None)
+    assert env is not None, "query has no binding environments"
+    return analysis, env
+
+
+def first_sat(analysis):
+    node = analysis.query.where
+    found = []
+
+    def walk(n):
+        if isinstance(n, ast.WSat):
+            found.append(n)
+        elif isinstance(n, (ast.WAnd, ast.WOr)):
+            for p in n.parts:
+                walk(p)
+        elif isinstance(n, ast.WNot):
+            walk(n.part)
+
+    walk(node)
+    return found[0]
+
+
+class TestSchemaCopying:
+    def test_default_variables_from_spec(self, office):
+        """An unrenamed reference uses the attribute's declared
+        variable names ('simply copied from the schema')."""
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT X FROM Desk X
+            WHERE X.extent[E] and SAT(E and w = 0)
+        """)
+        sat = first_sat(analysis)
+        constraint = formulas.instantiate_formula(
+            db, analysis, sat.formula, env)
+        # w pinned to 0 inside the extent: satisfiable.
+        assert constraint.is_satisfiable()
+
+    def test_renamed_variables(self, office):
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT X FROM Desk X
+            WHERE X.extent[E] and SAT(E(a,b) and a = 0 and w = 99)
+        """)
+        sat = first_sat(analysis)
+        constraint = formulas.instantiate_formula(
+            db, analysis, sat.formula, env)
+        # w is now a free unconstrained variable; a,b carry the extent.
+        assert constraint.is_satisfiable()
+
+    def test_dimension_mismatch(self, office):
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT X FROM Desk X
+            WHERE X.extent[E] and SAT(E(a) and a = 0)
+        """)
+        sat = first_sat(analysis)
+        with pytest.raises(EvaluationError):
+            formulas.instantiate_formula(db, analysis, sat.formula, env)
+
+
+class TestImplicitEqualities:
+    def test_drawer_edge_equality(self, office):
+        """p = x1 via the drawer edge: the drawer-center line pins the
+        drawer translation's center coordinates."""
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT DSK FROM Desk DSK
+            WHERE DSK.drawer_center[DC]
+              and DSK.drawer.translation[DD]
+              and SAT(DC(p,q) and DD(w1,z1,x1,y1,u1,v1) and x1 = -2)
+        """)
+        sat = first_sat(analysis)
+        constraint = formulas.instantiate_formula(
+            db, analysis, sat.formula, env)
+        # drawer_center has p = -2, so x1 = -2 must be consistent.
+        assert constraint.is_satisfiable()
+
+    def test_drawer_edge_equality_contradiction(self, office):
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT DSK FROM Desk DSK
+            WHERE DSK.drawer_center[DC]
+              and DSK.drawer.translation[DD]
+              and SAT(DC(p,q) and DD(w1,z1,x1,y1,u1,v1) and x1 = 5)
+        """)
+        sat = first_sat(analysis)
+        constraint = formulas.instantiate_formula(
+            db, analysis, sat.formula, env)
+        # p = -2 and p = x1 = 5 contradict.
+        assert not constraint.is_satisfiable()
+
+    def test_vacuous_equality_dropped(self, office):
+        """Without the drawer_center anchor, x1 stays unconstrained."""
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT DSK FROM Desk DSK
+            WHERE DSK.drawer.translation[DD]
+              and SAT(DD(w1,z1,x1,y1,u1,v1) and x1 = 5)
+        """)
+        sat = first_sat(analysis)
+        constraint = formulas.instantiate_formula(
+            db, analysis, sat.formula, env)
+        assert constraint.is_satisfiable()
+
+    def test_two_parents_do_not_clash(self, office):
+        """Two catalog_object traversals in one formula must not
+        identify the two parents' coordinate frames."""
+        from repro.model.office import add_file_cabinet
+        db, _ = office
+        add_file_cabinet(db, location=(3, 4))
+        analysis = analyze(db.schema, parse_query("""
+            SELECT X, Y
+            FROM Object_in_Room OX, Object_in_Room OY,
+                 Office_Object X, Office_Object Y
+            WHERE OX.catalog_object[X] and OY.catalog_object[Y]
+              and OX.location[LX] and OY.location[LY]
+              and X.translation[DX] and Y.translation[DY]
+              and SAT(DX(w,z,x,y,u,v) and LX(x,y)
+                      and DY(w2,z2,x2,y2,u,v) and LY(x2,y2))
+        """))
+        hits = 0
+        for env in environments(db, analysis):
+            if env["OX"] != env["OY"]:
+                sat = first_sat(analysis)
+                if formulas.satisfiable(db, analysis, sat.formula, env):
+                    hits += 1
+        # Desk [2,10]x[2,6] and cabinet [2,4]x[2,6] overlap: both
+        # ordered pairs must be satisfiable.
+        assert hits == 2
+
+
+class TestEntailmentMatching:
+    def test_name_based(self, office):
+        """Shared names across |= sides are identified (C(p,q) |= p=-2
+        matches via the name p)."""
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT X FROM Desk X
+            WHERE X.drawer_center[C] and (C(p,q) |= p = -2)
+        """)
+        node = analysis.query.where.parts[1]
+        assert isinstance(node, ast.WEntails)
+        assert formulas.entails(db, analysis, node.left, node.right, env)
+
+    def test_name_based_failure(self, office):
+        db, _ = office
+        analysis, env = prepared(db, """
+            SELECT X FROM Desk X
+            WHERE X.drawer_center[C] and (C(p,q) |= q = -2)
+        """)
+        node = analysis.query.where.parts[1]
+        # q ranges over [-2,0]: not always -2.
+        assert not formulas.entails(db, analysis, node.left,
+                                    node.right, env)
+
+    def test_positional_fallback(self, office):
+        """Two bare refs with disjoint schemas of equal dimension are
+        matched positionally (the Region |= case)."""
+        from repro.model.office import add_regions
+        db, _ = office
+        add_regions(db)
+        from repro import lyric
+        # drawer extent (w,z) ⊑ region (x,y): positional match.
+        result = lyric.query(db, """
+            SELECT R FROM Desk D, Region R
+            WHERE D.drawer.extent[E] and (E |= R)
+        """)
+        # Drawer extent is [-1,1]x[-1,1]; no quarter region contains it
+        # (quarters live in [0,20]x[0,10]).
+        assert len(result) == 0
+
+    def test_positional_fallback_hit(self, office):
+        db, _ = office
+        from repro.constraints.parser import parse_cst
+        db.add_cst_instance(
+            "Region", parse_cst("((x,y) | -5 <= x <= 5 and -5 <= y <= 5)"),
+            {"region_name": "origin_box"})
+        from repro import lyric
+        result = lyric.query(db, """
+            SELECT R FROM Desk D, Region R
+            WHERE D.drawer.extent[E] and (E |= R)
+        """)
+        assert len(result) == 1
+
+
+class TestOptimizeOverDisjunctions:
+    def test_min_over_union(self, office):
+        """MIN over a disjunctive system is the best branch optimum
+        (an extension over the paper's existential-conjunctive
+        typing)."""
+        db, _ = office
+        from repro import lyric
+        result = lyric.query(db, """
+            SELECT MIN(x SUBJECT TO ((x) | 1 <= x <= 2 or 5 <= x <= 6))
+            FROM Desk D
+        """)
+        assert result.single().values[0].value == 1
+
+    def test_max_over_union(self, office):
+        db, _ = office
+        from repro import lyric
+        result = lyric.query(db, """
+            SELECT MAX(x SUBJECT TO ((x) | 1 <= x <= 2 or 5 <= x <= 6))
+            FROM Desk D
+        """)
+        assert result.single().values[0].value == 6
+
+    def test_unbounded_branch_still_raises(self, office):
+        db, _ = office
+        from repro import lyric
+        from repro.errors import UnboundedError
+        with pytest.raises(UnboundedError):
+            lyric.query(db, """
+                SELECT MAX(x SUBJECT TO ((x) | x <= 1 or x >= 5))
+                FROM Desk D
+            """)
+
+    def test_all_branches_empty(self, office):
+        db, _ = office
+        from repro import lyric
+        from repro.errors import InfeasibleError
+        with pytest.raises(InfeasibleError):
+            lyric.query(db, """
+                SELECT MAX(x SUBJECT TO
+                           ((x) | (x <= 1 and x >= 2)
+                            or (x <= 5 and x >= 6)))
+                FROM Desk D
+            """)

@@ -1,0 +1,161 @@
+"""Unit tests for the FP-style constraint algebra (Section 5's
+future-work sketch)."""
+
+import pytest
+
+from repro.constraints.geometry import box
+from repro.constraints.terms import variables
+from repro.core import fpalgebra as fp
+from repro.model.office import add_file_cabinet, build_office_database
+
+x, y, u, v = variables("x y u v")
+
+
+def boxes():
+    return [
+        box([x, y], [(0, 2), (0, 2)]),
+        box([x, y], [(1, 3), (1, 3)]),
+        box([x, y], [(10, 12), (10, 12)]),
+    ]
+
+
+class TestPrimitives:
+    def test_intersect(self):
+        window = box([x, y], [(1, 11), (1, 11)])
+        clipped = fp.intersect(window)(boxes()[0])
+        assert clipped.contains_point(1, 1)
+        assert not clipped.contains_point(0, 0)
+
+    def test_union(self):
+        either = fp.union_with(boxes()[2])(boxes()[0])
+        assert either.contains_point(0, 0)
+        assert either.contains_point(11, 11)
+
+    def test_project(self):
+        line = fp.project([x])(boxes()[0])
+        assert line.dimension == 1
+        assert line.contains_point(2)
+
+    def test_rename(self):
+        renamed = fp.rename([u, v])(boxes()[0])
+        assert renamed.schema == (u, v)
+
+    def test_predicates(self):
+        assert fp.satisfiable()(boxes()[0])
+        assert fp.overlaps(boxes()[1])(boxes()[0])
+        assert not fp.overlaps(boxes()[2])(boxes()[0])
+        assert fp.entails(box([x, y], [(-1, 5), (-1, 5)]))(boxes()[0])
+        assert fp.contains_point(1, 1)(boxes()[0])
+
+
+class TestForms:
+    def test_map(self):
+        window = box([x, y], [(1, 11), (1, 11)])
+        result = fp.Map(fp.intersect(window))(boxes())
+        assert len(result) == 3
+        assert not result[0].contains_point(0, 0)
+
+    def test_filter(self):
+        probe = box([x, y], [(0, 1), (0, 1)])
+        result = fp.Filter(fp.overlaps(probe))(boxes())
+        assert len(result) == 2
+
+    def test_fold_union(self):
+        union = fp.Fold(lambda a, b: a.union(b))(boxes())
+        assert union.contains_point(0, 0)
+        assert union.contains_point(11, 11)
+        assert not union.contains_point(6, 6)
+
+    def test_fold_empty_needs_initial(self):
+        with pytest.raises(ValueError):
+            fp.Fold(lambda a, b: a.union(b))([])
+
+    def test_fold_with_initial(self):
+        from repro.constraints.cst_object import CSTObject
+        initial = CSTObject.empty([x, y])
+        union = fp.Fold(lambda a, b: a.union(b), initial)([])
+        assert not union.is_satisfiable()
+
+    def test_compose_pipeline(self):
+        window = box([x, y], [(0, 4), (0, 4)])
+        pipeline = (fp.Map(fp.intersect(window))
+                    .then(fp.Filter(fp.satisfiable())))
+        result = pipeline(boxes())
+        assert len(result) == 2
+
+    def test_compose_flattens(self):
+        a = fp.Map(fp.project([x]))
+        nested = fp.Compose((fp.Compose((a,)), a))
+        assert len(nested.forms) == 2
+
+
+class TestFusion:
+    def test_map_map_fuses(self):
+        window = box([x, y], [(0, 4), (0, 4)])
+        pipeline = (fp.Map(fp.intersect(window))
+                    .then(fp.Map(fp.project([x]))))
+        optimized = fp.optimize(pipeline)
+        assert isinstance(optimized, fp.Map)
+        assert [r.dimension for r in optimized(boxes())] == [1, 1, 1]
+
+    def test_filter_filter_fuses(self):
+        probe = box([x, y], [(0, 1), (0, 1)])
+        pipeline = (fp.Filter(fp.satisfiable())
+                    .then(fp.Filter(fp.overlaps(probe))))
+        optimized = fp.optimize(pipeline)
+        assert isinstance(optimized, fp.Filter)
+        assert len(optimized(boxes())) == 2
+
+    def test_fusion_preserves_semantics(self):
+        window = box([x, y], [(0, 4), (0, 4)])
+        probe = box([x], [(0, 2)])
+        pipeline = (fp.Map(fp.intersect(window))
+                    .then(fp.Map(fp.project([x])))
+                    .then(fp.Filter(fp.satisfiable()))
+                    .then(fp.Filter(fp.overlaps(probe))))
+        plain = pipeline(boxes())
+        fused = fp.optimize(pipeline)(boxes())
+        assert [str(o) for o in plain] == [str(o) for o in fused]
+        # And the pipeline got shorter.
+        assert len(fp.optimize(pipeline).forms) < len(pipeline.forms)
+
+    def test_non_adjacent_not_fused(self):
+        pipeline = (fp.Map(fp.project([x]))
+                    .then(fp.Filter(fp.satisfiable()))
+                    .then(fp.Map(fp.rename([y]))))
+        optimized = fp.optimize(pipeline)
+        assert isinstance(optimized, fp.Compose)
+        assert len(optimized.forms) == 3
+
+
+class TestDatabaseBridge:
+    def test_collect_extents(self):
+        db, _ = build_office_database()
+        add_file_cabinet(db)
+        extents = fp.collect(db, "Office_Object", "extent")
+        assert len(extents) == 2
+        assert all(e.dimension == 2 for e in extents)
+
+    def test_collect_with_common_schema(self):
+        db, _ = build_office_database()
+        extents = fp.collect(db, "Office_Object", "extent",
+                             schema=[u, v])
+        assert extents[0].schema == (u, v)
+
+    def test_collect_set_valued(self):
+        db, _ = build_office_database()
+        cabinet = add_file_cabinet(db)
+        centers = fp.collect(db, "File_Cabinet", "drawer_center")
+        assert len(centers) == 2
+
+    def test_end_to_end_pipeline(self):
+        """The union of all placed-object drawer centers overlapping
+        the desk's drawer line."""
+        db, _ = build_office_database()
+        add_file_cabinet(db)
+        centers = fp.collect(db, "Desk", "drawer_center")
+        window = box(centers[0].schema, [(-3, 0), (-3, 0)])
+        pipeline = (fp.Map(fp.intersect(window))
+                    .then(fp.Filter(fp.satisfiable())))
+        result = fp.optimize(pipeline)(centers)
+        assert len(result) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for the LyriC tokenizer."""
+
+import pytest
+
+from repro.core.lexer import Token, tokenize
+from repro.errors import LyricSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "kw" and t.value == "select"
+                   for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        (token, _) = tokenize("MyDesk")
+        assert token.kind == "ident"
+        assert token.value == "MyDesk"
+
+    def test_numbers(self):
+        assert values("12 3.5") == ["12", "3.5"]
+
+    def test_strings(self):
+        (token, _) = tokenize("'red desk'")
+        assert token.kind == "string"
+        assert token.value == "red desk"
+
+    def test_string_escapes(self):
+        (token, _) = tokenize(r"'it\'s'")
+        assert token.value == "it's"
+
+    def test_symbols(self):
+        assert values("|= => =>> <= >= != <> ==") \
+            == ["|=", "=>", "=>>", "<=", ">=", "!=", "<>", "=="]
+
+    def test_entailment_not_split(self):
+        tokens = tokenize("A |= B")
+        assert tokens[1].value == "|="
+
+    def test_projection_bar(self):
+        assert values("((x) | y)") == ["(", "(", "x", ")", "|", "y", ")"]
+
+    def test_comments_skipped(self):
+        assert values("x -- comment\n y") == ["x", "y"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_unknown_character(self):
+        with pytest.raises(LyricSyntaxError):
+            tokenize("x # y")
+
+    def test_brackets_and_dots(self):
+        assert values("X.drawer[Y]") == ["X", ".", "drawer", "[", "Y", "]"]

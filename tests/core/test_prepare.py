@@ -1,0 +1,52 @@
+"""Tests for prepared queries (analysis reuse)."""
+
+import pytest
+
+from repro import lyric
+from repro.model.office import build_office_database, build_office_schema
+from repro.model.database import Database
+from repro.errors import LyricSyntaxError
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestPrepare:
+    def test_run_matches_direct_query(self, office):
+        db, _ = office
+        text = """
+            SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """
+        prepared = lyric.prepare(db, text)
+        direct = lyric.query(db, text)
+        assert [r.values for r in prepared.run(db)] \
+            == [r.values for r in direct]
+
+    def test_reusable_across_runs(self, office):
+        db, oids = office
+        prepared = lyric.prepare(db, "SELECT X FROM Desk X")
+        assert len(prepared.run(db)) == 1
+        db.add_object("second_desk", "Desk", {"color": "blue"})
+        assert len(prepared.run(db)) == 2
+
+    def test_schema_binding_enforced(self, office):
+        db, _ = office
+        prepared = lyric.prepare(db, "SELECT X FROM Desk X")
+        other = Database(build_office_schema())
+        with pytest.raises(ValueError):
+            prepared.run(other)
+
+    def test_warnings_exposed(self, office):
+        db, _ = office
+        prepared = lyric.prepare(
+            db, "SELECT X FROM Desk X WHERE X.location[L]")
+        assert len(prepared.warnings) == 1
+
+    def test_syntax_error_at_prepare_time(self, office):
+        db, _ = office
+        with pytest.raises(LyricSyntaxError):
+            lyric.prepare(db, "SELECT FROM")

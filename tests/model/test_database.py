@@ -1,0 +1,178 @@
+"""Unit tests for the object store and integrity checking."""
+
+import pytest
+
+from repro.constraints.parser import parse_cst
+from repro.errors import IntegrityError, UnknownObjectError
+from repro.model.database import Database
+from repro.model.office import (
+    add_file_cabinet,
+    add_regions,
+    build_office_database,
+    build_office_schema,
+)
+from repro.model.oid import CstOid, LiteralOid, SymbolicOid, oid
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestPopulation:
+    def test_paper_instance_loads(self, office):
+        db, oids = office
+        assert len(db) == 3
+        assert oids.my_desk in db
+
+    def test_duplicate_oid_rejected(self, office):
+        db, _ = office
+        with pytest.raises(IntegrityError):
+            db.add_object("my_desk", "Object_in_Room")
+
+    def test_unknown_class_rejected(self):
+        db = Database(build_office_schema())
+        with pytest.raises(Exception):
+            db.add_object("o", "Ghost")
+
+    def test_string_oid_coerced(self):
+        db = Database(build_office_schema())
+        obj = db.add_object("thing", "Drawer")
+        assert obj.oid == SymbolicOid("thing")
+
+
+class TestExtents:
+    def test_direct_extent(self, office):
+        db, oids = office
+        assert db.direct_extent("Desk") == (oids.standard_desk,)
+
+    def test_extent_includes_subclasses(self, office):
+        db, oids = office
+        assert oids.standard_desk in db.extent("Office_Object")
+
+    def test_extent_after_adding_cabinet(self, office):
+        db, _ = office
+        cabinet = add_file_cabinet(db)
+        assert cabinet in db.extent("Office_Object")
+        assert cabinet not in db.extent("Desk")
+
+    def test_is_instance(self, office):
+        db, oids = office
+        assert db.is_instance(oids.standard_desk, "Office_Object")
+        assert not db.is_instance(oids.standard_desk, "Drawer")
+        assert not db.is_instance(oid("ghost"), "Desk")
+
+
+class TestAttributeValues:
+    def test_scalar(self, office):
+        db, oids = office
+        values = db.attribute_values(oids.standard_desk, "color")
+        assert values == (LiteralOid("red"),)
+
+    def test_missing_attribute_empty(self, office):
+        db, oids = office
+        assert db.attribute_values(oids.standard_desk, "wheels") == ()
+
+    def test_missing_object_empty(self, office):
+        db, _ = office
+        assert db.attribute_values(oid("ghost"), "color") == ()
+
+    def test_set_valued(self, office):
+        db, _ = office
+        cabinet = add_file_cabinet(db)
+        centers = db.attribute_values(cabinet, "drawer_center")
+        assert len(centers) == 2
+        assert all(isinstance(c, CstOid) for c in centers)
+
+    def test_cst_value_helper(self, office):
+        db, oids = office
+        extent = db.cst_value(oids.standard_desk, "extent")
+        assert extent.contains_point(4, 2)
+        assert db.cst_value(oids.standard_desk, "color") is None
+
+    def test_object_lookup(self, office):
+        db, oids = office
+        assert db.object(oids.my_desk).class_name == "Object_in_Room"
+        with pytest.raises(UnknownObjectError):
+            db.object(oid("ghost"))
+
+
+class TestCstInstances:
+    def test_regions(self, office):
+        db, _ = office
+        regions = add_regions(db)
+        assert len(regions) == 4
+        assert all(r in db for r in regions)
+        assert len(db.extent("Region")) == 4
+        # Regions are instances of the CST(2) superclass too.
+        assert len(db.extent("CST(2)")) == 4
+
+    def test_region_attributes(self, office):
+        db, _ = office
+        regions = add_regions(db)
+        names = {db.attribute_values(r, "region_name")[0].value
+                 for r in regions}
+        assert names == {"left_lower", "left_upper",
+                         "right_lower", "right_upper"}
+
+    def test_dimension_checked(self, office):
+        db, _ = office
+        with pytest.raises(IntegrityError):
+            db.add_cst_instance("Region", parse_cst("((x) | x <= 1)"))
+
+    def test_non_cst_class_rejected(self, office):
+        db, _ = office
+        with pytest.raises(IntegrityError):
+            db.add_cst_instance("Desk", parse_cst("((x,y) | x <= 1)"))
+
+
+class TestIntegrity:
+    def test_paper_instance_valid(self, office):
+        db, _ = office
+        db.validate()
+
+    def test_undeclared_attribute(self, office):
+        db, _ = office
+        db.add_object("rogue", "Drawer", {"wheels": 4})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_scalar_shape(self, office):
+        db, _ = office
+        db.add_object("rogue", "Drawer", {"color": ["red", "blue"]})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_cst_dimension_mismatch(self, office):
+        db, _ = office
+        db.add_object("rogue", "Drawer", {
+            "extent": parse_cst("((w) | w <= 1)")})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_dangling_reference(self, office):
+        db, _ = office
+        db.add_object("rogue", "Object_in_Room",
+                      {"catalog_object": oid("ghost")})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_wrong_class_reference(self, office):
+        db, oids = office
+        db.add_object("rogue", "Object_in_Room",
+                      {"catalog_object": oids.my_desk})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_literal_in_class_attribute(self, office):
+        db, _ = office
+        db.add_object("rogue", "Object_in_Room",
+                      {"catalog_object": "not an object"})
+        with pytest.raises(IntegrityError):
+            db.validate()
+
+    def test_non_cst_value_in_cst_attribute(self, office):
+        db, _ = office
+        db.add_object("rogue", "Drawer", {"extent": "red"})
+        with pytest.raises(IntegrityError):
+            db.validate()

@@ -1,0 +1,115 @@
+"""Unit tests for logical oids."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import Le
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.terms import variables
+from repro.model.oid import (
+    AttributeNameOid,
+    ClassNameOid,
+    CstOid,
+    FunctionalOid,
+    LiteralOid,
+    SymbolicOid,
+    as_oid,
+    oid,
+)
+
+x, y = variables("x y")
+
+
+class TestLiteralOid:
+    def test_int_normalized_to_fraction(self):
+        assert LiteralOid(3).value == Fraction(3)
+
+    def test_string(self):
+        assert LiteralOid("red").value == "red"
+
+    def test_equal_numbers(self):
+        assert LiteralOid(3) == LiteralOid(Fraction(3))
+        assert hash(LiteralOid(3)) == hash(LiteralOid(Fraction(3)))
+
+    def test_string_and_number_differ(self):
+        assert LiteralOid("3") != LiteralOid(3)
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError):
+            LiteralOid(object())
+
+    def test_str_quotes_strings(self):
+        assert str(LiteralOid("red")) == "'red'"
+        assert str(LiteralOid(Fraction(1, 2))) == "1/2"
+
+
+class TestSymbolicOid:
+    def test_identity(self):
+        assert oid("desk123") == SymbolicOid("desk123")
+        assert oid("a") != oid("b")
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            SymbolicOid("")
+
+    def test_hashable(self):
+        assert len({oid("a"), oid("a"), oid("b")}) == 2
+
+
+class TestFunctionalOid:
+    def test_identity_by_function_and_args(self):
+        a = FunctionalOid("f", [oid("x"), LiteralOid(1)])
+        b = FunctionalOid("f", [oid("x"), LiteralOid(1)])
+        c = FunctionalOid("g", [oid("x"), LiteralOid(1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_args_typed(self):
+        with pytest.raises(TypeError):
+            FunctionalOid("f", ["raw string"])
+
+    def test_str(self):
+        assert str(FunctionalOid("f", [oid("a")])) == "f(a)"
+
+
+class TestCstOid:
+    def test_canonical_identity(self):
+        a = CstOid(CSTObject.from_atoms([x], [Le(x, 1), Le(x, 5)]))
+        b = CstOid(CSTObject.from_atoms([y], [Le(2 * y, 2)]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_typed(self):
+        with pytest.raises(TypeError):
+            CstOid("not a cst")
+
+
+class TestMetaOids:
+    def test_attribute_name(self):
+        assert AttributeNameOid("color") == AttributeNameOid("color")
+        assert AttributeNameOid("color") != AttributeNameOid("extent")
+
+    def test_class_name(self):
+        assert ClassNameOid("Desk") == ClassNameOid("Desk")
+
+    def test_attribute_and_class_with_same_name_differ(self):
+        assert AttributeNameOid("X") != ClassNameOid("X")
+
+
+class TestAsOid:
+    def test_passthrough(self):
+        o = oid("a")
+        assert as_oid(o) is o
+
+    def test_number(self):
+        assert as_oid(7) == LiteralOid(7)
+
+    def test_cst(self):
+        cst = CSTObject.from_atoms([x], [Le(x, 1)])
+        assert as_oid(cst) == CstOid(cst)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_oid(True)

@@ -1,0 +1,153 @@
+"""Unit tests for path expressions (Section 2.2 semantics)."""
+
+import pytest
+
+from repro.model.office import add_file_cabinet, build_office_database
+from repro.model.oid import AttributeNameOid, LiteralOid
+from repro.model.paths import (
+    PathExpression,
+    Step,
+    VarRef,
+    enumerate_paths,
+    path_values,
+)
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestGroundPaths:
+    def test_desk123_drawer_color(self, office):
+        """The paper's example (1): desk123.drawer.color."""
+        db, oids = office
+        path = PathExpression(oids.standard_desk,
+                              (Step("drawer"), Step("color")))
+        assert path_values(db, path, {}) == {LiteralOid("red")}
+
+    def test_missing_head_is_empty(self, office):
+        """The paper: if desk123 is not an object of the database, the
+        set of paths described is empty."""
+        db, _ = office
+        from repro.model.oid import oid
+        path = PathExpression(oid("ghost"), (Step("drawer"),))
+        assert path_values(db, path, {}) == set()
+
+    def test_trivial_path_is_selector(self, office):
+        db, oids = office
+        path = PathExpression(oids.my_desk)
+        assert path_values(db, path, {}) == {oids.my_desk}
+
+    def test_ground_selector_filters(self, office):
+        db, oids = office
+        path = PathExpression(
+            oids.standard_desk,
+            (Step("drawer", oids.standard_drawer),))
+        assert path_values(db, path, {}) == {oids.standard_drawer}
+
+    def test_ground_selector_mismatch(self, office):
+        db, oids = office
+        path = PathExpression(
+            oids.standard_desk, (Step("drawer", oids.my_desk),))
+        assert path_values(db, path, {}) == set()
+
+    def test_literal_tail_selector(self, office):
+        """X.drawer[Y].color['red'] filtering on a literal."""
+        db, oids = office
+        path = PathExpression(
+            oids.standard_desk,
+            (Step("drawer"), Step("color", LiteralOid("red"))))
+        assert len(path_values(db, path, {})) == 1
+
+
+class TestVariableBinding:
+    def test_selector_variable_bound(self, office):
+        db, oids = office
+        path = PathExpression(
+            oids.standard_desk, (Step("drawer", VarRef("Y")),))
+        results = list(enumerate_paths(db, path, {}))
+        assert len(results) == 1
+        env, tail = results[0]
+        assert env["Y"] == oids.standard_drawer
+        assert tail == oids.standard_drawer
+
+    def test_bound_variable_filters(self, office):
+        db, oids = office
+        path = PathExpression(
+            oids.standard_desk, (Step("drawer", VarRef("Y")),))
+        hit = list(enumerate_paths(db, path,
+                                   {"Y": oids.standard_drawer}))
+        miss = list(enumerate_paths(db, path, {"Y": oids.my_desk}))
+        assert len(hit) == 1
+        assert not miss
+
+    def test_variable_head(self, office):
+        db, oids = office
+        path = PathExpression(VarRef("X"), (Step("drawer"),))
+        results = list(enumerate_paths(db, path, {}))
+        # Only the desk has a drawer among stored objects.
+        heads = {env["X"] for env, _ in results}
+        assert oids.standard_desk in heads
+
+    def test_bound_head(self, office):
+        db, oids = office
+        path = PathExpression(VarRef("X"), (Step("color"),))
+        results = list(
+            enumerate_paths(db, path, {"X": oids.standard_desk}))
+        assert len(results) == 1
+
+    def test_set_valued_fanout(self, office):
+        db, _ = office
+        cabinet = add_file_cabinet(db)
+        path = PathExpression(cabinet, (Step("drawer_center",
+                                             VarRef("C")),))
+        results = list(enumerate_paths(db, path, {}))
+        assert len(results) == 2
+        assert len({env["C"] for env, _ in results}) == 2
+
+
+class TestAttributeVariables:
+    def test_attribute_variable_enumerates(self, office):
+        """Higher-order variables range over attribute names."""
+        db, oids = office
+        path = PathExpression(oids.standard_drawer,
+                              (Step(VarRef("A")),))
+        results = list(enumerate_paths(db, path, {}))
+        attrs = {env["A"] for env, _ in results}
+        assert AttributeNameOid("color") in attrs
+        assert AttributeNameOid("extent") in attrs
+
+    def test_bound_attribute_variable(self, office):
+        db, oids = office
+        path = PathExpression(oids.standard_drawer, (Step(VarRef("A")),))
+        results = list(enumerate_paths(
+            db, path, {"A": AttributeNameOid("color")}))
+        assert len(results) == 1
+        assert results[0][1] == LiteralOid("red")
+
+    def test_non_attribute_binding_filters_out(self, office):
+        db, oids = office
+        path = PathExpression(oids.standard_drawer, (Step(VarRef("A")),))
+        results = list(enumerate_paths(db, path,
+                                       {"A": oids.standard_desk}))
+        assert not results
+
+
+class TestExpressionStructure:
+    def test_variables_in_order(self):
+        path = PathExpression(
+            VarRef("X"), (Step("drawer", VarRef("Y")),
+                          Step(VarRef("A"), VarRef("Y"))))
+        assert path.variables == ("X", "Y", "A")
+
+    def test_is_ground(self, office):
+        _, oids = office
+        assert PathExpression(oids.my_desk, (Step("location"),)).is_ground()
+        assert not PathExpression(VarRef("X")).is_ground()
+
+    def test_str(self, office):
+        _, oids = office
+        path = PathExpression(
+            VarRef("X"), (Step("drawer", VarRef("Y")), Step("color")))
+        assert str(path) == "X.drawer[Y].color"

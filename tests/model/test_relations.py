@@ -1,0 +1,57 @@
+"""Unit tests for the flat-relation encoding (Section 5)."""
+
+import pytest
+
+from repro.model.office import add_file_cabinet, build_office_database
+from repro.model.oid import LiteralOid
+from repro.model.relations import (
+    attribute_relation_name,
+    extent_relation_name,
+    flatten,
+)
+
+
+@pytest.fixture
+def office():
+    return build_office_database()
+
+
+class TestFlatten:
+    def test_extent_relations_exist(self, office):
+        db, _ = office
+        catalog = flatten(db)
+        for cls in ("Desk", "Office_Object", "Drawer", "Object_in_Room"):
+            assert extent_relation_name(cls) in catalog
+
+    def test_extent_includes_subclasses(self, office):
+        db, oids = office
+        catalog = flatten(db)
+        rel = catalog[extent_relation_name("Office_Object")]
+        members = {row[0] for row in rel}
+        assert oids.standard_desk in members
+
+    def test_attribute_relations(self, office):
+        db, oids = office
+        catalog = flatten(db)
+        rel = catalog[attribute_relation_name("color")]
+        pairs = {(row[0], row[1]) for row in rel}
+        assert (oids.standard_desk, LiteralOid("red")) in pairs
+        assert (oids.standard_drawer, LiteralOid("red")) in pairs
+
+    def test_set_valued_unnested(self, office):
+        db, _ = office
+        cabinet = add_file_cabinet(db)
+        catalog = flatten(db)
+        rel = catalog[attribute_relation_name("drawer_center")]
+        cabinet_rows = [row for row in rel if row[0] == cabinet]
+        assert len(cabinet_rows) == 2
+
+    def test_empty_class_has_empty_extent(self, office):
+        db, _ = office
+        catalog = flatten(db)
+        assert len(catalog[extent_relation_name("Region")]) == 0
+
+    def test_builtins_not_flattened(self, office):
+        db, _ = office
+        catalog = flatten(db)
+        assert extent_relation_name("string") not in catalog

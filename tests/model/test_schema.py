@@ -1,0 +1,171 @@
+"""Unit tests for schema definitions and resolution."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownClassError
+from repro.model.office import build_office_schema
+from repro.model.schema import AttributeDef, CSTSpec, ClassDef, Schema
+
+
+class TestCSTSpec:
+    def test_dimension(self):
+        assert CSTSpec(["w", "z"]).dimension == 2
+
+    def test_names(self):
+        assert CSTSpec(["w", "z"]).names == ("w", "z")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            CSTSpec(["w", "w"])
+
+    def test_str(self):
+        assert str(CSTSpec(["w", "z"])) == "CST(w,z)"
+
+
+class TestAttributeDef:
+    def test_cst_attribute(self):
+        attr = AttributeDef("extent", CSTSpec(["w", "z"]))
+        assert attr.is_cst
+
+    def test_interface_args_on_cst_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("extent", CSTSpec(["w"]), interface_args=("p",))
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("", "string")
+
+    def test_str_set_valued(self):
+        attr = AttributeDef("drawer_center", CSTSpec(["p1", "q1"]),
+                            set_valued=True)
+        assert "*" in str(attr)
+
+
+class TestSchemaBasics:
+    def test_builtins_present(self):
+        schema = Schema()
+        for name in ("string", "real", "integer", "boolean"):
+            assert schema.has_class(name)
+
+    def test_duplicate_class_rejected(self):
+        schema = Schema()
+        schema.define("A")
+        with pytest.raises(SchemaError):
+            schema.define("A")
+
+    def test_unknown_class(self):
+        with pytest.raises(UnknownClassError):
+            Schema().class_def("Nope")
+
+    def test_cst_class_on_demand(self):
+        schema = Schema()
+        cls = schema.ensure_cst_class(3)
+        assert cls.cst_dimension == 3
+        assert schema.has_class("CST(3)")
+
+
+class TestHierarchy:
+    def build(self) -> Schema:
+        schema = Schema()
+        schema.define("A")
+        schema.define("B", parents=("A",))
+        schema.define("C", parents=("B",))
+        schema.define("D", parents=("A",))
+        return schema
+
+    def test_superclasses(self):
+        schema = self.build()
+        assert schema.superclasses("C") == ("C", "B", "A")
+
+    def test_subclasses(self):
+        schema = self.build()
+        assert set(schema.subclasses("A")) == {"A", "B", "C", "D"}
+
+    def test_is_subclass(self):
+        schema = self.build()
+        assert schema.is_subclass("C", "A")
+        assert not schema.is_subclass("A", "C")
+        assert schema.is_subclass("A", "A")
+
+    def test_cycle_detected(self):
+        schema = Schema()
+        schema.add_class(ClassDef("X", parents=("Y",)))
+        schema.add_class(ClassDef("Y", parents=("X",)))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_unknown_parent_detected(self):
+        schema = Schema()
+        schema.define("X", parents=("Ghost",))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+
+class TestAttributes:
+    def test_inheritance(self):
+        schema = build_office_schema()
+        attrs = schema.attributes_of("Desk")
+        # Inherited from Office_Object:
+        assert "extent" in attrs
+        # Own:
+        assert "drawer_center" in attrs
+
+    def test_resolve_unknown(self):
+        schema = build_office_schema()
+        with pytest.raises(UnknownAttributeError):
+            schema.resolve_attribute("Desk", "wheels")
+
+    def test_interface_of_inherited(self):
+        schema = build_office_schema()
+        assert [v.name for v in schema.interface_of("Desk")] == ["x", "y"]
+
+    def test_interface_arity_validated(self):
+        schema = Schema()
+        schema.define("Part", interface=("a", "b"))
+        schema.define("Whole", attributes=[
+            AttributeDef("part", "Part", interface_args=("p",))])
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_unknown_attribute_target(self):
+        schema = Schema()
+        schema.define("X", attributes=[AttributeDef("bad", "Ghost")])
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+
+class TestOfficeSchema:
+    def test_validates(self):
+        build_office_schema().validate()
+
+    def test_figure_one_classes(self):
+        schema = build_office_schema()
+        for name in ("Object_in_Room", "Office_Object", "Desk",
+                     "Drawer", "File_Cabinet", "Region"):
+            assert schema.has_class(name)
+
+    def test_desk_is_office_object(self):
+        schema = build_office_schema()
+        assert schema.is_subclass("Desk", "Office_Object")
+        assert schema.is_subclass("File_Cabinet", "Office_Object")
+
+    def test_cabinet_drawer_center_set_valued(self):
+        schema = build_office_schema()
+        attr = schema.resolve_attribute("File_Cabinet", "drawer_center")
+        assert attr.set_valued
+        assert attr.target.names == ("p1", "q1")
+
+    def test_drawer_renaming(self):
+        schema = build_office_schema()
+        attr = schema.resolve_attribute("Desk", "drawer")
+        assert [v.name for v in attr.interface_args] == ["p", "q"]
+
+    def test_region_is_cst_class(self):
+        schema = build_office_schema()
+        assert schema.class_def("Region").cst_dimension == 2
+        assert schema.is_subclass("Region", "CST(2)")
+
+    def test_str_rendering(self):
+        schema = build_office_schema()
+        text = str(schema)
+        assert "Desk IS-A Office_Object" in text

@@ -1,0 +1,120 @@
+"""Stateful property test: a Database under random add / update /
+remove operations always validates and keeps extents consistent."""
+
+from fractions import Fraction
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_cst
+from repro.errors import IntegrityError
+from repro.model.database import Database
+from repro.model.office import build_office_schema
+from repro.model.oid import SymbolicOid
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    """Random walks over the mutation API."""
+
+    drawers = Bundle("drawers")
+    desks = Bundle("desks")
+
+    def __init__(self):
+        super().__init__()
+        self.db = Database(build_office_schema())
+        self.counter = 0
+
+    def fresh_name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}_{self.counter}"
+
+    @rule(target=drawers,
+          color=st.sampled_from(["red", "grey", "blue"]))
+    def add_drawer(self, color):
+        obj = self.db.add_object(self.fresh_name("drawer"), "Drawer", {
+            "color": color,
+            "extent": parse_cst(
+                "((w,z) | -1 <= w <= 1 and -1 <= z <= 1)"),
+        })
+        return obj.oid
+
+    @rule(target=desks, drawer=drawers,
+          half=st.integers(min_value=1, max_value=5))
+    def add_desk(self, drawer, half):
+        if drawer not in self.db:
+            return None
+        obj = self.db.add_object(self.fresh_name("desk"), "Desk", {
+            "color": "red",
+            "extent": parse_cst(
+                f"((w,z) | -{half} <= w <= {half} and -2 <= z <= 2)"),
+            "drawer": drawer,
+        })
+        return obj.oid
+
+    @rule(drawer=drawers,
+          color=st.sampled_from(["green", "black"]))
+    def recolor_drawer(self, drawer, color):
+        if drawer in self.db:
+            self.db.update_attribute(drawer, "color", color)
+
+    @rule(drawer=drawers)
+    def try_bad_update(self, drawer):
+        """Invalid updates must fail atomically."""
+        if drawer not in self.db:
+            return
+        before = self.db.attribute_values(drawer, "extent")
+        try:
+            self.db.update_attribute(drawer, "extent",
+                                     parse_cst("((w) | w <= 1)"))
+            raise AssertionError("dimension mismatch not caught")
+        except IntegrityError:
+            pass
+        assert self.db.attribute_values(drawer, "extent") == before
+
+    @rule(desk=desks)
+    def remove_desk(self, desk):
+        if desk is not None and desk in self.db:
+            self.db.remove_object(desk)
+
+    @rule(drawer=drawers)
+    def remove_drawer_guarded(self, drawer):
+        """Removing a referenced drawer must be refused."""
+        if drawer not in self.db:
+            return
+        referenced = any(
+            drawer in self.db.attribute_values(d, "drawer")
+            for d in self.db.extent("Desk"))
+        try:
+            self.db.remove_object(drawer)
+            assert not referenced
+        except IntegrityError:
+            assert referenced
+
+    @invariant()
+    def database_validates(self):
+        self.db.validate()
+
+    @invariant()
+    def extents_consistent(self):
+        desks = set(self.db.extent("Desk"))
+        office_objects = set(self.db.extent("Office_Object"))
+        assert desks <= office_objects
+        for oid in desks:
+            assert self.db.is_instance(oid, "Office_Object")
+
+    @invariant()
+    def no_dangling_drawers(self):
+        for desk in self.db.extent("Desk"):
+            for drawer in self.db.attribute_values(desk, "drawer"):
+                assert drawer in self.db
+
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)

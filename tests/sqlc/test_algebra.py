@@ -1,0 +1,177 @@
+"""Unit tests for plan algebra, the optimizer, and the engine."""
+
+import pytest
+
+from repro.constraints.parser import parse_cst
+from repro.errors import EvaluationError
+from repro.model.oid import CstOid, LiteralOid, oid
+from repro.sqlc.algebra import (
+    And,
+    ColumnEq,
+    ColumnLiteral,
+    CstPredicate,
+    Distinct,
+    Extend,
+    NaturalJoin,
+    Not,
+    Or,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.sqlc.engine import ExecutionStats, execute
+from repro.sqlc.optimizer import optimize, push_selections
+from repro.sqlc.relation import ConstraintRelation
+
+
+@pytest.fixture
+def catalog():
+    objects = ConstraintRelation("objects", ("oid", "color"), [
+        (oid("desk"), LiteralOid("red")),
+        (oid("cabinet"), LiteralOid("grey")),
+        (oid("chair"), LiteralOid("red")),
+    ])
+    extents = ConstraintRelation("extents", ("oid", "extent"), [
+        (oid("desk"), parse_cst("((x) | 0 <= x <= 4)")),
+        (oid("cabinet"), parse_cst("((x) | 10 <= x <= 12)")),
+        (oid("chair"), parse_cst("((x) | 3 <= x <= 5)")),
+    ])
+    return {"objects": objects, "extents": extents}
+
+
+def scan_objects():
+    return Scan("objects", ("oid", "color"))
+
+
+def scan_extents():
+    return Scan("extents", ("oid", "extent"))
+
+
+class TestEvaluation:
+    def test_scan(self, catalog):
+        assert len(execute(scan_objects(), catalog)) == 3
+
+    def test_scan_unknown(self, catalog):
+        with pytest.raises(EvaluationError):
+            execute(Scan("ghost", ("oid",)), catalog)
+
+    def test_scan_schema_mismatch(self, catalog):
+        with pytest.raises(EvaluationError):
+            execute(Scan("objects", ("oid",)), catalog)
+
+    def test_select_literal(self, catalog):
+        plan = Select(scan_objects(),
+                      ColumnLiteral("color", LiteralOid("red")))
+        assert len(execute(plan, catalog)) == 2
+
+    def test_join(self, catalog):
+        plan = NaturalJoin(scan_objects(), scan_extents())
+        result = execute(plan, catalog)
+        assert len(result) == 3
+        assert result.columns == ("oid", "color", "extent")
+
+    def test_project_and_distinct(self, catalog):
+        plan = Distinct(Project(scan_objects(), ("color",)))
+        assert len(execute(plan, catalog)) == 2
+
+    def test_rename(self, catalog):
+        plan = Rename(scan_objects(), (("oid", "o"),))
+        assert execute(plan, catalog).columns == ("o", "color")
+
+    def test_union(self, catalog):
+        plan = Union(scan_objects(), scan_objects())
+        assert len(execute(plan, catalog)) == 6
+
+    def test_extend(self, catalog):
+        plan = Extend(scan_objects(), "tag",
+                      lambda row: LiteralOid(str(row["color"])),
+                      label="tag")
+        result = execute(plan, catalog)
+        assert result.columns == ("oid", "color", "tag")
+
+    def test_cst_predicate(self, catalog):
+        overlap_3_5 = parse_cst("((x) | 3 <= x <= 5)")
+
+        def overlaps(value):
+            return isinstance(value, CstOid) \
+                and value.cst.overlaps(overlap_3_5)
+
+        plan = Select(scan_extents(),
+                      CstPredicate(("extent",), overlaps, "overlap"))
+        result = execute(plan, catalog)
+        names = {result.cell(r, "oid") for r in result}
+        assert names == {oid("desk"), oid("chair")}
+
+    def test_column_eq(self, catalog):
+        rel = ConstraintRelation("pairs", ("a", "b"), [
+            (oid("x"), oid("x")), (oid("x"), oid("y"))])
+        plan = Select(Scan("pairs", ("a", "b")), ColumnEq("a", "b"))
+        assert len(execute(plan, {"pairs": rel})) == 1
+
+    def test_boolean_connectives(self, catalog):
+        red = ColumnLiteral("color", LiteralOid("red"))
+        desk = ColumnLiteral("oid", oid("desk"))
+        assert len(execute(Select(scan_objects(),
+                                  And((red, desk))), catalog)) == 1
+        assert len(execute(Select(scan_objects(),
+                                  Or((red, desk))), catalog)) == 2
+        assert len(execute(Select(scan_objects(),
+                                  Not(red)), catalog)) == 1
+
+    def test_stats(self, catalog):
+        stats = ExecutionStats()
+        execute(scan_objects(), catalog, stats=stats)
+        assert stats.output_rows == 3
+        assert stats.input_rows == 6
+
+
+class TestOptimizer:
+    def test_pushdown_through_join(self, catalog):
+        red = ColumnLiteral("color", LiteralOid("red"))
+        plan = Select(NaturalJoin(scan_objects(), scan_extents()), red)
+        optimized = push_selections(plan)
+        # The selection must now sit below the join, on the objects side.
+        assert isinstance(optimized, NaturalJoin)
+        assert isinstance(optimized.left, Select)
+        assert execute(plan, catalog, use_optimizer=False).columns \
+            == execute(optimized, catalog, use_optimizer=False).columns
+
+    def test_pushdown_preserves_results(self, catalog):
+        red = ColumnLiteral("color", LiteralOid("red"))
+        plan = Select(NaturalJoin(scan_objects(), scan_extents()), red)
+        raw = execute(plan, catalog, use_optimizer=False)
+        opt = execute(plan, catalog, use_optimizer=True)
+        assert sorted(map(str, raw)) == sorted(map(str, opt))
+
+    def test_conjunction_split(self, catalog):
+        pred = And((ColumnLiteral("color", LiteralOid("red")),
+                    ColumnLiteral("oid", oid("desk"))))
+        plan = Select(NaturalJoin(scan_objects(), scan_extents()), pred)
+        optimized = push_selections(plan)
+        raw = execute(plan, catalog, use_optimizer=False)
+        opt = execute(optimized, catalog, use_optimizer=False)
+        assert len(raw) == len(opt) == 1
+
+    def test_pushdown_through_rename(self, catalog):
+        plan = Select(
+            Rename(scan_objects(), (("color", "paint"),)),
+            ColumnLiteral("paint", LiteralOid("red")))
+        optimized = push_selections(plan)
+        assert isinstance(optimized, Rename)
+        assert len(execute(optimized, catalog, use_optimizer=False)) == 2
+
+    def test_join_reorder_preserves_results(self, catalog):
+        plan = NaturalJoin(NaturalJoin(scan_objects(), scan_extents()),
+                           scan_objects())
+        raw = execute(plan, catalog, use_optimizer=False)
+        opt = execute(plan, catalog, use_optimizer=True)
+        assert sorted(map(str, raw)) == sorted(map(str, opt))
+
+    def test_explain_renders_tree(self, catalog):
+        plan = Select(NaturalJoin(scan_objects(), scan_extents()),
+                      ColumnLiteral("color", LiteralOid("red")))
+        text = plan.explain()
+        assert "Scan(objects)" in text
+        assert "NaturalJoin" in text

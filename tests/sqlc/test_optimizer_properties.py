@@ -1,0 +1,104 @@
+"""Property tests: optimizer rewrites preserve plan semantics on
+random relations and plans."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.oid import LiteralOid, oid
+from repro.sqlc.algebra import (
+    And,
+    ColumnEq,
+    ColumnLiteral,
+    NaturalJoin,
+    Not,
+    Or,
+    Project,
+    Scan,
+    Select,
+)
+from repro.sqlc.engine import execute
+from repro.sqlc.optimizer import optimize, push_selections
+from repro.sqlc.relation import ConstraintRelation
+
+COLORS = ["red", "grey", "blue"]
+
+
+@st.composite
+def catalogs(draw):
+    n_objects = draw(st.integers(min_value=0, max_value=8))
+    objects = ConstraintRelation("objects", ("oid", "color"))
+    sizes = ConstraintRelation("sizes", ("oid", "size"))
+    for i in range(n_objects):
+        objects.add_row((oid(f"o{i}"),
+                         LiteralOid(draw(st.sampled_from(COLORS)))))
+        if draw(st.booleans()):
+            sizes.add_row((oid(f"o{i}"),
+                           LiteralOid(draw(
+                               st.integers(min_value=1, max_value=4)))))
+    return {"objects": objects, "sizes": sizes}
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["color", "size", "eq"]))
+        if kind == "color":
+            return ColumnLiteral("color", LiteralOid(
+                draw(st.sampled_from(COLORS))))
+        if kind == "size":
+            return ColumnLiteral("size", LiteralOid(
+                draw(st.integers(min_value=1, max_value=4))))
+        return ColumnEq("oid", "oid")
+    op = draw(st.sampled_from(["and", "or", "not"]))
+    if op == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    parts = tuple(draw(predicates(depth=depth - 1))
+                  for _ in range(draw(st.integers(2, 3))))
+    return And(parts) if op == "and" else Or(parts)
+
+
+def rows_of(relation):
+    return sorted(tuple(map(str, row)) for row in relation)
+
+
+class TestRewrites:
+    @given(catalogs(), predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_pushdown_preserves_semantics(self, catalog, predicate):
+        plan = Select(
+            NaturalJoin(Scan("objects", ("oid", "color")),
+                        Scan("sizes", ("oid", "size"))),
+            predicate)
+        raw = execute(plan, catalog, use_optimizer=False)
+        pushed = execute(push_selections(plan), catalog,
+                         use_optimizer=False)
+        assert rows_of(raw) == rows_of(pushed)
+
+    @given(catalogs(), predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_full_optimizer_preserves_semantics(self, catalog,
+                                                predicate):
+        plan = Project(
+            Select(
+                NaturalJoin(Scan("objects", ("oid", "color")),
+                            Scan("sizes", ("oid", "size"))),
+                predicate),
+            ("oid", "size"))
+        raw = execute(plan, catalog, use_optimizer=False)
+        optimized = execute(plan, catalog, use_optimizer=True)
+        assert rows_of(raw) == rows_of(optimized)
+
+    @given(catalogs())
+    @settings(max_examples=40, deadline=None)
+    def test_join_reorder_three_way(self, catalog):
+        catalog = dict(catalog)
+        catalog["extra"] = ConstraintRelation(
+            "extra", ("oid",),
+            [(row[0],) for row in catalog["objects"]][:3])
+        plan = NaturalJoin(
+            NaturalJoin(Scan("objects", ("oid", "color")),
+                        Scan("sizes", ("oid", "size"))),
+            Scan("extra", ("oid",)))
+        raw = execute(plan, catalog, use_optimizer=False)
+        optimized = execute(optimize(plan, catalog), catalog,
+                            use_optimizer=False)
+        assert rows_of(raw) == rows_of(optimized)

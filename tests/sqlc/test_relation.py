@@ -1,0 +1,103 @@
+"""Unit tests for flat constraint relations."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.model.oid import LiteralOid, oid
+from repro.sqlc.relation import ConstraintRelation
+
+
+def people() -> ConstraintRelation:
+    return ConstraintRelation("people", ("person", "city"), [
+        (oid("ann"), oid("paris")),
+        (oid("bob"), oid("rome")),
+        (oid("cat"), oid("paris")),
+    ])
+
+
+def cities() -> ConstraintRelation:
+    return ConstraintRelation("cities", ("city", "country"), [
+        (oid("paris"), oid("france")),
+        (oid("rome"), oid("italy")),
+    ])
+
+
+class TestBasics:
+    def test_len_and_arity(self):
+        rel = people()
+        assert len(rel) == 3
+        assert rel.arity == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            ConstraintRelation("bad", ("a", "a"))
+
+    def test_row_arity_checked(self):
+        rel = people()
+        with pytest.raises(EvaluationError):
+            rel.add_row((oid("solo"),))
+
+    def test_values_coerced_to_oids(self):
+        rel = ConstraintRelation("lits", ("v",), [("red",), (3,)])
+        assert list(rel)[0][0] == LiteralOid("red")
+
+    def test_unknown_column(self):
+        with pytest.raises(EvaluationError):
+            people().column_index("nope")
+
+    def test_cell_and_row_dict(self):
+        rel = people()
+        row = next(iter(rel))
+        assert rel.cell(row, "person") == oid("ann")
+        assert rel.row_dict(row)["city"] == oid("paris")
+
+
+class TestOperators:
+    def test_project(self):
+        rel = people().project(["city"])
+        assert rel.columns == ("city",)
+        assert len(rel) == 3
+
+    def test_project_reorders(self):
+        rel = people().project(["city", "person"])
+        assert rel.columns == ("city", "person")
+
+    def test_distinct(self):
+        rel = people().project(["city"]).distinct()
+        assert len(rel) == 2
+
+    def test_select(self):
+        rel = people().select(lambda r: r["city"] == oid("paris"))
+        assert len(rel) == 2
+
+    def test_rename(self):
+        rel = people().rename({"person": "p"})
+        assert rel.columns == ("p", "city")
+
+    def test_union(self):
+        rel = people().union(people())
+        assert len(rel) == 6
+
+    def test_union_incompatible(self):
+        with pytest.raises(EvaluationError):
+            people().union(cities())
+
+    def test_natural_join(self):
+        joined = people().natural_join(cities())
+        assert joined.columns == ("person", "city", "country")
+        assert len(joined) == 3
+        countries = {joined.cell(r, "country") for r in joined}
+        assert countries == {oid("france"), oid("italy")}
+
+    def test_join_no_shared_columns_is_product(self):
+        left = ConstraintRelation("l", ("a",), [(oid("x"),), (oid("y"),)])
+        right = ConstraintRelation("r", ("b",), [(oid("1"),), (oid("2"),)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_join_empty(self):
+        empty = ConstraintRelation("e", ("city",))
+        assert len(people().natural_join(empty)) == 0
+
+    def test_pretty_limits(self):
+        text = people().pretty(limit=1)
+        assert "more rows" in text

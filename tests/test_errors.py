@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_single_root(self):
+        leaves = [
+            errors.ConstraintFamilyError, errors.NonLinearError,
+            errors.InfeasibleError, errors.UnboundedError,
+            errors.ConstraintSyntaxError, errors.DimensionError,
+            errors.SchemaError, errors.UnknownClassError,
+            errors.UnknownAttributeError, errors.IntegrityError,
+            errors.UnknownObjectError, errors.LyricSyntaxError,
+            errors.SemanticError, errors.EvaluationError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_layer_bases(self):
+        assert issubclass(errors.ConstraintFamilyError,
+                          errors.ConstraintError)
+        assert issubclass(errors.UnknownClassError, errors.SchemaError)
+        assert issubclass(errors.LyricSyntaxError, errors.QueryError)
+
+    def test_catch_all_from_query(self):
+        """A single except clause suffices for any library failure."""
+        from repro import lyric
+        from repro.model.office import build_office_database
+        db, _ = build_office_database()
+        for bad in ("SELECT", "SELECT X FROM Ghost X",
+                    "SELECT ((u) | u <= D.color) FROM Drawer D"):
+            with pytest.raises(errors.ReproError):
+                lyric.query(db, bad)
+
+    def test_lyric_syntax_error_location(self):
+        exc = errors.LyricSyntaxError("boom", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+        assert exc.line == 3
+
+    def test_lyric_syntax_error_without_location(self):
+        exc = errors.LyricSyntaxError("boom")
+        assert str(exc) == "boom"

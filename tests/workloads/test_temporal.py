@@ -1,0 +1,83 @@
+"""Tests for the temporal scheduling workload."""
+
+import pytest
+
+from repro import lyric
+from repro.workloads import temporal
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return temporal.generate(n_rooms=2, n_bookings=6, n_people=3,
+                             seed=5)
+
+
+class TestGeneration:
+    def test_validates(self, workload):
+        workload.db.validate()
+        assert len(workload.rooms) == 2
+        assert len(workload.bookings) == 6
+        assert len(workload.people) == 3
+
+    def test_availability_is_disjunctive(self, workload):
+        windows = workload.db.cst_value(workload.people[0], "windows")
+        from repro.constraints.families import Family
+        assert windows.family is Family.DISJUNCTIVE
+
+    def test_deterministic(self):
+        a = temporal.generate(1, 2, 1, seed=9)
+        b = temporal.generate(1, 2, 1, seed=9)
+        assert [str(x) for x in a.bookings] \
+            == [str(x) for x in b.bookings]
+
+
+class TestQueries:
+    def test_conflicts_symmetric(self, workload):
+        result = lyric.query(workload.db, temporal.CONFLICT_QUERY)
+        pairs = {(str(r.values[0]), str(r.values[1])) for r in result}
+        for a, b in pairs:
+            assert (b, a) in pairs
+
+    def test_conflicts_share_room(self, workload):
+        db = workload.db
+        result = lyric.query(db, temporal.CONFLICT_QUERY)
+        for row in result:
+            room_a = db.attribute_values(row.values[0], "room")
+            room_b = db.attribute_values(row.values[1], "room")
+            assert room_a == room_b
+
+    def test_within_hours(self, workload):
+        result = lyric.query(workload.db, temporal.WITHIN_HOURS_QUERY)
+        db = workload.db
+        for row in result:
+            booking = row.values[0]
+            slot = db.cst_value(booking, "slot")
+            room = db.attribute_values(booking, "room")[0]
+            hours = db.cst_value(room, "open_hours")
+            assert slot.entails(hours)
+
+    def test_earliest_meeting(self, workload):
+        result = lyric.query(workload.db,
+                             temporal.EARLIEST_MEETING_QUERY)
+        assert len(result) >= 1
+        for row in result:
+            feasible = row.values[2].cst
+            earliest = row.values[3].value
+            assert feasible.is_satisfiable()
+            # The reported earliest time is a member of the person's
+            # windows intersected with the room's hours.
+            assert earliest >= temporal.DAY_START
+
+    def test_min_over_disjunctive_windows(self, workload):
+        """The MIN in the earliest-meeting query runs over a
+        disjunctive system (two availability windows)."""
+        db = workload.db
+        result = lyric.query(db, """
+            SELECT P, MIN(t SUBJECT TO ((t) | W(t)))
+            FROM Availability P WHERE P.windows[W]
+        """)
+        assert len(result) == 3
+        for row in result:
+            person = row.values[0]
+            windows = db.cst_value(person, "windows")
+            assert windows.contains_point(row.values[1].value)

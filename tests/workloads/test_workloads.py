@@ -1,0 +1,152 @@
+"""Tests for the workload generators and their standard queries."""
+
+import pytest
+
+from repro import lyric
+from repro.workloads import manufacturing, mda, office, random_constraints
+
+
+class TestOfficeWorkload:
+    def test_generation_is_deterministic(self):
+        a = office.generate(6, seed=42)
+        b = office.generate(6, seed=42)
+        assert [str(o) for o in a.placed] == [str(o) for o in b.placed]
+
+    def test_database_validates(self):
+        workload = office.generate(8, seed=1)
+        workload.db.validate()
+        assert len(workload.placed) == 8
+
+    def test_mixes_desks_and_cabinets(self):
+        workload = office.generate(6, seed=1)
+        desks = workload.db.extent("Desk")
+        cabinets = workload.db.extent("File_Cabinet")
+        assert len(desks) == 3
+        assert len(cabinets) == 3
+
+    def test_placed_extent_query(self):
+        workload = office.generate(4, seed=2)
+        result = lyric.query(workload.db, office.PLACED_EXTENT_QUERY)
+        assert len(result) == 4
+        for row in result:
+            cst = row.values[1].cst
+            assert cst.dimension == 2
+            assert cst.is_satisfiable()
+
+    def test_red_left_drawer_query(self):
+        workload = office.generate(10, seed=3)
+        result = lyric.query(workload.db, office.RED_LEFT_DRAWER_QUERY)
+        # All generated desk drawer lines have p < 0: every red desk
+        # qualifies.
+        red_desks = [
+            d for d in workload.db.extent("Desk")
+            if str(workload.db.attribute_values(d, "color")[0]) == "'red'"]
+        assert len(result) == len(red_desks)
+
+    def test_overlap_query_runs(self):
+        workload = office.generate(4, seed=4)
+        result = lyric.query(workload.db, office.OVERLAP_QUERY)
+        # Grid placement is collision-free by construction; just check
+        # the query executes and is symmetric.
+        pairs = {(str(r.values[0]), str(r.values[1])) for r in result}
+        for a, b in pairs:
+            assert (b, a) in pairs
+
+
+class TestMdaWorkload:
+    def test_generation(self):
+        workload = mda.generate(5, 4, seed=0)
+        workload.db.validate()
+        assert len(workload.goals) == 5
+        assert len(workload.maneuvers) == 4
+
+    def test_compatible_query(self):
+        workload = mda.generate(4, 3, seed=1)
+        result = lyric.query(workload.db, mda.COMPATIBLE_QUERY)
+        # Sanity: compatibility is a subset of all pairs.
+        assert len(result) <= 12
+
+    def test_within_implies_compatible(self):
+        workload = mda.generate(4, 4, seed=2)
+        compatible = {
+            (str(r.values[0]), str(r.values[1]))
+            for r in lyric.query(workload.db, mda.COMPATIBLE_QUERY)}
+        within = {
+            (str(r.values[0]), str(r.values[1]))
+            for r in lyric.query(workload.db, mda.WITHIN_QUERY)}
+        assert within <= compatible
+
+    def test_best_speed_query(self):
+        workload = mda.generate(3, 3, seed=3)
+        result = lyric.query(workload.db, mda.BEST_SPEED_QUERY)
+        for row in result:
+            region = row.values[2].cst
+            assert region.dimension == 4
+            assert region.is_satisfiable()
+
+
+class TestManufacturingWorkload:
+    def test_generation(self):
+        workload = manufacturing.generate(3, seed=0)
+        workload.db.validate()
+        assert len(workload.processes) == 6
+
+    def test_material_connection(self):
+        workload = manufacturing.generate(2, n_orders=2, seed=1)
+        result = lyric.query(workload.db,
+                             manufacturing.MATERIAL_CONNECTION_QUERY)
+        assert len(result) == 4  # 2 orders x 2 candidate processes
+        for row in result:
+            connection = row.values[2].cst
+            assert connection.dimension == 3
+
+    def test_cheapest_fill(self):
+        workload = manufacturing.generate(2, n_orders=2, seed=2)
+        result = lyric.query(workload.db,
+                             manufacturing.CHEAPEST_FILL_QUERY)
+        for row in result:
+            cost = row.values[2]
+            assert cost.value >= 0
+
+    def test_max_output(self):
+        workload = manufacturing.generate(2, seed=3)
+        result = lyric.query(workload.db,
+                             manufacturing.MAX_OUTPUT_QUERY)
+        assert len(result) == len(workload.processes)
+
+
+class TestRandomConstraints:
+    def test_polytope_satisfiable(self):
+        for seed in range(5):
+            poly = random_constraints.random_polytope(3, 6, seed)
+            assert poly.is_satisfiable()
+
+    def test_infeasible(self):
+        for seed in range(5):
+            bad = random_constraints.random_infeasible(3, 4, seed)
+            assert not bad.is_satisfiable()
+
+    def test_dnf_fraction(self):
+        dnf = random_constraints.random_dnf(
+            2, 10, 3, seed=7, infeasible_fraction=1.0)
+        assert not dnf.is_satisfiable()
+        good = random_constraints.random_dnf(
+            2, 10, 3, seed=7, infeasible_fraction=0.0)
+        assert good.is_satisfiable()
+
+    def test_deterministic(self):
+        a = random_constraints.random_polytope(4, 8, seed=5)
+        b = random_constraints.random_polytope(4, 8, seed=5)
+        assert a == b
+
+    def test_chained_projection_system(self):
+        system = random_constraints.chained_projection_system(5, seed=1)
+        assert system.is_satisfiable()
+
+    def test_redundant_conjunction_canonical_shrinks(self):
+        from repro.constraints.canonical import canonical_conjunctive
+        conj = random_constraints.redundant_conjunction(
+            3, 5, 4, seed=2)
+        canonical = canonical_conjunctive(conj)
+        assert len(canonical) < len(conj)
+        assert canonical.is_satisfiable()
