@@ -14,7 +14,12 @@ import argparse
 import sys
 
 from repro import lyric
-from repro.errors import ReproError
+from repro.errors import (
+    ConstraintSyntaxError,
+    LyricSyntaxError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.model.database import Database
 from repro.model.office import (
     add_file_cabinet,
@@ -22,6 +27,13 @@ from repro.model.office import (
     build_office_database,
 )
 from repro.model.serialize import read_database, save_database
+from repro.runtime import ExecutionGuard, guarded
+
+#: Exit codes: syntax problems and resource exhaustion are
+#: distinguishable by scripts; every other library error is 1.
+EXIT_ERROR = 1
+EXIT_SYNTAX = 2
+EXIT_RESOURCE = 3
 
 
 def _office_database() -> Database:
@@ -38,6 +50,59 @@ def _load(args) -> Database:
         raise SystemExit(
             "a database file is required (or pass --office)")
     return read_database(args.database)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {text!r}")
+    return value
+
+
+def _add_guard_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resource limits")
+    group.add_argument("--timeout", type=_positive_float,
+                       metavar="SECONDS",
+                       help="wall-clock deadline for the execution")
+    group.add_argument("--max-pivots", type=_positive_int, metavar="N",
+                       help="exact-simplex pivot budget")
+    group.add_argument("--max-branches", type=_positive_int, metavar="N",
+                       help="disequality branch budget")
+    group.add_argument("--max-disjuncts", type=_positive_int, metavar="N",
+                       help="cap on the size of any disjunction")
+    group.add_argument("--max-canonical", type=_positive_int, metavar="N",
+                       help="canonicalisation work budget")
+    group.add_argument("--on-exhaustion", choices=("fail", "degrade"),
+                       default="fail",
+                       help="on budget exhaustion: fail the query "
+                            "(default) or return a partial result "
+                            "with a warning")
+
+
+def _guard_from(args) -> ExecutionGuard | None:
+    """An ExecutionGuard from the CLI flags, or None when no limit was
+    requested (the zero-overhead default)."""
+    limits = {
+        "deadline": getattr(args, "timeout", None),
+        "max_pivots": getattr(args, "max_pivots", None),
+        "max_branches": getattr(args, "max_branches", None),
+        "max_disjuncts": getattr(args, "max_disjuncts", None),
+        "max_canonical": getattr(args, "max_canonical", None),
+    }
+    if all(v is None for v in limits.values()):
+        return None
+    return ExecutionGuard(on_exhaustion=getattr(args, "on_exhaustion",
+                                                "fail"),
+                          **limits)
 
 
 def cmd_demo(args) -> int:
@@ -68,10 +133,11 @@ def cmd_query(args) -> int:
     if args.explain:
         print(lyric.explain(db, text))
         return 0
+    guard = _guard_from(args)
     if args.translated:
-        result = lyric.query_translated(db, text)
+        result = lyric.query_translated(db, text, guard=guard)
     else:
-        result = lyric.query(db, text)
+        result = lyric.query(db, text, guard=guard)
     print(result.pretty(limit=args.limit))
     print(f"({len(result)} rows)")
     return 0
@@ -101,15 +167,16 @@ def cmd_shell(args) -> int:
         if text.lower() in ("quit", "exit"):
             break
         try:
-            if text.lower().startswith("create"):
-                created = lyric.view(db, text)
-                for name in created.classes:
-                    members = created.instances.get(name, [])
-                    print(f"{name}: {len(members)} instances")
-            else:
-                result = lyric.query(db, text)
-                print(result.pretty())
-                print(f"({len(result)} rows)")
+            with guarded(_guard_from(args)):
+                if text.lower().startswith("create"):
+                    created = lyric.view(db, text)
+                    for name in created.classes:
+                        members = created.instances.get(name, [])
+                        print(f"{name}: {len(members)} instances")
+                else:
+                    result = lyric.query(db, text)
+                    print(result.pretty())
+                    print(f"({len(result)} rows)")
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
     return 0
@@ -120,7 +187,8 @@ def cmd_view(args) -> int:
     text = args.view
     if text == "-":
         text = sys.stdin.read()
-    created = lyric.view(db, text)
+    with guarded(_guard_from(args)):
+        created = lyric.view(db, text)
     for class_name in created.classes:
         members = created.instances.get(class_name, [])
         print(f"{class_name}: {len(members)} instances")
@@ -164,11 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "evaluating")
     query.add_argument("--limit", type=int, default=20,
                        help="rows to print")
+    _add_guard_options(query)
     query.set_defaults(fn=cmd_query)
 
     shell = sub.add_parser("shell", help="interactive LyriC shell")
     shell.add_argument("database", nargs="?")
     shell.add_argument("--office", action="store_true")
+    _add_guard_options(shell)
     shell.set_defaults(fn=cmd_shell)
 
     view = sub.add_parser("view", help="execute a CREATE VIEW")
@@ -176,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     view.add_argument("view", help="view text, or - for stdin")
     view.add_argument("--office", action="store_true")
     view.add_argument("--save", help="write the updated database here")
+    _add_guard_options(view)
     view.set_defaults(fn=cmd_view)
 
     schema = sub.add_parser("schema", help="print a database's schema")
@@ -191,9 +262,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except (LyricSyntaxError, ConstraintSyntaxError) as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return EXIT_SYNTAX
+    except ResourceExhausted as exc:
+        print(f"resource limit: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

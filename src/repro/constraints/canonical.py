@@ -30,6 +30,7 @@ from repro.constraints.existential import (
     ExistentialConjunctiveConstraint,
 )
 from repro.constraints.terms import Variable
+from repro.runtime.guard import current_guard
 
 
 def canonical_conjunctive(conj: ConjunctiveConstraint,
@@ -49,10 +50,13 @@ def canonical_conjunctive(conj: ConjunctiveConstraint,
         return conj
     atoms = list(conj.sorted_atoms())
     kept: list = []
+    guard = current_guard()
     # A single backward pass relative to the full remaining context keeps
     # the result order-independent: an atom is dropped iff implied by
     # (kept so far) + (not yet examined).
     for i, atom in enumerate(atoms):
+        if guard is not None:
+            guard.tick_canonical()
         context = ConjunctiveConstraint(kept + atoms[i + 1:])
         if not implication.atom_redundant_in(atom, context):
             kept.append(atom)
@@ -69,7 +73,10 @@ def canonical_disjunctive(dis: DisjunctiveConstraint,
     deliberately **not** removed — co-NP-complete per [Sri92].
     """
     canonical = []
+    guard = current_guard()
     for d in dis.disjuncts:
+        if guard is not None:
+            guard.tick_canonical()
         c = canonical_conjunctive(d, remove_redundant=remove_redundant_atoms)
         if not c.is_syntactically_false():
             canonical.append(c)
@@ -88,8 +95,11 @@ def remove_subsumed_disjuncts(dis: DisjunctiveConstraint
     (exponential in the disjunction size in the worst case).
     """
     kept = list(dis.disjuncts)
+    guard = current_guard()
     i = 0
     while i < len(kept):
+        if guard is not None:
+            guard.tick_canonical()
         candidate = kept[i]
         others = kept[:i] + kept[i + 1:]
         if others and implication.conjunctive_entails_disjunction(

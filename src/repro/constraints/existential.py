@@ -22,6 +22,7 @@ from repro.constraints.atoms import LinearConstraint
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.disjunctive import DisjunctiveConstraint
 from repro.constraints.terms import RationalLike, Variable
+from repro.runtime.guard import current_guard
 
 #: Threshold for the "simplifying quantifier elimination" heuristic: a
 #: quantified variable is eliminated eagerly when its Fourier-Motzkin
@@ -176,10 +177,13 @@ class ExistentialConjunctiveConstraint:
         """
         body = self._body
         quantified = set(self._quantified)
+        guard = current_guard()
         changed = True
         while changed and quantified:
             changed = False
             for var in sorted(quantified, key=lambda v: v.name):
+                if guard is not None:
+                    guard.tick_canonical(fragment="existential-simplify")
                 if var not in body.variables:
                     quantified.discard(var)
                     changed = True
@@ -315,6 +319,10 @@ class DisjunctiveExistentialConstraint:
                 cleaned.append(d)
         self._disjuncts = tuple(cleaned)
         self._hash: int | None = None
+        guard = current_guard()
+        if guard is not None:
+            guard.note_disjuncts(len(self._disjuncts),
+                                 fragment="disjunctive-existential")
 
     # -- constructors ---------------------------------------------------------
 

@@ -303,10 +303,18 @@ def _free_vars(body):
 def parse_cst(text: str) -> CSTObject:
     """Parse a CST object in projection notation
     ``((x,y) | x + y <= 1 and ...)``."""
-    return _Parser(text).parse_cst()
+    try:
+        return _Parser(text).parse_cst()
+    except RecursionError:
+        raise ConstraintSyntaxError(
+            "constraint too deeply nested to parse") from None
 
 
 def parse_constraint(text: str):
     """Parse a bare constraint formula (no projection head); returns a
     member of the most specific applicable family."""
-    return _Parser(text).parse_constraint()
+    try:
+        return _Parser(text).parse_constraint()
+    except RecursionError:
+        raise ConstraintSyntaxError(
+            "constraint too deeply nested to parse") from None

@@ -23,6 +23,8 @@ from repro.constraints import simplex
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.terms import Variable
+from repro.errors import ReservedVariableError
+from repro.runtime.guard import current_guard
 
 #: Reserved variable for the strict-inequality slack.  The name cannot be
 #: produced by :func:`repro.constraints.terms.variables`, and collisions
@@ -53,15 +55,32 @@ def _solve_branches(base: list[LinearConstraint],
                     pending: list[LinearConstraint],
                     all_vars: frozenset[Variable]
                     ) -> Mapping[Variable, Fraction] | None:
-    """DFS over the <,> splits of pending disequalities."""
-    if not pending:
-        return _solve_strict(base, all_vars)
-    atom, rest = pending[0], pending[1:]
-    below, above = atom.split_disequality()
-    for branch in (below, above):
-        point = _solve_branches(base + [branch], rest, all_vars)
-        if point is not None:
-            return point
+    """DFS over the <,> splits of pending disequalities.
+
+    The search is an explicit worklist rather than recursion: with many
+    disequalities the recursive formulation would overflow Python's
+    stack long before the 2^k leaves were enumerated, and the explicit
+    loop gives the branch budget a single checkpoint.  Each worklist
+    entry pairs the accumulated strict branches with the disequalities
+    still to split; entries are pushed so that the ``<`` branch of the
+    first pending disequality is explored first (the recursive order).
+    """
+    guard = current_guard()
+    stack: list[tuple[list[LinearConstraint], list[LinearConstraint]]] \
+        = [(base, pending)]
+    while stack:
+        atoms, rest = stack.pop()
+        if guard is not None:
+            guard.tick_branch()
+        if not rest:
+            point = _solve_strict(atoms, all_vars)
+            if point is not None:
+                return point
+            continue
+        atom, remaining = rest[0], rest[1:]
+        below, above = atom.split_disequality()
+        stack.append((atoms + [above], remaining))
+        stack.append((atoms + [below], remaining))
     return None
 
 
@@ -78,8 +97,9 @@ def _solve_strict(atoms: list[LinearConstraint],
     for atom in atoms:
         for var in atom.variables:
             if var.name == _EPSILON_NAME:
-                raise ValueError(
-                    f"variable name {_EPSILON_NAME!r} is reserved")
+                raise ReservedVariableError(
+                    f"variable name {_EPSILON_NAME!r} is reserved for "
+                    "the strict-inequality slack")
     eps = Variable(_EPSILON_NAME)
     relaxed = list(non_strict)
     for atom in strict:

@@ -29,6 +29,7 @@ from typing import Mapping, Sequence
 from repro.errors import ConstraintError
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.terms import LinearExpression, Variable
+from repro.runtime.guard import current_guard
 
 
 class LPStatus(enum.Enum):
@@ -75,6 +76,9 @@ def solve(objective: LinearExpression,
         if atom.relop not in (Relop.LE, Relop.EQ):
             raise ConstraintError(
                 f"simplex accepts only <= and = atoms, got {atom}")
+    guard = current_guard()
+    if guard is not None:
+        guard.enter_simplex()
     objective = LinearExpression.coerce(objective)
     problem = _StandardForm(objective, constraints, maximize)
     return problem.solve()
@@ -260,6 +264,7 @@ class _StandardForm:
         ``detect_unbounded``, Phase I cannot be unbounded).
         """
         n_rows = len(rows)
+        guard = current_guard()
         while True:
             entering = next(
                 (j for j in range(n_cols) if reduced[j] < 0), None)
@@ -281,6 +286,8 @@ class _StandardForm:
                 if detect_unbounded:
                     return None
                 raise ConstraintError("phase-I simplex reported unbounded")
+            if guard is not None:
+                guard.tick_pivots()
             value += (-reduced[entering]) * best_ratio
             self._pivot(rows, rhs, reduced, leaving, entering)
             basis[leaving] = entering

@@ -509,8 +509,17 @@ class _Parser:
 
 def parse(text: str):
     """Parse a LyriC statement: a :class:`~repro.core.ast.Query` or a
-    :class:`~repro.core.ast.CreateView`."""
-    return _Parser(text).parse_statement()
+    :class:`~repro.core.ast.CreateView`.
+
+    The parser is recursive-descent, so adversarially nested input can
+    exhaust the interpreter stack; that surfaces as a syntax error, not
+    a bare :class:`RecursionError`.
+    """
+    try:
+        return _Parser(text).parse_statement()
+    except RecursionError:
+        raise LyricSyntaxError(
+            "query too deeply nested to parse") from None
 
 
 def parse_query(text: str) -> ast.Query:

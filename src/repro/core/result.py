@@ -36,10 +36,25 @@ class ResultSet:
         self._columns = columns
         self._rows: list[ResultRow] = []
         self._seen: set[tuple] = set()
+        self._warnings: list[str] = []
 
     @property
     def columns(self) -> tuple[str, ...]:
         return self._columns
+
+    @property
+    def warnings(self) -> tuple[str, ...]:
+        """Execution warnings (e.g. "partial result: deadline
+        exceeded" under ``on_exhaustion="degrade"``)."""
+        return tuple(self._warnings)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when a resource budget tripped and rows may be missing."""
+        return bool(self._warnings)
+
+    def add_warning(self, message: str) -> None:
+        self._warnings.append(message)
 
     def add(self, row: ResultRow) -> None:
         key = (row.values, row.oid)
@@ -106,6 +121,8 @@ class ResultSet:
             lines.append(" | ".join(cells))
         if len(self._rows) > limit:
             lines.append(f"... ({len(self._rows) - limit} more rows)")
+        for warning in self._warnings:
+            lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
     def __repr__(self):

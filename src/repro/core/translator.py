@@ -67,9 +67,13 @@ def run_translated(db: Database, query: ast.Query | str,
     a :class:`ResultSet` comparable with the naive evaluator's."""
     translated = translate(db, query)
     catalog = flatten(db)
+    if stats is None:
+        stats = engine.ExecutionStats()
     relation = engine.execute(translated.plan, catalog,
                               use_optimizer=use_optimizer, stats=stats)
     result = ResultSet(translated.columns)
+    for warning in stats.warnings:
+        result.add_warning(warning)
     for row in relation:
         mapping = relation.row_dict(row)
         values = tuple(mapping[c] for c in translated.columns)

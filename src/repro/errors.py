@@ -49,6 +49,25 @@ class ConstraintSyntaxError(ConstraintError):
     """Textual constraint input could not be parsed."""
 
 
+class ReservedVariableError(ConstraintError):
+    """A user variable collides with an engine-reserved name.
+
+    The strict-inequality epsilon trick reserves ``__eps__``
+    (:mod:`repro.constraints.satisfiability`); building a constraint
+    over that name would silently change its meaning, so it is
+    rejected up front.
+    """
+
+
+class InjectedFaultError(ConstraintError):
+    """A failure injected by the fault harness.
+
+    Raised only when a :class:`repro.runtime.FaultPlan` asks a
+    component (e.g. the simplex) to fail deterministically, so that
+    error-handling paths can be exercised without pathological inputs.
+    """
+
+
 class DimensionError(ConstraintError):
     """A CST object was used with the wrong number of variables."""
 
@@ -80,6 +99,72 @@ class IntegrityError(ModelError):
 
 class UnknownObjectError(ModelError):
     """Reference to an oid not present in the database."""
+
+
+# ---------------------------------------------------------------------------
+# Resource governance (repro.runtime)
+# ---------------------------------------------------------------------------
+
+
+class ResourceExhausted(ReproError):
+    """A query exceeded one of its execution budgets.
+
+    Carries structured diagnostics so that callers (and the CLI) can
+    report *which* budget tripped and how much work had been done:
+
+    ``budget``
+        The budget's name (``"deadline"``, ``"pivots"``, ``"branches"``,
+        ``"disjuncts"``, ``"canonical"``, ``"cancellation"``).
+    ``limit``
+        The configured limit (seconds for the deadline, counts
+        otherwise; ``0`` for cancellation).
+    ``spent``
+        How much had been spent when the budget tripped.
+    ``fragment``
+        Optional: which engine component was executing (e.g.
+        ``"simplex"``, ``"satisfiability"``, ``"evaluator"``), or
+        ``"fault-injection"`` for injected exhaustion.
+    """
+
+    def __init__(self, message: str, *, budget: str, limit, spent,
+                 fragment: str | None = None):
+        where = f", in {fragment}" if fragment else ""
+        super().__init__(
+            f"{message} [budget={budget}, limit={limit}, "
+            f"spent={spent}{where}]")
+        self.budget = budget
+        self.limit = limit
+        self.spent = spent
+        self.fragment = fragment
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed before the query finished."""
+
+
+class PivotBudgetExceeded(ResourceExhausted):
+    """The exact simplex performed more pivots than allowed."""
+
+
+class BranchBudgetExceeded(ResourceExhausted):
+    """Disequality branching explored more branches than allowed."""
+
+
+class DisjunctBudgetExceeded(ResourceExhausted):
+    """A disjunction grew beyond the configured disjunct cap."""
+
+
+class CanonicalizationBudgetExceeded(ResourceExhausted):
+    """Canonicalisation performed more work units than allowed."""
+
+
+class QueryCancelled(ResourceExhausted):
+    """Cooperative cancellation was requested and observed."""
+
+    def __init__(self, message: str = "query cancelled", *,
+                 spent=0, fragment: str | None = None):
+        super().__init__(message, budget="cancellation", limit=0,
+                         spent=spent, fragment=fragment)
 
 
 # ---------------------------------------------------------------------------

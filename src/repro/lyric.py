@@ -21,18 +21,30 @@ from repro.core.result import ResultSet
 from repro.core.translator import run_translated
 from repro.core.views import ViewResult, create_view
 from repro.model.database import Database
+from repro.runtime import ExecutionGuard, guarded
 
 
-def query(db: Database, text: str | ast.Query) -> ResultSet:
-    """Evaluate a LyriC query with the naive object-level evaluator."""
-    return evaluate(db, text)
+def query(db: Database, text: str | ast.Query,
+          guard: ExecutionGuard | None = None) -> ResultSet:
+    """Evaluate a LyriC query with the naive object-level evaluator.
+
+    An optional :class:`~repro.runtime.ExecutionGuard` bounds the
+    execution (deadline, pivot/branch/disjunct/canonicalisation
+    budgets, cancellation); with ``on_exhaustion="degrade"`` the result
+    is partial-with-warnings instead of an error.  Equivalent to
+    ``with guarded(guard): lyric.query(db, text)``.
+    """
+    with guarded(guard):
+        return evaluate(db, text)
 
 
 def query_translated(db: Database, text: str | ast.Query,
-                     use_optimizer: bool = True) -> ResultSet:
+                     use_optimizer: bool = True,
+                     guard: ExecutionGuard | None = None) -> ResultSet:
     """Evaluate via the Section 5 translation to flat SQL with
     constraints (the second, independent evaluation path)."""
-    return run_translated(db, text, use_optimizer=use_optimizer)
+    with guarded(guard):
+        return run_translated(db, text, use_optimizer=use_optimizer)
 
 
 def view(db: Database, text: str | ast.CreateView) -> ViewResult:
@@ -106,6 +118,8 @@ def prepare(db: Database, text: str | ast.Query) -> PreparedQuery:
 
 __all__ = [
     "Database",
+    "ExecutionGuard",
+    "guarded",
     "ResultSet",
     "ViewResult",
     "create_view",

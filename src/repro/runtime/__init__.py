@@ -1,0 +1,31 @@
+"""Resource governance for query execution.
+
+Public surface:
+
+* :class:`ExecutionGuard` — deadlines, work budgets, cancellation;
+* :func:`guarded` / :func:`current_guard` — the ambient activation
+  protocol used by the engine's hot paths;
+* :class:`FaultPlan` — deterministic fault injection for testing every
+  degradation path.
+
+See ``docs/API.md`` ("Resource limits and graceful degradation").
+"""
+
+from repro.runtime.faults import BUDGETS, FaultPlan
+from repro.runtime.guard import (
+    POLICIES,
+    ExecutionGuard,
+    current_guard,
+    guarded,
+    should_degrade,
+)
+
+__all__ = [
+    "BUDGETS",
+    "POLICIES",
+    "ExecutionGuard",
+    "FaultPlan",
+    "current_guard",
+    "guarded",
+    "should_degrade",
+]

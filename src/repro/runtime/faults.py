@@ -1,0 +1,69 @@
+"""Deterministic fault injection for the resource-governance layer.
+
+The degradation paths of :mod:`repro.runtime.guard` — budget
+exhaustion, solver failure, cancellation — are hard to reach with
+well-behaved inputs and flaky to reach with pathological ones.  A
+:class:`FaultPlan` attached to an :class:`~repro.runtime.guard.ExecutionGuard`
+makes every one of them reproducible:
+
+* ``exhaust_budget``/``exhaust_after`` — trip the named budget on the
+  Nth spend tick, regardless of any configured limit;
+* ``fail_simplex_at`` — raise :class:`repro.errors.InjectedFaultError`
+  on the Nth entry into the exact simplex;
+* ``cancel_at_checkpoint`` — behave as if :meth:`ExecutionGuard.cancel`
+  had been called just before the Nth cooperative checkpoint.
+
+All counters are 1-based and deterministic: the same query against the
+same database trips at the same spot every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Budget names a plan may exhaust (mirrors ExecutionGuard's counters).
+BUDGETS = ("deadline", "pivots", "branches", "disjuncts", "canonical")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    Attach to a guard with ``ExecutionGuard(faults=FaultPlan(...))``.
+    A default-constructed plan injects nothing.
+    """
+
+    #: Trip this budget as if its limit were ``exhaust_after``.
+    exhaust_budget: str | None = None
+    #: Spend threshold for ``exhaust_budget``: the budget trips on the
+    #: first tick that brings its counter above this value.
+    exhaust_after: int = 0
+    #: Raise ``InjectedFaultError`` on the Nth simplex solve (1-based).
+    fail_simplex_at: int | None = None
+    #: Trip cancellation on the Nth cooperative checkpoint (1-based).
+    cancel_at_checkpoint: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.exhaust_budget is not None \
+                and self.exhaust_budget not in BUDGETS:
+            raise ValueError(
+                f"unknown budget {self.exhaust_budget!r}; "
+                f"expected one of {BUDGETS}")
+
+    # -- queries used by ExecutionGuard ---------------------------------
+
+    def exhausts(self, budget: str, spent: int) -> bool:
+        """Should ``budget`` trip now, given its spend counter?"""
+        return (self.exhaust_budget == budget
+                and spent > self.exhaust_after)
+
+    def simplex_should_fail(self, call_number: int) -> bool:
+        """Should the ``call_number``-th simplex solve fail?"""
+        return (self.fail_simplex_at is not None
+                and call_number == self.fail_simplex_at)
+
+    def cancels_at(self, checkpoint_number: int) -> bool:
+        """Should the ``checkpoint_number``-th checkpoint observe a
+        cancellation?"""
+        return (self.cancel_at_checkpoint is not None
+                and checkpoint_number >= self.cancel_at_checkpoint)

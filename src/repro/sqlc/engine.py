@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.errors import ResourceExhausted
+from repro.runtime.guard import (
+    ExecutionGuard,
+    current_guard,
+    guarded,
+    should_degrade,
+)
 from repro.sqlc.algebra import Catalog, Plan
 from repro.sqlc.optimizer import optimize
 from repro.sqlc.relation import ConstraintRelation
@@ -11,29 +18,76 @@ from repro.sqlc.relation import ConstraintRelation
 
 @dataclass
 class ExecutionStats:
-    """Counters filled by :func:`execute` (used by the benchmarks)."""
+    """Counters filled by :func:`execute` (used by the benchmarks).
+
+    The budget-spend block mirrors the active
+    :class:`~repro.runtime.ExecutionGuard`'s counters; without a guard
+    it stays at zero.  ``exhausted`` names the budget that tripped when
+    the execution degraded (``on_exhaustion="degrade"``).
+    """
 
     optimized: bool = False
     input_rows: int = 0
     output_rows: int = 0
+    # -- budget spend (from the ambient ExecutionGuard) ----------------
+    elapsed: float = 0.0
+    pivots: int = 0
+    branches: int = 0
+    canonical_steps: int = 0
+    peak_disjuncts: int = 0
+    checkpoints: int = 0
+    simplex_calls: int = 0
+    exhausted: str | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    def capture_guard(self, guard: ExecutionGuard | None) -> None:
+        if guard is None:
+            return
+        self.elapsed = guard.elapsed()
+        self.pivots = guard.pivots
+        self.branches = guard.branches
+        self.canonical_steps = guard.canonical_steps
+        self.peak_disjuncts = guard.peak_disjuncts
+        self.checkpoints = guard.checkpoints
+        self.simplex_calls = guard.simplex_calls
 
 
 def execute(plan: Plan, catalog: Catalog,
             use_optimizer: bool = True,
-            stats: ExecutionStats | None = None) -> ConstraintRelation:
+            stats: ExecutionStats | None = None,
+            guard: ExecutionGuard | None = None) -> ConstraintRelation:
     """Evaluate ``plan`` against ``catalog``.
 
     With ``use_optimizer`` (default) the plan is rewritten by
     :func:`repro.sqlc.optimizer.optimize` first; this is the knob the
     E8 benchmark flips.
+
+    Resource governance: an explicit ``guard`` is activated for the
+    duration of the call; otherwise the ambient guard (if any) applies.
+    When the guard's policy is ``"degrade"``, budget exhaustion yields
+    an **empty relation with the plan's columns** plus a warning in
+    ``stats`` instead of an exception — the flat engine evaluates
+    bottom-up, so there is no meaningful row prefix to salvage the way
+    the naive evaluator can.
     """
-    if use_optimizer:
-        plan = optimize(plan, catalog)
-    result = plan.evaluate(catalog)
-    if stats is not None:
-        stats.optimized = use_optimizer
-        stats.input_rows = sum(len(r) for r in catalog.values())
-        stats.output_rows = len(result)
+    with guarded(guard) as explicit:
+        active = explicit if explicit is not None else current_guard()
+        try:
+            if use_optimizer:
+                plan = optimize(plan, catalog)
+            result = plan.evaluate(catalog)
+        except ResourceExhausted as exc:
+            if not should_degrade(active):
+                raise
+            result = ConstraintRelation("degraded", plan.columns)
+            if stats is not None:
+                stats.exhausted = exc.budget
+                stats.warnings.append(f"partial result: {exc}")
+        if stats is not None:
+            stats.optimized = use_optimizer
+            stats.input_rows = sum(len(r) for r in catalog.values())
+            stats.output_rows = len(result)
+            stats.capture_guard(active)
     return result
 
 

@@ -63,9 +63,10 @@ class TestStrict:
         assert point[x] > 0
 
     def test_reserved_epsilon_name_rejected(self):
+        from repro.errors import ReservedVariableError
         bad = Variable("__eps__")
         conj = ConjunctiveConstraint.of(Lt(bad, 1))
-        with pytest.raises(ValueError):
+        with pytest.raises(ReservedVariableError):
             is_satisfiable(conj)
 
 

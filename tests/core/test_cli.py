@@ -48,12 +48,53 @@ class TestDumpAndQuery:
         assert "more rows" in capsys.readouterr().out
 
     def test_syntax_error_reported(self, capsys):
-        assert main(["query", "--office", "SELECT FROM"]) == 1
-        assert "error:" in capsys.readouterr().err
+        assert main(["query", "--office", "SELECT FROM"]) == 2
+        assert "syntax error:" in capsys.readouterr().err
 
     def test_missing_database(self, capsys):
         with pytest.raises(SystemExit):
             main(["query", "SELECT X FROM Desk X"])
+
+
+class TestResourceGuards:
+    QUERY = ("SELECT CO, ((u,v) | E and D and x = 6 and y = 4) "
+             "FROM Office_Object CO "
+             "WHERE CO.extent[E] and CO.translation[D]")
+
+    def test_exhaustion_exit_code(self, capsys):
+        code = main(["query", "--office", "--max-pivots", "1",
+                     self.QUERY])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "resource limit:" in err
+        assert "budget=pivots" in err
+
+    def test_degrade_returns_partial(self, capsys):
+        code = main(["query", "--office", "--max-pivots", "1",
+                     "--on-exhaustion", "degrade", self.QUERY])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warning: partial result" in out
+
+    def test_timeout_flag_accepted(self, capsys):
+        assert main(["query", "--office", "--timeout", "3600",
+                     "SELECT X FROM Desk X"]) == 0
+        assert "standard_desk" in capsys.readouterr().out
+
+    def test_no_flags_means_no_guard(self, capsys):
+        # Without limits the query runs exactly as before.
+        assert main(["query", "--office", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "warning" not in out
+
+    def test_exit_codes_distinct(self, capsys):
+        syntax = main(["query", "--office", "SELECT FROM"])
+        resource = main(["query", "--office", "--max-pivots", "1",
+                         self.QUERY])
+        capsys.readouterr()
+        assert syntax == 2
+        assert resource == 3
+        assert syntax != resource
 
 
 class TestViewAndSchema:

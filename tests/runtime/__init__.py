@@ -1,0 +1,1 @@
+"""Tests for repro.runtime — execution guards and fault injection."""

@@ -44,3 +44,83 @@ class TestHierarchy:
     def test_lyric_syntax_error_without_location(self):
         exc = errors.LyricSyntaxError("boom")
         assert str(exc) == "boom"
+
+    def test_resource_exhausted_subtree(self):
+        for leaf in (errors.DeadlineExceeded, errors.PivotBudgetExceeded,
+                     errors.BranchBudgetExceeded,
+                     errors.DisjunctBudgetExceeded,
+                     errors.CanonicalizationBudgetExceeded,
+                     errors.QueryCancelled):
+            assert issubclass(leaf, errors.ResourceExhausted)
+            assert issubclass(leaf, errors.ReproError)
+        assert issubclass(errors.ReservedVariableError,
+                          errors.ConstraintError)
+        assert issubclass(errors.InjectedFaultError,
+                          errors.ConstraintError)
+
+
+class TestAdversarialInputs:
+    """Hostile inputs surface as documented ReproError subclasses —
+    never as a bare RecursionError / ZeroDivisionError / KeyError."""
+
+    def test_deeply_nested_query_is_syntax_error(self):
+        from repro.core.parser import parse_query
+        text = ("SELECT X FROM Desk X WHERE "
+                + "not (" * 3000 + "X.color = 'red'" + ")" * 3000)
+        with pytest.raises(errors.LyricSyntaxError):
+            parse_query(text)
+
+    def test_deeply_nested_constraint_is_syntax_error(self):
+        from repro.constraints.parser import parse_constraint
+        text = "(" * 4000 + "x <= 1" + ")" * 4000
+        with pytest.raises(errors.ConstraintSyntaxError):
+            parse_constraint(text)
+
+    def test_deeply_nested_cst_is_syntax_error(self):
+        from repro.constraints.parser import parse_cst
+        text = "((x) | " + "(" * 4000 + "x <= 1" + ")" * 4000 + ")"
+        with pytest.raises(errors.ConstraintSyntaxError):
+            parse_cst(text)
+
+    def test_wrong_dimension_cst_object(self):
+        from repro.constraints import geometry
+        from repro.constraints.parser import parse_cst
+        with pytest.raises(errors.DimensionError):
+            geometry.box(["x", "y"], [(0, 1)])  # 2 vars, 1 bound pair
+        square = parse_cst("((x,y) | 0 <= x <= 1 and 0 <= y <= 1)")
+        with pytest.raises(errors.DimensionError):
+            square.contains_point(1)  # needs two coordinates
+        from repro.constraints.terms import variables
+        x, y, z = variables("x y z")
+        cube = parse_cst("((x,y,z) | x = 0 and y = 0 and z = 0)")
+        with pytest.raises(errors.DimensionError):
+            geometry.vertices_2d(cube.constraint, (x, y, z))
+
+    def test_unbounded_lp(self):
+        from repro.constraints import lp
+        from repro.constraints.atoms import Le
+        from repro.constraints.terms import variables
+        (x,) = variables("x")
+        with pytest.raises(errors.UnboundedError):
+            lp.max_value(x, Le(-x, 0))  # x >= 0, maximize x
+
+    def test_infeasible_lp(self):
+        from repro.constraints import lp
+        from repro.constraints.atoms import Le
+        from repro.constraints.conjunctive import ConjunctiveConstraint
+        from repro.constraints.terms import variables
+        (x,) = variables("x")
+        system = ConjunctiveConstraint.of(Le(x, 0), Le(-x, -1))
+        with pytest.raises(errors.InfeasibleError):
+            lp.max_value(x, system)
+
+    def test_epsilon_collision_is_reserved_variable_error(self):
+        from repro.constraints.atoms import Lt
+        from repro.constraints.conjunctive import ConjunctiveConstraint
+        from repro.constraints.terms import Variable
+        conj = ConjunctiveConstraint.of(Lt(Variable("__eps__"), 1))
+        with pytest.raises(errors.ReservedVariableError):
+            conj.is_satisfiable()
+        # And it is catchable as the library-wide base class.
+        with pytest.raises(errors.ReproError):
+            conj.sample_point()
