@@ -41,6 +41,7 @@ from repro.workloads.random_constraints import (
     dense_system,
     make_variables,
     random_dnf,
+    random_infeasible,
     random_polytope,
     redundant_conjunction,
 )
@@ -271,6 +272,52 @@ def experiment_e15() -> None:
           "drawer joins)")
 
 
+def experiment_e16() -> None:
+    header("E16", "constraint cache + interval prefilter: repeated "
+                  "canonicalization/satisfiability workload")
+    from repro.constraints.canonical import canonical_conjunctive
+    from repro.constraints.conjunctive import ConjunctiveConstraint
+    from repro.runtime.cache import (
+        ConstraintCache,
+        caching,
+        prefilter,
+    )
+    base = [redundant_conjunction(3, 5, 4, seed=s) for s in range(8)]
+    base += [random_polytope(3, 8, seed=s) for s in range(8)]
+    base += [random_infeasible(3, 8, seed=s) for s in range(8)]
+    # The join-loop access pattern: the same constraints recur many
+    # times as fresh (structurally equal) instances.
+    workload = [ConjunctiveConstraint(c.atoms)
+                for _ in range(5) for c in base]
+
+    def run_all():
+        return [(canonical_conjunctive(c), is_satisfiable(c))
+                for c in workload]
+
+    def run_disabled():
+        with caching(None), prefilter(False):
+            return run_all()
+
+    def run_cached():
+        cache = ConstraintCache()
+        with caching(cache):
+            result = run_all()
+        return result, cache.counters()
+
+    t_off, baseline = timed(run_disabled)
+    t_on, (warm, counters) = timed(run_cached)
+    assert [r for r, _ in baseline] == [r for r, _ in warm]
+    assert [s for _, s in baseline] == [s for _, s in warm]
+    hit_rate = counters["hits"] / max(
+        1, counters["hits"] + counters["misses"])
+    print(f"{'mode':>10} {'median (s)':>12}")
+    print(f"{'disabled':>10} {t_off:>12.4f}")
+    print(f"{'cached':>10} {t_on:>12.4f}")
+    print(f"speedup {t_off / t_on:.1f}x; hit rate {hit_rate:.2f}; "
+          f"{counters['simplex_saved']} simplex solves saved "
+          f"(identical results in both modes)")
+
+
 EXPERIMENTS = {
     "E7": experiment_e7,
     "E8": experiment_e8,
@@ -281,6 +328,7 @@ EXPERIMENTS = {
     "E13": experiment_e13,
     "E14": experiment_e14,
     "E15": experiment_e15,
+    "E16": experiment_e16,
 }
 
 

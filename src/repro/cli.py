@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro import lyric
@@ -27,7 +28,8 @@ from repro.model.office import (
     build_office_database,
 )
 from repro.model.serialize import read_database, save_database
-from repro.runtime import ExecutionGuard, guarded
+from repro.runtime import ConstraintCache, ExecutionGuard, guarded
+from repro.runtime import cache as cache_mod
 
 #: Exit codes: syntax problems and resource exhaustion are
 #: distinguishable by scripts; every other library error is 1.
@@ -88,6 +90,48 @@ def _add_guard_options(parser: argparse.ArgumentParser) -> None:
                             "with a warning")
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("constraint cache")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable constraint-level memoization and "
+                            "the interval prefilter (the A/B baseline)")
+    group.add_argument("--cache-size", type=_positive_int, metavar="N",
+                       help="use a fresh constraint cache of at most "
+                            "N entries for this command")
+
+
+def _cache_context(args):
+    """The caching context the command should run under.
+
+    ``--no-cache`` disables memoization and the prefilter;
+    ``--cache-size N`` scopes a fresh bounded cache to the command.
+    The default (no flags) uses the process-global cache.  Scoping via
+    context managers keeps in-process callers (tests, embedding) free
+    of global-state mutation.
+    """
+    if getattr(args, "no_cache", False):
+        stack = contextlib.ExitStack()
+        stack.enter_context(cache_mod.caching(None))
+        stack.enter_context(cache_mod.prefilter(False))
+        return stack
+    size = getattr(args, "cache_size", None)
+    if size is not None:
+        return cache_mod.caching(ConstraintCache(maxsize=size))
+    return contextlib.nullcontext()
+
+
+def _cache_status(args) -> str:
+    if getattr(args, "no_cache", False):
+        return "cache: disabled (prefilter off)"
+    size = getattr(args, "cache_size", None)
+    if size is not None:
+        return f"cache: fresh, size {size}"
+    counters = cache_mod.get_global_cache().counters()
+    return (f"cache: global, size "
+            f"{cache_mod.get_global_cache().maxsize} "
+            f"({counters['entries']} entries)")
+
+
 def _guard_from(args) -> ExecutionGuard | None:
     """An ExecutionGuard from the CLI flags, or None when no limit was
     requested (the zero-overhead default)."""
@@ -130,14 +174,27 @@ def cmd_query(args) -> int:
     text = args.query
     if text == "-":
         text = sys.stdin.read()
-    if args.explain:
-        print(lyric.explain(db, text))
-        return 0
-    guard = _guard_from(args)
-    if args.translated:
-        result = lyric.query_translated(db, text, guard=guard)
-    else:
-        result = lyric.query(db, text, guard=guard)
+    with _cache_context(args):
+        if args.explain:
+            if args.analyze:
+                before = cache_mod.counters()
+                print(lyric.explain(db, text, analyze=True))
+                after = cache_mod.counters()
+                print(f"cache: {after['hits'] - before['hits']} hits, "
+                      f"{after['misses'] - before['misses']} misses, "
+                      f"{after['evictions'] - before['evictions']} "
+                      f"evictions, "
+                      f"{after['simplex_saved'] - before['simplex_saved']} "
+                      f"simplex solves saved")
+            else:
+                print(lyric.explain(db, text))
+            print(_cache_status(args))
+            return 0
+        guard = _guard_from(args)
+        if args.translated:
+            result = lyric.query_translated(db, text, guard=guard)
+        else:
+            result = lyric.query(db, text, guard=guard)
     print(result.pretty(limit=args.limit))
     print(f"({len(result)} rows)")
     return 0
@@ -150,6 +207,12 @@ def cmd_shell(args) -> int:
           "end statements with ';', 'quit;' exits")
     buffer: list[str] = []
     stream = sys.stdin
+    with _cache_context(args):
+        _shell_loop(db, args, buffer, stream)
+    return 0
+
+
+def _shell_loop(db: Database, args, buffer: list[str], stream) -> None:
     while True:
         try:
             line = stream.readline()
@@ -179,7 +242,6 @@ def cmd_shell(args) -> int:
                     print(f"({len(result)} rows)")
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
-    return 0
 
 
 def cmd_view(args) -> int:
@@ -187,7 +249,7 @@ def cmd_view(args) -> int:
     text = args.view
     if text == "-":
         text = sys.stdin.read()
-    with guarded(_guard_from(args)):
+    with _cache_context(args), guarded(_guard_from(args)):
         created = lyric.view(db, text)
     for class_name in created.classes:
         members = created.instances.get(class_name, [])
@@ -230,15 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the translated plan instead of "
                             "evaluating")
+    query.add_argument("--analyze", action="store_true",
+                       help="with --explain: execute the plan and "
+                            "annotate each node with row counts and "
+                            "cache statistics")
     query.add_argument("--limit", type=int, default=20,
                        help="rows to print")
     _add_guard_options(query)
+    _add_cache_options(query)
     query.set_defaults(fn=cmd_query)
 
     shell = sub.add_parser("shell", help="interactive LyriC shell")
     shell.add_argument("database", nargs="?")
     shell.add_argument("--office", action="store_true")
     _add_guard_options(shell)
+    _add_cache_options(shell)
     shell.set_defaults(fn=cmd_shell)
 
     view = sub.add_parser("view", help="execute a CREATE VIEW")
@@ -247,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     view.add_argument("--office", action="store_true")
     view.add_argument("--save", help="write the updated database here")
     _add_guard_options(view)
+    _add_cache_options(view)
     view.set_defaults(fn=cmd_view)
 
     schema = sub.add_parser("schema", help="print a database's schema")

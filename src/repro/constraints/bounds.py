@@ -1,0 +1,269 @@
+"""Cheap interval bounds — the geometric prefilter for the solver.
+
+"The evaluation of geometric queries" literature splits constraint
+processing into a cheap geometric phase and an exact symbolic phase;
+this module is the cheap phase.  From the *single-variable* atoms of a
+conjunction it derives per-variable lower/upper bounds in O(atoms),
+producing an axis-aligned bounding box that **over-approximates** the
+conjunction's point set.  Two sound refutations follow:
+
+* a conjunction whose multi-variable atoms cannot hold anywhere on the
+  box is unsatisfiable (:func:`refutes`);
+* two constraints whose boxes are disjoint on a shared variable have an
+  empty intersection (:func:`boxes_disjoint`) — the join prefilter.
+
+Because the box is an over-approximation, the prefilter can only prove
+*emptiness*; it never claims satisfiability, so the exact simplex
+remains the sole source of positive answers and the paper's semantics
+are preserved verbatim.
+
+Unlike :mod:`repro.constraints.filtering` (which computes *exact*
+interval hulls with one LP per dimension end), nothing here ever calls
+the simplex — this is the filter in front of it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.constraints.atoms import LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.terms import Variable
+
+#: A half-open-aware interval: ``(lo, lo_open, hi, hi_open)``; ``None``
+#: endpoints mark unboundedness.
+Interval = tuple[Fraction | None, bool, Fraction | None, bool]
+
+#: The whole real line.
+FULL: Interval = (None, False, None, False)
+
+#: Prefilter effectiveness counters (process-global; the engine reports
+#: deltas per execution).
+_stats = {"checks": 0, "refutations": 0}
+
+
+def stats() -> dict[str, int]:
+    """A copy of the global check/refutation counters."""
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    _stats["checks"] = 0
+    _stats["refutations"] = 0
+
+
+# ---------------------------------------------------------------------------
+# Box derivation
+# ---------------------------------------------------------------------------
+
+
+def _tighten(interval: Interval, relop: Relop, value: Fraction
+             ) -> Interval | None:
+    """Intersect ``interval`` with ``var relop value``; None = empty."""
+    lo, lo_open, hi, hi_open = interval
+    if relop in (Relop.EQ, Relop.LE, Relop.LT):
+        strict = relop is Relop.LT
+        if hi is None or value < hi or (value == hi and strict
+                                        and not hi_open):
+            hi, hi_open = value, strict
+    if relop in (Relop.EQ, Relop.GE, Relop.GT):
+        strict = relop is Relop.GT
+        if lo is None or value > lo or (value == lo and strict
+                                        and not lo_open):
+            lo, lo_open = value, strict
+    if lo is not None and hi is not None:
+        if lo > hi or (lo == hi and (lo_open or hi_open)):
+            return None
+    return (lo, lo_open, hi, hi_open)
+
+
+def box_of(atoms: Iterable[LinearConstraint]
+           ) -> dict[Variable, Interval] | None:
+    """Per-variable bounds from the single-variable, non-``!=`` atoms.
+
+    Returns ``None`` when the bounds alone are contradictory (the box —
+    and hence the point set — is empty).  Multi-variable atoms are
+    ignored here; :func:`refutes` evaluates them *over* the box.
+    """
+    box: dict[Variable, Interval] = {}
+    for atom in atoms:
+        if atom.relop is Relop.NE:
+            continue
+        coeffs = atom.expression.coefficients
+        if not coeffs:
+            if not atom.trivial_truth():
+                return None
+            continue
+        if len(coeffs) != 1:
+            continue
+        (var, coeff), = coeffs.items()
+        value = atom.bound / coeff
+        relop = atom.relop if coeff > 0 else atom.relop.flipped
+        tightened = _tighten(box.get(var, FULL), relop, value)
+        if tightened is None:
+            return None
+        box[var] = tightened
+    return box
+
+
+# ---------------------------------------------------------------------------
+# Interval evaluation of general atoms over a box
+# ---------------------------------------------------------------------------
+
+
+def _extremum(coeffs: Mapping[Variable, Fraction],
+              box: Mapping[Variable, Interval], lower: bool
+              ) -> tuple[Fraction | None, bool]:
+    """(inf, attained) or (sup, attained) of ``sum c_i * x_i`` over the
+    box; ``None`` marks an unbounded extremum."""
+    total = Fraction(0)
+    attained = True
+    for var, coeff in coeffs.items():
+        lo, lo_open, hi, hi_open = box.get(var, FULL)
+        # The minimizing end for positive coefficients is ``lo``; signs
+        # and the min/max direction flip which end is used.
+        if (coeff > 0) == lower:
+            end, open_ = lo, lo_open
+        else:
+            end, open_ = hi, hi_open
+        if end is None:
+            return None, False
+        total += coeff * end
+        attained = attained and not open_
+    return total, attained
+
+
+def _atom_impossible(atom: LinearConstraint,
+                     box: Mapping[Variable, Interval]) -> bool:
+    """Can ``atom`` hold nowhere on ``box``?  (Sound, not complete.)"""
+    coeffs = atom.expression.coefficients
+    if not coeffs:
+        return not atom.trivial_truth()
+    bound = atom.bound
+    inf, inf_att = _extremum(coeffs, box, lower=True)
+    if atom.relop is Relop.LE:
+        return inf is not None and (inf > bound
+                                    or (inf == bound and not inf_att))
+    if atom.relop is Relop.LT:
+        return inf is not None and inf >= bound
+    sup, sup_att = _extremum(coeffs, box, lower=False)
+    if atom.relop is Relop.EQ:
+        if inf is not None and (inf > bound
+                                or (inf == bound and not inf_att)):
+            return True
+        return sup is not None and (sup < bound
+                                    or (sup == bound and not sup_att))
+    if atom.relop is Relop.NE:
+        # Only refutable when the box pins the expression to the bound.
+        return (inf is not None and sup is not None
+                and inf == sup == bound and inf_att and sup_att)
+    return False
+
+
+def refutes(conj: ConjunctiveConstraint) -> bool:
+    """True when the box proves ``conj`` unsatisfiable (sound; a False
+    answer says nothing)."""
+    _stats["checks"] += 1
+    box = box_of(conj.atoms)
+    if box is None:
+        _stats["refutations"] += 1
+        return True
+    for atom in conj.atoms:
+        if len(atom.expression.coefficients) > 1 \
+                and _atom_impossible(atom, box):
+            _stats["refutations"] += 1
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Boxes of whole constraints, and disjointness
+# ---------------------------------------------------------------------------
+
+
+def _hull(a: Interval, b: Interval) -> Interval:
+    alo, alo_open, ahi, ahi_open = a
+    blo, blo_open, bhi, bhi_open = b
+    if alo is None or blo is None:
+        lo, lo_open = None, False
+    elif alo == blo:
+        lo, lo_open = alo, alo_open and blo_open
+    else:
+        lo, lo_open = (alo, alo_open) if alo < blo else (blo, blo_open)
+    if ahi is None or bhi is None:
+        hi, hi_open = None, False
+    elif ahi == bhi:
+        hi, hi_open = ahi, ahi_open and bhi_open
+    else:
+        hi, hi_open = (ahi, ahi_open) if ahi > bhi else (bhi, bhi_open)
+    return (lo, lo_open, hi, hi_open)
+
+
+def constraint_box(constraint) -> dict[Variable, Interval] | None:
+    """Bounding box of any constraint-family member, from syntax alone.
+
+    Disjunctions take the hull of their disjunct boxes; existential
+    bodies are used as-is (a box over free *and* quantified variables
+    over-approximates the projection onto the free ones).  ``None``
+    means every disjunct's box was already empty.
+    """
+    from repro.constraints.disjunctive import DisjunctiveConstraint
+    from repro.constraints.existential import (
+        DisjunctiveExistentialConstraint,
+        ExistentialConjunctiveConstraint,
+    )
+    if isinstance(constraint, ConjunctiveConstraint):
+        return box_of(constraint.atoms)
+    if isinstance(constraint, ExistentialConjunctiveConstraint):
+        return box_of(constraint.body.atoms)
+    if isinstance(constraint, (DisjunctiveConstraint,
+                               DisjunctiveExistentialConstraint)):
+        bodies = [d.body if isinstance(
+                      d, ExistentialConjunctiveConstraint) else d
+                  for d in constraint.disjuncts]
+        hull: dict[Variable, Interval] | None = None
+        for body in bodies:
+            box = box_of(body.atoms)
+            if box is None:
+                continue
+            if hull is None:
+                hull = dict(box)
+                continue
+            # A variable missing from either box is unbounded there, so
+            # its hull entry is the full line — simply drop it.
+            for var in list(hull):
+                if var in box:
+                    hull[var] = _hull(hull[var], box[var])
+                else:
+                    del hull[var]
+        return hull
+    raise TypeError(f"not a constraint: {constraint!r}")
+
+
+def intervals_disjoint(a: Interval, b: Interval) -> bool:
+    alo, alo_open, ahi, ahi_open = a
+    blo, blo_open, bhi, bhi_open = b
+    if ahi is not None and blo is not None:
+        if ahi < blo or (ahi == blo and (ahi_open or blo_open)):
+            return True
+    if bhi is not None and alo is not None:
+        if bhi < alo or (bhi == alo and (bhi_open or alo_open)):
+            return True
+    return False
+
+
+def boxes_disjoint(a: Mapping[Variable, Interval] | None,
+                   b: Mapping[Variable, Interval] | None) -> bool:
+    """True when the two point sets provably cannot intersect: either
+    box is empty, or they are separated along some shared variable."""
+    _stats["checks"] += 1
+    if a is None or b is None:
+        _stats["refutations"] += 1
+        return True
+    for var, interval in a.items():
+        other = b.get(var)
+        if other is not None and intervals_disjoint(interval, other):
+            _stats["refutations"] += 1
+            return True
+    return False

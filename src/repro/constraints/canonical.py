@@ -30,6 +30,7 @@ from repro.constraints.existential import (
     ExistentialConjunctiveConstraint,
 )
 from repro.constraints.terms import Variable
+from repro.runtime import cache
 from repro.runtime.guard import current_guard
 
 
@@ -40,10 +41,21 @@ def canonical_conjunctive(conj: ConjunctiveConstraint,
 
     Unsatisfiable conjunctions collapse to the canonical FALSE; with
     ``remove_redundant`` each atom implied by the others is dropped
-    (one LP check per atom — polynomially many simplex runs).
+    (one LP check per atom — polynomially many simplex runs).  The
+    result is memoized on the sorted atom tuple: canonical keys are the
+    paper's logical oids and are recomputed per join row, so this is
+    the single hottest cache entry point.
     """
     if conj.is_true():
         return conj
+    return cache.memoized(
+        ("canon", conj.sorted_atoms(), remove_redundant),
+        lambda: _canonical_conjunctive(conj, remove_redundant))
+
+
+def _canonical_conjunctive(conj: ConjunctiveConstraint,
+                           remove_redundant: bool
+                           ) -> ConjunctiveConstraint:
     if not conj.is_satisfiable():
         return ConjunctiveConstraint.false()
     if not remove_redundant:
@@ -178,6 +190,17 @@ def canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
     ``_i``), so two CST objects that differ only in variable names get
     equal keys — the invariance Section 4.1 requires of logical oids.
     """
+    try:
+        return cache.memoized(
+            ("key", type(constraint).__name__, constraint,
+             tuple(v.name for v in schema)),
+            lambda: _canonical_key(constraint, schema))
+    except TypeError:
+        # Unhashable constraint content — compute without memoizing.
+        return _canonical_key(constraint, schema)
+
+
+def _canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
     mapping = {var: Variable(f"_{i}") for i, var in enumerate(schema)}
     canon = canonicalize(constraint)
     renamed = canon.rename(mapping)

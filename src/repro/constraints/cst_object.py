@@ -16,6 +16,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.errors import DimensionError
+from repro.constraints import bounds
 from repro.constraints import canonical as canonical_mod
 from repro.constraints import families
 from repro.constraints.atoms import LinearConstraint
@@ -32,6 +33,10 @@ AnyConstraint = (ConjunctiveConstraint | DisjunctiveConstraint
                  | ExistentialConjunctiveConstraint
                  | DisjunctiveExistentialConstraint)
 
+#: Placeholder for a not-yet-computed cheap bounding box (``None`` is a
+#: meaningful value: the box is provably empty).
+_UNSET = object()
+
 
 class CSTObject:
     """An n-dimensional constraint object.
@@ -45,7 +50,8 @@ class CSTObject:
     same logical oid, regardless of variable names.
     """
 
-    __slots__ = ("_schema", "_constraint", "_key", "_hash", "_sat")
+    __slots__ = ("_schema", "_constraint", "_key", "_hash", "_sat",
+                 "_box")
 
     def __init__(self, schema: Sequence[Variable],
                  constraint: AnyConstraint | LinearConstraint,
@@ -70,6 +76,7 @@ class CSTObject:
         self._key: tuple | None = None
         self._hash: int | None = None
         self._sat: bool | None = None
+        self._box: object = _UNSET
 
     # -- constructors ----------------------------------------------------------
 
@@ -147,6 +154,14 @@ class CSTObject:
             return None
         return tuple(point.get(v, Fraction(0)) for v in self._schema)
 
+    def cheap_box(self):
+        """Syntactic per-variable bounds (no LP; see
+        :func:`repro.constraints.bounds.constraint_box`), cached — the
+        object is immutable.  ``None`` means provably empty."""
+        if self._box is _UNSET:
+            self._box = bounds.constraint_box(self._constraint)
+        return self._box
+
     # -- polymorphic operations (the CST superclass methods) ------------------------------
 
     def rename(self, new_schema: Sequence[Variable]) -> "CSTObject":
@@ -163,8 +178,28 @@ class CSTObject:
 
     def intersect(self, other: "CSTObject") -> "CSTObject":
         """Constraint conjunction; schemas merge by variable name (the
-        shared-name join semantics of Section 3.2)."""
+        shared-name join semantics of Section 3.2).
+
+        Fast path: when the two cheap bounding boxes are disjoint the
+        intersection is provably empty, so the canonical FALSE object
+        is returned without conjoining or canonicalizing.  Restricted
+        to the unquantified families, whose canonical form of an empty
+        set is exactly the FALSE conjunction — the shortcut is then
+        observationally identical to the slow path.
+        """
         schema = _merge_schemas(self._schema, other._schema)
+        from repro.runtime import cache
+        if cache.prefilter_active() \
+                and isinstance(self._constraint,
+                               (ConjunctiveConstraint,
+                                DisjunctiveConstraint)) \
+                and isinstance(other._constraint,
+                               (ConjunctiveConstraint,
+                                DisjunctiveConstraint)) \
+                and bounds.boxes_disjoint(self.cheap_box(),
+                                          other.cheap_box()):
+            return CSTObject(schema, ConjunctiveConstraint.false(),
+                             canonicalize=False)
         combined = _conjoin_any(self._constraint, other._constraint)
         return CSTObject(schema, combined)
 

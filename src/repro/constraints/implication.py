@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.satisfiability import is_satisfiable
+from repro.runtime import cache
 
 
 def negated_atom_branches(atom: LinearConstraint
@@ -111,7 +112,21 @@ def equivalent(lhs: ConjunctiveConstraint,
 
 def atom_redundant_in(atom: LinearConstraint,
                       context: ConjunctiveConstraint) -> bool:
-    """Is ``atom`` implied by ``context`` (used by canonical forms)?"""
+    """Is ``atom`` implied by ``context`` (used by canonical forms)?
+
+    Memoized on ``(atom, sorted context atoms)`` — canonicalization
+    asks this question once per atom per call, and the same
+    (atom, context) pairs recur across structurally equal constraints.
+    The per-branch satisfiability checks additionally flow through the
+    interval prefilter via :func:`is_satisfiable`.
+    """
+    return cache.memoized(
+        ("redundant", atom, context.sorted_atoms()),
+        lambda: _atom_redundant_in(atom, context))
+
+
+def _atom_redundant_in(atom: LinearConstraint,
+                       context: ConjunctiveConstraint) -> bool:
     for branch in negated_atom_branches(atom):
         if is_satisfiable(context.conjoin(branch)):
             return False

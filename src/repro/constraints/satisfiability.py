@@ -19,11 +19,12 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
-from repro.constraints import simplex
+from repro.constraints import bounds, simplex
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.terms import Variable
 from repro.errors import ReservedVariableError
+from repro.runtime import cache
 from repro.runtime.guard import current_guard
 
 #: Reserved variable for the strict-inequality slack.  The name cannot be
@@ -33,8 +34,17 @@ _EPSILON_NAME = "__eps__"
 
 
 def is_satisfiable(conj: ConjunctiveConstraint) -> bool:
-    """Decide satisfiability over the reals."""
-    return sample_point(conj) is not None
+    """Decide satisfiability over the reals.
+
+    The boolean answer is memoized on the conjunction's sorted atom
+    tuple (a structural hash — atoms normalize on construction), so
+    repeated checks of structurally equal conjunctions cost one cache
+    probe instead of a simplex run.
+    """
+    if conj.is_syntactically_false():
+        return False
+    return cache.memoized(("sat", conj.sorted_atoms()),
+                          lambda: sample_point(conj) is not None)
 
 
 def sample_point(conj: ConjunctiveConstraint
@@ -42,9 +52,14 @@ def sample_point(conj: ConjunctiveConstraint
     """A rational point satisfying ``conj``, or None when unsatisfiable.
 
     The returned point satisfies every atom, including strict
-    inequalities and disequalities.
+    inequalities and disequalities.  An interval prefilter
+    (:mod:`repro.constraints.bounds`) refutes box-empty conjunctions
+    before any simplex work; it is sound (refutation-only), so the
+    answer is unchanged.
     """
     if conj.is_syntactically_false():
+        return None
+    if cache.prefilter_active() and bounds.refutes(conj):
         return None
     base = [a for a in conj.atoms if a.relop is not Relop.NE]
     disequalities = conj.disequalities()

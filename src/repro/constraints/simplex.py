@@ -32,6 +32,17 @@ from repro.constraints.terms import LinearExpression, Variable
 from repro.runtime.guard import current_guard
 
 
+#: Process-wide count of :func:`solve` invocations.  The memoization
+#: layer samples it around cache misses to price each cached entry in
+#: "simplex solves saved per future hit".
+_TOTAL_CALLS = 0
+
+
+def call_count() -> int:
+    """Total exact-simplex solves since interpreter start."""
+    return _TOTAL_CALLS
+
+
 class LPStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
@@ -76,6 +87,8 @@ def solve(objective: LinearExpression,
         if atom.relop not in (Relop.LE, Relop.EQ):
             raise ConstraintError(
                 f"simplex accepts only <= and = atoms, got {atom}")
+    global _TOTAL_CALLS
+    _TOTAL_CALLS += 1
     guard = current_guard()
     if guard is not None:
         guard.enter_simplex()

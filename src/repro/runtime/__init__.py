@@ -6,11 +6,24 @@ Public surface:
 * :func:`guarded` / :func:`current_guard` — the ambient activation
   protocol used by the engine's hot paths;
 * :class:`FaultPlan` — deterministic fault injection for testing every
-  degradation path.
+  degradation path;
+* :class:`ConstraintCache` / :func:`caching` / :func:`prefilter` — the
+  constraint-level memoization layer and the interval-prefilter gate
+  (see ``docs/API.md``, "Performance: caching and prefilters").
 
 See ``docs/API.md`` ("Resource limits and graceful degradation").
 """
 
+from repro.runtime.cache import (
+    ConstraintCache,
+    active_cache,
+    caching,
+    clear_global_cache,
+    get_global_cache,
+    memoized,
+    prefilter,
+    prefilter_active,
+)
 from repro.runtime.faults import BUDGETS, FaultPlan
 from repro.runtime.guard import (
     POLICIES,
@@ -23,9 +36,17 @@ from repro.runtime.guard import (
 __all__ = [
     "BUDGETS",
     "POLICIES",
+    "ConstraintCache",
     "ExecutionGuard",
     "FaultPlan",
+    "active_cache",
+    "caching",
+    "clear_global_cache",
     "current_guard",
+    "get_global_cache",
     "guarded",
+    "memoized",
+    "prefilter",
+    "prefilter_active",
     "should_degrade",
 ]

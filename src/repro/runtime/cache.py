@@ -1,0 +1,225 @@
+"""Constraint-level memoization — the engine's second hot-path layer.
+
+Canonical keys are the paper's logical oids, and they get recomputed
+per join row; every recomputation bottoms out in exact-``Fraction``
+simplex runs.  This module caches the three expensive decision results
+(``is_satisfiable``, ``canonical_conjunctive``,
+``implication.atom_redundant_in``) behind a size-bounded LRU keyed on
+the structural content of the inputs — atoms normalize on construction
+(:mod:`repro.constraints.atoms`), so the sorted atom tuple *is* a
+structural hash, and keys built from canonical forms are alpha-invariant
+by construction.
+
+Guard interaction (the part that keeps the resource-governance layer
+honest):
+
+* a cache **hit** spends no pivot/branch/canonical budget — the work
+  was genuinely not redone — but still runs one
+  :meth:`~repro.runtime.guard.ExecutionGuard.checkpoint`, so
+  cancellation and wall-clock deadlines are observed on the fast path;
+* a guard carrying a :class:`~repro.runtime.faults.FaultPlan`
+  **bypasses** the cache entirely (no reads, no writes): fault tests
+  count ticks, and a warm cache would make injected failures
+  nondeterministic.
+
+The cache is process-global by default; :func:`caching` scopes a
+different cache (or ``None`` to disable) to a dynamic extent via a
+``ContextVar``, which is what the CLI's ``--no-cache``/``--cache-size``
+flags and the A/B benchmarks use.  :func:`prefilter` gates the interval
+prefilter (:mod:`repro.constraints.bounds`) the same way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Hashable, Iterator, TypeVar
+
+from repro.runtime.guard import current_guard
+
+T = TypeVar("T")
+
+#: Default LRU capacity — entries are single booleans or conjunction
+#: objects, so memory per entry is dominated by the key's atom tuples.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class ConstraintCache:
+    """A size-bounded LRU of constraint-level decision results.
+
+    ``simplex_saved`` accumulates, over all hits, the number of simplex
+    solves the original (miss-time) computation performed — the
+    headline effectiveness number reported by ``ExecutionStats`` and
+    the E16 benchmark.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions",
+                 "simplex_saved", "_data")
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize <= 0:
+            raise ValueError(
+                f"cache maxsize must be positive, got {maxsize!r}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.simplex_saved = 0
+        self._data: OrderedDict[Hashable, tuple[object, int]] \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key: Hashable) -> tuple[bool, object]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        self._data.move_to_end(key)
+        self.hits += 1
+        self.simplex_saved += entry[1]
+        return True, entry[0]
+
+    def store(self, key: Hashable, value: object, cost: int = 0) -> None:
+        """Insert ``value`` (costing ``cost`` simplex solves to
+        compute), evicting the least-recently-used entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        elif len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = (value, cost)
+
+    def clear(self) -> None:
+        """Drop all entries and reset every counter."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.simplex_saved = 0
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "simplex_saved": self.simplex_saved,
+            "entries": len(self._data),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Ambient cache selection
+# ---------------------------------------------------------------------------
+
+_global_cache = ConstraintCache()
+
+#: Sentinel stored in the override ContextVar to mean "disabled".
+_DISABLED = object()
+
+_override: ContextVar[object | None] = ContextVar(
+    "repro_constraint_cache", default=None)
+
+_prefilter_off: ContextVar[bool] = ContextVar(
+    "repro_prefilter_off", default=False)
+
+
+def get_global_cache() -> ConstraintCache:
+    return _global_cache
+
+
+def clear_global_cache() -> None:
+    _global_cache.clear()
+
+
+def active_cache() -> ConstraintCache | None:
+    """The cache the current context should use, or ``None``.
+
+    ``None`` when caching is disabled in this context **or** the active
+    guard injects faults (fault determinism beats speed).
+    """
+    override = _override.get()
+    if override is _DISABLED:
+        return None
+    guard = current_guard()
+    if guard is not None and guard.faults is not None:
+        return None
+    if override is not None:
+        return override  # type: ignore[return-value]
+    return _global_cache
+
+
+def prefilter_active() -> bool:
+    """Is the interval prefilter enabled in this context?  Off under
+    fault injection, for the same determinism reason as the cache."""
+    if _prefilter_off.get():
+        return False
+    guard = current_guard()
+    return guard is None or guard.faults is None
+
+
+@contextmanager
+def caching(cache: ConstraintCache | None) -> Iterator[None]:
+    """Use ``cache`` for the dynamic extent; ``caching(None)``
+    disables memoization entirely (the A/B baseline)."""
+    token = _override.set(_DISABLED if cache is None else cache)
+    try:
+        yield
+    finally:
+        _override.reset(token)
+
+
+@contextmanager
+def prefilter(enabled: bool) -> Iterator[None]:
+    """Enable/disable the bounding-box prefilter for the extent."""
+    token = _prefilter_off.set(not enabled)
+    try:
+        yield
+    finally:
+        _prefilter_off.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# The memoization protocol
+# ---------------------------------------------------------------------------
+
+
+def memoized(key: Hashable, compute: Callable[[], T]) -> T:
+    """``compute()`` through the active cache.
+
+    On a hit the stored result is returned after a single guard
+    checkpoint — budgets are not spent, but cancellation and deadlines
+    still fire.  On a miss the computation runs normally (spending its
+    budgets) and the result is stored with its simplex-call cost.
+    Exceptions (budget exhaustion included) are never cached.
+    """
+    cache = active_cache()
+    if cache is None:
+        return compute()
+    hit, value = cache.lookup(key)
+    if hit:
+        guard = current_guard()
+        if guard is not None:
+            guard.checkpoint("cache")
+        return value  # type: ignore[return-value]
+    from repro.constraints import simplex
+    before = simplex.call_count()
+    value = compute()
+    cache.store(key, value, cost=simplex.call_count() - before)
+    return value
+
+
+def counters() -> dict[str, int]:
+    """Counters of the context's active cache (zeros when disabled)."""
+    cache = _override.get()
+    if cache is _DISABLED:
+        cache = None
+    elif cache is None:
+        cache = _global_cache
+    if cache is None:
+        return {"hits": 0, "misses": 0, "evictions": 0,
+                "simplex_saved": 0, "entries": 0}
+    return cache.counters()  # type: ignore[union-attr]

@@ -72,7 +72,7 @@ class ExecutionGuard:
         "deadline", "max_pivots", "max_branches", "max_disjuncts",
         "max_canonical", "on_exhaustion", "faults",
         "pivots", "branches", "canonical_steps", "peak_disjuncts",
-        "checkpoints", "simplex_calls",
+        "checkpoints", "simplex_calls", "exhausted",
         "_clock", "_started", "_cancelled",
     )
 
@@ -109,6 +109,10 @@ class ExecutionGuard:
         self.peak_disjuncts = 0
         self.checkpoints = 0
         self.simplex_calls = 0
+        #: Name of the budget that tripped (or "cancellation"), kept
+        #: even when a degrade policy swallows the exception — stats
+        #: capture reads it on every path.
+        self.exhausted: str | None = None
         self._clock = clock
         self._started: float | None = None
         self._cancelled = False
@@ -151,6 +155,7 @@ class ExecutionGuard:
                 and self.faults.cancels_at(self.checkpoints):
             self._cancelled = True
         if self._cancelled:
+            self.exhausted = "cancellation"
             raise QueryCancelled(spent=self.checkpoints,
                                  fragment=fragment)
         self._check_deadline(fragment)
@@ -235,6 +240,7 @@ class ExecutionGuard:
             "peak_disjuncts": self.peak_disjuncts,
             "checkpoints": self.checkpoints,
             "simplex_calls": self.simplex_calls,
+            "exhausted": self.exhausted,
         }
 
     def __repr__(self) -> str:
@@ -259,19 +265,21 @@ class ExecutionGuard:
         spent = self.elapsed()
         if self.faults is not None \
                 and self.faults.exhausts("deadline", self.checkpoints):
+            self.exhausted = "deadline"
             raise DeadlineExceeded(
                 "deadline exceeded", budget="deadline",
                 limit=self.faults.exhaust_after, spent=round(spent, 6),
                 fragment="fault-injection")
         if self.deadline is not None and spent > self.deadline:
+            self.exhausted = "deadline"
             raise DeadlineExceeded(
                 "deadline exceeded", budget="deadline",
                 limit=self.deadline, spent=round(spent, 6),
                 fragment=fragment)
 
-    @staticmethod
-    def _exhaust(exc_type, budget: str, limit, spent,
+    def _exhaust(self, exc_type, budget: str, limit, spent,
                  fragment: str | None) -> None:
+        self.exhausted = budget
         raise exc_type(f"{budget} budget exhausted", budget=budget,
                        limit=limit, spent=spent, fragment=fragment)
 

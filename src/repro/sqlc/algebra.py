@@ -225,6 +225,28 @@ class Extend(Plan):
         return f"Extend({self.column} := {self.label})"
 
 
+@dataclass(frozen=True, eq=False)
+class Materialized(Plan):
+    """A leaf wrapping an already-computed relation.
+
+    Used by ``explain_analyze`` to evaluate each plan node exactly once:
+    a node is re-instantiated with its children replaced by the
+    materialized results of their own single evaluation.
+    """
+
+    relation: ConstraintRelation
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        return self.relation
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.relation.columns
+
+    def describe(self) -> str:
+        return f"Materialized({len(self.relation)} rows)"
+
+
 # ---------------------------------------------------------------------------
 # Predicates
 # ---------------------------------------------------------------------------

@@ -2,16 +2,19 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from repro.constraints import bounds
 from repro.errors import ResourceExhausted
+from repro.runtime import cache as cache_mod
 from repro.runtime.guard import (
     ExecutionGuard,
     current_guard,
     guarded,
     should_degrade,
 )
-from repro.sqlc.algebra import Catalog, Plan
+from repro.sqlc.algebra import Catalog, Materialized, Plan
 from repro.sqlc.optimizer import optimize
 from repro.sqlc.relation import ConstraintRelation
 
@@ -22,8 +25,11 @@ class ExecutionStats:
 
     The budget-spend block mirrors the active
     :class:`~repro.runtime.ExecutionGuard`'s counters; without a guard
-    it stays at zero.  ``exhausted`` names the budget that tripped when
-    the execution degraded (``on_exhaustion="degrade"``).
+    it stays at zero.  ``exhausted`` names the budget that tripped —
+    recorded from the guard on every path, not only when the execution
+    degraded.  The cache/prefilter block holds per-execution deltas of
+    the constraint cache and bounding-box counters (zeros when caching
+    is disabled).
     """
 
     optimized: bool = False
@@ -39,6 +45,13 @@ class ExecutionStats:
     simplex_calls: int = 0
     exhausted: str | None = None
     warnings: list[str] = field(default_factory=list)
+    # -- cache / prefilter effectiveness (per-execution deltas) --------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_simplex_saved: int = 0
+    box_checks: int = 0
+    box_refutations: int = 0
 
     def capture_guard(self, guard: ExecutionGuard | None) -> None:
         if guard is None:
@@ -50,6 +63,8 @@ class ExecutionStats:
         self.peak_disjuncts = guard.peak_disjuncts
         self.checkpoints = guard.checkpoints
         self.simplex_calls = guard.simplex_calls
+        if self.exhausted is None:
+            self.exhausted = guard.exhausted
 
 
 def execute(plan: Plan, catalog: Catalog,
@@ -72,6 +87,8 @@ def execute(plan: Plan, catalog: Catalog,
     """
     with guarded(guard) as explicit:
         active = explicit if explicit is not None else current_guard()
+        cache_before = cache_mod.counters() if stats is not None else {}
+        box_before = bounds.stats() if stats is not None else {}
         try:
             if use_optimizer:
                 plan = optimize(plan, catalog)
@@ -88,23 +105,62 @@ def execute(plan: Plan, catalog: Catalog,
             stats.input_rows = sum(len(r) for r in catalog.values())
             stats.output_rows = len(result)
             stats.capture_guard(active)
+            cache_after = cache_mod.counters()
+            box_after = bounds.stats()
+            stats.cache_hits = cache_after["hits"] \
+                - cache_before["hits"]
+            stats.cache_misses = cache_after["misses"] \
+                - cache_before["misses"]
+            stats.cache_evictions = cache_after["evictions"] \
+                - cache_before["evictions"]
+            stats.cache_simplex_saved = cache_after["simplex_saved"] \
+                - cache_before["simplex_saved"]
+            stats.box_checks = box_after["checks"] \
+                - box_before["checks"]
+            stats.box_refutations = box_after["refutations"] \
+                - box_before["refutations"]
     return result
+
+
+def _with_materialized_children(node: Plan,
+                                results: dict[int, ConstraintRelation]
+                                ) -> Plan:
+    """A copy of ``node`` whose Plan-valued fields are replaced by
+    :class:`~repro.sqlc.algebra.Materialized` wrappers around the
+    children's already-computed results."""
+    if not getattr(node, "children", ()):
+        return node
+    changes = {
+        f.name: Materialized(results[id(value)])
+        for f in dataclasses.fields(node)
+        if isinstance((value := getattr(node, f.name)), Plan)
+    }
+    return dataclasses.replace(node, **changes)
 
 
 def explain_analyze(plan: Plan, catalog: Catalog,
                     use_optimizer: bool = True) -> str:
-    """The plan tree annotated with actual per-node output row counts
-    (evaluates the plan once; intermediate results are memoized)."""
+    """The plan tree annotated with actual per-node output row counts.
+
+    Each node is evaluated exactly once: children first, then the node
+    itself against *materialized* child results — so a node shared or
+    deeply nested in the tree no longer re-evaluates its whole subtree
+    once per ancestor.
+    """
     if use_optimizer:
         plan = optimize(plan, catalog)
     counts: dict[int, int] = {}
+    results: dict[int, ConstraintRelation] = {}
 
-    def measure(node: Plan) -> ConstraintRelation:
+    def measure(node: Plan) -> None:
+        if id(node) in results:
+            return
         for child in getattr(node, "children", ()):
             measure(child)
-        result = node.evaluate(catalog)
+        result = _with_materialized_children(node, results) \
+            .evaluate(catalog)
         counts[id(node)] = len(result)
-        return result
+        results[id(node)] = result
 
     measure(plan)
 

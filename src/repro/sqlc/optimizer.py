@@ -21,9 +21,14 @@ from __future__ import annotations
 from repro.sqlc.algebra import (
     And,
     Catalog,
+    ColumnEq,
+    ColumnLiteral,
+    CstPredicate,
     Distinct,
     Extend,
     NaturalJoin,
+    Not,
+    Or,
     Plan,
     Predicate,
     Project,
@@ -122,9 +127,29 @@ def _sink_conjuncts(plan: Plan, conjuncts: list[Predicate]) -> Plan:
     return _wrap(plan, conjuncts)
 
 
+def _predicate_cost(pred: Predicate) -> int:
+    """Relative evaluation cost: oid comparisons are free, constraint
+    predicates call the exact solver.  Used to order conjuncts so that
+    cheap tests prune rows before expensive ones run (``And`` is
+    short-circuiting)."""
+    if isinstance(pred, (ColumnEq, ColumnLiteral)):
+        return 0
+    if isinstance(pred, Not):
+        return _predicate_cost(pred.part)
+    if isinstance(pred, (And, Or)):
+        return max((_predicate_cost(p) for p in pred.parts), default=0)
+    if isinstance(pred, CstPredicate):
+        return 2
+    return 1
+
+
 def _wrap(plan: Plan, conjuncts: list[Predicate]) -> Plan:
     if not conjuncts:
         return plan
+    # Stable sort: cheap conjuncts first, original order among equals —
+    # semantics-preserving because conjunction is commutative and every
+    # predicate is a pure row test.
+    conjuncts = sorted(conjuncts, key=_predicate_cost)
     predicate = conjuncts[0] if len(conjuncts) == 1 \
         else And(tuple(conjuncts))
     return Select(plan, predicate)
@@ -134,7 +159,6 @@ def _rename_predicate(pred: Predicate,
                       reverse: dict[str, str]) -> Predicate | None:
     """Predicate with columns renamed backwards through a Rename; None
     when the predicate type cannot be renamed structurally."""
-    from repro.sqlc.algebra import ColumnEq, ColumnLiteral, CstPredicate
     if isinstance(pred, ColumnEq):
         return ColumnEq(reverse.get(pred.left, pred.left),
                         reverse.get(pred.right, pred.right))

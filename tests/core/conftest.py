@@ -1,0 +1,19 @@
+"""Isolation for CLI and evaluator tests.
+
+The resource-guard CLI tests run queries in-process with tiny budgets
+and expect them to trip; a constraint cache warmed by earlier tests
+would answer from memory without spending any budget.  Start each test
+cold.
+"""
+
+import pytest
+
+from repro.constraints import bounds
+from repro.runtime import cache
+
+
+@pytest.fixture(autouse=True)
+def _cold_constraint_cache():
+    cache.clear_global_cache()
+    bounds.reset_stats()
+    yield

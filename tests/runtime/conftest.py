@@ -1,0 +1,19 @@
+"""Isolation for guard and fault tests.
+
+These tests assert exact budget spends (pivot counts, branch counts)
+and budget trips, which a warm process-global constraint cache would
+silently satisfy from memory.  Every test in this directory starts
+with a cold cache and fresh prefilter counters.
+"""
+
+import pytest
+
+from repro.constraints import bounds
+from repro.runtime import cache
+
+
+@pytest.fixture(autouse=True)
+def _cold_constraint_cache():
+    cache.clear_global_cache()
+    bounds.reset_stats()
+    yield

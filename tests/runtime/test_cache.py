@@ -1,0 +1,232 @@
+"""Tests for the constraint-level memoization layer."""
+
+import pytest
+
+from repro import errors
+from repro.constraints import simplex
+from repro.constraints.atoms import Ge, Le
+from repro.constraints.canonical import (
+    canonical_conjunctive,
+    canonical_key,
+)
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.implication import atom_redundant_in
+from repro.constraints.terms import Variable, variables
+from repro.runtime import ExecutionGuard, FaultPlan, guarded
+from repro.runtime.cache import (
+    ConstraintCache,
+    active_cache,
+    caching,
+    get_global_cache,
+    memoized,
+    prefilter,
+    prefilter_active,
+)
+
+x, y = variables("x y")
+
+
+def interval(lo, hi):
+    return ConjunctiveConstraint.of(Ge(x, lo), Le(x, hi))
+
+
+class TestLRU:
+    def test_hit_returns_stored_value(self):
+        cache = ConstraintCache(maxsize=4)
+        cache.store("k", "v", cost=3)
+        hit, value = cache.lookup("k")
+        assert hit and value == "v"
+        assert cache.hits == 1
+        assert cache.simplex_saved == 3
+
+    def test_miss_counted(self):
+        cache = ConstraintCache(maxsize=4)
+        hit, value = cache.lookup("absent")
+        assert not hit and value is None
+        assert cache.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = ConstraintCache(maxsize=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.lookup("a")          # refresh a; b is now oldest
+        cache.store("c", 3)
+        assert cache.evictions == 1
+        assert cache.lookup("b") == (False, None)
+        assert cache.lookup("a") == (True, 1)
+
+    def test_size_bounded(self):
+        cache = ConstraintCache(maxsize=8)
+        for i in range(100):
+            cache.store(i, i)
+        assert len(cache) == 8
+        assert cache.evictions == 92
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            ConstraintCache(maxsize=0)
+
+    def test_clear_resets_counters(self):
+        cache = ConstraintCache()
+        cache.store("k", 1)
+        cache.lookup("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.counters() == {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "simplex_saved": 0, "entries": 0}
+
+
+class TestContextSelection:
+    def test_global_by_default(self):
+        assert active_cache() is get_global_cache()
+
+    def test_caching_none_disables(self):
+        with caching(None):
+            assert active_cache() is None
+        assert active_cache() is get_global_cache()
+
+    def test_scoped_cache_wins(self):
+        scoped = ConstraintCache(maxsize=16)
+        with caching(scoped):
+            assert active_cache() is scoped
+
+    def test_fault_plan_bypasses_cache(self):
+        guard = ExecutionGuard(faults=FaultPlan())
+        with guarded(guard):
+            assert active_cache() is None
+            assert not prefilter_active()
+
+    def test_prefilter_context(self):
+        assert prefilter_active()
+        with prefilter(False):
+            assert not prefilter_active()
+        assert prefilter_active()
+
+
+class TestMemoizedSemantics:
+    def test_computes_once(self):
+        calls = []
+        with caching(ConstraintCache()):
+            for _ in range(3):
+                value = memoized("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+
+    def test_disabled_computes_every_time(self):
+        calls = []
+        with caching(None):
+            for _ in range(3):
+                memoized("k", lambda: calls.append(1) or 42)
+        assert len(calls) == 3
+
+    def test_simplex_cost_recorded(self):
+        cache = ConstraintCache()
+        conj = interval(0, 10)
+        with caching(cache):
+            conj.is_satisfiable()
+            before = simplex.call_count()
+            assert ConjunctiveConstraint(conj.atoms).is_satisfiable()
+        assert simplex.call_count() == before   # second check: no LP
+        assert cache.hits == 1
+        assert cache.simplex_saved >= 1
+
+    def test_exceptions_not_cached(self):
+        cache = ConstraintCache()
+        attempts = []
+
+        def compute():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise errors.PivotBudgetExceeded(
+                    "boom", budget="pivots", limit=1, spent=2)
+            return "ok"
+
+        with caching(cache):
+            with pytest.raises(errors.PivotBudgetExceeded):
+                memoized("k", compute)
+            assert memoized("k", compute) == "ok"
+        assert len(attempts) == 2
+
+
+class TestGuardInteraction:
+    def test_hit_spends_no_budget(self):
+        conj = interval(0, 10)
+        conj.is_satisfiable()    # warm the global cache
+        guard = ExecutionGuard(max_pivots=1, max_branches=1)
+        with guarded(guard):
+            assert ConjunctiveConstraint(conj.atoms).is_satisfiable()
+        assert guard.pivots == 0
+        assert guard.branches == 0
+
+    def test_hit_still_observes_cancellation(self):
+        conj = interval(0, 10)
+        conj.is_satisfiable()
+        guard = ExecutionGuard()
+        guard.cancel()
+        with guarded(guard):
+            with pytest.raises(errors.QueryCancelled):
+                ConjunctiveConstraint(conj.atoms).is_satisfiable()
+        assert guard.exhausted == "cancellation"
+
+    def test_fault_injection_unaffected_by_warm_cache(self):
+        """The fault test contract: a FaultPlan-injected run does the
+        real work even when the answer is cached."""
+        conj = interval(0, 10)
+        conj.is_satisfiable()    # warm
+        guard = ExecutionGuard(
+            faults=FaultPlan(fail_simplex_at=1))
+        with guarded(guard):
+            with pytest.raises(errors.InjectedFaultError):
+                ConjunctiveConstraint(conj.atoms).is_satisfiable()
+
+
+class TestCachedDecisions:
+    def test_satisfiability_cached_across_equal_instances(self):
+        cache = ConstraintCache()
+        with caching(cache):
+            assert interval(0, 10).is_satisfiable()
+            assert interval(0, 10).is_satisfiable()
+        assert cache.hits == 1
+
+    def test_canonical_conjunctive_cached(self):
+        cache = ConstraintCache()
+        conj = ConjunctiveConstraint.of(Le(x, 1), Le(x, 2), Le(y, 3))
+        with caching(cache):
+            first = canonical_conjunctive(conj)
+            second = canonical_conjunctive(
+                ConjunctiveConstraint(conj.atoms))
+        assert first == second
+        assert Le(x, 2) not in first.atoms
+        assert cache.hits >= 1
+
+    def test_atom_redundant_cached(self):
+        cache = ConstraintCache()
+        context = ConjunctiveConstraint.of(Le(x, 1))
+        with caching(cache):
+            assert atom_redundant_in(Le(x, 2), context)
+            assert atom_redundant_in(Le(x, 2), context)
+        assert cache.hits >= 1
+
+    def test_canonical_key_cached_and_alpha_invariant(self):
+        cache = ConstraintCache()
+        a, b = Variable("a"), Variable("b")
+        with caching(cache):
+            key1 = canonical_key(interval(0, 10), (x, y))
+            key2 = canonical_key(interval(0, 10), (x, y))
+            renamed = ConjunctiveConstraint.of(Ge(a, 0), Le(a, 10))
+            key3 = canonical_key(renamed, (a, b))
+        assert key1 == key2 == key3
+        assert cache.hits >= 1
+
+    def test_cached_answer_matches_uncached(self):
+        conj = interval(0, 10)
+        bad = ConjunctiveConstraint.of(Ge(x, 5), Le(x, 1))
+        with caching(None), prefilter(False):
+            plain_good = conj.is_satisfiable()
+            plain_bad = bad.is_satisfiable()
+        with caching(ConstraintCache()):
+            assert ConjunctiveConstraint(
+                conj.atoms).is_satisfiable() == plain_good
+            assert ConjunctiveConstraint(
+                bad.atoms).is_satisfiable() == plain_bad
