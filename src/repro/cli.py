@@ -30,6 +30,8 @@ from repro.model.office import (
 from repro.model.serialize import read_database, save_database
 from repro.runtime import ConstraintCache, ExecutionGuard, guarded
 from repro.runtime import cache as cache_mod
+from repro.runtime import parallel as parallel_mod
+from repro.sqlc import index as index_mod
 
 #: Exit codes: syntax problems and resource exhaustion are
 #: distinguishable by scripts; every other library error is 1.
@@ -100,6 +102,18 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
                             "N entries for this command")
 
 
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("execution strategy")
+    group.add_argument("--parallel", type=_positive_int, metavar="N",
+                       default=1,
+                       help="evaluate large joins/filters with up to N "
+                            "worker processes (default 1 = serial; "
+                            "fault-injection runs stay serial)")
+    group.add_argument("--no-index", action="store_true",
+                       help="disable box-index join acceleration (the "
+                            "optimizer keeps plain NaturalJoin plans)")
+
+
 def _cache_context(args):
     """The caching context the command should run under.
 
@@ -118,6 +132,18 @@ def _cache_context(args):
     if size is not None:
         return cache_mod.caching(ConstraintCache(maxsize=size))
     return contextlib.nullcontext()
+
+
+def _execution_context(args):
+    """The indexing/parallelism context from ``--no-index`` and
+    ``--parallel N`` (a no-op stack for the defaults)."""
+    stack = contextlib.ExitStack()
+    if getattr(args, "no_index", False):
+        stack.enter_context(index_mod.indexing(False))
+    workers = getattr(args, "parallel", 1)
+    if workers > 1:
+        stack.enter_context(parallel_mod.parallelism(workers))
+    return stack
 
 
 def _cache_status(args) -> str:
@@ -174,18 +200,24 @@ def cmd_query(args) -> int:
     text = args.query
     if text == "-":
         text = sys.stdin.read()
-    with _cache_context(args):
+    with _cache_context(args), _execution_context(args):
         if args.explain:
             if args.analyze:
                 before = cache_mod.counters()
+                index_before = index_mod.stats()
                 print(lyric.explain(db, text, analyze=True))
                 after = cache_mod.counters()
+                index_after = index_mod.stats()
                 print(f"cache: {after['hits'] - before['hits']} hits, "
                       f"{after['misses'] - before['misses']} misses, "
                       f"{after['evictions'] - before['evictions']} "
                       f"evictions, "
                       f"{after['simplex_saved'] - before['simplex_saved']} "
                       f"simplex solves saved")
+                probes = index_after["probes"] - index_before["probes"]
+                pruned = index_after["pruned"] - index_before["pruned"]
+                print(f"index: {probes} probes, "
+                      f"{pruned} pairs pruned")
             else:
                 print(lyric.explain(db, text))
             print(_cache_status(args))
@@ -207,7 +239,7 @@ def cmd_shell(args) -> int:
           "end statements with ';', 'quit;' exits")
     buffer: list[str] = []
     stream = sys.stdin
-    with _cache_context(args):
+    with _cache_context(args), _execution_context(args):
         _shell_loop(db, args, buffer, stream)
     return 0
 
@@ -249,7 +281,8 @@ def cmd_view(args) -> int:
     text = args.view
     if text == "-":
         text = sys.stdin.read()
-    with _cache_context(args), guarded(_guard_from(args)):
+    with _cache_context(args), _execution_context(args), \
+            guarded(_guard_from(args)):
         created = lyric.view(db, text)
     for class_name in created.classes:
         members = created.instances.get(class_name, [])
@@ -300,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows to print")
     _add_guard_options(query)
     _add_cache_options(query)
+    _add_execution_options(query)
     query.set_defaults(fn=cmd_query)
 
     shell = sub.add_parser("shell", help="interactive LyriC shell")
@@ -307,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     shell.add_argument("--office", action="store_true")
     _add_guard_options(shell)
     _add_cache_options(shell)
+    _add_execution_options(shell)
     shell.set_defaults(fn=cmd_shell)
 
     view = sub.add_parser("view", help="execute a CREATE VIEW")
@@ -316,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     view.add_argument("--save", help="write the updated database here")
     _add_guard_options(view)
     _add_cache_options(view)
+    _add_execution_options(view)
     view.set_defaults(fn=cmd_view)
 
     schema = sub.add_parser("schema", help="print a database's schema")

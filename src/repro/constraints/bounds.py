@@ -53,6 +53,14 @@ def reset_stats() -> None:
     _stats["refutations"] = 0
 
 
+def absorb(delta: Mapping[str, int]) -> None:
+    """Fold a worker process's counter deltas into this process's
+    counters (used by :mod:`repro.runtime.parallel` when merging)."""
+    for key, value in delta.items():
+        if key in _stats:
+            _stats[key] += value
+
+
 # ---------------------------------------------------------------------------
 # Box derivation
 # ---------------------------------------------------------------------------

@@ -24,13 +24,14 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.constraints.terms import Variable
 from repro.core import ast, formulas
 from repro.core.parser import parse_query
 from repro.core.result import ResultRow, ResultSet
 from repro.core.semantics import AnalyzedQuery, analyze
 from repro.errors import SemanticError
 from repro.model.database import Database
-from repro.model.oid import FunctionalOid, Oid
+from repro.model.oid import CstOid, FunctionalOid, Oid
 from repro.model.paths import PathExpression, VarRef
 from repro.model.relations import (
     attribute_relation_name,
@@ -344,7 +345,51 @@ class _Translator:
             env = dict(zip(_cols, values))
             return formulas.satisfiable(db, analysis, formula, env)
 
-        return algebra.CstPredicate(columns, test, "SAT")
+        return algebra.CstPredicate(columns, test, "SAT",
+                                    self._conjunct_boxers(formula))
+
+    def _conjunct_boxers(self, formula: ast.CstFormula
+                         ) -> tuple[tuple[str, object], ...]:
+        """Bounding-box functions for the bare-variable references on
+        the formula body's conjunctive spine — the
+        :attr:`~repro.sqlc.algebra.CstPredicate.boxers` of a SAT
+        predicate.
+
+        Soundness of the pairwise-intersective contract: every spine
+        reference's constraint is *conjoined* into the instantiated
+        body (implicit edge equalities only add further conjuncts, and
+        a projection head preserves emptiness), so if the cheap boxes
+        of two spine references are disjoint on a shared formula
+        variable, their conjunction — hence the whole body — is
+        unsatisfiable.  References under ``or``/``not`` are not on the
+        spine and get no boxer.  Each boxer mirrors the positional
+        renaming of :func:`repro.core.formulas._ref_constraint`
+        (stored schema -> declared spec variables -> explicit
+        arguments), returning the unknown box ``{}`` whenever the exact
+        path could behave differently (non-CST cell, dimension
+        mismatch) so those rows always reach the exact test.
+        """
+        refs: list[ast.FRef] = []
+
+        def spine(node: ast.Formula) -> None:
+            if isinstance(node, ast.FAnd):
+                for part in node.parts:
+                    spine(part)
+            elif isinstance(node, ast.FRef) \
+                    and isinstance(node.source, str):
+                refs.append(node)
+
+        spine(formula.body)
+        boxers: dict[str, object] = {}
+        for ref in refs:
+            if ref.source in boxers:
+                continue
+            info = self.analysis.ref_info.get(ref)
+            spec_variables = info.spec.variables \
+                if info is not None and info.spec is not None else None
+            args = tuple(ref.args) if ref.args is not None else None
+            boxers[ref.source] = _ref_boxer(spec_variables, args)
+        return tuple(sorted(boxers.items()))
 
     def compile_entails(self, node: ast.WEntails) -> algebra.Predicate:
         columns = tuple(dict.fromkeys(
@@ -402,3 +447,37 @@ class _Translator:
             return column, algebra.Extend(plan, column, compute_opt,
                                           opt.kind.value)
         raise TranslationError(f"cannot translate SELECT item {item!r}")
+
+
+def _ref_boxer(spec_variables, args):
+    """A boxer (cell -> box, conventions of :mod:`repro.sqlc.index`)
+    for one bare-variable constraint reference, mirroring the
+    positional renaming chain of formula instantiation: the stored CST
+    schema is renamed onto the attribute's declared ``spec_variables``
+    (when any), then onto the explicit ``args`` (when any).  Any cell
+    the exact path would reject or rename differently maps to the
+    unknown box ``{}``, which never prunes."""
+
+    def boxer(cell):
+        if not isinstance(cell, CstOid):
+            return {}
+        try:
+            cst = cell.cst
+            schema = cst.schema
+            target = list(schema)
+            if spec_variables is not None:
+                if len(spec_variables) != len(schema):
+                    return {}
+                target = list(spec_variables)
+            if args is not None:
+                if len(args) != len(schema):
+                    return {}
+                target = [Variable(a) for a in args]
+            box = cst.cheap_box()
+        except Exception:
+            return {}
+        if box is None:
+            return None
+        return {t: box[s] for s, t in zip(schema, target) if s in box}
+
+    return boxer

@@ -9,9 +9,10 @@ Public surface:
   degradation path;
 * :class:`ConstraintCache` / :func:`caching` / :func:`prefilter` — the
   constraint-level memoization layer and the interval-prefilter gate
-  (see ``docs/API.md``, "Performance: caching and prefilters").
-
-See ``docs/API.md`` ("Resource limits and graceful degradation").
+  (see ``docs/API.md``, "Performance: caching and prefilters");
+* :func:`parallelism` / :func:`current_parallelism` — the partitioned
+  parallel evaluator's worker-count gate (see ``docs/API.md``,
+  "Indexing & parallel execution").
 """
 
 from repro.runtime.cache import (
@@ -32,6 +33,12 @@ from repro.runtime.guard import (
     guarded,
     should_degrade,
 )
+from repro.runtime.parallel import (
+    current_parallelism,
+    filter_rows,
+    parallelism,
+    should_partition,
+)
 
 __all__ = [
     "BUDGETS",
@@ -43,10 +50,14 @@ __all__ = [
     "caching",
     "clear_global_cache",
     "current_guard",
+    "current_parallelism",
+    "filter_rows",
     "get_global_cache",
     "guarded",
     "memoized",
+    "parallelism",
     "prefilter",
     "prefilter_active",
     "should_degrade",
+    "should_partition",
 ]

@@ -101,6 +101,15 @@ class ConstraintCache:
         self.evictions = 0
         self.simplex_saved = 0
 
+    def absorb(self, delta: dict) -> None:
+        """Fold a worker process's counter deltas into this cache (the
+        entries a forked worker stored die with it, but its lookup
+        traffic belongs in the parent's account)."""
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        self.evictions += delta.get("evictions", 0)
+        self.simplex_saved += delta.get("simplex_saved", 0)
+
     def counters(self) -> dict[str, int]:
         return {
             "hits": self.hits,

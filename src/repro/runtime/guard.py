@@ -228,6 +228,20 @@ class ExecutionGuard:
             raise InjectedFaultError(
                 f"injected simplex failure (solve #{self.simplex_calls})")
 
+    def absorb_spend(self, spend: dict) -> None:
+        """Fold a worker guard's spend into this guard's counters
+        without budget checks (:mod:`repro.runtime.parallel` pro-rates
+        the budgets up front, so the merged totals cannot exceed what
+        this guard had left).  Additive counters sum; peaks max."""
+        self.pivots += spend.get("pivots", 0)
+        self.branches += spend.get("branches", 0)
+        self.canonical_steps += spend.get("canonical_steps", 0)
+        self.checkpoints += spend.get("checkpoints", 0)
+        self.simplex_calls += spend.get("simplex_calls", 0)
+        peak = spend.get("peak_disjuncts", 0)
+        if peak > self.peak_disjuncts:
+            self.peak_disjuncts = peak
+
     # -- reporting -------------------------------------------------------
 
     def spend(self) -> dict:

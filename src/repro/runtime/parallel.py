@@ -1,0 +1,328 @@
+"""Partitioned parallel evaluation over worker processes.
+
+ROADMAP's north star asks the flat engine to run "as fast as the
+hardware allows"; this module supplies the execution half of that:
+large row filters (the exact phase of :class:`~repro.sqlc.algebra.
+IndexJoin` and big ``Select`` nodes) are split into contiguous chunks
+and evaluated by a ``ProcessPoolExecutor``, then merged back
+deterministically.
+
+Design points, in the order they bit:
+
+**Determinism.**  Chunks are contiguous slices of the input row list
+and results are concatenated in chunk order, so the output row order is
+identical to the serial evaluation.  Runs under a
+:class:`~repro.runtime.faults.FaultPlan` are forced serial — fault
+schedules count ticks on one guard, and sharding the tick stream across
+processes would make injected failures nondeterministic.
+
+**Budget pro-rating.**  Each worker activates a fresh
+:class:`~repro.runtime.guard.ExecutionGuard` carrying
+``remaining_budget // partitions`` of every *work* budget of the
+parent's active guard (pivots, branches, canonical; disjuncts is a
+per-disjunction cap and passes through unchanged) and the full
+remaining wall-clock deadline (workers run concurrently).  Worker
+guards always use ``on_exhaustion="fail"`` so exhaustion surfaces as an
+exception; the parent re-raises the first (in chunk order) worker
+error, and the caller's own policy — degrade or fail — applies at the
+usual engine boundary, exactly as in a serial run.
+
+**Counter merging.**  Workers report their guard spend and their
+constraint-cache / bounding-box counter deltas; the parent *absorbs*
+them (sums counters, maxes peaks) into its own guard and cache, so
+``ExecutionStats`` sees one coherent account of the whole execution.
+:class:`~repro.errors.ResourceExhausted` instances don't survive
+pickling (keyword-only constructors), so workers ship plain dicts and
+the parent reconstructs the exception class by name.
+
+**Transport.**  The row payload is published in a module global before
+the pool is created; workers are forked lazily on first submit and
+inherit it, so neither the rows (oid trees) nor the predicate (a
+closure over the constraint engine) ever crosses a pickle boundary.
+Only chunk bounds and budget dicts are pickled in, and plain row
+indices and counter dicts are pickled out.  Platforms without ``fork``
+fall back to serial evaluation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Sequence
+
+import repro.errors as errors_mod
+from repro.constraints import bounds
+from repro.errors import QueryCancelled, ResourceExhausted
+from repro.runtime import cache as cache_mod
+from repro.runtime.guard import ExecutionGuard, current_guard, guarded
+
+#: Don't partition filters smaller than this: pool startup dominates.
+PARTITION_THRESHOLD = 64
+
+#: Budgets divided among workers; disjuncts caps a single disjunction
+#: wherever it is built and is passed through whole.
+_DIVIDED_BUDGETS = (
+    ("max_pivots", "pivots"),
+    ("max_branches", "branches"),
+    ("max_canonical", "canonical_steps"),
+)
+
+_stats = {"runs": 0, "partitions": 0, "max_workers": 0, "fallbacks": 0}
+
+
+def stats() -> dict[str, int]:
+    """Cumulative counters: ``runs`` (parallel regions executed),
+    ``partitions`` (chunks dispatched), ``max_workers`` (largest pool
+    used), ``fallbacks`` (regions degraded to serial at runtime)."""
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    for key in _stats:
+        _stats[key] = 0
+
+
+# ---------------------------------------------------------------------------
+# Parallelism context (the CLI's --parallel N)
+# ---------------------------------------------------------------------------
+
+_workers: ContextVar[int] = ContextVar("repro_parallelism", default=1)
+
+
+def current_parallelism() -> int:
+    return _workers.get()
+
+
+@contextmanager
+def parallelism(workers: int) -> Iterator[None]:
+    """Allow up to ``workers`` worker processes for the dynamic extent
+    (1 = serial, the default)."""
+    if workers < 1:
+        raise ValueError(f"parallelism must be >= 1, got {workers!r}")
+    token = _workers.set(workers)
+    try:
+        yield
+    finally:
+        _workers.reset(token)
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def should_partition(n_rows: int) -> bool:
+    """Partition this filter?  Requires an active parallel context,
+    enough rows to amortize pool startup, no FaultPlan on the current
+    guard (fault determinism), a ``fork`` start method, and not already
+    being inside a worker."""
+    if _IN_WORKER or _workers.get() < 2 or n_rows < PARTITION_THRESHOLD:
+        return False
+    guard = current_guard()
+    if guard is not None and guard.faults is not None:
+        return False
+    return _fork_available()
+
+
+# ---------------------------------------------------------------------------
+# The partitioned filter
+# ---------------------------------------------------------------------------
+
+#: (columns, rows, predicate) published to forked workers.
+_PAYLOAD: tuple | None = None
+
+#: True inside a worker process — suppresses nested partitioning.
+_IN_WORKER = False
+
+
+def filter_rows(columns: Sequence[str], rows: list,
+                predicate: Callable[[dict], bool]) -> list:
+    """The rows satisfying ``predicate`` (a row-dict test), in input
+    order — partitioned across worker processes when
+    :func:`should_partition` allows, serially otherwise."""
+    if not should_partition(len(rows)):
+        cols = tuple(columns)
+        return [row for row in rows
+                if predicate(dict(zip(cols, row)))]
+    return _parallel_filter(tuple(columns), rows, predicate)
+
+
+def _chunk_bounds(n_rows: int, chunks: int) -> list[tuple[int, int]]:
+    size, extra = divmod(n_rows, chunks)
+    bounds_list, start = [], 0
+    for i in range(chunks):
+        stop = start + size + (1 if i < extra else 0)
+        if stop > start:
+            bounds_list.append((start, stop))
+        start = stop
+    return bounds_list
+
+
+def _worker_limits(guard: ExecutionGuard | None,
+                   partitions: int) -> dict | None:
+    """The pro-rated budget dict shipped to each worker, or ``None``
+    for unguarded workers.  Raises :class:`_NoHeadroom` when some
+    budget has no spend left — the caller then runs serially so the
+    parent guard trips at its usual site."""
+    if guard is None:
+        return None
+    limits: dict = {}
+    if guard.deadline is not None:
+        remaining = guard.deadline - guard.elapsed()
+        if remaining <= 0:
+            raise _NoHeadroom
+        limits["deadline"] = remaining
+    for limit_name, counter_name in _DIVIDED_BUDGETS:
+        limit = getattr(guard, limit_name)
+        if limit is None:
+            continue
+        remaining = limit - getattr(guard, counter_name)
+        if remaining <= 0:
+            raise _NoHeadroom
+        limits[limit_name] = max(1, remaining // partitions)
+    limits["max_disjuncts"] = guard.max_disjuncts
+    return limits
+
+
+class _NoHeadroom(Exception):
+    """Internal: a budget is already exhausted; run serial."""
+
+
+def _parallel_filter(columns: tuple, rows: list,
+                     predicate: Callable[[dict], bool]) -> list:
+    global _PAYLOAD
+    guard = current_guard()
+    workers = min(_workers.get(), len(rows))
+    chunks = _chunk_bounds(len(rows), workers)
+    try:
+        limits = _worker_limits(guard, len(chunks))
+    except _NoHeadroom:
+        _stats["fallbacks"] += 1
+        return [row for row in rows
+                if predicate(dict(zip(columns, row)))]
+
+    _PAYLOAD = (columns, rows, predicate)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=len(chunks),
+                                 mp_context=context) as pool:
+            futures = [pool.submit(_run_chunk, start, stop, limits)
+                       for start, stop in chunks]
+            outcomes = [f.result() for f in futures]
+    except (OSError, RuntimeError):
+        # Pool startup failure (fork limits, sandboxing): serial is
+        # always a correct answer.
+        _stats["fallbacks"] += 1
+        return [row for row in rows
+                if predicate(dict(zip(columns, row)))]
+    finally:
+        _PAYLOAD = None
+
+    _stats["runs"] += 1
+    _stats["partitions"] += len(chunks)
+    _stats["max_workers"] = max(_stats["max_workers"], len(chunks))
+
+    kept: list = []
+    first_error: dict | None = None
+    for outcome in outcomes:
+        if guard is not None:
+            guard.absorb_spend(outcome["spend"])
+        cache = cache_mod.active_cache()
+        if cache is not None and outcome["cache"]:
+            cache.absorb(outcome["cache"])
+        bounds.absorb(outcome["bounds"])
+        if outcome["error"] is not None and first_error is None:
+            first_error = outcome["error"]
+        kept.extend(rows[i] for i in outcome["kept"])
+    if first_error is not None:
+        raise _rebuild_exhaustion(guard, first_error)
+    if guard is not None:
+        # Cancellation/deadline observed at the merge point (workers
+        # can't see a cancel issued after they forked).
+        guard.checkpoint("parallel-merge")
+    return kept
+
+
+def _rebuild_exhaustion(guard: ExecutionGuard | None,
+                        error: dict) -> ResourceExhausted:
+    """A worker's exhaustion dict back into the exception the serial
+    run would have raised (ResourceExhausted doesn't pickle: its
+    constructors are keyword-only)."""
+    cls = getattr(errors_mod, error["kind"], None)
+    if cls is None or not (isinstance(cls, type)
+                           and issubclass(cls, ResourceExhausted)):
+        cls = ResourceExhausted
+    if guard is not None:
+        guard.exhausted = error["budget"]
+    if cls is QueryCancelled:
+        return QueryCancelled(spent=error["spent"],
+                              fragment=error["fragment"])
+    return cls(error["message"], budget=error["budget"],
+               limit=error["limit"], spent=error["spent"],
+               fragment=error["fragment"])
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
+    """Evaluate one chunk in a forked worker.
+
+    Returns kept row *indices* (absolute, so the parent merges without
+    offset bookkeeping) plus guard-spend and counter deltas; worker
+    exhaustion travels back as a plain ``error`` dict.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    columns, rows, predicate = _PAYLOAD
+    worker_guard = None
+    if limits is not None:
+        worker_guard = ExecutionGuard(
+            deadline=limits.get("deadline"),
+            max_pivots=limits.get("max_pivots"),
+            max_branches=limits.get("max_branches"),
+            max_disjuncts=limits.get("max_disjuncts"),
+            max_canonical=limits.get("max_canonical"),
+            on_exhaustion="fail")
+    cache = cache_mod.active_cache()
+    cache_before = cache.counters() if cache is not None else None
+    bounds_before = bounds.stats()
+
+    kept: list[int] = []
+    error: dict | None = None
+    try:
+        with guarded(worker_guard):
+            for i in range(start, stop):
+                if predicate(dict(zip(columns, rows[i]))):
+                    kept.append(i)
+    except ResourceExhausted as exc:
+        # str(exc) already embeds the [budget=...] diagnostics block;
+        # ship the bare message so reconstruction doesn't double it.
+        error = {
+            "kind": type(exc).__name__,
+            "message": ("deadline exceeded" if exc.budget == "deadline"
+                        else f"{exc.budget} budget exhausted"),
+            "budget": exc.budget,
+            "limit": exc.limit,
+            "spent": exc.spent,
+            "fragment": exc.fragment,
+        }
+
+    spend = worker_guard.spend() if worker_guard is not None else {}
+    cache_delta = {}
+    if cache is not None and cache_before is not None:
+        after = cache.counters()
+        cache_delta = {k: after[k] - cache_before[k]
+                       for k in ("hits", "misses", "evictions",
+                                 "simplex_saved")}
+    bounds_after = bounds.stats()
+    bounds_delta = {k: bounds_after[k] - bounds_before[k]
+                    for k in bounds_before}
+    return {"kept": kept, "spend": spend, "cache": cache_delta,
+            "bounds": bounds_delta, "error": error}

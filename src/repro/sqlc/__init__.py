@@ -1,5 +1,5 @@
-"""Flat "SQL with constraints": relations, plan algebra, optimizer and
-execution engine — the Section 5 translation target."""
+"""Flat "SQL with constraints": relations, plan algebra, box indexes,
+optimizer and execution engine — the Section 5 translation target."""
 
 from repro.sqlc.algebra import (
     And,
@@ -8,6 +8,7 @@ from repro.sqlc.algebra import (
     CstPredicate,
     Distinct,
     Extend,
+    IndexJoin,
     NaturalJoin,
     Not,
     Or,
@@ -20,11 +21,24 @@ from repro.sqlc.algebra import (
     Union,
 )
 from repro.sqlc.engine import ExecutionStats, execute
-from repro.sqlc.optimizer import optimize, push_selections, reorder_joins
+from repro.sqlc.index import (
+    BoxIndex,
+    candidate_pairs,
+    index_for,
+    indexing,
+    indexing_active,
+)
+from repro.sqlc.optimizer import (
+    optimize,
+    push_selections,
+    reorder_joins,
+    select_index_joins,
+)
 from repro.sqlc.relation import ConstraintRelation
 
 __all__ = [
     "And",
+    "BoxIndex",
     "ColumnEq",
     "ColumnLiteral",
     "ConstraintRelation",
@@ -32,6 +46,7 @@ __all__ = [
     "Distinct",
     "ExecutionStats",
     "Extend",
+    "IndexJoin",
     "NaturalJoin",
     "Not",
     "Or",
@@ -42,8 +57,13 @@ __all__ = [
     "Scan",
     "Select",
     "Union",
+    "candidate_pairs",
     "execute",
+    "index_for",
+    "indexing",
+    "indexing_active",
     "optimize",
     "push_selections",
     "reorder_joins",
+    "select_index_joins",
 ]

@@ -17,6 +17,9 @@ from typing import Callable, Mapping
 
 from repro.errors import EvaluationError
 from repro.model.oid import CstOid, Oid
+from repro.runtime import cache as cache_mod
+from repro.runtime import parallel
+from repro.sqlc import index as index_mod
 from repro.sqlc.relation import ConstraintRelation
 
 #: The evaluation environment maps base-relation names to relations.
@@ -126,7 +129,15 @@ class Select(Plan):
         return (self.child,)
 
     def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.child.evaluate(catalog).select(self.predicate)
+        base = self.child.evaluate(catalog)
+        # Large filters partition across worker processes when a
+        # parallel context is active (serial and parallel keep the
+        # same row order; see repro.runtime.parallel).
+        kept = parallel.filter_rows(base.columns, list(base),
+                                    self.predicate)
+        result = ConstraintRelation(base.name, base.columns)
+        result._rows = kept
+        return result
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -158,6 +169,96 @@ class NaturalJoin(Plan):
     def describe(self) -> str:
         shared = set(self.left.columns) & set(self.right.columns)
         return f"NaturalJoin(on {sorted(shared)})"
+
+
+@dataclass(frozen=True, eq=False)
+class IndexJoin(Plan):
+    """A join accelerated by box indexes on one CST column per side.
+
+    Equivalent to ``Select(predicate, NaturalJoin(left, right))`` — the
+    optimizer rewrites that pattern into this node when ``predicate``
+    contains an *intersective* constraint conjunct (one whose
+    :attr:`CstPredicate.boxers` prove it false whenever the boxes of
+    ``left_column`` and ``right_column`` are disjoint).  Evaluation
+    probes the two box indexes to enumerate only box-overlapping
+    candidate pairs, joins those, and runs the full exact ``predicate``
+    on the candidates; pruned pairs are exactly pairs the exact
+    predicate would have rejected, so results are identical to the
+    unindexed plan (same rows, same order).
+
+    When the interval prefilter is disabled (``--no-prefilter``, or a
+    :class:`~repro.runtime.faults.FaultPlan` run, where box shortcuts
+    would perturb deterministic fault schedules) the node degrades to
+    the plain nested enumeration — same exact-phase work as the
+    unrewritten plan.
+    """
+
+    left: Plan
+    right: Plan
+    left_column: str
+    right_column: str
+    left_boxer: Callable
+    right_boxer: Callable
+    predicate: "Predicate"
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+        left = self.left.evaluate(catalog)
+        right = self.right.evaluate(catalog)
+        shared = [c for c in left.columns if c in right.columns]
+        other_only = [c for c in right.columns if c not in left.columns]
+        out_columns = tuple(left.columns) + tuple(other_only)
+        left_rows = list(left)
+        right_rows = list(right)
+        total = len(left_rows) * len(right_rows)
+
+        if index_mod.indexing_active() and cache_mod.prefilter_active():
+            left_index = index_mod.index_for(
+                left, self.left_column, self.left_boxer)
+            right_index = index_mod.index_for(
+                right, self.right_column, self.right_boxer)
+            before = index_mod.stats()
+            pairs = index_mod.candidate_pairs(left_index, right_index)
+            after = index_mod.stats()
+            object.__setattr__(self, "_last", {
+                "probes": after["probes"] - before["probes"],
+                "candidates": len(pairs),
+                "pruned": total - len(pairs),
+                "total": total,
+            })
+        else:
+            pairs = [(l, r) for l in range(len(left_rows))
+                     for r in range(len(right_rows))]
+            object.__setattr__(self, "_last", None)
+
+        if shared:
+            left_idx = [left.column_index(c) for c in shared]
+            right_idx = [right.column_index(c) for c in shared]
+            pairs = [
+                (l, r) for l, r in pairs
+                if all(left_rows[l][i] == right_rows[r][j]
+                       for i, j in zip(left_idx, right_idx))]
+        other_idx = [right.column_index(c) for c in other_only]
+        rows = [left_rows[l] + tuple(right_rows[r][i] for i in other_idx)
+                for l, r in pairs]
+        kept = parallel.filter_rows(out_columns, rows, self.predicate)
+        result = ConstraintRelation(
+            f"({left.name}*{right.name})", out_columns)
+        result._rows = kept
+        return result
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        left = self.left.columns
+        return left + tuple(c for c in self.right.columns
+                            if c not in left)
+
+    def describe(self) -> str:
+        return (f"IndexJoin({self.left_column} box-overlap "
+                f"{self.right_column}; exact {self.predicate})")
 
 
 @dataclass(frozen=True)
@@ -302,11 +403,20 @@ class CstPredicate(Predicate):
     ``test`` receives the row's oids for ``columns`` (in order) and
     returns a bool; it is built by the translator from the query's
     SAT / ``|=`` formulas and closes over the constraint engine.
+
+    ``boxers`` optionally maps a subset of ``columns`` to cheap
+    bounding-box functions (cell -> box, conventions of
+    :mod:`repro.sqlc.index`) carrying the *pairwise-intersective*
+    contract: if the boxes of any two mapped columns are disjoint,
+    ``test`` is provably false for that row.  The translator attaches
+    boxers to SAT predicates over conjunctions; the optimizer uses them
+    to select :class:`IndexJoin`.
     """
 
     columns: tuple[str, ...]
     test: Callable[..., bool]
     label: str = "cst"
+    boxers: tuple[tuple[str, Callable], ...] = ()
 
     def __call__(self, row):
         return self.test(*(row[c] for c in self.columns))

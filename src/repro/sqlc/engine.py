@@ -8,12 +8,14 @@ from dataclasses import dataclass, field
 from repro.constraints import bounds
 from repro.errors import ResourceExhausted
 from repro.runtime import cache as cache_mod
+from repro.runtime import parallel as parallel_mod
 from repro.runtime.guard import (
     ExecutionGuard,
     current_guard,
     guarded,
     should_degrade,
 )
+from repro.sqlc import index as index_mod
 from repro.sqlc.algebra import Catalog, Materialized, Plan
 from repro.sqlc.optimizer import optimize
 from repro.sqlc.relation import ConstraintRelation
@@ -52,18 +54,41 @@ class ExecutionStats:
     cache_simplex_saved: int = 0
     box_checks: int = 0
     box_refutations: int = 0
+    # -- box index / parallel execution (per-execution deltas) ---------
+    index_probes: int = 0
+    candidates_pruned: int = 0
+    partitions: int = 0
+    workers: int = 0
 
-    def capture_guard(self, guard: ExecutionGuard | None) -> None:
+    def reset(self) -> None:
+        """Zero every per-execution field so a stats object can be
+        reused across :func:`execute` calls without accumulating stale
+        values (:func:`execute` calls this on entry)."""
+        fresh = ExecutionStats()
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(fresh, f.name))
+
+    def capture_guard(self, guard: ExecutionGuard | None,
+                      baseline: dict | None = None) -> None:
+        """Record the guard's spend, as a delta against ``baseline`` (a
+        prior :meth:`ExecutionGuard.spend` snapshot) when given —
+        guards accumulate across executions, so reusing one without a
+        baseline would re-report earlier executions' spend."""
         if guard is None:
             return
-        self.elapsed = guard.elapsed()
-        self.pivots = guard.pivots
-        self.branches = guard.branches
-        self.canonical_steps = guard.canonical_steps
+        base = baseline or {}
+        self.elapsed = guard.elapsed() - base.get("elapsed", 0.0)
+        self.pivots = guard.pivots - base.get("pivots", 0)
+        self.branches = guard.branches - base.get("branches", 0)
+        self.canonical_steps = guard.canonical_steps \
+            - base.get("canonical_steps", 0)
         self.peak_disjuncts = guard.peak_disjuncts
-        self.checkpoints = guard.checkpoints
-        self.simplex_calls = guard.simplex_calls
-        if self.exhausted is None:
+        self.checkpoints = guard.checkpoints \
+            - base.get("checkpoints", 0)
+        self.simplex_calls = guard.simplex_calls \
+            - base.get("simplex_calls", 0)
+        if self.exhausted is None and guard.exhausted is not None \
+                and guard.exhausted != base.get("exhausted"):
             self.exhausted = guard.exhausted
 
 
@@ -87,8 +112,14 @@ def execute(plan: Plan, catalog: Catalog,
     """
     with guarded(guard) as explicit:
         active = explicit if explicit is not None else current_guard()
+        if stats is not None:
+            stats.reset()
         cache_before = cache_mod.counters() if stats is not None else {}
         box_before = bounds.stats() if stats is not None else {}
+        index_before = index_mod.stats() if stats is not None else {}
+        par_before = parallel_mod.stats() if stats is not None else {}
+        guard_before = active.spend() if active is not None \
+            and stats is not None else None
         try:
             if use_optimizer:
                 plan = optimize(plan, catalog)
@@ -104,9 +135,11 @@ def execute(plan: Plan, catalog: Catalog,
             stats.optimized = use_optimizer
             stats.input_rows = sum(len(r) for r in catalog.values())
             stats.output_rows = len(result)
-            stats.capture_guard(active)
+            stats.capture_guard(active, guard_before)
             cache_after = cache_mod.counters()
             box_after = bounds.stats()
+            index_after = index_mod.stats()
+            par_after = parallel_mod.stats()
             stats.cache_hits = cache_after["hits"] \
                 - cache_before["hits"]
             stats.cache_misses = cache_after["misses"] \
@@ -119,6 +152,14 @@ def execute(plan: Plan, catalog: Catalog,
                 - box_before["checks"]
             stats.box_refutations = box_after["refutations"] \
                 - box_before["refutations"]
+            stats.index_probes = index_after["probes"] \
+                - index_before["probes"]
+            stats.candidates_pruned = index_after["pruned"] \
+                - index_before["pruned"]
+            stats.partitions = par_after["partitions"] \
+                - par_before["partitions"]
+            stats.workers = par_after["max_workers"] \
+                if par_after["runs"] > par_before["runs"] else 0
     return result
 
 
@@ -157,8 +198,12 @@ def explain_analyze(plan: Plan, catalog: Catalog,
             return
         for child in getattr(node, "children", ()):
             measure(child)
-        result = _with_materialized_children(node, results) \
-            .evaluate(catalog)
+        replaced = _with_materialized_children(node, results)
+        result = replaced.evaluate(catalog)
+        if replaced is not node and hasattr(replaced, "_last"):
+            # dataclasses.replace evaluated a copy; carry the index
+            # probe counts back to the node being rendered.
+            object.__setattr__(node, "_last", replaced._last)
         counts[id(node)] = len(result)
         results[id(node)] = result
 
@@ -168,6 +213,11 @@ def explain_analyze(plan: Plan, catalog: Catalog,
         pad = "  " * depth
         line = (f"{pad}{node.describe()}  "
                 f"[{counts.get(id(node), '?')} rows]")
+        probe = getattr(node, "_last", None)
+        if probe is not None:
+            line += (f"  [index: probed {probe['probes']}, pruned "
+                     f"{probe['pruned']} of {probe['total']} pairs, "
+                     f"{probe['candidates']} candidates]")
         for child in getattr(node, "children", ()):
             line += "\n" + render(child, depth + 1)
         return line

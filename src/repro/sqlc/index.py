@@ -1,0 +1,384 @@
+"""Box indexes over CST columns — the join-acceleration layer.
+
+PR 2's interval prefilter (:mod:`repro.constraints.bounds`) refutes a
+box-disjoint pair *after* the pair has been enumerated; every join over
+CST columns therefore still pays the full |R|x|S| pair enumeration.
+Following the "evaluation of geometric queries" split into a cheap
+geometric phase and an exact symbolic phase, this module moves the
+geometric phase *in front of* pair enumeration:
+
+* a :class:`BoxIndex` stores, per relation row, the cheap bounding box
+  of one CST column (derived from :func:`repro.constraints.bounds`),
+  organised as sorted interval endpoints per variable;
+* :func:`candidate_pairs` sweeps the two indexes along the most
+  selective shared variable (sort + sweep; a uniform grid takes over
+  for dense workloads where long intervals make the sweep's active
+  lists quadratic) and emits only the pairs whose boxes overlap, in
+  the same deterministic ``(left row, right row)`` order a nested loop
+  would produce;
+* indexes are built lazily and memoized per
+  ``(relation, column, boxer, version)`` in a weak-keyed cache, so
+  catalog relations scanned by many joins are indexed once and the
+  cache invalidates itself when a relation mutates
+  (:attr:`~repro.sqlc.relation.ConstraintRelation.version`).
+
+Box conventions (shared with :mod:`repro.constraints.bounds`): a box is
+a ``dict[Variable, Interval]``; ``None`` means *provably empty* (the
+row can never match), and ``{}`` means *unknown / unbounded* (the row
+must always be kept).  A "boxer" maps a relation cell to a box under
+those conventions; :func:`cst_cell_box` is the default for cells whose
+CST objects are already expressed over shared variable names, and the
+translator builds renaming-aware boxers for its SAT predicates.
+
+Soundness: the index only ever *drops* pairs whose boxes are provably
+disjoint, which by :func:`repro.constraints.bounds.boxes_disjoint` is a
+proof that the exact CST intersection is empty.  The exact predicate
+still runs on every surviving candidate, so a query's answers are
+identical with and without the index.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+from weakref import WeakKeyDictionary
+
+from repro.constraints import bounds
+from repro.model.oid import CstOid, Oid
+from repro.sqlc.relation import ConstraintRelation
+
+#: A boxer: cell -> box (``dict`` over-approximation, ``{}`` unknown,
+#: ``None`` provably empty).
+Boxer = Callable[[Oid], object]
+
+#: Grid fallback threshold: when the average interval covers more than
+#: this fraction of the variable's span, the sweep's active lists stay
+#: long and a uniform grid enumerates candidates more cheaply.
+DENSITY_THRESHOLD = 0.25
+
+#: Effectiveness counters (process-global, like ``bounds``; the engine
+#: reports per-execution deltas and the parallel evaluator absorbs
+#: worker-side deltas).
+_stats = {"builds": 0, "probes": 0, "pruned": 0, "candidates": 0}
+
+
+def stats() -> dict[str, int]:
+    """A copy of the global index counters.
+
+    ``builds``
+        box indexes constructed (cache misses);
+    ``probes``
+        coarse candidate pairs examined by the sweep/grid phase;
+    ``pruned``
+        pairs refuted without running the exact predicate
+        (``|R|x|S| - candidates`` per join);
+    ``candidates``
+        pairs that survived to the exact phase.
+    """
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    for key in _stats:
+        _stats[key] = 0
+
+
+def absorb_stats(delta: dict) -> None:
+    """Fold counter deltas from a worker process into this process's
+    counters (used by :mod:`repro.runtime.parallel`)."""
+    for key, value in delta.items():
+        if key in _stats:
+            _stats[key] += value
+
+
+# ---------------------------------------------------------------------------
+# Enable/disable gate (the CLI's --no-index)
+# ---------------------------------------------------------------------------
+
+_disabled: ContextVar[bool] = ContextVar("repro_index_off", default=False)
+
+
+def indexing_active() -> bool:
+    """Is box-index join acceleration enabled in this context?"""
+    return not _disabled.get()
+
+
+@contextmanager
+def indexing(enabled: bool) -> Iterator[None]:
+    """Enable/disable index-join selection for the dynamic extent (the
+    optimizer consults this; plans built while disabled use
+    ``NaturalJoin`` + ``Select`` throughout)."""
+    token = _disabled.set(not enabled)
+    try:
+        yield
+    finally:
+        _disabled.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Boxers
+# ---------------------------------------------------------------------------
+
+
+def cst_cell_box(cell: Oid) -> object:
+    """The cheap bounding box of a CST cell, over the cell's own
+    variable names.
+
+    Sound for predicates that intersect CST values *without renaming*
+    (variables matched by name).  Non-CST cells — which the exact
+    predicate must see, typically to raise — map to the unknown box.
+    """
+    if not isinstance(cell, CstOid):
+        return {}
+    try:
+        return cell.cst.cheap_box()
+    except Exception:
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# The index
+# ---------------------------------------------------------------------------
+
+_NEG_INF = -math.inf
+_POS_INF = math.inf
+
+
+class BoxIndex:
+    """Per-row boxes of one CST column, with per-variable sorted
+    interval lists for the sweep."""
+
+    __slots__ = ("n_rows", "boxes", "nonempty", "bounded", "unbounded")
+
+    def __init__(self, relation: ConstraintRelation, column: str,
+                 boxer: Boxer):
+        cell_index = relation.column_index(column)
+        self.n_rows = len(relation)
+        #: Per row position: box dict, ``None`` (provably empty), or
+        #: ``{}`` (unknown — always a candidate).
+        self.boxes = [boxer(row[cell_index]) for row in relation]
+        #: Row positions that can match at all.
+        self.nonempty = [pos for pos, box in enumerate(self.boxes)
+                         if box is not None]
+        #: var -> [(lo, hi, pos)] for rows bounding the variable
+        #: (closed-endpoint over-approximation; exactness is restored
+        #: by the boxes_disjoint refinement).
+        self.bounded: dict = {}
+        #: var -> [pos] for nonempty rows *not* bounding the variable.
+        self.unbounded: dict = {}
+        variables = set()
+        for box in self.boxes:
+            if box:
+                variables.update(box)
+        for var in variables:
+            intervals, free = [], []
+            for pos in self.nonempty:
+                interval = self.boxes[pos].get(var)
+                if interval is None:
+                    free.append(pos)
+                else:
+                    lo, _lo_open, hi, _hi_open = interval
+                    intervals.append((
+                        _NEG_INF if lo is None else lo,
+                        _POS_INF if hi is None else hi,
+                        pos))
+            self.bounded[var] = intervals
+            self.unbounded[var] = free
+
+    def coverage(self, var) -> int:
+        """How many rows the variable actually bounds."""
+        return len(self.bounded.get(var, ()))
+
+
+# ---------------------------------------------------------------------------
+# Index cache (weak-keyed on the relation, invalidated by version)
+# ---------------------------------------------------------------------------
+
+_index_cache: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def index_for(relation: ConstraintRelation, column: str,
+              boxer: Boxer) -> BoxIndex:
+    """The (possibly cached) box index of ``relation[column]``.
+
+    Entries are keyed by ``(column, boxer)`` and stamped with the
+    relation's mutation :attr:`~ConstraintRelation.version`; a mutated
+    relation gets a fresh index on the next probe, and dropping the
+    relation drops its indexes (weak keys).
+    """
+    per_relation = _index_cache.get(relation)
+    if per_relation is None:
+        per_relation = {}
+        _index_cache[relation] = per_relation
+    key = (column, boxer)
+    entry = per_relation.get(key)
+    if entry is not None and entry[0] == relation.version:
+        return entry[1]
+    built = BoxIndex(relation, column, boxer)
+    _stats["builds"] += 1
+    per_relation[key] = (relation.version, built)
+    return built
+
+
+def cached_indexes() -> int:
+    """Total live cached indexes (introspection for tests)."""
+    return sum(len(per) for per in _index_cache.values())
+
+
+def clear_index_cache() -> None:
+    _index_cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+
+def _sweep(lefts: list, rights: list) -> list[tuple[int, int]]:
+    """All (left pos, right pos) pairs whose closed intervals overlap,
+    by a sort + sweep over the interval start points."""
+    lefts = sorted(lefts)
+    rights = sorted(rights)
+    out: list[tuple[int, int]] = []
+    i = j = 0
+    active_left: list[tuple] = []   # (hi, pos) still open
+    active_right: list[tuple] = []
+    while i < len(lefts) or j < len(rights):
+        if j >= len(rights) or (i < len(lefts)
+                                and lefts[i][0] <= rights[j][0]):
+            lo, hi, pos = lefts[i]
+            i += 1
+            live = []
+            for other_hi, other_pos in active_right:
+                if other_hi >= lo:
+                    live.append((other_hi, other_pos))
+                    out.append((pos, other_pos))
+            active_right = live
+            active_left.append((hi, pos))
+        else:
+            lo, hi, pos = rights[j]
+            j += 1
+            live = []
+            for other_hi, other_pos in active_left:
+                if other_hi >= lo:
+                    live.append((other_hi, other_pos))
+                    out.append((other_pos, pos))
+            active_left = live
+            active_right.append((hi, pos))
+    return out
+
+
+def _grid(lefts: list, rights: list) -> list[tuple[int, int]]:
+    """Uniform-grid candidate generation — the dense-workload fallback
+    where long intervals keep the sweep's active lists near-full."""
+    finite = [end for lo, hi, _pos in lefts + rights
+              for end in (lo, hi) if end not in (_NEG_INF, _POS_INF)]
+    if not finite:
+        return _sweep(lefts, rights)
+    span_lo, span_hi = min(finite), max(finite)
+    if span_hi <= span_lo:
+        span_hi = span_lo + 1
+    cells = max(4, min(256, 2 * math.isqrt(len(lefts) + len(rights))))
+    width = (span_hi - span_lo) / cells
+
+    def cell_range(lo, hi) -> tuple[int, int]:
+        first = 0 if lo == _NEG_INF \
+            else min(cells - 1, max(0, int((lo - span_lo) / width)))
+        last = cells - 1 if hi == _POS_INF \
+            else min(cells - 1, max(0, int((hi - span_lo) / width)))
+        return first, last
+
+    buckets: list[list] = [[] for _ in range(cells)]
+    for lo, hi, pos in rights:
+        first, last = cell_range(lo, hi)
+        for cell in range(first, last + 1):
+            buckets[cell].append((lo, hi, pos))
+    out: list[tuple[int, int]] = []
+    for lo, hi, pos in lefts:
+        first, last = cell_range(lo, hi)
+        seen: set[int] = set()
+        for cell in range(first, last + 1):
+            for other_lo, other_hi, other_pos in buckets[cell]:
+                if other_pos in seen:
+                    continue
+                seen.add(other_pos)
+                if other_lo <= hi and other_hi >= lo:
+                    out.append((pos, other_pos))
+    return out
+
+
+def _density(intervals: list) -> float:
+    """Average fraction of the variable's span one interval covers."""
+    finite = [end for lo, hi, _pos in intervals
+              for end in (lo, hi) if end not in (_NEG_INF, _POS_INF)]
+    if not finite:
+        return 1.0
+    span = max(finite) - min(finite)
+    if span <= 0:
+        return 1.0
+    total = 0.0
+    for lo, hi, _pos in intervals:
+        if lo == _NEG_INF or hi == _POS_INF:
+            total += float(span)
+        else:
+            total += float(hi - lo)
+    return total / (float(span) * len(intervals))
+
+
+def _overlapping_pairs(lefts: list, rights: list) -> list[tuple[int, int]]:
+    if not lefts or not rights:
+        return []
+    if _density(lefts) > DENSITY_THRESHOLD \
+            or _density(rights) > DENSITY_THRESHOLD:
+        return _grid(lefts, rights)
+    return _sweep(lefts, rights)
+
+
+def _sweep_variable(left: BoxIndex, right: BoxIndex):
+    """The shared variable with the highest pruning power: the one
+    bounding the most rows on both sides (product of coverages)."""
+    best, best_score = None, 0
+    for var in left.bounded:
+        score = left.coverage(var) * right.coverage(var)
+        if score > best_score:
+            best, best_score = var, score
+    return best
+
+
+def candidate_pairs(left: BoxIndex, right: BoxIndex
+                    ) -> list[tuple[int, int]]:
+    """Row-position pairs whose boxes overlap, sorted in nested-loop
+    order ``(left, right)``.
+
+    The coarse phase (sweep or grid on the best shared variable) emits
+    a superset of the box-overlapping pairs; each coarse pair is then
+    refined with the exact multi-variable
+    :func:`repro.constraints.bounds.boxes_disjoint` test.  Pairs never
+    emitted — separated along the sweep variable, or provably empty on
+    either side — are pruned without any per-pair work at all.
+    """
+    total = left.n_rows * right.n_rows
+    var = _sweep_variable(left, right)
+    if var is None:
+        coarse = [(l, r) for l in left.nonempty for r in right.nonempty]
+    else:
+        coarse = _overlapping_pairs(left.bounded[var], right.bounded[var])
+        # Rows unbounded on the sweep variable overlap everything
+        # along it: pair them with every nonempty row of the far side.
+        if right.unbounded[var]:
+            free = right.unbounded[var]
+            for lo, hi, pos in left.bounded[var]:
+                coarse.extend((pos, other) for other in free)
+        if left.unbounded[var]:
+            for pos in left.unbounded[var]:
+                coarse.extend((pos, other) for other in right.nonempty)
+    _stats["probes"] += len(coarse)
+    candidates = [
+        (l, r) for l, r in coarse
+        if not bounds.boxes_disjoint(left.boxes[l], right.boxes[r])]
+    candidates.sort()
+    _stats["candidates"] += len(candidates)
+    _stats["pruned"] += total - len(candidates)
+    return candidates

@@ -10,7 +10,13 @@ we supply the two classic rewrites every such engine needs:
 * **join ordering** — chains of natural joins are re-associated
   greedily, starting from the smallest base relation and always joining
   the relation sharing columns with the partial result (avoiding
-  accidental cross products).
+  accidental cross products);
+* **index-join selection** — a Select whose conjunction holds an
+  *intersective* constraint predicate (one carrying
+  :attr:`~repro.sqlc.algebra.CstPredicate.boxers`) spanning both sides
+  of the join below it becomes an :class:`~repro.sqlc.algebra.
+  IndexJoin`, which probes per-relation box indexes to enumerate only
+  box-overlapping candidate pairs before the exact test.
 
 The rewrites are semantics-preserving for the operators used by the
 translator (set/bag equivalence up to row order).
@@ -18,6 +24,7 @@ translator (set/bag equivalence up to row order).
 
 from __future__ import annotations
 
+from repro.sqlc import index as index_mod
 from repro.sqlc.algebra import (
     And,
     Catalog,
@@ -26,6 +33,7 @@ from repro.sqlc.algebra import (
     CstPredicate,
     Distinct,
     Extend,
+    IndexJoin,
     NaturalJoin,
     Not,
     Or,
@@ -45,6 +53,8 @@ def optimize(plan: Plan, catalog: Catalog | None = None) -> Plan:
     plan = push_selections(plan)
     plan = reorder_joins(plan, catalog or {})
     plan = push_selections(plan)
+    if index_mod.indexing_active():
+        plan = select_index_joins(plan)
     return plan
 
 
@@ -168,7 +178,9 @@ def _rename_predicate(pred: Predicate,
     if isinstance(pred, CstPredicate):
         return CstPredicate(
             tuple(reverse.get(c, c) for c in pred.columns),
-            pred.test, pred.label)
+            pred.test, pred.label,
+            tuple((reverse.get(c, c), boxer)
+                  for c, boxer in pred.boxers))
     return None
 
 
@@ -227,6 +239,91 @@ def _estimate(plan: Plan, catalog: Catalog) -> int:
         return _estimate(plan.left, catalog) \
             * max(1, _estimate(plan.right, catalog))
     return 1000
+
+
+# ---------------------------------------------------------------------------
+# Index-join selection
+# ---------------------------------------------------------------------------
+
+
+def select_index_joins(plan: Plan) -> Plan:
+    """Rewrite ``Select(..., NaturalJoin(L, R))`` into
+    :class:`~repro.sqlc.algebra.IndexJoin` when a conjunct is a
+    constraint predicate with boxers covering one column of each side.
+
+    Soundness rests on the boxers' pairwise-intersective contract
+    (:class:`~repro.sqlc.algebra.CstPredicate`): a pair whose boxes are
+    disjoint on the chosen columns provably fails that conjunct, hence
+    the whole conjunction — exactly the rows the unrewritten Select
+    would have dropped.  Runs after pushdown/reordering so the Select
+    directly above each join carries all the stuck cross-side
+    conjuncts.
+    """
+    if isinstance(plan, Select):
+        child = select_index_joins(plan.child)
+        join = child
+        kept = None
+        # reorder_joins may interpose a column-order-restoring Project;
+        # Select and Project commute when the predicate only references
+        # kept columns (always true: it sits above the Project).
+        if isinstance(join, Project) \
+                and isinstance(join.child, NaturalJoin) \
+                and plan.predicate.referenced_columns <= set(join.kept):
+            kept = join.kept
+            join = join.child
+        if isinstance(join, NaturalJoin):
+            rewritten = _try_index_join(
+                join, _split_conjuncts(plan.predicate))
+            if rewritten is not None:
+                return rewritten if kept is None \
+                    else Project(rewritten, kept)
+        return Select(child, plan.predicate)
+    if isinstance(plan, NaturalJoin):
+        return NaturalJoin(select_index_joins(plan.left),
+                           select_index_joins(plan.right))
+    if isinstance(plan, Project):
+        return Project(select_index_joins(plan.child), plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(select_index_joins(plan.child), plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(select_index_joins(plan.child))
+    if isinstance(plan, Union):
+        return Union(select_index_joins(plan.left),
+                     select_index_joins(plan.right))
+    if isinstance(plan, Extend):
+        return Extend(select_index_joins(plan.child), plan.column,
+                      plan.compute, plan.label)
+    return plan
+
+
+def _try_index_join(join: NaturalJoin,
+                    conjuncts: list[Predicate]) -> IndexJoin | None:
+    left_cols = set(join.left.columns)
+    right_cols = set(join.right.columns)
+    for pred in conjuncts:
+        if not isinstance(pred, CstPredicate) or not pred.boxers:
+            continue
+        boxer_map = dict(pred.boxers)
+        # The indexed columns must live on exactly one side each:
+        # shared columns are already equality-joined and ambiguous.
+        left_pick = next(
+            (c for c in pred.columns
+             if c in boxer_map and c in left_cols
+             and c not in right_cols), None)
+        right_pick = next(
+            (c for c in pred.columns
+             if c in boxer_map and c in right_cols
+             and c not in left_cols), None)
+        if left_pick is None or right_pick is None:
+            continue
+        # Cheap conjuncts first, as _wrap would order a plain Select.
+        ordered = sorted(conjuncts, key=_predicate_cost)
+        predicate = ordered[0] if len(ordered) == 1 \
+            else And(tuple(ordered))
+        return IndexJoin(join.left, join.right, left_pick, right_pick,
+                         boxer_map[left_pick], boxer_map[right_pick],
+                         predicate)
+    return None
 
 
 def _greedy_join(leaves: list[Plan], catalog: Catalog) -> Plan:

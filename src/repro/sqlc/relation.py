@@ -23,7 +23,8 @@ class ConstraintRelation:
     removes them.
     """
 
-    __slots__ = ("_name", "_columns", "_rows", "_index")
+    __slots__ = ("_name", "_columns", "_rows", "_index", "_version",
+                 "__weakref__")
 
     def __init__(self, name: str, columns: Sequence[str],
                  rows: Iterable[Sequence] = ()):
@@ -35,6 +36,7 @@ class ConstraintRelation:
                 f"{self._columns}")
         self._rows: list[tuple[Oid, ...]] = []
         self._index = {c: i for i, c in enumerate(self._columns)}
+        self._version = 0
         for row in rows:
             self.add_row(row)
 
@@ -44,9 +46,11 @@ class ConstraintRelation:
         values = tuple(as_oid(v) for v in row)
         if len(values) != len(self._columns):
             raise EvaluationError(
-                f"row arity {len(values)} does not match relation "
-                f"{self._name!r} arity {len(self._columns)}")
+                f"cannot add a {len(values)}-value row to relation "
+                f"{self._name!r}: it has {len(self._columns)} columns "
+                f"{self._columns}")
         self._rows.append(values)
+        self._version += 1
 
     # -- inspection ----------------------------------------------------------
 
@@ -61,6 +65,16 @@ class ConstraintRelation:
     @property
     def arity(self) -> int:
         return len(self._columns)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter — bumped by every :meth:`add_row`.
+
+        Derived structures (the box indexes of
+        :mod:`repro.sqlc.index`) cache per ``(relation, version)`` and
+        are thereby invalidated when the relation mutates.
+        """
+        return self._version
 
     def column_index(self, column: str) -> int:
         try:
@@ -96,15 +110,23 @@ class ConstraintRelation:
                 name: str | None = None) -> "ConstraintRelation":
         indexes = [self.column_index(c) for c in columns]
         result = ConstraintRelation(name or self._name, columns)
-        result._rows = [tuple(row[i] for i in indexes)
-                        for row in self._rows]
+        if indexes == list(range(len(self._columns))):
+            # Identity projection: the row tuples are immutable, so
+            # they are shared instead of being rebuilt cell-by-cell.
+            result._rows = list(self._rows)
+        else:
+            result._rows = [tuple(row[i] for i in indexes)
+                            for row in self._rows]
         return result
 
     def select(self, predicate: Callable[[dict[str, Oid]], bool],
                name: str | None = None) -> "ConstraintRelation":
         result = ConstraintRelation(name or self._name, self._columns)
+        # Kept rows are the original tuples (never copied); only the
+        # per-row environment dict for the predicate is fresh.
+        columns = self._columns
         result._rows = [row for row in self._rows
-                        if predicate(self.row_dict(row))]
+                        if predicate(dict(zip(columns, row)))]
         return result
 
     def distinct(self) -> "ConstraintRelation":

@@ -54,6 +54,34 @@ def random_polytope(dimension: int, atoms: int, seed: int = 0,
     return ConjunctiveConstraint(out)
 
 
+def scattered_boxes(count: int, dimension: int = 1, seed: int = 0,
+                    spread: int = 1000, size: int = 5,
+                    prefix: str = "x") -> list[ConjunctiveConstraint]:
+    """``count`` small axis-aligned boxes scattered over a wide range —
+    the *sparse* join workload of the box-index benchmark.
+
+    Each constraint bounds every variable to an interval of width up to
+    ``size`` with its center drawn uniformly from ``[-spread, spread]``,
+    so two random boxes overlap with probability about ``size/spread``
+    per dimension: the box index prunes almost every pair while the
+    exact intersection remains nontrivial for the survivors.
+    """
+    rng = random.Random(seed)
+    vars_ = make_variables(dimension, prefix)
+    out: list[ConjunctiveConstraint] = []
+    for _ in range(count):
+        atoms: list[LinearConstraint] = []
+        for var in vars_:
+            center = Fraction(rng.randint(-spread, spread))
+            half = Fraction(rng.randint(1, size), 2)
+            atoms.append(LinearConstraint.build(
+                var, Relop.GE, center - half))
+            atoms.append(LinearConstraint.build(
+                var, Relop.LE, center + half))
+        out.append(ConjunctiveConstraint(atoms))
+    return out
+
+
 def random_infeasible(dimension: int, atoms: int, seed: int = 0
                       ) -> ConjunctiveConstraint:
     """An unsatisfiable conjunction: a random polytope plus a pair of
