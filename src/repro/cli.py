@@ -11,10 +11,10 @@
 from __future__ import annotations
 
 import argparse
-import contextlib
 import sys
 
 from repro import lyric
+from repro.core.pipeline import render_trace
 from repro.errors import (
     ConstraintSyntaxError,
     LyricSyntaxError,
@@ -28,10 +28,13 @@ from repro.model.office import (
     build_office_database,
 )
 from repro.model.serialize import read_database, save_database
-from repro.runtime import ConstraintCache, ExecutionGuard, guarded
+from repro.runtime import (
+    ConstraintCache,
+    ExecutionGuard,
+    ExecutionStats,
+    QueryContext,
+)
 from repro.runtime import cache as cache_mod
-from repro.runtime import parallel as parallel_mod
-from repro.sqlc import index as index_mod
 
 #: Exit codes: syntax problems and resource exhaustion are
 #: distinguishable by scripts; every other library error is 1.
@@ -72,7 +75,11 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def _add_guard_options(parser: argparse.ArgumentParser) -> None:
+def _add_context_options(parser: argparse.ArgumentParser) -> None:
+    """The one shared flag set every executing subcommand gets: guard
+    budgets, cache, index, and parallelism — everything
+    :func:`_context_from` folds into a single
+    :class:`~repro.runtime.QueryContext`."""
     group = parser.add_argument_group("resource limits")
     group.add_argument("--timeout", type=_positive_float,
                        metavar="SECONDS",
@@ -90,9 +97,6 @@ def _add_guard_options(parser: argparse.ArgumentParser) -> None:
                        help="on budget exhaustion: fail the query "
                             "(default) or return a partial result "
                             "with a warning")
-
-
-def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("constraint cache")
     group.add_argument("--no-cache", action="store_true",
                        help="disable constraint-level memoization and "
@@ -100,9 +104,6 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--cache-size", type=_positive_int, metavar="N",
                        help="use a fresh constraint cache of at most "
                             "N entries for this command")
-
-
-def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("execution strategy")
     group.add_argument("--parallel", type=_positive_int, metavar="N",
                        default=1,
@@ -114,36 +115,25 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
                             "optimizer keeps plain NaturalJoin plans)")
 
 
-def _cache_context(args):
-    """The caching context the command should run under.
-
-    ``--no-cache`` disables memoization and the prefilter;
-    ``--cache-size N`` scopes a fresh bounded cache to the command.
-    The default (no flags) uses the process-global cache.  Scoping via
-    context managers keeps in-process callers (tests, embedding) free
-    of global-state mutation.
-    """
+def _context_from(args, guard: ExecutionGuard | None = None
+                  ) -> QueryContext:
+    """One :class:`~repro.runtime.QueryContext` from the shared CLI
+    flags: ``--no-cache``/``--cache-size`` pick the cache,
+    ``--no-index`` and ``--parallel`` the execution strategy, and the
+    resource-limit flags the guard (``guard`` overrides when given —
+    the shell derives a fresh one per statement)."""
+    kwargs: dict = {
+        "guard": guard if guard is not None else _guard_from(args),
+        "indexing": not getattr(args, "no_index", False),
+        "parallelism": getattr(args, "parallel", 1),
+        "stats": ExecutionStats(),
+    }
     if getattr(args, "no_cache", False):
-        stack = contextlib.ExitStack()
-        stack.enter_context(cache_mod.caching(None))
-        stack.enter_context(cache_mod.prefilter(False))
-        return stack
-    size = getattr(args, "cache_size", None)
-    if size is not None:
-        return cache_mod.caching(ConstraintCache(maxsize=size))
-    return contextlib.nullcontext()
-
-
-def _execution_context(args):
-    """The indexing/parallelism context from ``--no-index`` and
-    ``--parallel N`` (a no-op stack for the defaults)."""
-    stack = contextlib.ExitStack()
-    if getattr(args, "no_index", False):
-        stack.enter_context(index_mod.indexing(False))
-    workers = getattr(args, "parallel", 1)
-    if workers > 1:
-        stack.enter_context(parallel_mod.parallelism(workers))
-    return stack
+        kwargs["cache"] = None
+        kwargs["prefilter"] = False
+    elif getattr(args, "cache_size", None) is not None:
+        kwargs["cache"] = ConstraintCache(maxsize=args.cache_size)
+    return QueryContext(**kwargs)
 
 
 def _cache_status(args) -> str:
@@ -156,6 +146,20 @@ def _cache_status(args) -> str:
     return (f"cache: global, size "
             f"{cache_mod.get_global_cache().maxsize} "
             f"({counters['entries']} entries)")
+
+
+def _print_analysis(stats: ExecutionStats) -> None:
+    """The ``--explain --analyze`` report: per-phase timing trace plus
+    the execution's cache/prefilter/index effectiveness counters."""
+    print(render_trace(stats))
+    print(f"cache: {stats.cache_hits} hits, "
+          f"{stats.cache_misses} misses, "
+          f"{stats.cache_evictions} evictions, "
+          f"{stats.cache_simplex_saved} simplex solves saved")
+    print(f"prefilter: {stats.box_checks} checks, "
+          f"{stats.box_refutations} refutations")
+    print(f"index: {stats.index_probes} probes, "
+          f"{stats.candidates_pruned} pairs pruned")
 
 
 def _guard_from(args) -> ExecutionGuard | None:
@@ -200,33 +204,19 @@ def cmd_query(args) -> int:
     text = args.query
     if text == "-":
         text = sys.stdin.read()
-    with _cache_context(args), _execution_context(args):
-        if args.explain:
-            if args.analyze:
-                before = cache_mod.counters()
-                index_before = index_mod.stats()
-                print(lyric.explain(db, text, analyze=True))
-                after = cache_mod.counters()
-                index_after = index_mod.stats()
-                print(f"cache: {after['hits'] - before['hits']} hits, "
-                      f"{after['misses'] - before['misses']} misses, "
-                      f"{after['evictions'] - before['evictions']} "
-                      f"evictions, "
-                      f"{after['simplex_saved'] - before['simplex_saved']} "
-                      f"simplex solves saved")
-                probes = index_after["probes"] - index_before["probes"]
-                pruned = index_after["pruned"] - index_before["pruned"]
-                print(f"index: {probes} probes, "
-                      f"{pruned} pairs pruned")
-            else:
-                print(lyric.explain(db, text))
-            print(_cache_status(args))
-            return 0
-        guard = _guard_from(args)
-        if args.translated:
-            result = lyric.query_translated(db, text, guard=guard)
+    ctx = _context_from(args)
+    if args.explain:
+        if args.analyze:
+            print(lyric.explain(db, text, analyze=True, ctx=ctx))
+            _print_analysis(ctx.stats)
         else:
-            result = lyric.query(db, text, guard=guard)
+            print(lyric.explain(db, text, ctx=ctx))
+        print(_cache_status(args))
+        return 0
+    if args.translated:
+        result = lyric.query_translated(db, text, ctx=ctx)
+    else:
+        result = lyric.query(db, text, ctx=ctx)
     print(result.pretty(limit=args.limit))
     print(f"({len(result)} rows)")
     return 0
@@ -239,8 +229,7 @@ def cmd_shell(args) -> int:
           "end statements with ';', 'quit;' exits")
     buffer: list[str] = []
     stream = sys.stdin
-    with _cache_context(args), _execution_context(args):
-        _shell_loop(db, args, buffer, stream)
+    _shell_loop(db, args, buffer, stream)
     return 0
 
 
@@ -262,16 +251,18 @@ def _shell_loop(db: Database, args, buffer: list[str], stream) -> None:
         if text.lower() in ("quit", "exit"):
             break
         try:
-            with guarded(_guard_from(args)):
-                if text.lower().startswith("create"):
-                    created = lyric.view(db, text)
-                    for name in created.classes:
-                        members = created.instances.get(name, [])
-                        print(f"{name}: {len(members)} instances")
-                else:
-                    result = lyric.query(db, text)
-                    print(result.pretty())
-                    print(f"({len(result)} rows)")
+            # A fresh guard per statement: one exhausted query must not
+            # poison the budgets of the next.
+            ctx = _context_from(args, guard=_guard_from(args))
+            if text.lower().startswith("create"):
+                created = lyric.view(db, text, ctx=ctx)
+                for name in created.classes:
+                    members = created.instances.get(name, [])
+                    print(f"{name}: {len(members)} instances")
+            else:
+                result = lyric.query(db, text, ctx=ctx)
+                print(result.pretty())
+                print(f"({len(result)} rows)")
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
 
@@ -281,9 +272,7 @@ def cmd_view(args) -> int:
     text = args.view
     if text == "-":
         text = sys.stdin.read()
-    with _cache_context(args), _execution_context(args), \
-            guarded(_guard_from(args)):
-        created = lyric.view(db, text)
+    created = lyric.view(db, text, ctx=_context_from(args))
     for class_name in created.classes:
         members = created.instances.get(class_name, [])
         print(f"{class_name}: {len(members)} instances")
@@ -331,17 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "cache statistics")
     query.add_argument("--limit", type=int, default=20,
                        help="rows to print")
-    _add_guard_options(query)
-    _add_cache_options(query)
-    _add_execution_options(query)
+    _add_context_options(query)
     query.set_defaults(fn=cmd_query)
 
     shell = sub.add_parser("shell", help="interactive LyriC shell")
     shell.add_argument("database", nargs="?")
     shell.add_argument("--office", action="store_true")
-    _add_guard_options(shell)
-    _add_cache_options(shell)
-    _add_execution_options(shell)
+    _add_context_options(shell)
     shell.set_defaults(fn=cmd_shell)
 
     view = sub.add_parser("view", help="execute a CREATE VIEW")
@@ -349,9 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     view.add_argument("view", help="view text, or - for stdin")
     view.add_argument("--office", action="store_true")
     view.add_argument("--save", help="write the updated database here")
-    _add_guard_options(view)
-    _add_cache_options(view)
-    _add_execution_options(view)
+    _add_context_options(view)
     view.set_defaults(fn=cmd_view)
 
     schema = sub.add_parser("schema", help="print a database's schema")

@@ -32,7 +32,6 @@ from repro.constraints.terms import (
     RationalLike,
     Variable,
     format_fraction,
-    to_fraction,
 )
 
 

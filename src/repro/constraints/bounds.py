@@ -30,6 +30,7 @@ from typing import Iterable, Mapping
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.terms import Variable
+from repro.runtime import context as context_mod
 
 #: A half-open-aware interval: ``(lo, lo_open, hi, hi_open)``; ``None``
 #: endpoints mark unboundedness.
@@ -169,18 +170,23 @@ def _atom_impossible(atom: LinearConstraint,
     return False
 
 
-def refutes(conj: ConjunctiveConstraint) -> bool:
+def refutes(conj: ConjunctiveConstraint, ctx=None) -> bool:
     """True when the box proves ``conj`` unsatisfiable (sound; a False
-    answer says nothing)."""
+    answer says nothing).  Checks are booked both on the process-wide
+    mirror (worker merge) and on the context's per-execution stats."""
+    stats_acct = context_mod.resolve(ctx).stats
     _stats["checks"] += 1
+    stats_acct.box_checks += 1
     box = box_of(conj.atoms)
     if box is None:
         _stats["refutations"] += 1
+        stats_acct.box_refutations += 1
         return True
     for atom in conj.atoms:
         if len(atom.expression.coefficients) > 1 \
                 and _atom_impossible(atom, box):
             _stats["refutations"] += 1
+            stats_acct.box_refutations += 1
             return True
     return False
 
@@ -262,16 +268,21 @@ def intervals_disjoint(a: Interval, b: Interval) -> bool:
 
 
 def boxes_disjoint(a: Mapping[Variable, Interval] | None,
-                   b: Mapping[Variable, Interval] | None) -> bool:
+                   b: Mapping[Variable, Interval] | None,
+                   ctx=None) -> bool:
     """True when the two point sets provably cannot intersect: either
     box is empty, or they are separated along some shared variable."""
+    stats_acct = context_mod.resolve(ctx).stats
     _stats["checks"] += 1
+    stats_acct.box_checks += 1
     if a is None or b is None:
         _stats["refutations"] += 1
+        stats_acct.box_refutations += 1
         return True
     for var, interval in a.items():
         other = b.get(var)
         if other is not None and intervals_disjoint(interval, other):
             _stats["refutations"] += 1
+            stats_acct.box_refutations += 1
             return True
     return False

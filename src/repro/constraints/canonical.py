@@ -30,12 +30,13 @@ from repro.constraints.existential import (
     ExistentialConjunctiveConstraint,
 )
 from repro.constraints.terms import Variable
-from repro.runtime import cache
-from repro.runtime.guard import current_guard
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
 
 
 def canonical_conjunctive(conj: ConjunctiveConstraint,
-                          remove_redundant: bool = True
+                          remove_redundant: bool = True,
+                          ctx: QueryContext | None = None
                           ) -> ConjunctiveConstraint:
     """Canonical form of a conjunction.
 
@@ -48,21 +49,23 @@ def canonical_conjunctive(conj: ConjunctiveConstraint,
     """
     if conj.is_true():
         return conj
-    return cache.memoized(
+    resolved = context_mod.resolve(ctx)
+    return resolved.memoized(
         ("canon", conj.sorted_atoms(), remove_redundant),
-        lambda: _canonical_conjunctive(conj, remove_redundant))
+        lambda: _canonical_conjunctive(conj, remove_redundant, resolved))
 
 
 def _canonical_conjunctive(conj: ConjunctiveConstraint,
-                           remove_redundant: bool
+                           remove_redundant: bool,
+                           ctx: QueryContext
                            ) -> ConjunctiveConstraint:
-    if not conj.is_satisfiable():
+    if not conj.is_satisfiable(ctx):
         return ConjunctiveConstraint.false()
     if not remove_redundant:
         return conj
     atoms = list(conj.sorted_atoms())
     kept: list = []
-    guard = current_guard()
+    guard = ctx.guard
     # A single backward pass relative to the full remaining context keeps
     # the result order-independent: an atom is dropped iff implied by
     # (kept so far) + (not yet examined).
@@ -70,13 +73,14 @@ def _canonical_conjunctive(conj: ConjunctiveConstraint,
         if guard is not None:
             guard.tick_canonical()
         context = ConjunctiveConstraint(kept + atoms[i + 1:])
-        if not implication.atom_redundant_in(atom, context):
+        if not implication.atom_redundant_in(atom, context, ctx):
             kept.append(atom)
     return ConjunctiveConstraint(kept)
 
 
 def canonical_disjunctive(dis: DisjunctiveConstraint,
-                          remove_redundant_atoms: bool = True
+                          remove_redundant_atoms: bool = True,
+                          ctx: QueryContext | None = None
                           ) -> DisjunctiveConstraint:
     """The paper's two always-on disjunction simplifications, plus
     per-disjunct conjunction canonicalization.
@@ -84,19 +88,22 @@ def canonical_disjunctive(dis: DisjunctiveConstraint,
     Redundant *disjuncts* (those implied by the union of the others) are
     deliberately **not** removed — co-NP-complete per [Sri92].
     """
+    ctx = context_mod.resolve(ctx)
     canonical = []
-    guard = current_guard()
+    guard = ctx.guard
     for d in dis.disjuncts:
         if guard is not None:
             guard.tick_canonical()
-        c = canonical_conjunctive(d, remove_redundant=remove_redundant_atoms)
+        c = canonical_conjunctive(d, remove_redundant=remove_redundant_atoms,
+                                  ctx=ctx)
         if not c.is_syntactically_false():
             canonical.append(c)
     # The DisjunctiveConstraint constructor removes syntactic duplicates.
     return DisjunctiveConstraint(canonical)
 
 
-def remove_subsumed_disjuncts(dis: DisjunctiveConstraint
+def remove_subsumed_disjuncts(dis: DisjunctiveConstraint,
+                              ctx: QueryContext | None = None
                               ) -> DisjunctiveConstraint:
     """Delete disjuncts implied by the union of the others.
 
@@ -106,8 +113,9 @@ def remove_subsumed_disjuncts(dis: DisjunctiveConstraint
     want minimal representations and can afford the entailment checks
     (exponential in the disjunction size in the worst case).
     """
+    ctx = context_mod.resolve(ctx)
     kept = list(dis.disjuncts)
-    guard = current_guard()
+    guard = ctx.guard
     i = 0
     while i < len(kept):
         if guard is not None:
@@ -115,28 +123,32 @@ def remove_subsumed_disjuncts(dis: DisjunctiveConstraint
         candidate = kept[i]
         others = kept[:i] + kept[i + 1:]
         if others and implication.conjunctive_entails_disjunction(
-                candidate, others):
+                candidate, others, ctx):
             kept.pop(i)
             continue
         i += 1
     return DisjunctiveConstraint(kept)
 
 
-def canonical_existential(ex: ExistentialConjunctiveConstraint
+def canonical_existential(ex: ExistentialConjunctiveConstraint,
+                          ctx: QueryContext | None = None
                           ) -> ExistentialConjunctiveConstraint:
     """Simplifying eliminations + canonical body."""
+    ctx = context_mod.resolve(ctx)
     simplified = ex.simplify()
-    body = canonical_conjunctive(simplified.body)
+    body = canonical_conjunctive(simplified.body, ctx=ctx)
     return ExistentialConjunctiveConstraint(body, simplified.quantified)
 
 
-def canonical_dex(dex: DisjunctiveExistentialConstraint
+def canonical_dex(dex: DisjunctiveExistentialConstraint,
+                  ctx: QueryContext | None = None
                   ) -> DisjunctiveExistentialConstraint:
+    ctx = context_mod.resolve(ctx)
     return DisjunctiveExistentialConstraint(
-        canonical_existential(d) for d in dex.disjuncts)
+        canonical_existential(d, ctx) for d in dex.disjuncts)
 
 
-def canonicalize(constraint):
+def canonicalize(constraint, ctx: QueryContext | None = None):
     """Canonical form of any family member.
 
     The result is *lowered* to the most specific family that can
@@ -145,14 +157,15 @@ def canonicalize(constraint):
     so that equal point sets built through different constructors
     produce the same canonical object and hence the same logical oid.
     """
+    ctx = context_mod.resolve(ctx)
     if isinstance(constraint, ConjunctiveConstraint):
-        return canonical_conjunctive(constraint)
+        return canonical_conjunctive(constraint, ctx=ctx)
     if isinstance(constraint, DisjunctiveConstraint):
-        return lower(canonical_disjunctive(constraint))
+        return lower(canonical_disjunctive(constraint, ctx=ctx))
     if isinstance(constraint, ExistentialConjunctiveConstraint):
-        return lower(canonical_existential(constraint))
+        return lower(canonical_existential(constraint, ctx))
     if isinstance(constraint, DisjunctiveExistentialConstraint):
-        return lower(canonical_dex(constraint))
+        return lower(canonical_dex(constraint, ctx))
     raise TypeError(f"not a constraint: {constraint!r}")
 
 
@@ -182,7 +195,8 @@ def lower(constraint):
     return constraint
 
 
-def canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
+def canonical_key(constraint, schema: Sequence[Variable],
+                  ctx: QueryContext | None = None) -> tuple:
     """Alpha-invariant identity key of a constraint under a variable
     schema (the ordered tuple of its CST dimensions).
 
@@ -190,21 +204,23 @@ def canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
     ``_i``), so two CST objects that differ only in variable names get
     equal keys — the invariance Section 4.1 requires of logical oids.
     """
+    resolved = context_mod.resolve(ctx)
     try:
-        return cache.memoized(
+        return resolved.memoized(
             ("key", type(constraint).__name__, constraint,
              tuple(v.name for v in schema)),
-            lambda: _canonical_key(constraint, schema))
+            lambda: _canonical_key(constraint, schema, resolved))
     except TypeError:
         # Unhashable constraint content — compute without memoizing.
-        return _canonical_key(constraint, schema)
+        return _canonical_key(constraint, schema, resolved)
 
 
-def _canonical_key(constraint, schema: Sequence[Variable]) -> tuple:
+def _canonical_key(constraint, schema: Sequence[Variable],
+                   ctx: QueryContext) -> tuple:
     mapping = {var: Variable(f"_{i}") for i, var in enumerate(schema)}
-    canon = canonicalize(constraint)
+    canon = canonicalize(constraint, ctx)
     renamed = canon.rename(mapping)
-    renamed = canonicalize(renamed)
+    renamed = canonicalize(renamed, ctx)
     if isinstance(renamed, ConjunctiveConstraint):
         return ("conj", renamed.sorted_atoms())
     if isinstance(renamed, DisjunctiveConstraint):

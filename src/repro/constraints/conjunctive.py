@@ -133,13 +133,13 @@ class ConjunctiveConstraint:
 
     # -- satisfiability / entailment (delegated) --------------------------------
 
-    def is_satisfiable(self) -> bool:
+    def is_satisfiable(self, ctx=None) -> bool:
         from repro.constraints import satisfiability
-        return satisfiability.is_satisfiable(self)
+        return satisfiability.is_satisfiable(self, ctx)
 
-    def sample_point(self) -> Mapping[Variable, Fraction] | None:
+    def sample_point(self, ctx=None) -> Mapping[Variable, Fraction] | None:
         from repro.constraints import satisfiability
-        return satisfiability.sample_point(self)
+        return satisfiability.sample_point(self, ctx)
 
     def entails(self, other: "ConjunctiveConstraint") -> bool:
         from repro.constraints import implication

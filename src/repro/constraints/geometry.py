@@ -19,7 +19,6 @@ from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.cst_object import CSTObject
 from repro.constraints.terms import (
-    LinearExpression,
     RationalLike,
     Variable,
     to_fraction,

@@ -23,7 +23,8 @@ from typing import Sequence
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.satisfiability import is_satisfiable
-from repro.runtime import cache
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
 
 
 def negated_atom_branches(atom: LinearConstraint
@@ -36,19 +37,23 @@ def negated_atom_branches(atom: LinearConstraint
 
 
 def conjunctive_entails_conjunctive(lhs: ConjunctiveConstraint,
-                                    rhs: ConjunctiveConstraint) -> bool:
+                                    rhs: ConjunctiveConstraint,
+                                    ctx: QueryContext | None = None
+                                    ) -> bool:
     """``lhs |= rhs`` for two conjunctions."""
-    if not is_satisfiable(lhs):
+    ctx = context_mod.resolve(ctx)
+    if not is_satisfiable(lhs, ctx):
         return True
     for atom in rhs.atoms:
         for branch in negated_atom_branches(atom):
-            if is_satisfiable(lhs.conjoin(branch)):
+            if is_satisfiable(lhs.conjoin(branch), ctx):
                 return False
     return True
 
 
 def conjunctive_entails_disjunction(lhs: ConjunctiveConstraint,
-                                    disjuncts: Sequence[ConjunctiveConstraint]
+                                    disjuncts: Sequence[ConjunctiveConstraint],
+                                    ctx: QueryContext | None = None
                                     ) -> bool:
     """``lhs |= (d1 or ... or dk)``.
 
@@ -57,14 +62,15 @@ def conjunctive_entails_disjunction(lhs: ConjunctiveConstraint,
     product with depth-first early pruning, so the common case (few
     disjuncts, early contradictions) stays fast.
     """
-    if not is_satisfiable(lhs):
+    ctx = context_mod.resolve(ctx)
+    if not is_satisfiable(lhs, ctx):
         return True
     if not disjuncts:
         return False
 
     # Fast path: some single disjunct already subsumes lhs.
     for d in disjuncts:
-        if conjunctive_entails_conjunctive(lhs, d):
+        if conjunctive_entails_conjunctive(lhs, d, ctx):
             return True
 
     negations: list[list[ConjunctiveConstraint]] = []
@@ -84,7 +90,7 @@ def conjunctive_entails_disjunction(lhs: ConjunctiveConstraint,
     def explore(base: ConjunctiveConstraint, level: int) -> bool:
         """True iff some branch assignment from ``level`` on is
         satisfiable together with ``base`` (i.e. entailment FAILS)."""
-        if not is_satisfiable(base):
+        if not is_satisfiable(base, ctx):
             return False
         if level == len(negations):
             return True
@@ -98,20 +104,25 @@ def conjunctive_entails_disjunction(lhs: ConjunctiveConstraint,
 
 def disjunction_entails_disjunction(
         lhs: Sequence[ConjunctiveConstraint],
-        rhs: Sequence[ConjunctiveConstraint]) -> bool:
+        rhs: Sequence[ConjunctiveConstraint],
+        ctx: QueryContext | None = None) -> bool:
     """``(l1 or ... or lm) |= (r1 or ... or rk)``."""
-    return all(conjunctive_entails_disjunction(l, rhs) for l in lhs)
+    ctx = context_mod.resolve(ctx)
+    return all(conjunctive_entails_disjunction(l, rhs, ctx) for l in lhs)
 
 
 def equivalent(lhs: ConjunctiveConstraint,
-               rhs: ConjunctiveConstraint) -> bool:
+               rhs: ConjunctiveConstraint,
+               ctx: QueryContext | None = None) -> bool:
     """Mutual entailment of two conjunctions."""
-    return (conjunctive_entails_conjunctive(lhs, rhs)
-            and conjunctive_entails_conjunctive(rhs, lhs))
+    ctx = context_mod.resolve(ctx)
+    return (conjunctive_entails_conjunctive(lhs, rhs, ctx)
+            and conjunctive_entails_conjunctive(rhs, lhs, ctx))
 
 
 def atom_redundant_in(atom: LinearConstraint,
-                      context: ConjunctiveConstraint) -> bool:
+                      context: ConjunctiveConstraint,
+                      ctx: QueryContext | None = None) -> bool:
     """Is ``atom`` implied by ``context`` (used by canonical forms)?
 
     Memoized on ``(atom, sorted context atoms)`` — canonicalization
@@ -120,14 +131,16 @@ def atom_redundant_in(atom: LinearConstraint,
     The per-branch satisfiability checks additionally flow through the
     interval prefilter via :func:`is_satisfiable`.
     """
-    return cache.memoized(
+    resolved = context_mod.resolve(ctx)
+    return resolved.memoized(
         ("redundant", atom, context.sorted_atoms()),
-        lambda: _atom_redundant_in(atom, context))
+        lambda: _atom_redundant_in(atom, context, resolved))
 
 
 def _atom_redundant_in(atom: LinearConstraint,
-                       context: ConjunctiveConstraint) -> bool:
+                       context: ConjunctiveConstraint,
+                       ctx: QueryContext) -> bool:
     for branch in negated_atom_branches(atom):
-        if is_satisfiable(context.conjoin(branch)):
+        if is_satisfiable(context.conjoin(branch), ctx):
             return False
     return True

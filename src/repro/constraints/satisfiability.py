@@ -24,8 +24,8 @@ from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.conjunctive import ConjunctiveConstraint
 from repro.constraints.terms import Variable
 from repro.errors import ReservedVariableError
-from repro.runtime import cache
-from repro.runtime.guard import current_guard
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
 
 #: Reserved variable for the strict-inequality slack.  The name cannot be
 #: produced by :func:`repro.constraints.terms.variables`, and collisions
@@ -33,7 +33,8 @@ from repro.runtime.guard import current_guard
 _EPSILON_NAME = "__eps__"
 
 
-def is_satisfiable(conj: ConjunctiveConstraint) -> bool:
+def is_satisfiable(conj: ConjunctiveConstraint,
+                   ctx: QueryContext | None = None) -> bool:
     """Decide satisfiability over the reals.
 
     The boolean answer is memoized on the conjunction's sorted atom
@@ -43,11 +44,14 @@ def is_satisfiable(conj: ConjunctiveConstraint) -> bool:
     """
     if conj.is_syntactically_false():
         return False
-    return cache.memoized(("sat", conj.sorted_atoms()),
-                          lambda: sample_point(conj) is not None)
+    resolved = context_mod.resolve(ctx)
+    return resolved.memoized(
+        ("sat", conj.sorted_atoms()),
+        lambda: sample_point(conj, resolved) is not None)
 
 
-def sample_point(conj: ConjunctiveConstraint
+def sample_point(conj: ConjunctiveConstraint,
+                 ctx: QueryContext | None = None
                  ) -> Mapping[Variable, Fraction] | None:
     """A rational point satisfying ``conj``, or None when unsatisfiable.
 
@@ -59,16 +63,19 @@ def sample_point(conj: ConjunctiveConstraint
     """
     if conj.is_syntactically_false():
         return None
-    if cache.prefilter_active() and bounds.refutes(conj):
+    resolved = context_mod.resolve(ctx)
+    if resolved.prefilter_active() and bounds.refutes(conj, resolved):
         return None
     base = [a for a in conj.atoms if a.relop is not Relop.NE]
     disequalities = conj.disequalities()
-    return _solve_branches(base, list(disequalities), conj.variables)
+    return _solve_branches(base, list(disequalities), conj.variables,
+                           resolved)
 
 
 def _solve_branches(base: list[LinearConstraint],
                     pending: list[LinearConstraint],
-                    all_vars: frozenset[Variable]
+                    all_vars: frozenset[Variable],
+                    ctx: QueryContext
                     ) -> Mapping[Variable, Fraction] | None:
     """DFS over the <,> splits of pending disequalities.
 
@@ -80,7 +87,7 @@ def _solve_branches(base: list[LinearConstraint],
     still to split; entries are pushed so that the ``<`` branch of the
     first pending disequality is explored first (the recursive order).
     """
-    guard = current_guard()
+    guard = ctx.guard
     stack: list[tuple[list[LinearConstraint], list[LinearConstraint]]] \
         = [(base, pending)]
     while stack:
@@ -88,7 +95,7 @@ def _solve_branches(base: list[LinearConstraint],
         if guard is not None:
             guard.tick_branch()
         if not rest:
-            point = _solve_strict(atoms, all_vars)
+            point = _solve_strict(atoms, all_vars, ctx)
             if point is not None:
                 return point
             continue
@@ -100,13 +107,14 @@ def _solve_branches(base: list[LinearConstraint],
 
 
 def _solve_strict(atoms: list[LinearConstraint],
-                  all_vars: frozenset[Variable]
+                  all_vars: frozenset[Variable],
+                  ctx: QueryContext
                   ) -> Mapping[Variable, Fraction] | None:
     """Feasible point of a system of =, <=, < atoms, or None."""
     strict = [a for a in atoms if a.relop is Relop.LT]
     non_strict = [a for a in atoms if a.relop is not Relop.LT]
     if not strict:
-        point = simplex.feasible_point(non_strict)
+        point = simplex.feasible_point(non_strict, ctx=ctx)
         return _restrict(point, all_vars) if point is not None else None
 
     for atom in atoms:
@@ -125,7 +133,8 @@ def _solve_strict(atoms: list[LinearConstraint],
     relaxed.append(LinearConstraint.build(
         -eps.as_expression(), Relop.LE, 0))
 
-    result = simplex.solve(eps.as_expression(), relaxed, maximize=True)
+    result = simplex.solve(eps.as_expression(), relaxed, maximize=True,
+                           ctx=ctx)
     if not result.is_optimal or result.value <= 0:
         return None
     point = dict(result.point)

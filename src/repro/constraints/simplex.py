@@ -29,7 +29,9 @@ from typing import Mapping, Sequence
 from repro.errors import ConstraintError
 from repro.constraints.atoms import LinearConstraint, Relop
 from repro.constraints.terms import LinearExpression, Variable
-from repro.runtime.guard import current_guard
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
+from repro.runtime.guard import ExecutionGuard
 
 
 #: Process-wide count of :func:`solve` invocations.  The memoization
@@ -76,12 +78,14 @@ class LPResult:
 
 def solve(objective: LinearExpression,
           constraints: Sequence[LinearConstraint],
-          maximize: bool = True) -> LPResult:
+          maximize: bool = True,
+          ctx: QueryContext | None = None) -> LPResult:
     """Solve ``max/min objective`` subject to non-strict ``constraints``.
 
     Only ``<=`` and ``=`` atoms are accepted (the normal form of the atom
     layer); strict and disequality atoms must be handled by the caller
-    (see :mod:`repro.constraints.satisfiability`).
+    (see :mod:`repro.constraints.satisfiability`).  Budget governance
+    comes from ``ctx``'s guard (ambient context when not given).
     """
     for atom in constraints:
         if atom.relop not in (Relop.LE, Relop.EQ):
@@ -89,18 +93,19 @@ def solve(objective: LinearExpression,
                 f"simplex accepts only <= and = atoms, got {atom}")
     global _TOTAL_CALLS
     _TOTAL_CALLS += 1
-    guard = current_guard()
+    guard = context_mod.resolve(ctx).guard
     if guard is not None:
         guard.enter_simplex()
     objective = LinearExpression.coerce(objective)
-    problem = _StandardForm(objective, constraints, maximize)
+    problem = _StandardForm(objective, constraints, maximize, guard)
     return problem.solve()
 
 
-def feasible_point(constraints: Sequence[LinearConstraint]
+def feasible_point(constraints: Sequence[LinearConstraint],
+                   ctx: QueryContext | None = None
                    ) -> Mapping[Variable, Fraction] | None:
     """A point satisfying the non-strict system, or None if infeasible."""
-    result = solve(LinearExpression.constant(0), constraints)
+    result = solve(LinearExpression.constant(0), constraints, ctx=ctx)
     if result.is_optimal:
         return result.point
     return None
@@ -116,8 +121,10 @@ class _StandardForm:
 
     def __init__(self, objective: LinearExpression,
                  constraints: Sequence[LinearConstraint],
-                 maximize: bool):
+                 maximize: bool,
+                 guard: ExecutionGuard | None = None):
         self.maximize = maximize
+        self._guard = guard
         self.objective = objective if maximize else -objective
         var_set: set[Variable] = set(objective.variables)
         for atom in constraints:
@@ -277,7 +284,7 @@ class _StandardForm:
         ``detect_unbounded``, Phase I cannot be unbounded).
         """
         n_rows = len(rows)
-        guard = current_guard()
+        guard = self._guard
         while True:
             entering = next(
                 (j for j in range(n_cols) if reduced[j] < 0), None)

@@ -1,0 +1,178 @@
+"""The staged compile pipeline: parse → translate → logical plan →
+rewrite rules → physical plan → execute.
+
+Until now compilation was a monolith (``run_translated`` parsed,
+translated, optimized, and executed in one opaque call).  This module
+restages it as an explicit :class:`Pipeline` of named phases over one
+:class:`~repro.runtime.context.QueryContext`:
+
+* **parse** — concrete syntax → AST plus semantic analysis;
+* **translate** — AST → the Section 5 flat-relational logical plan;
+* **logical-plan** — the flat catalog is built and bound into the
+  context (it feeds the cost-based rewrites);
+* **rewrite rules** — each enabled
+  :class:`~repro.sqlc.optimizer.RewriteRule` runs in order, recorded
+  individually as a ``rewrite:<name>`` phase with the plan before and
+  after;
+* **physical-plan** — the physical rules (index-join selection,
+  parallelism annotation) produce the executable plan;
+* **execute** — :func:`repro.sqlc.engine.execute` evaluates it.
+
+Every phase appends a :class:`~repro.runtime.context.PhaseRecord`
+(timing, detail, and plan snapshots where applicable) to the context's
+stats, which is what the CLI's ``--analyze`` renders as the per-phase
+trace.  Compilation and execution read *all* options (cache, guard,
+indexing, parallelism, optimizer) from the pipeline's context, so two
+pipelines over different contexts are fully isolated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import ast
+from repro.core.parser import parse_query
+from repro.core.result import ResultRow, ResultSet
+from repro.core.semantics import AnalyzedQuery, analyze
+from repro.model.database import Database
+from repro.model.relations import flatten
+from repro.runtime import context as context_mod
+from repro.runtime.context import (
+    ExecutionStats,
+    PhaseRecord,
+    QueryContext,
+)
+from repro.sqlc import engine
+from repro.sqlc import optimizer as optimizer_mod
+from repro.sqlc.algebra import Catalog, Plan
+from repro.sqlc.relation import ConstraintRelation
+
+
+@dataclass
+class CompiledQuery:
+    """Product of the compile stages: an executable physical plan bound
+    to the catalog and context it was compiled against."""
+
+    analysis: AnalyzedQuery
+    plan: Plan
+    columns: tuple[str, ...]
+    oid_column: str | None
+    catalog: Catalog
+    ctx: QueryContext
+    optimized: bool
+
+
+class Pipeline:
+    """The staged compiler/executor for one database and context.
+
+    ``ctx`` defaults to the ambient context with a *fresh* stats
+    account (so repeated pipeline runs do not grow the process-default
+    account); pass an explicit context to direct the phase trace and
+    counters somewhere specific.
+    """
+
+    def __init__(self, db: Database,
+                 ctx: QueryContext | None = None) -> None:
+        self.db = db
+        base = context_mod.resolve(ctx)
+        self.ctx = base if ctx is not None \
+            else base.derive(stats=ExecutionStats())
+
+    # -- phases ----------------------------------------------------------
+
+    def compile(self, query: str | ast.Query) -> CompiledQuery:
+        """Run every compile phase; execution is left to :meth:`run`."""
+        from repro.core.translator import translate_analyzed
+        stats = self.ctx.stats
+
+        started = time.perf_counter()
+        query_ast = parse_query(query) if isinstance(query, str) \
+            else query
+        analysis = analyze(self.db.schema, query_ast)
+        stats.phases.append(PhaseRecord(
+            "parse", time.perf_counter() - started,
+            detail=f"{len(analysis.query.from_items)} FROM items, "
+                   f"{len(analysis.query.select)} SELECT items"))
+
+        started = time.perf_counter()
+        translated = translate_analyzed(self.db, analysis)
+        stats.phases.append(PhaseRecord(
+            "translate", time.perf_counter() - started,
+            detail=f"{len(translated.columns)} columns",
+            plan_after=translated.plan.explain()))
+
+        started = time.perf_counter()
+        catalog = flatten(self.db)
+        exec_ctx = self.ctx.derive(catalog=catalog)
+        total_rows = sum(len(r) for r in catalog.values())
+        stats.phases.append(PhaseRecord(
+            "logical-plan", time.perf_counter() - started,
+            detail=f"catalog: {len(catalog)} relations, "
+                   f"{total_rows} rows",
+            plan_after=translated.plan.explain()))
+
+        plan = translated.plan
+        if exec_ctx.use_optimizer:
+            plan = optimizer_mod.apply_rules(
+                plan, exec_ctx, optimizer_mod.LOGICAL_RULES,
+                record=True)
+            started = time.perf_counter()
+            plan = optimizer_mod.apply_rules(
+                plan, exec_ctx, optimizer_mod.PHYSICAL_RULES,
+                record=True)
+            stats.phases.append(PhaseRecord(
+                "physical-plan", time.perf_counter() - started,
+                detail="index-join selection, parallelism",
+                plan_after=plan.explain()))
+
+        return CompiledQuery(
+            analysis=analysis, plan=plan,
+            columns=translated.columns,
+            oid_column=translated.oid_column,
+            catalog=catalog, ctx=exec_ctx,
+            optimized=exec_ctx.use_optimizer)
+
+    def execute(self, compiled: CompiledQuery) -> ConstraintRelation:
+        """The execute phase: evaluate an already-rewritten plan."""
+        started = time.perf_counter()
+        relation = engine.execute(
+            compiled.plan, compiled.catalog,
+            use_optimizer=False,  # the rewrite phases already ran
+            ctx=compiled.ctx)
+        stats = compiled.ctx.stats
+        stats.phases.append(PhaseRecord(
+            "execute", time.perf_counter() - started,
+            detail=f"{len(relation)} rows"))
+        stats.optimized = compiled.optimized
+        return relation
+
+    def run(self, query: str | ast.Query) -> ResultSet:
+        """All phases end to end, re-packaging the flat relation into a
+        :class:`ResultSet` comparable with the naive evaluator's."""
+        compiled = self.compile(query)
+        relation = self.execute(compiled)
+        result = ResultSet(compiled.columns)
+        for warning in compiled.ctx.stats.warnings:
+            result.add_warning(warning)
+        for row in relation:
+            mapping = relation.row_dict(row)
+            values = tuple(mapping[c] for c in compiled.columns)
+            oid = mapping.get(compiled.oid_column) \
+                if compiled.oid_column else None
+            result.add(ResultRow(values, oid))
+        return result
+
+
+def render_trace(stats: ExecutionStats) -> str:
+    """The per-phase timing trace (one line per recorded phase), as
+    printed by ``--explain --analyze``."""
+    lines = ["phase trace:"]
+    for record in stats.phases:
+        line = f"  {record.name:<32} {record.seconds * 1000:9.3f} ms"
+        if record.detail:
+            line += f"  {record.detail}"
+        lines.append(line)
+    if len(lines) == 1:
+        lines.append("  (no phases recorded)")
+    return "\n".join(lines)

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.constraints.terms import Variable
 from repro.core import ast, formulas
 from repro.core.parser import parse_query
-from repro.core.result import ResultRow, ResultSet
+from repro.core.result import ResultSet
 from repro.core.semantics import AnalyzedQuery, analyze
 from repro.errors import SemanticError
 from repro.model.database import Database
@@ -38,6 +38,8 @@ from repro.model.relations import (
     extent_relation_name,
     flatten,
 )
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
 from repro.sqlc import algebra, engine
 
 
@@ -57,31 +59,38 @@ def translate(db: Database, query: ast.Query | str) -> TranslatedQuery:
     if isinstance(query, str):
         query = parse_query(query)
     analysis = analyze(db.schema, query)
+    return translate_analyzed(db, analysis)
+
+
+def translate_analyzed(db: Database, analysis: AnalyzedQuery
+                       ) -> TranslatedQuery:
+    """Translate an already-analyzed query (the pipeline's translate
+    phase; :func:`translate` wraps it for one-shot callers)."""
     return _Translator(db, analysis).translate()
 
 
 def run_translated(db: Database, query: ast.Query | str,
                    use_optimizer: bool = True,
-                   stats: engine.ExecutionStats | None = None
+                   stats: engine.ExecutionStats | None = None,
+                   ctx: QueryContext | None = None
                    ) -> ResultSet:
     """Translate, execute on the flat catalog, and re-package rows into
-    a :class:`ResultSet` comparable with the naive evaluator's."""
-    translated = translate(db, query)
-    catalog = flatten(db)
-    if stats is None:
-        stats = engine.ExecutionStats()
-    relation = engine.execute(translated.plan, catalog,
-                              use_optimizer=use_optimizer, stats=stats)
-    result = ResultSet(translated.columns)
-    for warning in stats.warnings:
-        result.add_warning(warning)
-    for row in relation:
-        mapping = relation.row_dict(row)
-        values = tuple(mapping[c] for c in translated.columns)
-        oid = mapping.get(translated.oid_column) \
-            if translated.oid_column else None
-        result.add(ResultRow(values, oid))
-    return result
+    a :class:`ResultSet` comparable with the naive evaluator's.
+
+    A thin wrapper over :class:`repro.core.pipeline.Pipeline`; the
+    optional ``stats`` object is reset and receives the execution's
+    account (including the per-phase trace)."""
+    from repro.core.pipeline import Pipeline
+    base = context_mod.resolve(ctx)
+    overrides: dict = {"use_optimizer": use_optimizer}
+    if stats is not None:
+        stats.reset()
+        overrides["stats"] = stats
+    elif ctx is None:
+        # No explicit context: fresh account so repeated calls do not
+        # grow the ambient context's stats without bound.
+        overrides["stats"] = engine.ExecutionStats()
+    return Pipeline(db, base.derive(**overrides)).run(query)
 
 
 class _Translator:

@@ -33,6 +33,7 @@ from repro.errors import SemanticError
 from repro.model.database import Database
 from repro.model.oid import FunctionalOid, LiteralOid, Oid
 from repro.model.schema import AttributeDef, ClassDef
+from repro.runtime.context import QueryContext
 
 
 @dataclass
@@ -45,14 +46,19 @@ class ViewResult:
     parameters: dict[str, Oid] = field(default_factory=dict)
 
 
-def create_view(db: Database, view: ast.CreateView | str) -> ViewResult:
-    """Execute and materialize a view definition."""
+def create_view(db: Database, view: ast.CreateView | str,
+                ctx: QueryContext | None = None) -> ViewResult:
+    """Execute and materialize a view definition.
+
+    The view's query runs under ``ctx`` (ambient context when not
+    given), so guard budgets, cancellation, and degrade policy apply to
+    view materialization exactly as to queries."""
     if isinstance(view, str):
         view = parse_view(view)
     analysis = analyze(db.schema, view.query)
 
     param_index = _parameter_index(view, analysis)
-    rows = evaluate_analyzed(db, analysis)
+    rows = evaluate_analyzed(db, analysis, ctx=ctx)
 
     if param_index is None:
         return _materialize_plain(db, view, rows)

@@ -10,6 +10,11 @@
         WHERE CO.extent[E] and CO.translation[D]
     ''')
     print(result.pretty())
+
+Every entry point accepts an optional
+:class:`~repro.runtime.QueryContext` carrying the execution state
+(guard, cache, stats, indexing/parallelism options); the ``guard``
+parameters remain as conveniences that derive a context on the fly.
 """
 
 from __future__ import annotations
@@ -21,57 +26,84 @@ from repro.core.result import ResultSet
 from repro.core.translator import run_translated
 from repro.core.views import ViewResult, create_view
 from repro.model.database import Database
-from repro.runtime import ExecutionGuard, guarded
+from repro.runtime import ExecutionGuard, QueryContext, guarded
+from repro.runtime import context as context_mod
+from repro.runtime.context import ExecutionStats
+
+
+def _call_context(guard: ExecutionGuard | None,
+                  ctx: QueryContext | None,
+                  **overrides) -> QueryContext:
+    """The context a facade call should run under: the explicit ``ctx``
+    (or the ambient one), with ``guard`` derived in when given.  Calls
+    with neither get a fresh stats account so repeated facade calls do
+    not grow the process default's."""
+    base = context_mod.resolve(ctx)
+    if guard is not None:
+        overrides["guard"] = guard
+    if ctx is None and "stats" not in overrides:
+        overrides["stats"] = ExecutionStats()
+    return base.derive(**overrides) if overrides else base
 
 
 def query(db: Database, text: str | ast.Query,
-          guard: ExecutionGuard | None = None) -> ResultSet:
+          guard: ExecutionGuard | None = None,
+          ctx: QueryContext | None = None) -> ResultSet:
     """Evaluate a LyriC query with the naive object-level evaluator.
 
     An optional :class:`~repro.runtime.ExecutionGuard` bounds the
     execution (deadline, pivot/branch/disjunct/canonicalisation
     budgets, cancellation); with ``on_exhaustion="degrade"`` the result
-    is partial-with-warnings instead of an error.  Equivalent to
-    ``with guarded(guard): lyric.query(db, text)``.
+    is partial-with-warnings instead of an error.  ``ctx`` supplies the
+    full execution state (cache, stats, options) explicitly.
     """
-    with guarded(guard):
-        return evaluate(db, text)
+    return evaluate(db, text, ctx=_call_context(guard, ctx))
 
 
 def query_translated(db: Database, text: str | ast.Query,
                      use_optimizer: bool = True,
-                     guard: ExecutionGuard | None = None) -> ResultSet:
+                     guard: ExecutionGuard | None = None,
+                     ctx: QueryContext | None = None) -> ResultSet:
     """Evaluate via the Section 5 translation to flat SQL with
-    constraints (the second, independent evaluation path)."""
-    with guarded(guard):
-        return run_translated(db, text, use_optimizer=use_optimizer)
+    constraints (the second, independent evaluation path), through the
+    staged compile pipeline."""
+    return run_translated(db, text, use_optimizer=use_optimizer,
+                          ctx=_call_context(guard, ctx))
 
 
-def view(db: Database, text: str | ast.CreateView) -> ViewResult:
+def view(db: Database, text: str | ast.CreateView,
+         guard: ExecutionGuard | None = None,
+         ctx: QueryContext | None = None) -> ViewResult:
     """Execute a CREATE VIEW statement, materializing new classes."""
-    return create_view(db, text)
+    return create_view(db, text, ctx=_call_context(guard, ctx))
 
 
 def explain(db: Database, text: str | ast.Query,
-            use_optimizer: bool = True, analyze: bool = False) -> str:
+            use_optimizer: bool = True, analyze: bool = False,
+            ctx: QueryContext | None = None) -> str:
     """The flat-relational plan the Section 5 translation produces for
     a query, rendered as a tree (after optimization by default).
 
     With ``analyze`` the plan is executed and each node is annotated
-    with its actual output row count."""
-    from repro.core.translator import translate
-    from repro.model.relations import flatten
+    with its actual output row count; the compile pipeline's per-phase
+    trace lands in the context's stats (``ctx.stats.phases``)."""
+    import time
+
+    from repro.core.pipeline import Pipeline
+    from repro.runtime.context import PhaseRecord
     from repro.sqlc.engine import explain_analyze
-    from repro.sqlc.optimizer import optimize
-    translated = translate(db, text)
-    catalog = flatten(db)
-    if analyze:
-        return explain_analyze(translated.plan, catalog,
-                               use_optimizer=use_optimizer)
-    plan = translated.plan
-    if use_optimizer:
-        plan = optimize(plan, catalog)
-    return plan.explain()
+
+    call_ctx = _call_context(None, ctx, use_optimizer=use_optimizer)
+    compiled = Pipeline(db, call_ctx).compile(text)
+    if not analyze:
+        return compiled.plan.explain()
+    started = time.perf_counter()
+    rendered = explain_analyze(compiled.plan, compiled.catalog,
+                               use_optimizer=False, ctx=compiled.ctx)
+    compiled.ctx.stats.phases.append(PhaseRecord(
+        "execute", time.perf_counter() - started,
+        detail="explain analyze (per-node evaluation)"))
+    return rendered
 
 
 def warnings_for(db: Database, text: str | ast.Query) -> list[str]:
@@ -103,12 +135,14 @@ class PreparedQuery:
     def query(self) -> ast.Query:
         return self._analysis.query
 
-    def run(self, db: Database) -> ResultSet:
+    def run(self, db: Database,
+            ctx: QueryContext | None = None) -> ResultSet:
         if db.schema is not self._schema:
             raise ValueError(
                 "prepared query bound to a different schema")
         from repro.core.evaluator import evaluate_analyzed
-        return evaluate_analyzed(db, self._analysis)
+        return evaluate_analyzed(db, self._analysis,
+                                 ctx=_call_context(None, ctx))
 
 
 def prepare(db: Database, text: str | ast.Query) -> PreparedQuery:
@@ -119,6 +153,7 @@ def prepare(db: Database, text: str | ast.Query) -> PreparedQuery:
 __all__ = [
     "Database",
     "ExecutionGuard",
+    "QueryContext",
     "guarded",
     "ResultSet",
     "ViewResult",

@@ -13,7 +13,6 @@ from typing import Iterable, Iterator, Mapping
 from repro.constraints.cst_object import CSTObject
 from repro.errors import (
     IntegrityError,
-    UnknownAttributeError,
     UnknownObjectError,
 )
 from repro.model.oid import CstOid, LiteralOid, Oid, as_oid

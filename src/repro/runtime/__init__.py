@@ -2,6 +2,11 @@
 
 Public surface:
 
+* :class:`QueryContext` — one object owning all per-query execution
+  state (guard, cache, stats, options); :func:`current_context`
+  resolves the ambient one (see ``docs/API.md``, "Architecture");
+* :class:`ExecutionStats` / :class:`PhaseRecord` — the per-execution
+  account every layer writes into, and the pipeline's phase trace;
 * :class:`ExecutionGuard` — deadlines, work budgets, cancellation;
 * :func:`guarded` / :func:`current_guard` — the ambient activation
   protocol used by the engine's hot paths;
@@ -25,6 +30,13 @@ from repro.runtime.cache import (
     prefilter,
     prefilter_active,
 )
+from repro.runtime.context import (
+    ExecutionStats,
+    PhaseRecord,
+    QueryContext,
+    current_context,
+    default_context,
+)
 from repro.runtime.faults import BUDGETS, FaultPlan
 from repro.runtime.guard import (
     POLICIES,
@@ -45,12 +57,17 @@ __all__ = [
     "POLICIES",
     "ConstraintCache",
     "ExecutionGuard",
+    "ExecutionStats",
     "FaultPlan",
+    "PhaseRecord",
+    "QueryContext",
     "active_cache",
     "caching",
     "clear_global_cache",
+    "current_context",
     "current_guard",
     "current_parallelism",
+    "default_context",
     "filter_rows",
     "get_global_cache",
     "guarded",

@@ -22,21 +22,20 @@ honest):
   count ticks, and a warm cache would make injected failures
   nondeterministic.
 
-The cache is process-global by default; :func:`caching` scopes a
-different cache (or ``None`` to disable) to a dynamic extent via a
-``ContextVar``, which is what the CLI's ``--no-cache``/``--cache-size``
-flags and the A/B benchmarks use.  :func:`prefilter` gates the interval
-prefilter (:mod:`repro.constraints.bounds`) the same way.
+The cache is process-global by default and travels inside the active
+:class:`~repro.runtime.context.QueryContext`; :func:`caching` scopes a
+different cache (or ``None`` to disable) to a dynamic extent by
+deriving a context, which is what the CLI's
+``--no-cache``/``--cache-size`` flags and the A/B benchmarks use.
+:func:`prefilter` gates the interval prefilter
+(:mod:`repro.constraints.bounds`) the same way.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from contextvars import ContextVar
 from typing import Callable, Hashable, Iterator, TypeVar
-
-from repro.runtime.guard import current_guard
 
 T = TypeVar("T")
 
@@ -121,19 +120,10 @@ class ConstraintCache:
 
 
 # ---------------------------------------------------------------------------
-# Ambient cache selection
+# Ambient cache selection — shims over the active QueryContext
 # ---------------------------------------------------------------------------
 
 _global_cache = ConstraintCache()
-
-#: Sentinel stored in the override ContextVar to mean "disabled".
-_DISABLED = object()
-
-_override: ContextVar[object | None] = ContextVar(
-    "repro_constraint_cache", default=None)
-
-_prefilter_off: ContextVar[bool] = ContextVar(
-    "repro_prefilter_off", default=False)
 
 
 def get_global_cache() -> ConstraintCache:
@@ -148,47 +138,39 @@ def active_cache() -> ConstraintCache | None:
     """The cache the current context should use, or ``None``.
 
     ``None`` when caching is disabled in this context **or** the active
-    guard injects faults (fault determinism beats speed).
+    guard injects faults (fault determinism beats speed).  Shim over
+    :meth:`repro.runtime.context.QueryContext.active_cache`.
     """
-    override = _override.get()
-    if override is _DISABLED:
-        return None
-    guard = current_guard()
-    if guard is not None and guard.faults is not None:
-        return None
-    if override is not None:
-        return override  # type: ignore[return-value]
-    return _global_cache
+    from repro.runtime import context
+    return context.current_context().active_cache()
 
 
 def prefilter_active() -> bool:
     """Is the interval prefilter enabled in this context?  Off under
     fault injection, for the same determinism reason as the cache."""
-    if _prefilter_off.get():
-        return False
-    guard = current_guard()
-    return guard is None or guard.faults is None
+    from repro.runtime import context
+    return context.current_context().prefilter_active()
 
 
 @contextmanager
 def caching(cache: ConstraintCache | None) -> Iterator[None]:
     """Use ``cache`` for the dynamic extent; ``caching(None)``
-    disables memoization entirely (the A/B baseline)."""
-    token = _override.set(_DISABLED if cache is None else cache)
-    try:
+    disables memoization entirely (the A/B baseline).  Implemented by
+    deriving a :class:`~repro.runtime.context.QueryContext` with the
+    override and activating it."""
+    from repro.runtime import context
+    derived = context.current_context().derive(cache=cache)
+    with derived.activate():
         yield
-    finally:
-        _override.reset(token)
 
 
 @contextmanager
 def prefilter(enabled: bool) -> Iterator[None]:
     """Enable/disable the bounding-box prefilter for the extent."""
-    token = _prefilter_off.set(not enabled)
-    try:
+    from repro.runtime import context
+    derived = context.current_context().derive(prefilter=enabled)
+    with derived.activate():
         yield
-    finally:
-        _prefilter_off.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -197,38 +179,24 @@ def prefilter(enabled: bool) -> Iterator[None]:
 
 
 def memoized(key: Hashable, compute: Callable[[], T]) -> T:
-    """``compute()`` through the active cache.
-
-    On a hit the stored result is returned after a single guard
-    checkpoint — budgets are not spent, but cancellation and deadlines
-    still fire.  On a miss the computation runs normally (spending its
-    budgets) and the result is stored with its simplex-call cost.
-    Exceptions (budget exhaustion included) are never cached.
+    """``compute()`` through the active context's cache — shim over
+    :meth:`repro.runtime.context.QueryContext.memoized` for public
+    entry points; internal layers call the context method directly.
     """
-    cache = active_cache()
-    if cache is None:
-        return compute()
-    hit, value = cache.lookup(key)
-    if hit:
-        guard = current_guard()
-        if guard is not None:
-            guard.checkpoint("cache")
-        return value  # type: ignore[return-value]
-    from repro.constraints import simplex
-    before = simplex.call_count()
-    value = compute()
-    cache.store(key, value, cost=simplex.call_count() - before)
-    return value
+    from repro.runtime import context
+    return context.current_context().memoized(key, compute)
 
 
 def counters() -> dict[str, int]:
-    """Counters of the context's active cache (zeros when disabled)."""
-    cache = _override.get()
-    if cache is _DISABLED:
-        cache = None
-    elif cache is None:
-        cache = _global_cache
+    """Counters of the context's cache (zeros when disabled).
+
+    Reads the context's *configured* cache, not :func:`active_cache`:
+    fault injection bypasses the cache for lookups but should not zero
+    the report the CLI prints.
+    """
+    from repro.runtime import context
+    cache = context.current_context().cache
     if cache is None:
         return {"hits": 0, "misses": 0, "evictions": 0,
                 "simplex_saved": 0, "entries": 0}
-    return cache.counters()  # type: ignore[union-attr]
+    return cache.counters()

@@ -22,11 +22,13 @@ cooperative cancellation
     :meth:`ExecutionGuard.cancel` may be called from any thread; the
     next checkpoint raises :class:`~repro.errors.QueryCancelled`.
 
-Guards are *ambient*: hot paths look up the active guard in a
-:class:`~contextvars.ContextVar` so call signatures across the engine
-stay stable.  When no guard is active every checkpoint is a single
-``ContextVar.get`` returning ``None`` — the unguarded fast path does no
-counting, no clock reads, and no exception handling.
+The guard travels inside the active
+:class:`~repro.runtime.context.QueryContext`; engine layers receive it
+explicitly through a ``ctx`` parameter, and :func:`current_guard` /
+:func:`guarded` remain as thin shims over the context for public entry
+points.  When no guard is active every checkpoint sees ``None`` — the
+unguarded fast path does no counting, no clock reads, and no exception
+handling.
 
 Exceeding a budget raises a subclass of
 :class:`~repro.errors.ResourceExhausted` carrying structured
@@ -41,7 +43,6 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from contextvars import ContextVar
 from typing import Callable, Iterator
 
 from repro.errors import (
@@ -299,17 +300,19 @@ class ExecutionGuard:
 
 
 # ---------------------------------------------------------------------------
-# Ambient guard
+# Ambient guard — a shim over the active QueryContext
 # ---------------------------------------------------------------------------
-
-_ACTIVE: ContextVar[ExecutionGuard | None] = ContextVar(
-    "repro_execution_guard", default=None)
 
 
 def current_guard() -> ExecutionGuard | None:
-    """The guard active in this context, or None (the unguarded
-    fast path)."""
-    return _ACTIVE.get()
+    """The active context's guard, or None (the unguarded fast path).
+
+    Shim over :func:`repro.runtime.context.current_context` for call
+    sites at the public API boundary; internal layers receive the
+    :class:`~repro.runtime.context.QueryContext` explicitly.
+    """
+    from repro.runtime import context
+    return context.current_context().guard
 
 
 @contextmanager
@@ -317,17 +320,17 @@ def guarded(guard: ExecutionGuard | None) -> Iterator[ExecutionGuard | None]:
     """Activate ``guard`` for the dynamic extent of the block.
 
     ``guarded(None)`` is a no-op context (convenient for optional-guard
-    call sites).  Guards nest; the innermost wins.
+    call sites).  Guards nest; the innermost wins.  Implemented by
+    deriving and activating a :class:`QueryContext` over the current
+    one, so every layer sees the guard through the one ambient context.
     """
     if guard is None:
         yield None
         return
-    guard.start()
-    token = _ACTIVE.set(guard)
-    try:
+    from repro.runtime import context
+    derived = context.current_context().derive(guard=guard)
+    with derived.activate():
         yield guard
-    finally:
-        _ACTIVE.reset(token)
 
 
 def should_degrade(guard: ExecutionGuard | None) -> bool:

@@ -16,10 +16,11 @@ identical to the serial evaluation.  Runs under a
 schedules count ticks on one guard, and sharding the tick stream across
 processes would make injected failures nondeterministic.
 
-**Budget pro-rating.**  Each worker activates a fresh
-:class:`~repro.runtime.guard.ExecutionGuard` carrying
+**Budget pro-rating.**  Each worker activates a derived
+:class:`~repro.runtime.context.QueryContext` whose fresh
+:class:`~repro.runtime.guard.ExecutionGuard` carries
 ``remaining_budget // partitions`` of every *work* budget of the
-parent's active guard (pivots, branches, canonical; disjuncts is a
+parent context's guard (pivots, branches, canonical; disjuncts is a
 per-disjunction cap and passes through unchanged) and the full
 remaining wall-clock deadline (workers run concurrently).  Worker
 guards always use ``on_exhaustion="fail"`` so exhaustion surfaces as an
@@ -27,10 +28,15 @@ exception; the parent re-raises the first (in chunk order) worker
 error, and the caller's own policy — degrade or fail — applies at the
 usual engine boundary, exactly as in a serial run.
 
-**Counter merging.**  Workers report their guard spend and their
-constraint-cache / bounding-box counter deltas; the parent *absorbs*
-them (sums counters, maxes peaks) into its own guard and cache, so
-``ExecutionStats`` sees one coherent account of the whole execution.
+**Counter merging.**  Each worker runs under a fresh
+:class:`~repro.runtime.context.ExecutionStats` and ships its
+:meth:`~repro.runtime.context.ExecutionStats.snapshot` back; the parent
+folds it in with the *generic*
+:meth:`~repro.runtime.context.ExecutionStats.merge` (each field's
+declared reduction), so counters added to ``ExecutionStats`` later
+survive the round-trip with no change here.  Guard spend additionally
+merges into the parent guard (budget bookkeeping), and the cache /
+bounding-box traffic into the process-wide mirrors.
 :class:`~repro.errors.ResourceExhausted` instances don't survive
 pickling (keyword-only constructors), so workers ship plain dicts and
 the parent reconstructs the exception class by name.
@@ -49,14 +55,14 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from contextvars import ContextVar
 from typing import Callable, Iterator, Sequence
 
 import repro.errors as errors_mod
 from repro.constraints import bounds
 from repro.errors import QueryCancelled, ResourceExhausted
-from repro.runtime import cache as cache_mod
-from repro.runtime.guard import ExecutionGuard, current_guard, guarded
+from repro.runtime import context as context_mod
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.runtime.guard import ExecutionGuard
 
 #: Don't partition filters smaller than this: pool startup dominates.
 PARTITION_THRESHOLD = 64
@@ -88,24 +94,20 @@ def reset_stats() -> None:
 # Parallelism context (the CLI's --parallel N)
 # ---------------------------------------------------------------------------
 
-_workers: ContextVar[int] = ContextVar("repro_parallelism", default=1)
-
 
 def current_parallelism() -> int:
-    return _workers.get()
+    return context_mod.current_context().parallelism
 
 
 @contextmanager
 def parallelism(workers: int) -> Iterator[None]:
     """Allow up to ``workers`` worker processes for the dynamic extent
-    (1 = serial, the default)."""
-    if workers < 1:
-        raise ValueError(f"parallelism must be >= 1, got {workers!r}")
-    token = _workers.set(workers)
-    try:
+    (1 = serial, the default).  Shim deriving a
+    :class:`~repro.runtime.context.QueryContext` over the current one;
+    the derived constructor rejects non-positive worker counts."""
+    derived = context_mod.current_context().derive(parallelism=workers)
+    with derived.activate():
         yield
-    finally:
-        _workers.reset(token)
 
 
 def _fork_available() -> bool:
@@ -115,14 +117,21 @@ def _fork_available() -> bool:
         return False
 
 
-def should_partition(n_rows: int) -> bool:
-    """Partition this filter?  Requires an active parallel context,
-    enough rows to amortize pool startup, no FaultPlan on the current
-    guard (fault determinism), a ``fork`` start method, and not already
-    being inside a worker."""
-    if _IN_WORKER or _workers.get() < 2 or n_rows < PARTITION_THRESHOLD:
+def should_partition(n_rows: int,
+                     ctx: QueryContext | None = None) -> bool:
+    """Partition this filter?  Requires parallelism in the (given or
+    ambient) context, enough rows to amortize pool startup, no
+    FaultPlan on the context's guard (fault determinism), a ``fork``
+    start method, and not already being inside a worker."""
+    ctx = context_mod.resolve(ctx)
+    return _should_partition(n_rows, ctx, ctx.parallelism)
+
+
+def _should_partition(n_rows: int, ctx: QueryContext,
+                      limit: int) -> bool:
+    if _IN_WORKER or limit < 2 or n_rows < PARTITION_THRESHOLD:
         return False
-    guard = current_guard()
+    guard = ctx.guard
     if guard is not None and guard.faults is not None:
         return False
     return _fork_available()
@@ -140,15 +149,20 @@ _IN_WORKER = False
 
 
 def filter_rows(columns: Sequence[str], rows: list,
-                predicate: Callable[[dict], bool]) -> list:
+                predicate: Callable[[dict], bool],
+                ctx: QueryContext | None = None,
+                workers: int | None = None) -> list:
     """The rows satisfying ``predicate`` (a row-dict test), in input
-    order — partitioned across worker processes when
-    :func:`should_partition` allows, serially otherwise."""
-    if not should_partition(len(rows)):
+    order — partitioned across worker processes when the context (and
+    the optional per-node ``workers`` annotation planted by the
+    optimizer's parallelism rule) allows, serially otherwise."""
+    ctx = context_mod.resolve(ctx)
+    limit = workers if workers is not None else ctx.parallelism
+    if not _should_partition(len(rows), ctx, limit):
         cols = tuple(columns)
         return [row for row in rows
                 if predicate(dict(zip(cols, row)))]
-    return _parallel_filter(tuple(columns), rows, predicate)
+    return _parallel_filter(tuple(columns), rows, predicate, ctx, limit)
 
 
 def _chunk_bounds(n_rows: int, chunks: int) -> list[tuple[int, int]]:
@@ -193,23 +207,25 @@ class _NoHeadroom(Exception):
 
 
 def _parallel_filter(columns: tuple, rows: list,
-                     predicate: Callable[[dict], bool]) -> list:
+                     predicate: Callable[[dict], bool],
+                     ctx: QueryContext, limit: int) -> list:
     global _PAYLOAD
-    guard = current_guard()
-    workers = min(_workers.get(), len(rows))
+    guard = ctx.guard
+    workers = min(limit, len(rows))
     chunks = _chunk_bounds(len(rows), workers)
     try:
         limits = _worker_limits(guard, len(chunks))
     except _NoHeadroom:
         _stats["fallbacks"] += 1
+        ctx.stats.parallel_fallbacks += 1
         return [row for row in rows
                 if predicate(dict(zip(columns, row)))]
 
     _PAYLOAD = (columns, rows, predicate)
     try:
-        context = multiprocessing.get_context("fork")
+        mp_context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=len(chunks),
-                                 mp_context=context) as pool:
+                                 mp_context=mp_context) as pool:
             futures = [pool.submit(_run_chunk, start, stop, limits)
                        for start, stop in chunks]
             outcomes = [f.result() for f in futures]
@@ -217,6 +233,7 @@ def _parallel_filter(columns: tuple, rows: list,
         # Pool startup failure (fork limits, sandboxing): serial is
         # always a correct answer.
         _stats["fallbacks"] += 1
+        ctx.stats.parallel_fallbacks += 1
         return [row for row in rows
                 if predicate(dict(zip(columns, row)))]
     finally:
@@ -225,16 +242,34 @@ def _parallel_filter(columns: tuple, rows: list,
     _stats["runs"] += 1
     _stats["partitions"] += len(chunks)
     _stats["max_workers"] = max(_stats["max_workers"], len(chunks))
+    ctx.stats.parallel_runs += 1
+    ctx.stats.partitions += len(chunks)
+    if len(chunks) > ctx.stats.workers:
+        ctx.stats.workers = len(chunks)
 
     kept: list = []
     first_error: dict | None = None
     for outcome in outcomes:
+        snapshot = outcome["stats"]
         if guard is not None:
             guard.absorb_spend(outcome["spend"])
-        cache = cache_mod.active_cache()
-        if cache is not None and outcome["cache"]:
-            cache.absorb(outcome["cache"])
-        bounds.absorb(outcome["bounds"])
+        # One generic merge covers every declared counter — including
+        # any added after this code was written.
+        ctx.stats.merge(snapshot)
+        # The process-wide mirrors still need the worker deltas (the
+        # entries/counters a forked worker wrote die with it).
+        cache = ctx.active_cache()
+        if cache is not None:
+            cache.absorb({
+                "hits": snapshot.get("cache_hits", 0),
+                "misses": snapshot.get("cache_misses", 0),
+                "evictions": snapshot.get("cache_evictions", 0),
+                "simplex_saved": snapshot.get("cache_simplex_saved", 0),
+            })
+        bounds.absorb({
+            "checks": snapshot.get("box_checks", 0),
+            "refutations": snapshot.get("box_refutations", 0),
+        })
         if outcome["error"] is not None and first_error is None:
             first_error = outcome["error"]
         kept.extend(rows[i] for i in outcome["kept"])
@@ -274,9 +309,12 @@ def _rebuild_exhaustion(guard: ExecutionGuard | None,
 def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
     """Evaluate one chunk in a forked worker.
 
-    Returns kept row *indices* (absolute, so the parent merges without
-    offset bookkeeping) plus guard-spend and counter deltas; worker
-    exhaustion travels back as a plain ``error`` dict.
+    The worker activates a context derived from the fork-inherited one
+    with a pro-rated guard and a *fresh* ``ExecutionStats``, so its
+    stats snapshot is exactly this chunk's delta.  Returns kept row
+    *indices* (absolute, so the parent merges without offset
+    bookkeeping); worker exhaustion travels back as a plain ``error``
+    dict.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -290,14 +328,13 @@ def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
             max_disjuncts=limits.get("max_disjuncts"),
             max_canonical=limits.get("max_canonical"),
             on_exhaustion="fail")
-    cache = cache_mod.active_cache()
-    cache_before = cache.counters() if cache is not None else None
-    bounds_before = bounds.stats()
+    worker_ctx = context_mod.current_context().derive(
+        guard=worker_guard, stats=ExecutionStats())
 
     kept: list[int] = []
     error: dict | None = None
     try:
-        with guarded(worker_guard):
+        with worker_ctx.activate():
             for i in range(start, stop):
                 if predicate(dict(zip(columns, rows[i]))):
                     kept.append(i)
@@ -314,15 +351,7 @@ def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
             "fragment": exc.fragment,
         }
 
+    worker_ctx.stats.capture_guard(worker_guard)
     spend = worker_guard.spend() if worker_guard is not None else {}
-    cache_delta = {}
-    if cache is not None and cache_before is not None:
-        after = cache.counters()
-        cache_delta = {k: after[k] - cache_before[k]
-                       for k in ("hits", "misses", "evictions",
-                                 "simplex_saved")}
-    bounds_after = bounds.stats()
-    bounds_delta = {k: bounds_after[k] - bounds_before[k]
-                    for k in bounds_before}
-    return {"kept": kept, "spend": spend, "cache": cache_delta,
-            "bounds": bounds_delta, "error": error}
+    return {"kept": kept, "spend": spend,
+            "stats": worker_ctx.stats.snapshot(), "error": error}

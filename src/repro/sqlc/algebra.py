@@ -17,8 +17,9 @@ from typing import Callable, Mapping
 
 from repro.errors import EvaluationError
 from repro.model.oid import CstOid, Oid
-from repro.runtime import cache as cache_mod
+from repro.runtime import context as context_mod
 from repro.runtime import parallel
+from repro.runtime.context import QueryContext
 from repro.sqlc import index as index_mod
 from repro.sqlc.relation import ConstraintRelation
 
@@ -29,7 +30,8 @@ Catalog = Mapping[str, ConstraintRelation]
 class Plan:
     """Base class of plan nodes."""
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
         raise NotImplementedError
 
     @property
@@ -55,7 +57,8 @@ class Scan(Plan):
     relation: str
     _columns: tuple[str, ...]
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
         try:
             rel = catalog[self.relation]
         except KeyError:
@@ -86,8 +89,10 @@ class Rename(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.child.evaluate(catalog).rename(dict(self.mapping))
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        return self.child.evaluate(catalog, ctx).rename(
+            dict(self.mapping))
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -108,8 +113,9 @@ class Project(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.child.evaluate(catalog).project(self.kept)
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        return self.child.evaluate(catalog, ctx).project(self.kept)
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -123,18 +129,23 @@ class Project(Plan):
 class Select(Plan):
     child: Plan
     predicate: "Predicate"
+    #: Worker-count annotation planted by the optimizer's parallelism
+    #: rule; None = use the context's setting.
+    workers: int | None = None
 
     @property
     def children(self):
         return (self.child,)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        base = self.child.evaluate(catalog)
-        # Large filters partition across worker processes when a
-        # parallel context is active (serial and parallel keep the
-        # same row order; see repro.runtime.parallel).
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        base = self.child.evaluate(catalog, ctx)
+        # Large filters partition across worker processes when the
+        # context allows (serial and parallel keep the same row order;
+        # see repro.runtime.parallel).
         kept = parallel.filter_rows(base.columns, list(base),
-                                    self.predicate)
+                                    self.predicate, ctx=ctx,
+                                    workers=self.workers)
         result = ConstraintRelation(base.name, base.columns)
         result._rows = kept
         return result
@@ -156,9 +167,10 @@ class NaturalJoin(Plan):
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.left.evaluate(catalog).natural_join(
-            self.right.evaluate(catalog))
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        return self.left.evaluate(catalog, ctx).natural_join(
+            self.right.evaluate(catalog, ctx))
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -200,14 +212,19 @@ class IndexJoin(Plan):
     left_boxer: Callable
     right_boxer: Callable
     predicate: "Predicate"
+    #: Worker-count annotation planted by the optimizer's parallelism
+    #: rule; None = use the context's setting.
+    workers: int | None = None
 
     @property
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        left = self.left.evaluate(catalog)
-        right = self.right.evaluate(catalog)
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        ctx = context_mod.resolve(ctx)
+        left = self.left.evaluate(catalog, ctx)
+        right = self.right.evaluate(catalog, ctx)
         shared = [c for c in left.columns if c in right.columns]
         other_only = [c for c in right.columns if c not in left.columns]
         out_columns = tuple(left.columns) + tuple(other_only)
@@ -215,13 +232,14 @@ class IndexJoin(Plan):
         right_rows = list(right)
         total = len(left_rows) * len(right_rows)
 
-        if index_mod.indexing_active() and cache_mod.prefilter_active():
+        if ctx.indexing and ctx.prefilter_active():
             left_index = index_mod.index_for(
-                left, self.left_column, self.left_boxer)
+                left, self.left_column, self.left_boxer, ctx=ctx)
             right_index = index_mod.index_for(
-                right, self.right_column, self.right_boxer)
+                right, self.right_column, self.right_boxer, ctx=ctx)
             before = index_mod.stats()
-            pairs = index_mod.candidate_pairs(left_index, right_index)
+            pairs = index_mod.candidate_pairs(left_index, right_index,
+                                              ctx=ctx)
             after = index_mod.stats()
             object.__setattr__(self, "_last", {
                 "probes": after["probes"] - before["probes"],
@@ -244,7 +262,8 @@ class IndexJoin(Plan):
         other_idx = [right.column_index(c) for c in other_only]
         rows = [left_rows[l] + tuple(right_rows[r][i] for i in other_idx)
                 for l, r in pairs]
-        kept = parallel.filter_rows(out_columns, rows, self.predicate)
+        kept = parallel.filter_rows(out_columns, rows, self.predicate,
+                                    ctx=ctx, workers=self.workers)
         result = ConstraintRelation(
             f"({left.name}*{right.name})", out_columns)
         result._rows = kept
@@ -269,8 +288,9 @@ class Distinct(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.child.evaluate(catalog).distinct()
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        return self.child.evaluate(catalog, ctx).distinct()
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -286,9 +306,10 @@ class Union(Plan):
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        return self.left.evaluate(catalog).union(
-            self.right.evaluate(catalog))
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        return self.left.evaluate(catalog, ctx).union(
+            self.right.evaluate(catalog, ctx))
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -309,8 +330,9 @@ class Extend(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
-        base = self.child.evaluate(catalog)
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
+        base = self.child.evaluate(catalog, ctx)
         result = ConstraintRelation(
             base.name, base.columns + (self.column,))
         for row in base:
@@ -337,7 +359,8 @@ class Materialized(Plan):
 
     relation: ConstraintRelation
 
-    def evaluate(self, catalog: Catalog) -> ConstraintRelation:
+    def evaluate(self, catalog: Catalog,
+                 ctx: QueryContext | None = None) -> ConstraintRelation:
         return self.relation
 
     @property

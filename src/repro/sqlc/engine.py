@@ -1,165 +1,86 @@
-"""Execution entry point for flat constraint-relation plans."""
+"""Execution entry point for flat constraint-relation plans.
+
+``execute`` is one phase of the staged pipeline
+(:mod:`repro.core.pipeline`): it derives a
+:class:`~repro.runtime.context.QueryContext` for the call, activates
+it, optionally runs the optimizer's rewrite rules, and evaluates the
+plan.  All effectiveness counters (cache, box prefilter, index,
+parallel) are written *directly* into the context's
+:class:`~repro.runtime.context.ExecutionStats` by the layers doing the
+work — the engine no longer diffs process-global counters, so two
+interleaved contexts keep separate accounts.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
 
-from repro.constraints import bounds
 from repro.errors import ResourceExhausted
-from repro.runtime import cache as cache_mod
-from repro.runtime import parallel as parallel_mod
-from repro.runtime.guard import (
-    ExecutionGuard,
-    current_guard,
-    guarded,
-    should_degrade,
-)
-from repro.sqlc import index as index_mod
+from repro.runtime import context as context_mod
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.runtime.guard import ExecutionGuard, should_degrade
+from repro.sqlc import optimizer as optimizer_mod
 from repro.sqlc.algebra import Catalog, Materialized, Plan
-from repro.sqlc.optimizer import optimize
 from repro.sqlc.relation import ConstraintRelation
 
-
-@dataclass
-class ExecutionStats:
-    """Counters filled by :func:`execute` (used by the benchmarks).
-
-    The budget-spend block mirrors the active
-    :class:`~repro.runtime.ExecutionGuard`'s counters; without a guard
-    it stays at zero.  ``exhausted`` names the budget that tripped —
-    recorded from the guard on every path, not only when the execution
-    degraded.  The cache/prefilter block holds per-execution deltas of
-    the constraint cache and bounding-box counters (zeros when caching
-    is disabled).
-    """
-
-    optimized: bool = False
-    input_rows: int = 0
-    output_rows: int = 0
-    # -- budget spend (from the ambient ExecutionGuard) ----------------
-    elapsed: float = 0.0
-    pivots: int = 0
-    branches: int = 0
-    canonical_steps: int = 0
-    peak_disjuncts: int = 0
-    checkpoints: int = 0
-    simplex_calls: int = 0
-    exhausted: str | None = None
-    warnings: list[str] = field(default_factory=list)
-    # -- cache / prefilter effectiveness (per-execution deltas) --------
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_evictions: int = 0
-    cache_simplex_saved: int = 0
-    box_checks: int = 0
-    box_refutations: int = 0
-    # -- box index / parallel execution (per-execution deltas) ---------
-    index_probes: int = 0
-    candidates_pruned: int = 0
-    partitions: int = 0
-    workers: int = 0
-
-    def reset(self) -> None:
-        """Zero every per-execution field so a stats object can be
-        reused across :func:`execute` calls without accumulating stale
-        values (:func:`execute` calls this on entry)."""
-        fresh = ExecutionStats()
-        for f in dataclasses.fields(self):
-            setattr(self, f.name, getattr(fresh, f.name))
-
-    def capture_guard(self, guard: ExecutionGuard | None,
-                      baseline: dict | None = None) -> None:
-        """Record the guard's spend, as a delta against ``baseline`` (a
-        prior :meth:`ExecutionGuard.spend` snapshot) when given —
-        guards accumulate across executions, so reusing one without a
-        baseline would re-report earlier executions' spend."""
-        if guard is None:
-            return
-        base = baseline or {}
-        self.elapsed = guard.elapsed() - base.get("elapsed", 0.0)
-        self.pivots = guard.pivots - base.get("pivots", 0)
-        self.branches = guard.branches - base.get("branches", 0)
-        self.canonical_steps = guard.canonical_steps \
-            - base.get("canonical_steps", 0)
-        self.peak_disjuncts = guard.peak_disjuncts
-        self.checkpoints = guard.checkpoints \
-            - base.get("checkpoints", 0)
-        self.simplex_calls = guard.simplex_calls \
-            - base.get("simplex_calls", 0)
-        if self.exhausted is None and guard.exhausted is not None \
-                and guard.exhausted != base.get("exhausted"):
-            self.exhausted = guard.exhausted
+__all__ = ["ExecutionStats", "execute", "explain_analyze"]
 
 
 def execute(plan: Plan, catalog: Catalog,
-            use_optimizer: bool = True,
+            use_optimizer: bool | None = None,
             stats: ExecutionStats | None = None,
-            guard: ExecutionGuard | None = None) -> ConstraintRelation:
+            guard: ExecutionGuard | None = None,
+            ctx: QueryContext | None = None) -> ConstraintRelation:
     """Evaluate ``plan`` against ``catalog``.
 
-    With ``use_optimizer`` (default) the plan is rewritten by
-    :func:`repro.sqlc.optimizer.optimize` first; this is the knob the
+    With ``use_optimizer`` (defaulting to the context's
+    ``use_optimizer`` option, itself ``True`` by default) the plan is
+    rewritten by the optimizer's rule list first; this is the knob the
     E8 benchmark flips.
 
-    Resource governance: an explicit ``guard`` is activated for the
-    duration of the call; otherwise the ambient guard (if any) applies.
-    When the guard's policy is ``"degrade"``, budget exhaustion yields
-    an **empty relation with the plan's columns** plus a warning in
-    ``stats`` instead of an exception — the flat engine evaluates
-    bottom-up, so there is no meaningful row prefix to salvage the way
-    the naive evaluator can.
+    State comes from ``ctx`` (or the ambient context), with ``stats``
+    and ``guard`` as per-call overrides; the derived context is active
+    for the duration of the call.  When the guard's policy is
+    ``"degrade"``, budget exhaustion yields an **empty relation with
+    the plan's columns** plus a warning in the stats instead of an
+    exception — the flat engine evaluates bottom-up, so there is no
+    meaningful row prefix to salvage the way the naive evaluator can.
     """
-    with guarded(guard) as explicit:
-        active = explicit if explicit is not None else current_guard()
-        if stats is not None:
-            stats.reset()
-        cache_before = cache_mod.counters() if stats is not None else {}
-        box_before = bounds.stats() if stats is not None else {}
-        index_before = index_mod.stats() if stats is not None else {}
-        par_before = parallel_mod.stats() if stats is not None else {}
-        guard_before = active.spend() if active is not None \
-            and stats is not None else None
+    base = context_mod.resolve(ctx)
+    overrides: dict[str, object] = {"catalog": catalog}
+    if guard is not None:
+        overrides["guard"] = guard
+    if stats is not None:
+        stats.reset()
+        overrides["stats"] = stats
+    exec_ctx = base.derive(**overrides)
+    # Engine-assigned summary fields are only written when the caller
+    # asked for an account (explicit stats or explicit ctx) — pure
+    # ambient calls must not grow the default context's warning list.
+    record = stats is not None or ctx is not None
+    acct = exec_ctx.stats
+    with exec_ctx.activate():
+        active = exec_ctx.guard
+        opt = use_optimizer if use_optimizer is not None \
+            else exec_ctx.use_optimizer
+        guard_before = active.spend() \
+            if active is not None and record else None
         try:
-            if use_optimizer:
-                plan = optimize(plan, catalog)
-            result = plan.evaluate(catalog)
+            if opt:
+                plan = optimizer_mod.apply_rules(plan, exec_ctx)
+            result = plan.evaluate(catalog, exec_ctx)
         except ResourceExhausted as exc:
             if not should_degrade(active):
                 raise
             result = ConstraintRelation("degraded", plan.columns)
-            if stats is not None:
-                stats.exhausted = exc.budget
-                stats.warnings.append(f"partial result: {exc}")
-        if stats is not None:
-            stats.optimized = use_optimizer
-            stats.input_rows = sum(len(r) for r in catalog.values())
-            stats.output_rows = len(result)
-            stats.capture_guard(active, guard_before)
-            cache_after = cache_mod.counters()
-            box_after = bounds.stats()
-            index_after = index_mod.stats()
-            par_after = parallel_mod.stats()
-            stats.cache_hits = cache_after["hits"] \
-                - cache_before["hits"]
-            stats.cache_misses = cache_after["misses"] \
-                - cache_before["misses"]
-            stats.cache_evictions = cache_after["evictions"] \
-                - cache_before["evictions"]
-            stats.cache_simplex_saved = cache_after["simplex_saved"] \
-                - cache_before["simplex_saved"]
-            stats.box_checks = box_after["checks"] \
-                - box_before["checks"]
-            stats.box_refutations = box_after["refutations"] \
-                - box_before["refutations"]
-            stats.index_probes = index_after["probes"] \
-                - index_before["probes"]
-            stats.candidates_pruned = index_after["pruned"] \
-                - index_before["pruned"]
-            stats.partitions = par_after["partitions"] \
-                - par_before["partitions"]
-            stats.workers = par_after["max_workers"] \
-                if par_after["runs"] > par_before["runs"] else 0
+            if record:
+                acct.exhausted = exc.budget
+                acct.warnings.append(f"partial result: {exc}")
+        if record:
+            acct.optimized = opt
+            acct.input_rows = sum(len(r) for r in catalog.values())
+            acct.output_rows = len(result)
+            acct.capture_guard(active, guard_before)
     return result
 
 
@@ -180,7 +101,8 @@ def _with_materialized_children(node: Plan,
 
 
 def explain_analyze(plan: Plan, catalog: Catalog,
-                    use_optimizer: bool = True) -> str:
+                    use_optimizer: bool = True,
+                    ctx: QueryContext | None = None) -> str:
     """The plan tree annotated with actual per-node output row counts.
 
     Each node is evaluated exactly once: children first, then the node
@@ -188,26 +110,28 @@ def explain_analyze(plan: Plan, catalog: Catalog,
     deeply nested in the tree no longer re-evaluates its whole subtree
     once per ancestor.
     """
-    if use_optimizer:
-        plan = optimize(plan, catalog)
-    counts: dict[int, int] = {}
-    results: dict[int, ConstraintRelation] = {}
+    exec_ctx = context_mod.resolve(ctx).derive(catalog=catalog)
+    with exec_ctx.activate():
+        if use_optimizer:
+            plan = optimizer_mod.apply_rules(plan, exec_ctx)
+        counts: dict[int, int] = {}
+        results: dict[int, ConstraintRelation] = {}
 
-    def measure(node: Plan) -> None:
-        if id(node) in results:
-            return
-        for child in getattr(node, "children", ()):
-            measure(child)
-        replaced = _with_materialized_children(node, results)
-        result = replaced.evaluate(catalog)
-        if replaced is not node and hasattr(replaced, "_last"):
-            # dataclasses.replace evaluated a copy; carry the index
-            # probe counts back to the node being rendered.
-            object.__setattr__(node, "_last", replaced._last)
-        counts[id(node)] = len(result)
-        results[id(node)] = result
+        def measure(node: Plan) -> None:
+            if id(node) in results:
+                return
+            for child in getattr(node, "children", ()):
+                measure(child)
+            replaced = _with_materialized_children(node, results)
+            result = replaced.evaluate(catalog, exec_ctx)
+            if replaced is not node and hasattr(replaced, "_last"):
+                # dataclasses.replace evaluated a copy; carry the index
+                # probe counts back to the node being rendered.
+                object.__setattr__(node, "_last", replaced._last)
+            counts[id(node)] = len(result)
+            results[id(node)] = result
 
-    measure(plan)
+        measure(plan)
 
     def render(node: Plan, depth: int) -> str:
         pad = "  " * depth

@@ -41,12 +41,13 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from contextvars import ContextVar
 from typing import Callable, Iterator
 from weakref import WeakKeyDictionary
 
 from repro.constraints import bounds
 from repro.model.oid import CstOid, Oid
+from repro.runtime import context as context_mod
+from repro.runtime.context import QueryContext
 from repro.sqlc.relation import ConstraintRelation
 
 #: A boxer: cell -> box (``dict`` over-approximation, ``{}`` unknown,
@@ -97,24 +98,22 @@ def absorb_stats(delta: dict) -> None:
 # Enable/disable gate (the CLI's --no-index)
 # ---------------------------------------------------------------------------
 
-_disabled: ContextVar[bool] = ContextVar("repro_index_off", default=False)
-
 
 def indexing_active() -> bool:
-    """Is box-index join acceleration enabled in this context?"""
-    return not _disabled.get()
+    """Is box-index join acceleration enabled in the active context?"""
+    return context_mod.current_context().indexing
 
 
 @contextmanager
 def indexing(enabled: bool) -> Iterator[None]:
     """Enable/disable index-join selection for the dynamic extent (the
     optimizer consults this; plans built while disabled use
-    ``NaturalJoin`` + ``Select`` throughout)."""
-    token = _disabled.set(not enabled)
-    try:
+    ``NaturalJoin`` + ``Select`` throughout).  Shim deriving a
+    :class:`~repro.runtime.context.QueryContext` over the current
+    one."""
+    derived = context_mod.current_context().derive(indexing=enabled)
+    with derived.activate():
         yield
-    finally:
-        _disabled.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -200,7 +199,8 @@ _index_cache: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def index_for(relation: ConstraintRelation, column: str,
-              boxer: Boxer) -> BoxIndex:
+              boxer: Boxer,
+              ctx: QueryContext | None = None) -> BoxIndex:
     """The (possibly cached) box index of ``relation[column]``.
 
     Entries are keyed by ``(column, boxer)`` and stamped with the
@@ -218,6 +218,7 @@ def index_for(relation: ConstraintRelation, column: str,
         return entry[1]
     built = BoxIndex(relation, column, boxer)
     _stats["builds"] += 1
+    context_mod.resolve(ctx).stats.index_builds += 1
     per_relation[key] = (relation.version, built)
     return built
 
@@ -347,7 +348,8 @@ def _sweep_variable(left: BoxIndex, right: BoxIndex):
     return best
 
 
-def candidate_pairs(left: BoxIndex, right: BoxIndex
+def candidate_pairs(left: BoxIndex, right: BoxIndex,
+                    ctx: QueryContext | None = None
                     ) -> list[tuple[int, int]]:
     """Row-position pairs whose boxes overlap, sorted in nested-loop
     order ``(left, right)``.
@@ -359,6 +361,7 @@ def candidate_pairs(left: BoxIndex, right: BoxIndex
     emitted — separated along the sweep variable, or provably empty on
     either side — are pruned without any per-pair work at all.
     """
+    ctx = context_mod.resolve(ctx)
     total = left.n_rows * right.n_rows
     var = _sweep_variable(left, right)
     if var is None:
@@ -375,10 +378,14 @@ def candidate_pairs(left: BoxIndex, right: BoxIndex
             for pos in left.unbounded[var]:
                 coarse.extend((pos, other) for other in right.nonempty)
     _stats["probes"] += len(coarse)
+    ctx.stats.index_probes += len(coarse)
     candidates = [
         (l, r) for l, r in coarse
-        if not bounds.boxes_disjoint(left.boxes[l], right.boxes[r])]
+        if not bounds.boxes_disjoint(left.boxes[l], right.boxes[r],
+                                     ctx=ctx)]
     candidates.sort()
     _stats["candidates"] += len(candidates)
     _stats["pruned"] += total - len(candidates)
+    ctx.stats.index_candidates += len(candidates)
+    ctx.stats.candidates_pruned += total - len(candidates)
     return candidates

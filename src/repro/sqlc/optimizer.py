@@ -1,30 +1,45 @@
-"""Plan rewriting: selection pushdown and join ordering.
+"""Plan rewriting as an ordered list of named rules.
 
 The paper (Section 5) leaves a full constraint algebra and optimizer to
 future work but bases the naive implementation on SQL with constraints;
-we supply the two classic rewrites every such engine needs:
+we supply the classic rewrites every such engine needs, each expressed
+as a named :class:`RewriteRule` with signature ``(plan, ctx) -> plan``:
 
-* **selection pushdown** — a Select above a join whose predicate only
+* ``push-selections`` — a Select above a join whose predicate only
   references one side's columns moves below the join; conjunctions are
   split first so each conjunct sinks as deep as it can;
-* **join ordering** — chains of natural joins are re-associated
+* ``reorder-joins`` — chains of natural joins are re-associated
   greedily, starting from the smallest base relation and always joining
   the relation sharing columns with the partial result (avoiding
   accidental cross products);
-* **index-join selection** — a Select whose conjunction holds an
-  *intersective* constraint predicate (one carrying
+* ``cheap-predicates-first`` — conjuncts inside each Select reorder so
+  free oid comparisons prune rows before exact-solver predicates run;
+* ``select-index-joins`` (physical) — a Select whose conjunction holds
+  an *intersective* constraint predicate (one carrying
   :attr:`~repro.sqlc.algebra.CstPredicate.boxers`) spanning both sides
   of the join below it becomes an :class:`~repro.sqlc.algebra.
   IndexJoin`, which probes per-relation box indexes to enumerate only
-  box-overlapping candidate pairs before the exact test.
+  box-overlapping candidate pairs before the exact test;
+* ``decide-parallelism`` (physical) — filter-bearing nodes are
+  annotated with the context's worker count, making the degree of
+  parallelism an explicit plan property.
 
+:data:`LOGICAL_RULES` and :data:`PHYSICAL_RULES` are what the staged
+pipeline (:mod:`repro.core.pipeline`) runs as its rewrite phases;
+:func:`optimize` remains the one-call wrapper applying everything.
 The rewrites are semantics-preserving for the operators used by the
 translator (set/bag equivalence up to row order).
 """
 
 from __future__ import annotations
 
-from repro.sqlc import index as index_mod
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.runtime import context as context_mod
+from repro.runtime.context import PhaseRecord, QueryContext
 from repro.sqlc.algebra import (
     And,
     Catalog,
@@ -47,15 +62,88 @@ from repro.sqlc.algebra import (
 )
 
 
-def optimize(plan: Plan, catalog: Catalog | None = None) -> Plan:
-    """Apply all rewrites; ``catalog`` (when given) provides the base
-    relation sizes used by the greedy join order."""
-    plan = push_selections(plan)
-    plan = reorder_joins(plan, catalog or {})
-    plan = push_selections(plan)
-    if index_mod.indexing_active():
-        plan = select_index_joins(plan)
+@dataclass(frozen=True)
+class RewriteRule:
+    """A named plan rewrite ``(plan, ctx) -> plan``."""
+
+    name: str
+    apply: Callable[[Plan, QueryContext], Plan]
+
+
+def _rule_push_selections(plan: Plan, ctx: QueryContext) -> Plan:
+    return push_selections(plan)
+
+
+def _rule_reorder_joins(plan: Plan, ctx: QueryContext) -> Plan:
+    return reorder_joins(plan, ctx.catalog or {})
+
+
+def _rule_cheap_predicates_first(plan: Plan, ctx: QueryContext) -> Plan:
+    return order_cheap_predicates(plan)
+
+
+def _rule_select_index_joins(plan: Plan, ctx: QueryContext) -> Plan:
+    return select_index_joins(plan) if ctx.indexing else plan
+
+
+def _rule_decide_parallelism(plan: Plan, ctx: QueryContext) -> Plan:
+    if ctx.parallelism > 1:
+        return decide_parallelism(plan, ctx.parallelism)
     return plan
+
+
+#: Logical rewrites (plan shape): pushdown runs again after reordering
+#: because reordering can re-expose sink opportunities.
+LOGICAL_RULES: tuple[RewriteRule, ...] = (
+    RewriteRule("push-selections", _rule_push_selections),
+    RewriteRule("reorder-joins", _rule_reorder_joins),
+    RewriteRule("push-selections", _rule_push_selections),
+    RewriteRule("cheap-predicates-first", _rule_cheap_predicates_first),
+)
+
+#: Physical rewrites (execution strategy), gated on context options.
+PHYSICAL_RULES: tuple[RewriteRule, ...] = (
+    RewriteRule("select-index-joins", _rule_select_index_joins),
+    RewriteRule("decide-parallelism", _rule_decide_parallelism),
+)
+
+ALL_RULES: tuple[RewriteRule, ...] = LOGICAL_RULES + PHYSICAL_RULES
+
+
+def apply_rules(plan: Plan, ctx: QueryContext,
+                rules: Sequence[RewriteRule] | None = None,
+                record: bool = False) -> Plan:
+    """Run ``rules`` (default: all of them) in order over ``plan``.
+
+    With ``record`` each rule appends a ``rewrite:<name>`` phase record
+    (timing plus rendered before/after plans) to ``ctx.stats`` — the
+    per-rule rows of the pipeline's ``--analyze`` trace."""
+    for rule in (ALL_RULES if rules is None else rules):
+        if not record:
+            plan = rule.apply(plan, ctx)
+            continue
+        before_text = plan.explain()
+        started = time.perf_counter()
+        plan = rule.apply(plan, ctx)
+        after_text = plan.explain()
+        ctx.stats.phases.append(PhaseRecord(
+            name=f"rewrite:{rule.name}",
+            seconds=time.perf_counter() - started,
+            detail="changed" if after_text != before_text
+            else "unchanged",
+            plan_before=before_text, plan_after=after_text))
+    return plan
+
+
+def optimize(plan: Plan, catalog: Catalog | None = None,
+             ctx: QueryContext | None = None) -> Plan:
+    """Apply all rewrites; ``catalog`` (when given) provides the base
+    relation sizes used by the greedy join order.  Options (indexing,
+    parallelism) come from ``ctx`` or the ambient context."""
+    base = context_mod.resolve(ctx)
+    if catalog is not None:
+        base = base.derive(catalog=catalog)
+    return apply_rules(plan, base)
 
 
 # ---------------------------------------------------------------------------
@@ -156,13 +244,47 @@ def _predicate_cost(pred: Predicate) -> int:
 def _wrap(plan: Plan, conjuncts: list[Predicate]) -> Plan:
     if not conjuncts:
         return plan
-    # Stable sort: cheap conjuncts first, original order among equals —
-    # semantics-preserving because conjunction is commutative and every
-    # predicate is a pure row test.
-    conjuncts = sorted(conjuncts, key=_predicate_cost)
     predicate = conjuncts[0] if len(conjuncts) == 1 \
         else And(tuple(conjuncts))
     return Select(plan, predicate)
+
+
+def order_cheap_predicates(plan: Plan) -> Plan:
+    """Reorder the conjuncts of every Select/IndexJoin predicate so
+    cheap tests run first (stable sort: original order among equals) —
+    semantics-preserving because conjunction is commutative and every
+    predicate is a pure row test, and ``And`` short-circuits."""
+    if isinstance(plan, Select):
+        return Select(order_cheap_predicates(plan.child),
+                      _order_conjuncts(plan.predicate), plan.workers)
+    if isinstance(plan, IndexJoin):
+        return dataclasses.replace(
+            plan,
+            left=order_cheap_predicates(plan.left),
+            right=order_cheap_predicates(plan.right),
+            predicate=_order_conjuncts(plan.predicate))
+    if isinstance(plan, NaturalJoin):
+        return NaturalJoin(order_cheap_predicates(plan.left),
+                           order_cheap_predicates(plan.right))
+    if isinstance(plan, Union):
+        return Union(order_cheap_predicates(plan.left),
+                     order_cheap_predicates(plan.right))
+    if isinstance(plan, Project):
+        return Project(order_cheap_predicates(plan.child), plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(order_cheap_predicates(plan.child), plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(order_cheap_predicates(plan.child))
+    if isinstance(plan, Extend):
+        return Extend(order_cheap_predicates(plan.child), plan.column,
+                      plan.compute, plan.label)
+    return plan
+
+
+def _order_conjuncts(predicate: Predicate) -> Predicate:
+    if isinstance(predicate, And):
+        return And(tuple(sorted(predicate.parts, key=_predicate_cost)))
+    return predicate
 
 
 def _rename_predicate(pred: Predicate,
@@ -340,3 +462,43 @@ def _greedy_join(leaves: list[Plan], catalog: Catalog) -> Plan:
         current = NaturalJoin(current, leaf)
         current_cols |= set(leaf.columns)
     return current
+
+
+# ---------------------------------------------------------------------------
+# Parallelism decision
+# ---------------------------------------------------------------------------
+
+
+def decide_parallelism(plan: Plan, workers: int) -> Plan:
+    """Annotate every filter-bearing node (Select, IndexJoin) with the
+    worker count, making the parallelism decision a plan property.
+    Nodes carrying an annotation partition with exactly that many
+    workers; unannotated nodes fall back to the context's setting at
+    evaluation time (so unoptimized plans still parallelize)."""
+    if isinstance(plan, Select):
+        return Select(decide_parallelism(plan.child, workers),
+                      plan.predicate, workers)
+    if isinstance(plan, IndexJoin):
+        return dataclasses.replace(
+            plan,
+            left=decide_parallelism(plan.left, workers),
+            right=decide_parallelism(plan.right, workers),
+            workers=workers)
+    if isinstance(plan, NaturalJoin):
+        return NaturalJoin(decide_parallelism(plan.left, workers),
+                           decide_parallelism(plan.right, workers))
+    if isinstance(plan, Union):
+        return Union(decide_parallelism(plan.left, workers),
+                     decide_parallelism(plan.right, workers))
+    if isinstance(plan, Project):
+        return Project(decide_parallelism(plan.child, workers),
+                       plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(decide_parallelism(plan.child, workers),
+                      plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(decide_parallelism(plan.child, workers))
+    if isinstance(plan, Extend):
+        return Extend(decide_parallelism(plan.child, workers),
+                      plan.column, plan.compute, plan.label)
+    return plan

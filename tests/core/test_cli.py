@@ -120,3 +120,26 @@ class TestViewAndSchema:
         assert main(["schema", "--office"]) == 0
         out = capsys.readouterr().out
         assert "Desk IS-A Office_Object" in out
+
+
+class TestAnalyzeTrace:
+    QUERY = ("SELECT CO, ((u,v) | E and D and x = 6 and y = 4) "
+             "FROM Office_Object CO "
+             "WHERE CO.extent[E] and CO.translation[D]")
+
+    def test_analyze_prints_phase_trace(self, capsys):
+        assert main(["query", "--office", "--explain", "--analyze",
+                     self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "phase trace:" in out
+        for phase in ("parse", "translate", "logical-plan",
+                      "rewrite:push-selections", "rewrite:reorder-joins",
+                      "physical-plan", "execute"):
+            assert phase in out
+        assert "cache:" in out and "prefilter:" in out \
+            and "index:" in out
+
+    def test_plain_explain_has_no_trace(self, capsys):
+        assert main(["query", "--office", "--explain",
+                     self.QUERY]) == 0
+        assert "phase trace:" not in capsys.readouterr().out

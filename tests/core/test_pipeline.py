@@ -1,0 +1,121 @@
+"""The staged compile pipeline and its per-phase trace."""
+
+import pytest
+
+from repro.core.pipeline import CompiledQuery, Pipeline, render_trace
+from repro.model.office import build_office_database
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.sqlc.optimizer import LOGICAL_RULES, PHYSICAL_RULES
+
+QUERY = """
+    SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+    FROM Office_Object CO
+    WHERE CO.extent[E] and CO.translation[D]
+"""
+
+
+@pytest.fixture
+def office():
+    db, _ = build_office_database()
+    return db
+
+
+def _phase_names(ctx):
+    return [record.name for record in ctx.stats.phases]
+
+
+class TestCompilePhases:
+    def test_compile_records_staged_phases_in_order(self, office):
+        pipe = Pipeline(office)
+        compiled = pipe.compile(QUERY)
+        names = _phase_names(pipe.ctx)
+        rewrites = [n for n in names if n.startswith("rewrite:")]
+        assert names[:3] == ["parse", "translate", "logical-plan"]
+        assert names[-1] == "physical-plan"
+        assert names[3:-1] == rewrites
+        assert isinstance(compiled, CompiledQuery)
+        assert compiled.optimized
+
+    def test_every_configured_rule_is_recorded(self, office):
+        pipe = Pipeline(office)
+        pipe.compile(QUERY)
+        recorded = [n.removeprefix("rewrite:")
+                    for n in _phase_names(pipe.ctx)
+                    if n.startswith("rewrite:")]
+        expected = [r.name for r in LOGICAL_RULES + PHYSICAL_RULES]
+        assert recorded == expected
+        # The acceptance floor: at least three *named* rewrite rules.
+        assert len(set(recorded)) >= 3
+
+    def test_rewrite_records_carry_plan_snapshots(self, office):
+        pipe = Pipeline(office)
+        pipe.compile(QUERY)
+        rewrites = [r for r in pipe.ctx.stats.phases
+                    if r.name.startswith("rewrite:")]
+        for record in rewrites:
+            assert record.plan_before
+            assert record.plan_after
+            assert record.detail in ("changed", "unchanged")
+
+    def test_unoptimized_compile_skips_rewrite_phases(self, office):
+        ctx = QueryContext(use_optimizer=False)
+        pipe = Pipeline(office, ctx)
+        compiled = pipe.compile(QUERY)
+        names = _phase_names(pipe.ctx)
+        assert names == ["parse", "translate", "logical-plan"]
+        assert not compiled.optimized
+
+
+class TestRunPhases:
+    def test_run_appends_execute_phase(self, office):
+        pipe = Pipeline(office)
+        result = pipe.run(QUERY)
+        names = _phase_names(pipe.ctx)
+        assert names[-1] == "execute"
+        assert names.count("execute") == 1
+        assert len(result) > 0
+        assert pipe.ctx.stats.optimized
+
+    def test_run_matches_compile_then_execute(self, office):
+        whole = Pipeline(office).run(QUERY)
+        pipe = Pipeline(office)
+        relation = pipe.execute(pipe.compile(QUERY))
+        assert len(whole) == len(relation)
+
+    def test_two_pipelines_have_isolated_traces(self, office):
+        a, b = Pipeline(office), Pipeline(office)
+        a.run(QUERY)
+        assert _phase_names(b.ctx) == []
+        b.compile(QUERY)
+        assert "execute" in _phase_names(a.ctx)
+        assert "execute" not in _phase_names(b.ctx)
+
+    def test_phase_timings_are_nonnegative(self, office):
+        pipe = Pipeline(office)
+        pipe.run(QUERY)
+        assert all(r.seconds >= 0.0 for r in pipe.ctx.stats.phases)
+
+
+class TestRunTranslatedIntegration:
+    def test_stats_parameter_receives_phase_trace(self, office):
+        from repro.core.translator import run_translated
+        stats = ExecutionStats()
+        run_translated(office, QUERY, stats=stats)
+        names = [r.name for r in stats.phases]
+        assert "parse" in names and "execute" in names
+        assert stats.optimized
+
+
+class TestRenderTrace:
+    def test_render_lists_each_phase(self, office):
+        pipe = Pipeline(office)
+        pipe.run(QUERY)
+        text = render_trace(pipe.ctx.stats)
+        assert text.startswith("phase trace:")
+        for name in _phase_names(pipe.ctx):
+            assert name in text
+        assert " ms" in text
+
+    def test_render_empty_trace(self):
+        text = render_trace(ExecutionStats())
+        assert "(no phases recorded)" in text

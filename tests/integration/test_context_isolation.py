@@ -1,0 +1,135 @@
+"""Isolation property: two QueryContexts never bleed state.
+
+The tentpole guarantee of the context refactor — two engines with
+different caches, budgets, and options can run interleaved in one
+process while keeping fully separate accounts: stats, cache contents,
+and guard spend.  These tests interleave constraint-heavy executions
+across two contexts and assert nothing crosses over.
+"""
+
+import pytest
+
+from repro import lyric
+from repro.model.office import build_office_database
+from repro.runtime import context as context_mod
+from repro.runtime.cache import ConstraintCache
+from repro.runtime.context import QueryContext
+from repro.runtime.guard import ExecutionGuard
+
+#: Spends pivots/branches: each row runs exact satisfiability checks.
+QUERY = """
+    SELECT CO, ((u,v) | E and D and x = 6 and y = 4)
+    FROM Office_Object CO
+    WHERE CO.extent[E] and CO.translation[D]
+"""
+
+
+@pytest.fixture
+def office():
+    db, _ = build_office_database()
+    return db
+
+
+def _context(cache_size, **guard_limits):
+    return QueryContext(
+        guard=ExecutionGuard(**guard_limits) if guard_limits else None,
+        cache=ConstraintCache(maxsize=cache_size))
+
+
+class TestInterleavedIsolation:
+    def test_stats_accounts_stay_separate(self, office):
+        ctx_a = _context(cache_size=4, max_pivots=100_000)
+        ctx_b = _context(cache_size=512, max_pivots=100_000)
+
+        # Interleave: A, B, A, B — counters for A must only move
+        # during A's executions.
+        lyric.query_translated(office, QUERY, ctx=ctx_a)
+        a_after_first = ctx_a.stats.snapshot()
+
+        lyric.query_translated(office, QUERY, ctx=ctx_b)
+        assert ctx_a.stats.snapshot() == a_after_first, \
+            "B's execution mutated A's stats account"
+        assert ctx_b.stats.pivots > 0
+
+        lyric.query_translated(office, QUERY, ctx=ctx_a)
+        assert ctx_a.stats.pivots >= a_after_first["pivots"]
+
+    def test_caches_stay_separate(self, office):
+        ctx_a = _context(cache_size=4)
+        ctx_b = _context(cache_size=512)
+
+        lyric.query_translated(office, QUERY, ctx=ctx_a)
+        b_entries_before = len(ctx_b.cache)
+        a_entries_after_a = len(ctx_a.cache)
+        assert a_entries_after_a > 0
+        assert b_entries_before == 0, \
+            "A's execution populated B's cache"
+
+        lyric.query_translated(office, QUERY, ctx=ctx_b)
+        assert len(ctx_b.cache) > 0
+        assert len(ctx_a.cache) == a_entries_after_a, \
+            "B's execution populated A's cache"
+        # The tiny cache actually evicted; the big one never had to.
+        assert len(ctx_a.cache) <= 4
+        assert ctx_b.cache.evictions == 0
+
+    def test_guard_spend_stays_separate(self, office):
+        ctx_a = _context(cache_size=64, max_pivots=100_000)
+        ctx_b = _context(cache_size=64, max_pivots=100_000)
+
+        lyric.query_translated(office, QUERY, ctx=ctx_a)
+        spent_a = ctx_a.guard.pivots
+        assert spent_a > 0
+        assert ctx_b.guard.pivots == 0
+
+        lyric.query_translated(office, QUERY, ctx=ctx_b)
+        assert ctx_a.guard.pivots == spent_a
+
+    def test_exhaustion_in_one_leaves_other_healthy(self, office):
+        tight = QueryContext(
+            guard=ExecutionGuard(max_pivots=1,
+                                 on_exhaustion="degrade"),
+            cache=ConstraintCache(maxsize=64))
+        roomy = _context(cache_size=64, max_pivots=100_000)
+
+        degraded = lyric.query_translated(office, QUERY, ctx=tight)
+        assert degraded.warnings
+        assert tight.stats.exhausted == "pivots"
+
+        healthy = lyric.query_translated(office, QUERY, ctx=roomy)
+        assert not healthy.warnings
+        assert roomy.stats.exhausted is None
+        assert len(healthy) > 0
+
+    def test_nested_activation_routes_to_explicit_context(self, office):
+        """An explicit ctx wins over the ambient one: running B's query
+        inside A's activation must account to B."""
+        ctx_a = _context(cache_size=64)
+        ctx_b = _context(cache_size=64)
+        with ctx_a.activate():
+            lyric.query_translated(office, QUERY, ctx=ctx_b)
+        assert ctx_b.stats.cache_misses > 0
+        assert len(ctx_b.cache) > 0
+        assert ctx_a.stats.cache_misses == 0
+        assert len(ctx_a.cache) == 0
+
+    def test_default_context_untouched(self, office):
+        """Facade calls with explicit contexts must not grow the
+        process-default account."""
+        default_stats = context_mod.default_context().stats.snapshot()
+        lyric.query_translated(office, QUERY,
+                               ctx=_context(cache_size=64))
+        lyric.query(office, QUERY, ctx=_context(cache_size=64))
+        assert context_mod.default_context().stats.snapshot() \
+            == default_stats
+
+    def test_options_differ_per_context(self, office):
+        """Indexing/parallelism/optimizer toggles are per-context, and
+        both contexts still compute the same rows."""
+        plain = QueryContext(cache=ConstraintCache(maxsize=64),
+                             indexing=False, use_optimizer=False)
+        tuned = QueryContext(cache=ConstraintCache(maxsize=64))
+        a = lyric.query_translated(office, QUERY,
+                                   use_optimizer=False, ctx=plain)
+        b = lyric.query_translated(office, QUERY, ctx=tuned)
+        assert sorted(map(str, a)) == sorted(map(str, b))

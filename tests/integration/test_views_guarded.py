@@ -1,0 +1,111 @@
+"""Views under resource guards: exhaustion, degrade, cancellation.
+
+View materialization runs the view's query under the caller's
+QueryContext, so guard budgets apply to it exactly as to queries.
+These tests pin that behaviour for the constraint-heavy Overlap view.
+"""
+
+import pytest
+
+from repro import lyric
+from repro.core.views import create_view
+from repro.errors import ResourceExhausted
+from repro.model.office import add_file_cabinet, build_office_database
+from repro.runtime import (
+    ConstraintCache,
+    ExecutionGuard,
+    QueryContext,
+    clear_global_cache,
+)
+
+OVERLAP = """
+    CREATE VIEW Overlap AS SUBCLASS OF Office_Object
+    SELECT first = X, second = Y
+    SIGNATURE first => Office_Object, second => Office_Object
+    FROM Object_in_Room OX, Object_in_Room OY,
+         Office_Object X, Office_Object Y
+    OID FUNCTION OF X, Y
+    WHERE OX.catalog_object[X] and OY.catalog_object[Y]
+      and OX.location[LX] and OY.location[LY]
+      and X.extent[U] and X.translation[DX]
+      and Y.extent[V] and Y.translation[DY]
+      and not OX.inv_number = OY.inv_number
+      and SAT(U(w,z) and DX(w,z,x,y,u,v) and LX(x,y)
+              and V(w2,z2) and DY(w2,z2,x2,y2,u,v) and LY(x2,y2))
+"""
+
+
+@pytest.fixture(autouse=True)
+def cold_cache():
+    """A warm process-global cache would satisfy the view's SAT checks
+    without spending any budget, defeating the tiny-guard setups."""
+    clear_global_cache()
+    yield
+    clear_global_cache()
+
+
+@pytest.fixture
+def office():
+    db, oids = build_office_database()
+    add_file_cabinet(db, location=(3, 4))
+    return db
+
+
+class TestViewExhaustion:
+    def test_fail_policy_raises(self, office):
+        guard = ExecutionGuard(max_pivots=1)
+        with pytest.raises(ResourceExhausted) as info:
+            lyric.view(office, OVERLAP, guard=guard)
+        assert info.value.budget == "pivots"
+        # Nothing was materialized.
+        assert "Overlap" not in office.schema.class_names
+
+    def test_degrade_policy_yields_partial_view(self, office):
+        guard = ExecutionGuard(max_pivots=1, on_exhaustion="degrade")
+        result = lyric.view(office, OVERLAP, guard=guard)
+        assert result.classes == ["Overlap"]
+        # The full view has 2 instances; a degraded run found fewer.
+        assert len(result.instances["Overlap"]) < 2
+        # The class itself still exists and is queryable.
+        assert "Overlap" in office.schema.class_names
+
+    def test_roomy_budget_materializes_fully(self, office):
+        guard = ExecutionGuard(max_pivots=1_000_000)
+        result = lyric.view(office, OVERLAP, guard=guard)
+        assert len(result.instances["Overlap"]) == 2
+
+
+class TestViewCancellation:
+    def test_cancelled_guard_aborts_materialization(self, office):
+        guard = ExecutionGuard()
+        guard.cancel()
+        with pytest.raises(ResourceExhausted) as info:
+            lyric.view(office, OVERLAP, guard=guard)
+        assert info.value.budget == "cancellation"
+        assert "Overlap" not in office.schema.class_names
+
+    def test_cancelled_degrade_still_stops(self, office):
+        """Cancellation under degrade policy stops the scan early but
+        does not raise — it behaves like budget exhaustion."""
+        guard = ExecutionGuard(on_exhaustion="degrade")
+        guard.cancel()
+        result = lyric.view(office, OVERLAP, guard=guard)
+        assert len(result.instances["Overlap"]) < 2
+
+
+class TestViewWithExplicitContext:
+    """Private caches: the process-global cache may already memoize
+    these satisfiability checks from earlier tests, which would let a
+    tiny budget slip through untouched."""
+
+    def test_create_view_accepts_context(self, office):
+        ctx = QueryContext(guard=ExecutionGuard(max_pivots=1),
+                           cache=ConstraintCache(maxsize=64))
+        with pytest.raises(ResourceExhausted):
+            create_view(office, OVERLAP, ctx=ctx)
+
+    def test_context_stats_account_view_run(self, office):
+        ctx = QueryContext(guard=ExecutionGuard(),
+                           cache=ConstraintCache(maxsize=64))
+        create_view(office, OVERLAP, ctx=ctx)
+        assert ctx.guard.pivots > 0
