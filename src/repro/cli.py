@@ -113,6 +113,10 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--no-index", action="store_true",
                        help="disable box-index join acceleration (the "
                             "optimizer keeps plain NaturalJoin plans)")
+    group.add_argument("--no-numeric", action="store_true",
+                       help="disable the batched float prefilter "
+                            "(every satisfiability check runs the "
+                            "exact rational simplex)")
 
 
 def _context_from(args, guard: ExecutionGuard | None = None
@@ -128,6 +132,8 @@ def _context_from(args, guard: ExecutionGuard | None = None
         "parallelism": getattr(args, "parallel", 1),
         "stats": ExecutionStats(),
     }
+    if getattr(args, "no_numeric", False):
+        kwargs["numeric"] = False
     if getattr(args, "no_cache", False):
         kwargs["cache"] = None
         kwargs["prefilter"] = False
@@ -160,6 +166,9 @@ def _print_analysis(stats: ExecutionStats) -> None:
           f"{stats.box_refutations} refutations")
     print(f"index: {stats.index_probes} probes, "
           f"{stats.candidates_pruned} pairs pruned")
+    print(f"numeric: {stats.numeric_accepts} accepts, "
+          f"{stats.numeric_rejects} rejects, "
+          f"{stats.numeric_fallbacks} exact fallbacks")
 
 
 def _guard_from(args) -> ExecutionGuard | None:

@@ -39,27 +39,39 @@ Interval = tuple[Fraction | None, bool, Fraction | None, bool]
 #: The whole real line.
 FULL: Interval = (None, False, None, False)
 
-#: Prefilter effectiveness counters (process-global; the engine reports
-#: deltas per execution).
-_stats = {"checks": 0, "refutations": 0}
+# The check/refutation counters moved into
+# ``ExecutionStats.box_checks`` / ``box_refutations`` on the
+# :class:`~repro.runtime.context.QueryContext`: the prefilter books its
+# traffic once, on the context doing the work, and worker snapshots
+# merge through the generic stats merge instead of a second
+# module-global absorb (which double-counted the same traffic).  The
+# three functions below survive as thin deprecated shims over the
+# *ambient* context's account.
 
 
 def stats() -> dict[str, int]:
-    """A copy of the global check/refutation counters."""
-    return dict(_stats)
+    """Deprecated shim: the ambient context's check/refutation
+    counters, in the old dict shape.  Prefer
+    ``ctx.stats.box_checks`` / ``ctx.stats.box_refutations``."""
+    acct = context_mod.current_context().stats
+    return {"checks": acct.box_checks,
+            "refutations": acct.box_refutations}
 
 
 def reset_stats() -> None:
-    _stats["checks"] = 0
-    _stats["refutations"] = 0
+    """Deprecated shim: zero the ambient context's box counters."""
+    acct = context_mod.current_context().stats
+    acct.box_checks = 0
+    acct.box_refutations = 0
 
 
 def absorb(delta: Mapping[str, int]) -> None:
-    """Fold a worker process's counter deltas into this process's
-    counters (used by :mod:`repro.runtime.parallel` when merging)."""
-    for key, value in delta.items():
-        if key in _stats:
-            _stats[key] += value
+    """Deprecated shim: fold old-shape counter deltas into the ambient
+    context's account.  The parallel evaluator no longer calls this —
+    worker snapshots arrive through ``ExecutionStats.merge``."""
+    acct = context_mod.current_context().stats
+    acct.box_checks += delta.get("checks", 0)
+    acct.box_refutations += delta.get("refutations", 0)
 
 
 # ---------------------------------------------------------------------------
@@ -172,20 +184,17 @@ def _atom_impossible(atom: LinearConstraint,
 
 def refutes(conj: ConjunctiveConstraint, ctx=None) -> bool:
     """True when the box proves ``conj`` unsatisfiable (sound; a False
-    answer says nothing).  Checks are booked both on the process-wide
-    mirror (worker merge) and on the context's per-execution stats."""
+    answer says nothing).  Checks are booked on the context's
+    per-execution stats (once — workers merge generically)."""
     stats_acct = context_mod.resolve(ctx).stats
-    _stats["checks"] += 1
     stats_acct.box_checks += 1
     box = box_of(conj.atoms)
     if box is None:
-        _stats["refutations"] += 1
         stats_acct.box_refutations += 1
         return True
     for atom in conj.atoms:
         if len(atom.expression.coefficients) > 1 \
                 and _atom_impossible(atom, box):
-            _stats["refutations"] += 1
             stats_acct.box_refutations += 1
             return True
     return False
@@ -273,16 +282,13 @@ def boxes_disjoint(a: Mapping[Variable, Interval] | None,
     """True when the two point sets provably cannot intersect: either
     box is empty, or they are separated along some shared variable."""
     stats_acct = context_mod.resolve(ctx).stats
-    _stats["checks"] += 1
     stats_acct.box_checks += 1
     if a is None or b is None:
-        _stats["refutations"] += 1
         stats_acct.box_refutations += 1
         return True
     for var, interval in a.items():
         other = b.get(var)
         if other is not None and intervals_disjoint(interval, other):
-            _stats["refutations"] += 1
             stats_acct.box_refutations += 1
             return True
     return False

@@ -1,0 +1,400 @@
+"""Batched numeric kernels: float prefilter, exact-rational fallback.
+
+The exact simplex (:mod:`repro.constraints.simplex`) answers every
+satisfiability question over ``Fraction`` arithmetic — unconditionally
+correct, and the dominant cost of dense workloads.  This kernel runs a
+*float* screen in front of it over whole batches of packed systems
+(:mod:`repro.constraints.matrix`) and returns three-valued verdicts:
+
+* :data:`INFEASIBLE` — the system is empty **under the documented
+  ε-assumption**: an elastic LP relaxation has minimum violation
+  ``t* > ε`` after per-row normalization, or the vectorized interval
+  screen shows a row unachievable on the system's bounding box by more
+  than an ε margin.  Strict atoms are screened weakened and
+  disequalities are dropped, both of which only *enlarge* the point
+  set, so a reject of the relaxation is a reject of the system.
+* :data:`FEASIBLE` — airtight, no ε-assumption: the LP produced a
+  float point with margin ``t* < -ε``, and that point — converted
+  exactly via ``Fraction(float)`` — was verified against **every**
+  exact atom (strict, disequality, equality included) with rational
+  arithmetic.  A verdict of feasible is a constructive witness.
+* :data:`UNKNOWN` — anything in the ε band, any packing failure, any
+  pivot-cap hit: the caller falls back to the exact solver.  The
+  kernel never guesses.
+
+The float LP is an *elastic* program — minimize ``t`` subject to
+``a_i . x - s_i t <= b_i`` (equalities as opposing row pairs),
+``t >= -1`` — whose optimum is the normalized infeasibility of the
+system: negative iff a point satisfies every row with slack.  The
+primary backend is a dense tableau simplex in pure Python (slack basis
+is feasible by construction, so no Phase I; Dantzig entering rule with
+a pivot cap that degrades to :data:`UNKNOWN`).  ``scipy.optimize
+.linprog`` takes over for large systems when the ``fast`` extra is
+installed; numpy powers the batched interval screen.  Everything
+degrades to the exact path when the extra is missing — see
+:func:`repro.runtime.numeric_available`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.constraints import matrix
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.runtime import context as context_mod
+from repro.runtime import numeric
+
+#: Relative feasibility margin.  Verdicts inside ``|t*| <= EPSILON``
+#: fall through to the exact solver; rejects assume float LP optima are
+#: accurate to better than this after per-row scaling.
+EPSILON = 1e-7
+
+#: Float-simplex pivot cap; hitting it yields :data:`UNKNOWN`.
+MAX_PIVOTS = 500
+
+#: Row count beyond which scipy's LP (when installed) replaces the
+#: pure-Python tableau.
+SCIPY_MIN_ROWS = 60
+
+#: Atom-count floor for :func:`quick_satisfiable` — tiny systems are
+#: cheaper to solve exactly than to pack, and several calibration
+#: tests depend on the exact solver running for them.
+MIN_ATOMS = 5
+
+#: Guard checkpoint cadence in :func:`classify_matrix` (units).
+_CHECK_EVERY = 32
+
+FEASIBLE = 1
+UNKNOWN = 0
+INFEASIBLE = -1
+
+_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Elastic float LP
+# ---------------------------------------------------------------------------
+
+
+def _expand_rows(ps: matrix.PackedSystem
+                 ) -> tuple[list[list[float]], list[float], list[float]]:
+    """LE-only rows of the elastic relaxation: equalities become
+    opposing row pairs."""
+    rows: list[list[float]] = []
+    rhs: list[float] = []
+    scales: list[float] = []
+    for i in range(ps.n_rows):
+        rows.append(ps.rows[i])
+        rhs.append(ps.rhs[i])
+        scales.append(ps.scales[i])
+        if ps.kinds[i] == matrix.ROW_EQ:
+            rows.append([-c for c in ps.rows[i]])
+            rhs.append(-ps.rhs[i])
+            scales.append(ps.scales[i])
+    return rows, rhs, scales
+
+
+def _elastic_tableau(rows: Sequence[Sequence[float]],
+                     rhs: Sequence[float],
+                     scales: Sequence[float]
+                     ) -> tuple[float, list[float]] | None:
+    """Pure-Python dense-tableau solve of the elastic LP.
+
+    Returns ``(t*, x)`` or ``None`` when the pivot cap is hit.  Via
+    ``t = t0 - tau`` (``t0`` large enough that the slack basis is
+    feasible with room to spare) the program becomes *maximize* ``tau``
+    over ``a_i . x + s_i tau <= b_i + s_i t0``, ``tau <= t0 + 1`` —
+    the cap row bounds the objective, so the simplex cannot diverge.
+    """
+    m0 = len(rows)
+    nvars = len(rows[0]) if m0 else 0
+    t0 = max((-b) / s for b, s in zip(rhs, scales)) if m0 else 0.0
+    t0 = max(t0, 0.0) + 1.0
+    n = 2 * nvars + 1          # x = p - q free split, then tau
+    m = m0 + 1                 # elastic rows + the tau cap row
+    width = n + m + 1          # structural | slack | rhs
+    tableau: list[list[float]] = []
+    for i in range(m0):
+        row = [0.0] * width
+        a = rows[i]
+        for j in range(nvars):
+            row[j] = a[j]
+            row[nvars + j] = -a[j]
+        row[2 * nvars] = scales[i]
+        row[n + i] = 1.0
+        row[-1] = rhs[i] + scales[i] * t0
+        tableau.append(row)
+    cap = [0.0] * width
+    cap[2 * nvars] = 1.0
+    cap[n + m0] = 1.0
+    cap[-1] = t0 + 1.0
+    tableau.append(cap)
+    objective = [0.0] * width
+    objective[2 * nvars] = 1.0
+    basis = list(range(n, n + m))
+    for _ in range(MAX_PIVOTS):
+        enter, best = -1, _TOL
+        for j in range(n + m):
+            if objective[j] > best:
+                best, enter = objective[j], j
+        if enter < 0:
+            break
+        leave, ratio = -1, 0.0
+        for i in range(m):
+            coeff = tableau[i][enter]
+            if coeff > _TOL:
+                r = tableau[i][-1] / coeff
+                if leave < 0 or r < ratio:
+                    leave, ratio = i, r
+        if leave < 0:          # unbounded: impossible past the cap row,
+            return None        # so numerically suspect — stay exact
+        pivot_row = tableau[leave]
+        inv = 1.0 / pivot_row[enter]
+        for j in range(width):
+            pivot_row[j] *= inv
+        for i in range(m):
+            if i == leave:
+                continue
+            factor = tableau[i][enter]
+            if factor != 0.0:
+                row = tableau[i]
+                for j in range(width):
+                    row[j] -= factor * pivot_row[j]
+        factor = objective[enter]
+        if factor != 0.0:
+            for j in range(width):
+                objective[j] -= factor * pivot_row[j]
+        basis[leave] = enter
+    else:
+        return None
+    values = [0.0] * (n + m)
+    for i, bv in enumerate(basis):
+        values[bv] = tableau[i][-1]
+    t_star = t0 - (-objective[-1])
+    x = [values[j] - values[nvars + j] for j in range(nvars)]
+    return t_star, x
+
+
+def _elastic_scipy(rows: Sequence[Sequence[float]],
+                   rhs: Sequence[float],
+                   scales: Sequence[float]
+                   ) -> tuple[float, list[float]] | None:
+    """scipy backend for large systems: same elastic program, solved
+    by ``linprog`` over variables ``(x, t)`` with ``t >= -1``."""
+    linprog = numeric.get_linprog()
+    np = numeric.get_numpy()
+    if linprog is None or np is None:
+        return None
+    m0 = len(rows)
+    nvars = len(rows[0]) if m0 else 0
+    a_ub = np.empty((m0, nvars + 1), dtype=np.float64)
+    for i, row in enumerate(rows):
+        a_ub[i, :nvars] = row
+        a_ub[i, nvars] = -scales[i]
+    cost = np.zeros(nvars + 1)
+    cost[nvars] = 1.0
+    bounds = [(None, None)] * nvars + [(-1.0, None)]
+    try:
+        res = linprog(cost, A_ub=a_ub, b_ub=np.asarray(rhs, dtype=np.float64),
+                      bounds=bounds, method="highs")
+    except Exception:
+        return None
+    if not getattr(res, "success", False):
+        return None
+    return float(res.x[nvars]), [float(v) for v in res.x[:nvars]]
+
+
+def _elastic_min(rows: Sequence[Sequence[float]],
+                 rhs: Sequence[float],
+                 scales: Sequence[float]
+                 ) -> tuple[float, list[float]] | None:
+    if len(rows) >= SCIPY_MIN_ROWS:
+        solved = _elastic_scipy(rows, rhs, scales)
+        if solved is not None:
+            return solved
+    return _elastic_tableau(rows, rhs, scales)
+
+
+# ---------------------------------------------------------------------------
+# Single-system classification
+# ---------------------------------------------------------------------------
+
+
+def _verified_point(ps: matrix.PackedSystem,
+                    x: Sequence[float]) -> bool:
+    """Exact-rational membership of the float witness: ``Fraction``
+    conversion is exact, so acceptance carries no float assumption."""
+    point = {var: Fraction(val) for var, val in zip(ps.variables, x)}
+    return all(atom.holds_at(point) for atom in ps.atoms)
+
+
+def classify_system(ps: matrix.PackedSystem) -> int:
+    """Three-valued verdict for one packed conjunctive body."""
+    if ps.n_rows == 0:
+        # Only trivial/disequality atoms: try the origin exactly.
+        if _verified_point(ps, [0.0] * ps.n_vars):
+            return FEASIBLE
+        return UNKNOWN
+    solved = _elastic_min(*_expand_rows(ps))
+    if solved is None:
+        return UNKNOWN
+    t_star, x = solved
+    if t_star > EPSILON:
+        return INFEASIBLE
+    if t_star < -EPSILON and _verified_point(ps, x):
+        return FEASIBLE
+    return UNKNOWN
+
+
+def quick_satisfiable(conj: ConjunctiveConstraint,
+                      ctx=None) -> bool | None:
+    """Numeric satisfiability screen for one conjunction: ``True`` /
+    ``False`` when the kernel can decide, ``None`` to stay exact.
+
+    Deliberately gated: inactive contexts, systems below
+    :data:`MIN_ATOMS`, and systems with equality atoms (which the
+    elastic accept side can never decide) skip the kernel entirely
+    without booking a fallback — the exact path was the right call,
+    not a degradation.
+    """
+    resolved = context_mod.resolve(ctx)
+    if not resolved.numeric_active():
+        return None
+    atoms = conj.atoms
+    if len(atoms) < MIN_ATOMS or conj.equalities():
+        return None
+    guard = resolved.guard
+    if guard is not None:
+        guard.checkpoint("numeric")
+    ps = matrix.pack_conjunction(conj)
+    if ps is None:
+        resolved.stats.numeric_fallbacks += 1
+        return None
+    verdict = classify_system(ps)
+    if verdict == FEASIBLE:
+        resolved.stats.numeric_accepts += 1
+        return True
+    if verdict == INFEASIBLE:
+        resolved.stats.numeric_rejects += 1
+        return False
+    resolved.stats.numeric_fallbacks += 1
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Batched classification
+# ---------------------------------------------------------------------------
+
+
+def _screen(stacked: dict) -> "object | None":
+    """Vectorized interval screen over the stacked batch: a boolean
+    array (one entry per flattened system) marking systems whose
+    bounding box already refutes some row by more than an ε margin.
+
+    One pass of numpy array ops over every row of every system in the
+    batch — no per-system Python work.  Mirrors the exact prefilter in
+    :mod:`repro.constraints.bounds` in float arithmetic.
+    """
+    np = numeric.get_numpy()
+    if np is None:
+        return None
+    coeffs = stacked["coeffs"]
+    rhs = stacked["rhs"]
+    scales = stacked["scales"]
+    kinds = stacked["kinds"]
+    row_sys = stacked["row_sys"]
+    n_sys = len(stacked["systems"])
+    n_rows, width = coeffs.shape
+    if width == 0:
+        return np.zeros(n_sys, dtype=bool)
+    lo = np.full((n_sys, width), -np.inf)
+    hi = np.full((n_sys, width), np.inf)
+    nonzero = coeffs != 0.0
+    single = np.flatnonzero(nonzero.sum(axis=1) == 1)
+    if single.size:
+        var = np.argmax(nonzero[single], axis=1)
+        coeff = coeffs[single, var]
+        value = rhs[single] / coeff
+        sys_of = row_sys[single]
+        positive = coeff > 0.0
+        is_eq = kinds[single] == matrix.ROW_EQ
+        upper = positive | is_eq
+        lower = ~positive | is_eq
+        np.minimum.at(hi, (sys_of[upper], var[upper]), value[upper])
+        np.maximum.at(lo, (sys_of[lower], var[lower]), value[lower])
+    dead = np.zeros(n_sys, dtype=bool)
+    # Empty boxes (with an outward ε margin on the comparison).
+    with np.errstate(invalid="ignore"):
+        gap = lo - hi
+        span = np.abs(lo) + np.abs(hi) + 1.0
+        dead |= (np.nan_to_num(gap, nan=-np.inf)
+                 > EPSILON * np.nan_to_num(span, nan=np.inf)).any(axis=1)
+        # Row extrema over the box: minimizing end per coefficient sign.
+        lo_rows = lo[row_sys]
+        hi_rows = hi[row_sys]
+        contrib_min = np.where(
+            coeffs > 0.0, coeffs * lo_rows,
+            np.where(coeffs < 0.0, coeffs * hi_rows, 0.0))
+        row_min = contrib_min.sum(axis=1)
+        bad = row_min > rhs + EPSILON * scales
+        eq_rows = kinds == matrix.ROW_EQ
+        if eq_rows.any():
+            contrib_max = np.where(
+                coeffs > 0.0, coeffs * hi_rows,
+                np.where(coeffs < 0.0, coeffs * lo_rows, 0.0))
+            row_max = contrib_max.sum(axis=1)
+            bad |= eq_rows & (row_max < rhs - EPSILON * scales)
+    np.logical_or.at(dead, row_sys, bad)
+    return dead
+
+
+def classify_matrix(cm: matrix.ConstraintMatrix,
+                    ctx=None) -> list[int]:
+    """Per-constraint verdicts for a packed batch — one kernel call.
+
+    A constraint is :data:`FEASIBLE` when some disjunct body is,
+    :data:`INFEASIBLE` when every body is (vacuously for the empty
+    disjunction), :data:`UNKNOWN` otherwise.  Books one
+    ``numeric_accepts`` / ``numeric_rejects`` / ``numeric_fallbacks``
+    per constraint on the resolved context's stats.
+    """
+    resolved = context_mod.resolve(ctx)
+    guard = resolved.guard
+    stats = resolved.stats
+    stacked = cm.stacked()
+    dead = _screen(stacked) if stacked is not None else None
+    verdicts: list[int] = []
+    flat = 0
+    for pos, unit in enumerate(cm.units):
+        if guard is not None and pos % _CHECK_EVERY == 0:
+            guard.checkpoint("numeric")
+        if unit is None:
+            stats.numeric_fallbacks += 1
+            verdicts.append(UNKNOWN)
+            continue
+        verdict = INFEASIBLE
+        for ps in unit:
+            if ps is None:
+                if verdict == INFEASIBLE:
+                    verdict = UNKNOWN
+                continue
+            my_flat, flat = flat, flat + 1
+            if verdict == FEASIBLE:
+                continue
+            if dead is not None and bool(dead[my_flat]):
+                body = INFEASIBLE
+            else:
+                body = classify_system(ps)
+            if body == FEASIBLE:
+                verdict = FEASIBLE
+            elif body == UNKNOWN and verdict == INFEASIBLE:
+                verdict = UNKNOWN
+        if verdict == FEASIBLE:
+            stats.numeric_accepts += 1
+        elif verdict == INFEASIBLE:
+            stats.numeric_rejects += 1
+        else:
+            stats.numeric_fallbacks += 1
+        verdicts.append(verdict)
+    return verdicts

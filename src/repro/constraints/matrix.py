@@ -1,0 +1,355 @@
+"""Column-major float64 packing of constraint systems.
+
+The exact engine stores constraints as trees of `Fraction` atoms — the
+right representation for canonical forms (Section 3.1: logical identity
+must not depend on rounding), and the wrong one for bulk arithmetic.
+This module is the bridge: it packs conjunctive bodies into flat float
+coefficient matrices the numeric kernel (:mod:`repro.constraints.
+kernel`) consumes in batch, one packing per system instead of one
+`Fraction` tree walk per solver probe.
+
+Three layers:
+
+* :class:`PackedSystem` — one conjunctive body as float rows over the
+  body's own (system-local) variable order, with the exact atoms kept
+  alongside for the kernel's rational verification of accepts;
+* :class:`ConstraintMatrix` — a *batch* of constraints (any family),
+  flattened to their disjunct bodies, with column-major stacked numpy
+  arrays (:meth:`ConstraintMatrix.stacked`) for the vectorized
+  interval screen;
+* :class:`RelationMatrix` / :func:`matrix_for` — per-relation packing
+  of a whole CST column, built once per relation
+  :attr:`~repro.sqlc.relation.ConstraintRelation.version` and cached
+  weakly, so repeated filters over the same relation never re-pack.
+
+Packing is *conservative*: any atom whose coefficients do not convert
+to finite floats (overflowing numerators, for instance) marks the body
+unsupported (``None``), and the kernel routes the system to the exact
+solver.  Disequalities are excluded from the float rows (they carve
+measure-zero sets the LP cannot see) but kept in the exact atom tuple,
+so an accepted sample point is still verified against them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.constraints.atoms import LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.terms import Variable
+from repro.runtime import numeric
+
+#: Row kinds in a packed system.
+ROW_LE = 0   # a . x <= b   (strict atoms are packed weakened; the
+#              exact verification restores strictness)
+ROW_EQ = 1   # a . x  = b
+
+#: A packed *unit*: the packed bodies of one constraint (one entry per
+#: disjunct; ``None`` entries are unsupported bodies), or ``None`` when
+#: the whole constraint cannot be packed.
+Unit = "list[PackedSystem | None] | None"
+
+
+class PackedSystem:
+    """One conjunctive body as float64 rows over local variables.
+
+    ``rows[i][j]`` is the coefficient of ``variables[j]`` in row ``i``;
+    ``kinds[i]`` is :data:`ROW_LE` or :data:`ROW_EQ`; ``scales[i]`` is
+    the row's normalization ``max(1, sum |a_ij|, |b_i|)`` used by the
+    kernel's elastic margins.  ``atoms`` is the body's exact atom tuple
+    (every atom, including strict and disequality forms) — the ground
+    truth accepts are verified against.
+    """
+
+    __slots__ = ("variables", "rows", "rhs", "kinds", "scales",
+                 "has_equality", "has_strict", "has_disequality",
+                 "atoms")
+
+    def __init__(self, variables: tuple[Variable, ...],
+                 rows: list[list[float]], rhs: list[float],
+                 kinds: list[int], scales: list[float],
+                 has_equality: bool, has_strict: bool,
+                 has_disequality: bool,
+                 atoms: tuple[LinearConstraint, ...]):
+        self.variables = variables
+        self.rows = rows
+        self.rhs = rhs
+        self.kinds = kinds
+        self.scales = scales
+        self.has_equality = has_equality
+        self.has_strict = has_strict
+        self.has_disequality = has_disequality
+        self.atoms = atoms
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.variables)
+
+
+def _finite(value: Fraction) -> float | None:
+    """``float(value)`` when finite and representable, else ``None``."""
+    try:
+        f = float(value)
+    except (OverflowError, ValueError):
+        return None
+    if f != f or f in (float("inf"), float("-inf")):
+        return None
+    return f
+
+
+def pack_conjunction(conj: ConjunctiveConstraint
+                     ) -> "PackedSystem | None":
+    """Pack one conjunctive body; ``None`` when any coefficient does
+    not convert to a finite float (the body then stays exact-only)."""
+    variables = sorted(conj.variables, key=lambda v: v.name)
+    index = {v: j for j, v in enumerate(variables)}
+    width = len(variables)
+    rows: list[list[float]] = []
+    rhs: list[float] = []
+    kinds: list[int] = []
+    scales: list[float] = []
+    has_eq = has_strict = has_ne = False
+    for atom in conj.atoms:
+        if atom.is_trivial:
+            if not atom.trivial_truth():
+                return None     # syntactically false: exact path
+            continue
+        if atom.relop is Relop.NE:
+            has_ne = True
+            continue            # measure-zero; verified exactly
+        row = [0.0] * width
+        norm = 0.0
+        for var, coeff in atom.expression.coefficients.items():
+            f = _finite(coeff)
+            if f is None:
+                return None
+            row[index[var]] = f
+            norm += abs(f)
+        bound = _finite(atom.bound)
+        if bound is None:
+            return None
+        if atom.relop is Relop.EQ:
+            has_eq = True
+            kinds.append(ROW_EQ)
+        else:
+            if atom.relop is Relop.LT:
+                has_strict = True
+            kinds.append(ROW_LE)
+        rows.append(row)
+        rhs.append(bound)
+        scales.append(max(1.0, norm, abs(bound)))
+    return PackedSystem(tuple(variables), rows, rhs, kinds, scales,
+                        has_eq, has_strict, has_ne, conj.atoms)
+
+
+def bodies_of(constraint: object
+              ) -> list[ConjunctiveConstraint] | None:
+    """The conjunctive disjunct bodies of any constraint-family member
+    (satisfiability-preserving: existential quantification is
+    transparent to emptiness), or ``None`` for non-constraints."""
+    from repro.constraints.disjunctive import DisjunctiveConstraint
+    from repro.constraints.existential import (
+        DisjunctiveExistentialConstraint,
+        ExistentialConjunctiveConstraint,
+    )
+    if isinstance(constraint, LinearConstraint):
+        return [ConjunctiveConstraint.of(constraint)]
+    if isinstance(constraint, ConjunctiveConstraint):
+        return [constraint]
+    if isinstance(constraint, ExistentialConjunctiveConstraint):
+        return [constraint.body]
+    if isinstance(constraint, DisjunctiveConstraint):
+        return list(constraint.disjuncts)
+    if isinstance(constraint, DisjunctiveExistentialConstraint):
+        return [d.body if isinstance(d, ExistentialConjunctiveConstraint)
+                else d for d in constraint.disjuncts]
+    return None
+
+
+def pack_constraint(constraint: object) -> "Unit":
+    """The packed unit of one constraint: one
+    :class:`PackedSystem | None` per disjunct body, or ``None`` when
+    the value is not a constraint at all."""
+    bodies = bodies_of(constraint)
+    if bodies is None:
+        return None
+    unit: list[PackedSystem | None] = []
+    for body in bodies:
+        if body.is_syntactically_false():
+            continue            # a false disjunct contributes nothing
+        unit.append(pack_conjunction(body))
+    return unit
+
+
+class ConstraintMatrix:
+    """A batch of constraints packed for one kernel call.
+
+    ``units[i]`` is the packed unit of ``constraints[i]`` (see
+    :func:`pack_constraint`).  :meth:`stacked` exposes the flattened
+    bodies as column-major float64 arrays for the vectorized interval
+    screen; systems keep their *local* variable order, so the stacked
+    width is the widest single system, not the union of the batch.
+    """
+
+    __slots__ = ("units", "_stacked")
+
+    def __init__(self, units: list):
+        self.units = units
+        self._stacked: object = _UNSET
+
+    @classmethod
+    def from_constraints(cls, constraints: Iterable[object]
+                         ) -> "ConstraintMatrix":
+        return cls([pack_constraint(c) if c is not None else None
+                    for c in constraints])
+
+    @classmethod
+    def from_units(cls, units: list) -> "ConstraintMatrix":
+        return cls(list(units))
+
+    def systems(self) -> "list[PackedSystem]":
+        """Every supported packed body in the batch, flattened."""
+        out: list[PackedSystem] = []
+        for unit in self.units:
+            if unit:
+                out.extend(ps for ps in unit if ps is not None)
+        return out
+
+    def stacked(self) -> "dict | None":
+        """Column-major stacked arrays of every supported body, or
+        ``None`` without numpy / without rows.
+
+        Returns ``coeffs`` (total_rows x width, Fortran order), ``rhs``,
+        ``scales``, ``kinds``, ``row_sys`` (row -> flattened system
+        ordinal) and ``offsets`` (system ordinal -> first row), aligned
+        with :meth:`systems`.
+        """
+        if self._stacked is not _UNSET:
+            return self._stacked  # type: ignore[return-value]
+        np = numeric.get_numpy()
+        systems = self.systems()
+        total = sum(ps.n_rows for ps in systems)
+        if np is None or total == 0:
+            self._stacked = None
+            return None
+        width = max((ps.n_vars for ps in systems), default=0)
+        coeffs = np.zeros((total, width), dtype=np.float64, order="F")
+        rhs = np.empty(total, dtype=np.float64)
+        scales = np.empty(total, dtype=np.float64)
+        kinds = np.empty(total, dtype=np.int8)
+        row_sys = np.empty(total, dtype=np.intp)
+        offsets = np.empty(len(systems) + 1, dtype=np.intp)
+        at = 0
+        for s, ps in enumerate(systems):
+            offsets[s] = at
+            for i in range(ps.n_rows):
+                coeffs[at, :ps.n_vars] = ps.rows[i]
+                rhs[at] = ps.rhs[i]
+                scales[at] = ps.scales[i]
+                kinds[at] = ps.kinds[i]
+                row_sys[at] = s
+                at += 1
+        offsets[len(systems)] = at
+        self._stacked = {
+            "coeffs": coeffs, "rhs": rhs, "scales": scales,
+            "kinds": kinds, "row_sys": row_sys, "offsets": offsets,
+            "systems": systems,
+        }
+        return self._stacked
+
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Per-relation packing (once per relation version)
+# ---------------------------------------------------------------------------
+
+
+class RelationMatrix:
+    """The packed units of one relation's CST column.
+
+    Built eagerly over every row once, then looked up by cell identity
+    — cells flow through plan operators unchanged, so ``id(cell)``
+    survives selects, projections, and join row assembly.
+    """
+
+    __slots__ = ("column", "version", "_by_cell")
+
+    def __init__(self, relation, column: str):
+        from repro.model.oid import CstOid
+        cell_index = relation.column_index(column)
+        self.column = column
+        self.version = relation.version
+        self._by_cell: dict[int, object] = {}
+        for row in relation:
+            cell = row[cell_index]
+            if id(cell) in self._by_cell:
+                continue
+            if isinstance(cell, CstOid):
+                self._by_cell[id(cell)] = \
+                    pack_constraint(cell.cst.constraint)
+            else:
+                self._by_cell[id(cell)] = None
+
+    def unit_for(self, cell: object) -> "Unit":
+        """The packed unit of ``cell``, or ``None`` when the cell is
+        unknown to this relation (or not a CST)."""
+        return self._by_cell.get(id(cell))
+
+
+_relation_cache: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def matrix_for(relation, column: str) -> RelationMatrix:
+    """The (cached) :class:`RelationMatrix` of ``relation[column]``,
+    rebuilt when the relation's mutation version moves — CST atoms are
+    packed into float arrays once per relation version."""
+    per_relation = _relation_cache.get(relation)
+    if per_relation is None:
+        per_relation = {}
+        _relation_cache[relation] = per_relation
+    entry = per_relation.get(column)
+    if entry is not None and entry.version == relation.version:
+        return entry
+    built = RelationMatrix(relation, column)
+    per_relation[column] = built
+    return built
+
+
+def clear_matrix_cache() -> None:
+    _relation_cache.clear()
+
+
+def cell_constraint(cell: object) -> object | None:
+    """The standard single-column conjunction extractor: a CST cell's
+    own constraint (``None`` for non-CST cells, which then take the
+    exact row-wise path).  Predicates whose test is exactly
+    "``cell`` is satisfiable" can pass this as their
+    :attr:`~repro.sqlc.algebra.CstPredicate.conjunction`; the batch
+    evaluator additionally recognises it and reads pre-packed systems
+    from :func:`matrix_for`."""
+    from repro.model.oid import CstOid
+    if isinstance(cell, CstOid):
+        return cell.cst.constraint
+    return None
+
+
+def _sequence_units(cells: Sequence[object],
+                    rm: RelationMatrix) -> list:
+    """Units for a run of cells through a relation matrix, packing any
+    cell the matrix has not seen (filtered/derived rows)."""
+    from repro.model.oid import CstOid
+    units = []
+    for cell in cells:
+        unit = rm.unit_for(cell)
+        if unit is None and isinstance(cell, CstOid):
+            unit = pack_constraint(cell.cst.constraint)
+        units.append(unit)
+    return units

@@ -45,9 +45,18 @@ def is_satisfiable(conj: ConjunctiveConstraint,
     if conj.is_syntactically_false():
         return False
     resolved = context_mod.resolve(ctx)
-    return resolved.memoized(
-        ("sat", conj.sorted_atoms()),
-        lambda: sample_point(conj, resolved) is not None)
+
+    def compute() -> bool:
+        # Numeric screen first (three-valued; sound accepts via exact
+        # verification, ε-sound rejects — see repro.constraints.kernel);
+        # undecided systems take the exact simplex as before.
+        from repro.constraints import kernel
+        verdict = kernel.quick_satisfiable(conj, resolved)
+        if verdict is not None:
+            return verdict
+        return sample_point(conj, resolved) is not None
+
+    return resolved.memoized(("sat", conj.sorted_atoms()), compute)
 
 
 def sample_point(conj: ConjunctiveConstraint,

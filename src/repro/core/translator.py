@@ -354,8 +354,22 @@ class _Translator:
             env = dict(zip(_cols, values))
             return formulas.satisfiable(db, analysis, formula, env)
 
+        conjunction = None
+        if formula.head is None:
+            # Unprojected SAT formulas are exactly "the instantiated
+            # body is satisfiable", so the batched numeric kernel can
+            # classify the instantiated constraint directly.  (A
+            # projection head changes the object tested, not its
+            # emptiness — but keep heads on the exact path, where the
+            # row-wise test builds them.)
+            def conjunction(*values, _cols=columns):
+                env = dict(zip(_cols, values))
+                return formulas.instantiate_formula(
+                    db, analysis, formula, env)
+
         return algebra.CstPredicate(columns, test, "SAT",
-                                    self._conjunct_boxers(formula))
+                                    self._conjunct_boxers(formula),
+                                    conjunction)
 
     def _conjunct_boxers(self, formula: ast.CstFormula
                          ) -> tuple[tuple[str, object], ...]:

@@ -17,7 +17,11 @@ Public surface:
   (see ``docs/API.md``, "Performance: caching and prefilters");
 * :func:`parallelism` / :func:`current_parallelism` — the partitioned
   parallel evaluator's worker-count gate (see ``docs/API.md``,
-  "Indexing & parallel execution").
+  "Indexing & parallel execution");
+* :func:`numeric_available` / :func:`scipy_available` — the single
+  import guard in front of the optional ``fast`` extra (numpy/scipy);
+  the numeric fast path (see ``docs/API.md``, "Numeric fast path")
+  degrades cleanly when the extra is missing.
 """
 
 from repro.runtime.cache import (
@@ -38,6 +42,11 @@ from repro.runtime.context import (
     default_context,
 )
 from repro.runtime.faults import BUDGETS, FaultPlan
+from repro.runtime.numeric import (
+    numeric_available,
+    numeric_mode,
+    scipy_available,
+)
 from repro.runtime.guard import (
     POLICIES,
     ExecutionGuard,
@@ -72,9 +81,12 @@ __all__ = [
     "get_global_cache",
     "guarded",
     "memoized",
+    "numeric_available",
+    "numeric_mode",
     "parallelism",
     "prefilter",
     "prefilter_active",
+    "scipy_available",
     "should_degrade",
     "should_partition",
 ]

@@ -115,6 +115,13 @@ class ExecutionStats:
     cache_simplex_saved: int = 0
     box_checks: int = 0
     box_refutations: int = 0
+    #: Exact-simplex invocations booked by the solver itself (the
+    #: per-context successor of ``simplex.call_count()``).
+    simplex_solves: int = 0
+    # -- numeric fast path (float prefilter / exact fallback) ----------
+    numeric_accepts: int = 0
+    numeric_rejects: int = 0
+    numeric_fallbacks: int = 0
     # -- box index / parallel execution --------------------------------
     index_builds: int = 0
     index_probes: int = 0
@@ -208,7 +215,7 @@ _UNSET: Any = object()
 #: The attributes :meth:`QueryContext.derive` may override.
 _DERIVABLE = frozenset({
     "guard", "cache", "prefilter", "indexing", "parallelism",
-    "use_optimizer", "catalog", "stats",
+    "numeric", "use_optimizer", "catalog", "stats",
 })
 
 
@@ -224,7 +231,8 @@ class QueryContext:
     """
 
     __slots__ = ("guard", "cache", "prefilter", "indexing",
-                 "parallelism", "use_optimizer", "catalog", "stats")
+                 "parallelism", "numeric", "use_optimizer", "catalog",
+                 "stats")
 
     def __init__(self, *,
                  guard: ExecutionGuard | None = None,
@@ -232,6 +240,7 @@ class QueryContext:
                  prefilter: bool = True,
                  indexing: bool = True,
                  parallelism: int = 1,
+                 numeric: bool | None = None,
                  use_optimizer: bool = True,
                  catalog: Mapping[str, Any] | None = None,
                  stats: ExecutionStats | None = None) -> None:
@@ -246,6 +255,7 @@ class QueryContext:
         self.prefilter = prefilter
         self.indexing = indexing
         self.parallelism = parallelism
+        self.numeric = numeric
         self.use_optimizer = use_optimizer
         self.catalog = catalog
         self.stats = stats if stats is not None else ExecutionStats()
@@ -281,6 +291,25 @@ class QueryContext:
             return False
         return self.guard is None or self.guard.faults is None
 
+    def numeric_active(self) -> bool:
+        """Is the float-prefilter numeric fast path enabled?
+
+        ``numeric=None`` (the default) resolves to "on iff numpy
+        imports"; ``numeric=True`` forces the kernel on (pure-python
+        fallbacks carry it without the ``fast`` extra); ``numeric=False``
+        disables it.  Always off under fault injection: the kernel
+        changes how many exact-solver calls a run makes, which would
+        perturb deterministic fault schedules.
+        """
+        if self.numeric is False:
+            return False
+        if self.guard is not None and self.guard.faults is not None:
+            return False
+        if self.numeric is None:
+            from repro.runtime.numeric import numeric_available
+            return numeric_available()
+        return True
+
     # -- memoization protocol --------------------------------------------
 
     def memoized(self, key: Hashable, compute: Callable[[], T]) -> T:
@@ -308,12 +337,11 @@ class QueryContext:
                 self.guard.checkpoint("cache")
             return cast(T, value)
         self.stats.cache_misses += 1
-        from repro.constraints import simplex
-        calls_before = simplex.call_count()
+        solves_before = self.stats.simplex_solves
         result = compute()
         evictions_before = cache.evictions
         cache.store(key, result,
-                    cost=simplex.call_count() - calls_before)
+                    cost=self.stats.simplex_solves - solves_before)
         self.stats.cache_evictions += cache.evictions - evictions_before
         return result
 
@@ -362,6 +390,8 @@ class QueryContext:
             parts.append("prefilter=off")
         if not self.indexing:
             parts.append("indexing=off")
+        if self.numeric is not None:
+            parts.append(f"numeric={'on' if self.numeric else 'off'}")
         if self.parallelism > 1:
             parts.append(f"parallelism={self.parallelism}")
         if not self.use_optimizer:

@@ -35,8 +35,10 @@ folds it in with the *generic*
 :meth:`~repro.runtime.context.ExecutionStats.merge` (each field's
 declared reduction), so counters added to ``ExecutionStats`` later
 survive the round-trip with no change here.  Guard spend additionally
-merges into the parent guard (budget bookkeeping), and the cache /
-bounding-box traffic into the process-wide mirrors.
+merges into the parent guard (budget bookkeeping), and cache traffic
+into the parent's cache object (whose entries would otherwise die with
+the fork); bounding-box counters live only in ``ExecutionStats`` and
+need no second write.
 :class:`~repro.errors.ResourceExhausted` instances don't survive
 pickling (keyword-only constructors), so workers ship plain dicts and
 the parent reconstructs the exception class by name.
@@ -58,7 +60,6 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence
 
 import repro.errors as errors_mod
-from repro.constraints import bounds
 from repro.errors import QueryCancelled, ResourceExhausted
 from repro.runtime import context as context_mod
 from repro.runtime.context import ExecutionStats, QueryContext
@@ -256,8 +257,11 @@ def _parallel_filter(columns: tuple, rows: list,
         # One generic merge covers every declared counter — including
         # any added after this code was written.
         ctx.stats.merge(snapshot)
-        # The process-wide mirrors still need the worker deltas (the
-        # entries/counters a forked worker wrote die with it).
+        # The cache object still needs the worker deltas (the entries
+        # and cumulative counters a forked worker wrote die with it).
+        # Bounds traffic, by contrast, lives *only* in ExecutionStats
+        # now — the old ``bounds.absorb`` mirror write here counted
+        # the same checks twice.
         cache = ctx.active_cache()
         if cache is not None:
             cache.absorb({
@@ -266,10 +270,6 @@ def _parallel_filter(columns: tuple, rows: list,
                 "evictions": snapshot.get("cache_evictions", 0),
                 "simplex_saved": snapshot.get("cache_simplex_saved", 0),
             })
-        bounds.absorb({
-            "checks": snapshot.get("box_checks", 0),
-            "refutations": snapshot.get("box_refutations", 0),
-        })
         if outcome["error"] is not None and first_error is None:
             first_error = outcome["error"]
         kept.extend(rows[i] for i in outcome["kept"])

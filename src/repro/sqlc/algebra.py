@@ -142,10 +142,13 @@ class Select(Plan):
         base = self.child.evaluate(catalog, ctx)
         # Large filters partition across worker processes when the
         # context allows (serial and parallel keep the same row order;
-        # see repro.runtime.parallel).
-        kept = parallel.filter_rows(base.columns, list(base),
-                                    self.predicate, ctx=ctx,
-                                    workers=self.workers)
+        # see repro.runtime.parallel); batch evaluation additionally
+        # routes extractable constraint predicates through the numeric
+        # kernel when the context's numeric option is active.
+        from repro.sqlc import batch
+        kept = batch.filter_rows(base.columns, list(base),
+                                 self.predicate, ctx=ctx,
+                                 workers=self.workers, relation=base)
         result = ConstraintRelation(base.name, base.columns)
         result._rows = kept
         return result
@@ -262,8 +265,9 @@ class IndexJoin(Plan):
         other_idx = [right.column_index(c) for c in other_only]
         rows = [left_rows[l] + tuple(right_rows[r][i] for i in other_idx)
                 for l, r in pairs]
-        kept = parallel.filter_rows(out_columns, rows, self.predicate,
-                                    ctx=ctx, workers=self.workers)
+        from repro.sqlc import batch
+        kept = batch.filter_rows(out_columns, rows, self.predicate,
+                                 ctx=ctx, workers=self.workers)
         result = ConstraintRelation(
             f"({left.name}*{right.name})", out_columns)
         result._rows = kept
@@ -434,12 +438,22 @@ class CstPredicate(Predicate):
     ``test`` is provably false for that row.  The translator attaches
     boxers to SAT predicates over conjunctions; the optimizer uses them
     to select :class:`IndexJoin`.
+
+    ``conjunction`` optionally exposes the predicate's *extractable*
+    form to the batched numeric kernel: called with the same oids as
+    ``test``, it returns a constraint object such that ``test`` is
+    exactly "that constraint is satisfiable" (or raises/returns
+    ``None``, in which case the row silently takes the exact row-wise
+    path).  The translator attaches it to unprojected SAT predicates;
+    :mod:`repro.sqlc.batch` uses it to evaluate whole filters with one
+    kernel call per chunk.
     """
 
     columns: tuple[str, ...]
     test: Callable[..., bool]
     label: str = "cst"
     boxers: tuple[tuple[str, Callable], ...] = ()
+    conjunction: Callable[..., object] | None = None
 
     def __call__(self, row):
         return self.test(*(row[c] for c in self.columns))

@@ -1,0 +1,148 @@
+"""Batch-wise predicate evaluation over the numeric kernel.
+
+The row-wise evaluator (:func:`repro.runtime.parallel.filter_rows`)
+calls the predicate once per row, and each constraint predicate call
+walks the exact solver.  This module evaluates whole filters with one
+kernel call per chunk instead, whenever the predicate exposes an
+*extractable* constraint form
+(:attr:`~repro.sqlc.algebra.CstPredicate.conjunction`):
+
+1. non-constraint conjuncts *preceding* the extractable one run
+   row-wise first (preserving ``And``'s short-circuit semantics —
+   a row rejected early never reaches the constraint, exactly as in
+   the row-wise evaluator);
+2. surviving rows' constraints are extracted, packed into a
+   :class:`~repro.constraints.matrix.ConstraintMatrix` (pre-packed
+   per-relation when the extractor is the standard
+   :func:`~repro.constraints.matrix.cell_constraint`), and classified
+   by one :func:`~repro.constraints.kernel.classify_matrix` call;
+3. rows the kernel could not decide fall back to the *original*
+   predicate through the row-wise evaluator, under a derived context
+   with numeric off — exact semantics, exact error behaviour, same
+   parallel partitioning as before;
+4. conjuncts *after* the extractable one run row-wise on survivors.
+
+Output rows and their order are identical to the row-wise evaluator's
+by construction: the kernel only replaces individual boolean answers,
+never the iteration order, and its accepts/rejects are verified /
+ε-sound (see :mod:`repro.constraints.kernel`).  When the context's
+numeric option is off — explicitly, under fault injection, or because
+the ``fast`` extra is missing — this module delegates wholesale to the
+row-wise evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints import kernel, matrix
+from repro.runtime import context as context_mod
+from repro.runtime import parallel
+from repro.sqlc.algebra import And, CstPredicate, Predicate
+
+#: Below this many rows the batch machinery costs more than it saves.
+MIN_BATCH = 8
+
+
+def _split(predicate: Predicate
+           ) -> "tuple[tuple, CstPredicate, tuple] | None":
+    """``(pre, extractable, post)`` decomposition of the predicate, or
+    ``None`` when no conjunct carries an extractor."""
+    if isinstance(predicate, CstPredicate):
+        if predicate.conjunction is not None:
+            return (), predicate, ()
+        return None
+    if isinstance(predicate, And):
+        for i, part in enumerate(predicate.parts):
+            if isinstance(part, CstPredicate) \
+                    and part.conjunction is not None:
+                return (predicate.parts[:i], part,
+                        predicate.parts[i + 1:])
+    return None
+
+
+def _units_for(cst: CstPredicate, cells: Sequence[tuple],
+               relation) -> list:
+    """Packed units for the extracted constraints of ``cells`` (the
+    per-row oid tuples for ``cst.columns``).  ``None`` entries mark
+    rows whose extraction failed — they take the exact path, where the
+    original ``test`` reproduces any error."""
+    extractor = cst.conjunction
+    if (extractor is matrix.cell_constraint and relation is not None
+            and len(cst.columns) == 1):
+        # The standard single-cell extractor over a base relation:
+        # systems were packed once per relation version.
+        rm = matrix.matrix_for(relation, cst.columns[0])
+        return matrix._sequence_units([c[0] for c in cells], rm)
+    units = []
+    for values in cells:
+        try:
+            constraint = extractor(*values)
+        except Exception:
+            constraint = None
+        units.append(matrix.pack_constraint(constraint)
+                     if constraint is not None else None)
+    return units
+
+
+def filter_rows(columns: Sequence[str], rows: list, predicate,
+                ctx=None, workers: int | None = None,
+                relation=None) -> list:
+    """Drop-in for :func:`repro.runtime.parallel.filter_rows` that
+    batches extractable constraint predicates through the numeric
+    kernel.  ``relation`` (optional) names the base relation the rows
+    came from, enabling the per-relation packed-matrix cache."""
+    resolved = context_mod.resolve(ctx)
+    plan = None
+    if resolved.numeric_active() and len(rows) >= MIN_BATCH:
+        plan = _split(predicate)
+    if plan is None:
+        return parallel.filter_rows(columns, rows, predicate,
+                                    ctx=resolved, workers=workers)
+    pre, cst, post = plan
+    cols = tuple(columns)
+    position = {c: i for i, c in enumerate(cols)}
+    cst_idx = [position[c] for c in cst.columns]
+
+    dicts = [dict(zip(cols, row)) for row in rows]
+    alive = [i for i in range(len(rows))
+             if all(p(dicts[i]) for p in pre)]
+
+    units = _units_for(cst, [tuple(rows[i][j] for j in cst_idx)
+                             for i in alive], relation)
+    cm = matrix.ConstraintMatrix.from_units(units)
+    verdicts = kernel.classify_matrix(cm, resolved)
+
+    keep: dict[int, bool] = {}
+    unknown: list[int] = []
+    for i, verdict in zip(alive, verdicts):
+        if verdict == kernel.FEASIBLE:
+            keep[i] = True
+        elif verdict == kernel.INFEASIBLE:
+            keep[i] = False
+        else:
+            unknown.append(i)
+
+    if unknown:
+        # Exact fallback: the original constraint conjunct, row-wise,
+        # with numeric off so nested satisfiability checks do not
+        # re-enter the kernel they just fell out of.
+        exact_ctx = resolved.derive(numeric=False)
+        with exact_ctx.activate():
+            kept_rows = parallel.filter_rows(
+                cols, [rows[i] for i in unknown], cst,
+                ctx=exact_ctx, workers=workers)
+        # Map the kept subset (an order-preserving sub-list of the
+        # unknown rows; worker round-trips may copy the tuples, and a
+        # deterministic predicate decides equal-valued rows equally)
+        # back to row positions.
+        at = 0
+        for i in unknown:
+            if at < len(kept_rows) and kept_rows[at] == rows[i]:
+                keep[i] = True
+                at += 1
+            else:
+                keep[i] = False
+
+    return [rows[i] for i in range(len(rows))
+            if keep.get(i) and all(p(dicts[i]) for p in post)]

@@ -47,6 +47,7 @@ from weakref import WeakKeyDictionary
 from repro.constraints import bounds
 from repro.model.oid import CstOid, Oid
 from repro.runtime import context as context_mod
+from repro.runtime import numeric as numeric_mod
 from repro.runtime.context import QueryContext
 from repro.sqlc.relation import ConstraintRelation
 
@@ -328,9 +329,59 @@ def _density(intervals: list) -> float:
     return total / (float(span) * len(intervals))
 
 
-def _overlapping_pairs(lefts: list, rights: list) -> list[tuple[int, int]]:
+#: Side-size floor below which the vectorized all-pairs overlap costs
+#: more than the sweep, and product ceiling above which its dense
+#: boolean matrix is not worth the memory.
+VECTOR_MIN_SIDE = 32
+VECTOR_MAX_PRODUCT = 4_000_000
+
+
+def _float_ends(intervals: list, np) -> "tuple | None":
+    """Interval endpoints as float arrays padded one ulp *outwards*, so
+    every rational overlap survives the float comparison (a sound
+    superset — spurious pairs die in the exact refinement).  ``None``
+    when an endpoint does not convert."""
+    try:
+        lo = np.array([float(iv[0]) for iv in intervals],
+                      dtype=np.float64)
+        hi = np.array([float(iv[1]) for iv in intervals],
+                      dtype=np.float64)
+    except (OverflowError, ValueError):
+        return None
+    return np.nextafter(lo, -np.inf), np.nextafter(hi, np.inf)
+
+
+def _vector_overlap(lefts: list, rights: list
+                    ) -> "list[tuple[int, int]] | None":
+    """Numpy all-pairs interval overlap, or ``None`` when numpy is
+    missing, the sides are too small/large, or endpoints overflow."""
+    np = numeric_mod.get_numpy()
+    if np is None:
+        return None
+    if len(lefts) < VECTOR_MIN_SIDE or len(rights) < VECTOR_MIN_SIDE \
+            or len(lefts) * len(rights) > VECTOR_MAX_PRODUCT:
+        return None
+    left_ends = _float_ends(lefts, np)
+    right_ends = _float_ends(rights, np)
+    if left_ends is None or right_ends is None:
+        return None
+    llo, lhi = left_ends
+    rlo, rhi = right_ends
+    overlap = (llo[:, None] <= rhi[None, :]) \
+        & (rlo[None, :] <= lhi[:, None])
+    return [(lefts[i][2], rights[j][2])
+            for i, j in np.argwhere(overlap)]
+
+
+def _overlapping_pairs(lefts: list, rights: list,
+                       use_vector: bool = False
+                       ) -> list[tuple[int, int]]:
     if not lefts or not rights:
         return []
+    if use_vector:
+        pairs = _vector_overlap(lefts, rights)
+        if pairs is not None:
+            return pairs
     if _density(lefts) > DENSITY_THRESHOLD \
             or _density(rights) > DENSITY_THRESHOLD:
         return _grid(lefts, rights)
@@ -367,7 +418,9 @@ def candidate_pairs(left: BoxIndex, right: BoxIndex,
     if var is None:
         coarse = [(l, r) for l in left.nonempty for r in right.nonempty]
     else:
-        coarse = _overlapping_pairs(left.bounded[var], right.bounded[var])
+        coarse = _overlapping_pairs(left.bounded[var],
+                                    right.bounded[var],
+                                    use_vector=ctx.numeric_active())
         # Rows unbounded on the sweep variable overlap everything
         # along it: pair them with every nonempty row of the far side.
         if right.unbounded[var]:

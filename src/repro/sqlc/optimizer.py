@@ -302,7 +302,8 @@ def _rename_predicate(pred: Predicate,
             tuple(reverse.get(c, c) for c in pred.columns),
             pred.test, pred.label,
             tuple((reverse.get(c, c), boxer)
-                  for c, boxer in pred.boxers))
+                  for c, boxer in pred.boxers),
+            pred.conjunction)
     return None
 
 

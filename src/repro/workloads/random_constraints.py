@@ -82,6 +82,54 @@ def scattered_boxes(count: int, dimension: int = 1, seed: int = 0,
     return out
 
 
+def overlapping_polytopes(count: int, dimension: int = 2,
+                          extra_atoms: int = 8, seed: int = 0,
+                          spread: int = 100, size: int = 60,
+                          prefix: str = "x"
+                          ) -> list[ConjunctiveConstraint]:
+    """``count`` polytopes whose bounding boxes overlap heavily — the
+    *dense* join workload of the numeric-kernel benchmark (E18).
+
+    Each constraint confines every variable to an interval of width
+    ``size`` with its center drawn from ``[0, spread]`` (with
+    ``size/spread`` large, most box pairs overlap and the index prunes
+    little), then adds ``extra_atoms`` random multi-variable
+    half-spaces satisfied at the box center with nonnegative slack —
+    each polytope is nonempty, but a *pair's* conjunction is
+    satisfiable only when the two center-anchored systems share a
+    point, so answers come out mixed while per-pair exact
+    satisfiability stays genuinely expensive.  Atom counts are
+    per-constraint; a joined pair solves the conjoined system.
+    """
+    rng = random.Random(seed)
+    vars_ = make_variables(dimension, prefix)
+    out: list[ConjunctiveConstraint] = []
+    for _ in range(count):
+        center = [Fraction(rng.randint(0, spread)) for _ in vars_]
+        half = Fraction(size, 2)
+        atoms: list[LinearConstraint] = []
+        for var, mid in zip(vars_, center):
+            atoms.append(LinearConstraint.build(var, Relop.GE,
+                                                mid - half))
+            atoms.append(LinearConstraint.build(var, Relop.LE,
+                                                mid + half))
+        for _ in range(extra_atoms):
+            # Couplings keep >= 2 nonzero coefficients, so they never
+            # tighten the cheap per-variable boxes: the box index sees
+            # only the (deliberately overlapping) size-``size`` boxes.
+            coeffs = {v: Fraction(rng.randint(-5, 5)) for v in vars_}
+            while sum(1 for c in coeffs.values() if c) < min(2, len(vars_)):
+                coeffs = {v: Fraction(rng.randint(-5, 5))
+                          for v in vars_}
+            expr = LinearExpression(coeffs)
+            value = expr.evaluate(dict(zip(vars_, center)))
+            slack = Fraction(rng.randint(0, size))
+            atoms.append(LinearConstraint.build(expr, Relop.LE,
+                                                value + slack))
+        out.append(ConjunctiveConstraint(atoms))
+    return out
+
+
 def random_infeasible(dimension: int, atoms: int, seed: int = 0
                       ) -> ConjunctiveConstraint:
     """An unsatisfiable conjunction: a random polytope plus a pair of

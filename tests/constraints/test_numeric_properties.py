@@ -1,0 +1,126 @@
+"""Property tests: the numeric kernel agrees with the exact solver on
+random constraint systems, adversarial near-boundary systems fall
+through to the exact path, and canonical forms are byte-identical with
+the fast path on and off."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import kernel, matrix
+from repro.constraints.atoms import LinearConstraint, Relop
+from repro.constraints.conjunctive import ConjunctiveConstraint
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.satisfiability import is_satisfiable
+from repro.constraints.terms import LinearExpression, Variable
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.workloads.random_constraints import (
+    make_variables,
+    random_dnf,
+    random_polytope,
+)
+
+VARS = make_variables(3)
+
+_coeff = st.integers(min_value=-6, max_value=6)
+_bound = st.fractions(min_value=-50, max_value=50,
+                      max_denominator=12)
+_relop = st.sampled_from([Relop.LE, Relop.LT, Relop.GE, Relop.GT,
+                          Relop.NE])
+
+
+@st.composite
+def conjunctions(draw):
+    n_atoms = draw(st.integers(min_value=1, max_value=10))
+    atoms = []
+    for _ in range(n_atoms):
+        coeffs = {v: Fraction(draw(_coeff)) for v in VARS}
+        if not any(coeffs.values()):
+            coeffs[VARS[0]] = Fraction(1)
+        atoms.append(LinearConstraint.build(
+            LinearExpression(coeffs), draw(_relop), draw(_bound)))
+    return ConjunctiveConstraint(atoms)
+
+
+def _exact(conj) -> bool:
+    return is_satisfiable(
+        conj, QueryContext(stats=ExecutionStats(), cache=None,
+                           numeric=False))
+
+
+class TestKernelSoundness:
+    @given(conj=conjunctions())
+    @settings(max_examples=120, deadline=None)
+    def test_verdicts_match_exact_answers(self, conj):
+        """Every decided verdict equals the exact answer; UNKNOWN is
+        always allowed (and handled by the fallback)."""
+        if conj.is_syntactically_false():
+            return
+        ps = matrix.pack_conjunction(conj)
+        if ps is None:
+            return
+        verdict = kernel.classify_system(ps)
+        if verdict != kernel.UNKNOWN:
+            assert (verdict == kernel.FEASIBLE) == _exact(conj)
+
+    @given(conj=conjunctions())
+    @settings(max_examples=60, deadline=None)
+    def test_quick_satisfiable_matches_exact(self, conj):
+        if conj.is_syntactically_false():
+            return
+        ctx = QueryContext(stats=ExecutionStats(), cache=None)
+        verdict = kernel.quick_satisfiable(conj, ctx)
+        if verdict is not None:
+            assert verdict == _exact(conj)
+
+    @given(value=_bound, width=st.fractions(
+        min_value=0, max_value=Fraction(1, 10 ** 9),
+        max_denominator=10 ** 12))
+    @settings(max_examples=60, deadline=None)
+    def test_near_boundary_slivers_fall_through(self, value, width):
+        """|slack| below ε: the kernel must not *mis*decide — a
+        nonempty sliver never rejects, an empty hairline never
+        accepts."""
+        x = VARS[0]
+        sliver = ConjunctiveConstraint(
+            [LinearConstraint.build(x, Relop.GE, value),
+             LinearConstraint.build(x, Relop.LE, value + width)])
+        verdict = kernel.classify_system(matrix.pack_conjunction(sliver))
+        assert verdict != kernel.INFEASIBLE
+        hairline = ConjunctiveConstraint(
+            [LinearConstraint.build(x, Relop.GT, value),
+             LinearConstraint.build(x, Relop.LT, value + width)])
+        if not hairline.is_syntactically_false():
+            verdict = kernel.classify_system(
+                matrix.pack_conjunction(hairline))
+            if width == 0:
+                assert verdict != kernel.FEASIBLE
+
+
+class TestCanonicalFormsUnaffected:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_canonical_reprs_identical_numeric_on_and_off(self, seed):
+        """Canonical forms are exact-rational artifacts: bytes must not
+        depend on whether the float kernel screened the disjunct
+        pruning."""
+        dnf = random_dnf(2, 4, 6, seed=seed, infeasible_fraction=0.5)
+        vars_ = make_variables(2)
+        on = QueryContext(stats=ExecutionStats(), cache=None)
+        off = QueryContext(stats=ExecutionStats(), cache=None,
+                           numeric=False)
+        with on.activate():
+            repr_on = repr(CSTObject(vars_, dnf))
+        with off.activate():
+            repr_off = repr(CSTObject(vars_, dnf))
+        assert repr_on == repr_off
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_is_satisfiable_identical_numeric_on_and_off(self, seed):
+        conj = random_polytope(3, 9, seed=seed)
+        on = QueryContext(stats=ExecutionStats(), cache=None)
+        off = QueryContext(stats=ExecutionStats(), cache=None,
+                           numeric=False)
+        assert is_satisfiable(conj, on) == is_satisfiable(conj, off)
