@@ -1,0 +1,143 @@
+"""ISSUE 6 — durable-store restore and incremental index maintenance.
+
+Two series land in ``BENCH_persist.json``:
+
+* **Restore**: a 100k-row relation is persisted (80% in the snapshot,
+  20% replayed from the WAL) and the store is reopened; recovery must
+  replay the chain at a rate that makes a long-lived query server
+  practical (rows/second recorded, plus a sanity floor).
+* **Maintenance**: after each single-row append to an indexed
+  relation, the box index is brought current once by *extension*
+  (copy-on-extend from the cached index) and once by a full rebuild;
+  the incremental path must win by at least 2x in total across the
+  append burst (it is O(1) amortized per row against O(n) per
+  rebuild).
+
+Rows for the restore series are cheap ``LiteralOid`` pairs — the
+series measures framing, checksumming, and replay, not ``parse_cst``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.constraints.cst_object import CSTObject
+from repro.constraints.parser import parse_cst
+from repro.model.oid import LiteralOid
+from repro.sqlc import index
+from repro.storage import CLEAN, Store
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_persist.json"
+
+RESTORE_ROWS = 100_000
+SNAPSHOT_FRACTION = 0.8
+BASE_ROWS = 2_000
+APPENDS = 50
+ROUNDS = 3
+
+
+def _median_time(fn) -> tuple[float, object]:
+    samples, result = [], None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
+
+
+def _populate(store: Store) -> None:
+    store.create_relation("big", ("k", "v"))
+    relation = store.relation("big")
+    snapshot_at = int(RESTORE_ROWS * SNAPSHOT_FRACTION)
+    for i in range(RESTORE_ROWS):
+        if i == snapshot_at:
+            store.snapshot()
+        relation.add_row((LiteralOid(Fraction(i)),
+                          LiteralOid(Fraction(i % 997, 7))))
+
+
+def _box_cst(i: int) -> CSTObject:
+    lo, hi = i * 3, i * 3 + 2
+    return parse_cst(
+        f"((x,y) | {lo} <= x <= {hi} and 0 <= y <= {1 + i % 5})")
+
+
+def test_restore_and_incremental_maintenance(tmp_path):
+    # -- restore: snapshot + WAL replay of a 100k-row relation --------
+    store_path = str(tmp_path / "bench-store")
+    store = Store.create(store_path, durability="off")
+    _populate(store)
+    store.flush()
+    store.close()
+
+    def restore():
+        with Store.open(store_path, readonly=True) as reopened:
+            assert reopened.report.state == CLEAN
+            return len(reopened.relation("big"))
+
+    t_restore, restored_rows = _median_time(restore)
+    assert restored_rows == RESTORE_ROWS
+    rows_per_second = RESTORE_ROWS / t_restore
+    # Sanity floor, far below any healthy run: a restore rate this low
+    # would make persistent relations pointless.
+    assert rows_per_second > 1_000
+
+    # -- maintenance: incremental extension vs full rebuild -----------
+    from repro.model.oid import CstOid
+    from repro.sqlc.relation import ConstraintRelation
+
+    base_cells = [(CstOid(_box_cst(i)),) for i in range(BASE_ROWS)]
+    appended = [(CstOid(_box_cst(BASE_ROWS + j)),)
+                for j in range(APPENDS)]
+
+    def run_incremental():
+        relation = ConstraintRelation("boxes", ("e",),
+                                      list(base_cells))
+        index.clear_index_cache()
+        index.index_for(relation, "e", index.cst_cell_box)
+        start = time.perf_counter()
+        for row in appended:
+            relation.add_row(row)
+            index.index_for(relation, "e", index.cst_cell_box)
+        return time.perf_counter() - start
+
+    def run_rebuild():
+        relation = ConstraintRelation("boxes", ("e",),
+                                      list(base_cells))
+        index.BoxIndex(relation, "e", index.cst_cell_box)
+        start = time.perf_counter()
+        for row in appended:
+            relation.add_row(row)
+            index.BoxIndex(relation, "e", index.cst_cell_box)
+        return time.perf_counter() - start
+
+    t_incremental = statistics.median(run_incremental()
+                                      for _ in range(ROUNDS))
+    t_rebuild = statistics.median(run_rebuild()
+                                  for _ in range(ROUNDS))
+    speedup = t_rebuild / t_incremental
+    assert speedup >= 2.0, (
+        f"incremental index maintenance only {speedup:.1f}x faster "
+        f"than rebuild-per-append")
+
+    payload = {
+        "experiment": "E19",
+        "restore": {
+            "rows": RESTORE_ROWS,
+            "snapshot_fraction": SNAPSHOT_FRACTION,
+            "median_seconds": round(t_restore, 4),
+            "rows_per_second": round(rows_per_second),
+        },
+        "maintenance": {
+            "base_rows": BASE_ROWS,
+            "appends": APPENDS,
+            "median_seconds_incremental": round(t_incremental, 4),
+            "median_seconds_rebuild": round(t_rebuild, 4),
+            "speedup_incremental": round(speedup, 2),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -20,6 +20,7 @@ from repro.errors import (
     LyricSyntaxError,
     ReproError,
     ResourceExhausted,
+    StoreCorruptError,
 )
 from repro.model.database import Database
 from repro.model.office import (
@@ -35,12 +36,23 @@ from repro.runtime import (
     QueryContext,
 )
 from repro.runtime import cache as cache_mod
+from repro.storage import (
+    CLEAN,
+    DURABILITY_POLICIES,
+    RECOVERED,
+    Store,
+    UNRECOVERABLE,
+)
 
-#: Exit codes: syntax problems and resource exhaustion are
-#: distinguishable by scripts; every other library error is 1.
+#: Exit codes: syntax problems, resource exhaustion, and store health
+#: are distinguishable by scripts; every other library error is 1.
 EXIT_ERROR = 1
 EXIT_SYNTAX = 2
 EXIT_RESOURCE = 3
+#: The store opened, but recovery had to drop or repair something.
+EXIT_STORE_RECOVERED = 4
+#: No consistent state could be recovered at all.
+EXIT_STORE_UNRECOVERABLE = 5
 
 
 def _office_database() -> Database:
@@ -51,11 +63,22 @@ def _office_database() -> Database:
 
 
 def _load(args) -> Database:
+    store_path = getattr(args, "store", None)
+    if store_path:
+        store = Store.open(
+            store_path,
+            readonly=getattr(args, "_store_readonly", True))
+        args._open_store = store
+        if store.report is not None \
+                and store.report.state != CLEAN:
+            for warning in store.report.warnings:
+                print(f"store warning: {warning}", file=sys.stderr)
+        return store.db
     if getattr(args, "office", False):
         return _office_database()
     if not args.database:
         raise SystemExit(
-            "a database file is required (or pass --office)")
+            "a database file is required (or pass --office or --store)")
     return read_database(args.database)
 
 
@@ -131,6 +154,7 @@ def _context_from(args, guard: ExecutionGuard | None = None
         "indexing": not getattr(args, "no_index", False),
         "parallelism": getattr(args, "parallel", 1),
         "stats": ExecutionStats(),
+        "store": getattr(args, "_open_store", None),
     }
     if getattr(args, "no_numeric", False):
         kwargs["numeric"] = False
@@ -297,6 +321,69 @@ def cmd_schema(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Durable store verbs
+# ---------------------------------------------------------------------------
+
+
+def cmd_db_save(args) -> int:
+    """Create a durable store directory from a JSON database (or the
+    built-in office database)."""
+    db = _load(args)
+    store = Store.create(args.store_dir, db=db,
+                         durability=args.durability)
+    try:
+        print(f"created store {args.store_dir} "
+              f"(generation {store.generation}, {len(db)} objects, "
+              f"durability {store.durability})")
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_db_load(args) -> int:
+    """Recover a store read-only and report what came back.
+
+    Exit 0 when the store is clean, {EXIT_STORE_RECOVERED} when
+    recovery dropped or repaired something,
+    {EXIT_STORE_UNRECOVERABLE} when no consistent state exists.
+    """
+    store = Store.open(args.store_dir, readonly=True)
+    try:
+        report = store.report
+        print(f"{len(store.db)} objects, "
+              f"{len(store.relations)} relations")
+        assert report is not None
+        print(report.describe())
+    finally:
+        store.close()
+    return EXIT_STORE_RECOVERED if report.state == RECOVERED else 0
+
+
+def cmd_db_verify(args) -> int:
+    """Dry-run recovery: replay everything, touch nothing, exit with
+    the store's health (0 clean / {EXIT_STORE_RECOVERED} recovered /
+    {EXIT_STORE_UNRECOVERABLE} unrecoverable)."""
+    report = Store.verify(args.store_dir)
+    print(report.describe())
+    return {CLEAN: 0, RECOVERED: EXIT_STORE_RECOVERED,
+            UNRECOVERABLE: EXIT_STORE_UNRECOVERABLE}[report.state]
+
+
+def cmd_db_snapshot(args) -> int:
+    """Open a store writable, compact its WAL into a fresh snapshot
+    generation, and prune old generations."""
+    store = Store.open(args.store_dir, durability=args.durability)
+    try:
+        generation = store.snapshot()
+        print(f"snapshot generation {generation} "
+              f"({len(store.db)} objects)")
+        state = store.report.state if store.report else CLEAN
+    finally:
+        store.close()
+    return EXIT_STORE_RECOVERED if state == RECOVERED else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -318,6 +405,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help="query text, or - for stdin")
     query.add_argument("--office", action="store_true",
                        help="use the built-in office database")
+    query.add_argument("--store", metavar="DIR",
+                       help="read the database from a durable store "
+                            "directory (opened read-only)")
     query.add_argument("--translated", action="store_true",
                        help="evaluate via the Section 5 translation")
     query.add_argument("--explain", action="store_true",
@@ -335,21 +425,67 @@ def build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive LyriC shell")
     shell.add_argument("database", nargs="?")
     shell.add_argument("--office", action="store_true")
+    shell.add_argument("--store", metavar="DIR",
+                       help="work against a durable store directory "
+                            "(mutations are write-ahead logged)")
     _add_context_options(shell)
-    shell.set_defaults(fn=cmd_shell)
+    shell.set_defaults(fn=cmd_shell, _store_readonly=False)
 
     view = sub.add_parser("view", help="execute a CREATE VIEW")
     view.add_argument("database", nargs="?")
     view.add_argument("view", help="view text, or - for stdin")
     view.add_argument("--office", action="store_true")
+    view.add_argument("--store", metavar="DIR",
+                      help="work against a durable store directory "
+                           "(created views are write-ahead logged)")
     view.add_argument("--save", help="write the updated database here")
     _add_context_options(view)
-    view.set_defaults(fn=cmd_view)
+    view.set_defaults(fn=cmd_view, _store_readonly=False)
 
     schema = sub.add_parser("schema", help="print a database's schema")
     schema.add_argument("database", nargs="?")
     schema.add_argument("--office", action="store_true")
+    schema.add_argument("--store", metavar="DIR",
+                        help="read the schema from a durable store")
     schema.set_defaults(fn=cmd_schema)
+
+    dbp = sub.add_parser(
+        "db", help="durable store operations (save / load / verify / "
+                   "snapshot)")
+    dbsub = dbp.add_subparsers(dest="db_command", required=True)
+
+    save = dbsub.add_parser(
+        "save", help="create a durable store from a database")
+    save.add_argument("store_dir", help="store directory to create")
+    save.add_argument("database", nargs="?",
+                      help="JSON database file")
+    save.add_argument("--office", action="store_true",
+                      help="use the built-in office database")
+    save.add_argument("--durability", choices=DURABILITY_POLICIES,
+                      default="batch",
+                      help="fsync policy for the store's WAL "
+                           "(default: batch)")
+    save.set_defaults(fn=cmd_db_save)
+
+    load = dbsub.add_parser(
+        "load", help="recover a store and report what came back")
+    load.add_argument("store_dir")
+    load.set_defaults(fn=cmd_db_load)
+
+    verify = dbsub.add_parser(
+        "verify", help="dry-run recovery; exit 0 clean, "
+                       f"{EXIT_STORE_RECOVERED} recovered, "
+                       f"{EXIT_STORE_UNRECOVERABLE} unrecoverable")
+    verify.add_argument("store_dir")
+    verify.set_defaults(fn=cmd_db_verify)
+
+    snapshot = dbsub.add_parser(
+        "snapshot", help="compact a store's WAL into a new snapshot "
+                         "generation")
+    snapshot.add_argument("store_dir")
+    snapshot.add_argument("--durability", choices=DURABILITY_POLICIES,
+                          default="batch")
+    snapshot.set_defaults(fn=cmd_db_snapshot)
 
     return parser
 
@@ -365,9 +501,16 @@ def main(argv: list[str] | None = None) -> int:
     except ResourceExhausted as exc:
         print(f"resource limit: {exc}", file=sys.stderr)
         return EXIT_RESOURCE
+    except StoreCorruptError as exc:
+        print(f"store unrecoverable: {exc}", file=sys.stderr)
+        return EXIT_STORE_UNRECOVERABLE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    finally:
+        store = getattr(args, "_open_store", None)
+        if store is not None:
+            store.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

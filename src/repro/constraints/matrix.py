@@ -280,15 +280,21 @@ class RelationMatrix:
     survives selects, projections, and join row assembly.
     """
 
-    __slots__ = ("column", "version", "_by_cell")
+    __slots__ = ("column", "version", "n_rows", "_by_cell")
 
     def __init__(self, relation, column: str):
-        from repro.model.oid import CstOid
-        cell_index = relation.column_index(column)
         self.column = column
         self.version = relation.version
+        self.n_rows = 0
         self._by_cell: dict[int, object] = {}
-        for row in relation:
+        self._pack_rows(relation)
+
+    def _pack_rows(self, relation) -> None:
+        """Pack the cells of rows ``self.n_rows ..`` (all rows on first
+        build, only the appended suffix on :meth:`extend`)."""
+        from repro.model.oid import CstOid
+        cell_index = relation.column_index(self.column)
+        for row in list(relation)[self.n_rows:]:
             cell = row[cell_index]
             if id(cell) in self._by_cell:
                 continue
@@ -297,6 +303,18 @@ class RelationMatrix:
                     pack_constraint(cell.cst.constraint)
             else:
                 self._by_cell[id(cell)] = None
+        self.n_rows = len(relation)
+        self.version = relation.version
+
+    def extend(self, relation) -> None:
+        """Bring the matrix current by packing only appended rows.
+
+        In-place extension is safe here (unlike the box indexes):
+        the cell map is additive and keyed by cell identity, so a
+        reader holding this matrix mid-scan sees exactly the units it
+        saw before plus new ones it never asks for.
+        """
+        self._pack_rows(relation)
 
     def unit_for(self, cell: object) -> "Unit":
         """The packed unit of ``cell``, or ``None`` when the cell is
@@ -308,16 +326,28 @@ _relation_cache: WeakKeyDictionary = WeakKeyDictionary()
 
 
 def matrix_for(relation, column: str) -> RelationMatrix:
-    """The (cached) :class:`RelationMatrix` of ``relation[column]``,
-    rebuilt when the relation's mutation version moves — CST atoms are
-    packed into float arrays once per relation version."""
+    """The (cached) :class:`RelationMatrix` of ``relation[column]``.
+
+    When the relation's mutation version moves by appends alone (the
+    version delta equals the row-count delta — ``add_row`` is the only
+    version bump), the cached matrix is *extended* with just the new
+    rows; any other divergence rebuilds.  CST atoms are thus packed
+    exactly once per row, not once per relation version.
+    """
     per_relation = _relation_cache.get(relation)
     if per_relation is None:
         per_relation = {}
         _relation_cache[relation] = per_relation
     entry = per_relation.get(column)
-    if entry is not None and entry.version == relation.version:
-        return entry
+    if entry is not None:
+        if entry.version == relation.version:
+            return entry
+        if entry.version < relation.version \
+                and relation.version - entry.version \
+                == len(relation) - entry.n_rows \
+                and len(relation) >= entry.n_rows:
+            entry.extend(relation)
+            return entry
     built = RelationMatrix(relation, column)
     per_relation[column] = built
     return built

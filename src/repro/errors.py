@@ -102,6 +102,33 @@ class UnknownObjectError(ModelError):
 
 
 # ---------------------------------------------------------------------------
+# Durable storage (repro.storage)
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for errors raised by :mod:`repro.storage`."""
+
+
+class StoreWriteError(StoreError):
+    """A storage write or fsync failed (really, or by injection).
+
+    After this error the in-process :class:`repro.storage.Store` is
+    *broken* — the on-disk log may end in a torn record — and refuses
+    further mutations; reopening the store runs recovery.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """A store could not be recovered to any consistent state.
+
+    Raised only when *no* snapshot generation on disk is readable;
+    partial damage (torn WAL tails, corrupt records, missing files)
+    degrades to the last consistent state with warnings instead.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Resource governance (repro.runtime)
 # ---------------------------------------------------------------------------
 

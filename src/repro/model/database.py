@@ -95,10 +95,26 @@ class Database:
         self._schema = schema
         self._objects: dict[Oid, DBObject] = {}
         self._direct_extents: dict[str, list[Oid]] = {}
+        #: Mutation observer ``(event, **data)`` — the durable store's
+        #: write-ahead log subscribes here (:mod:`repro.storage`).
+        self._observer = None
 
     @property
     def schema(self) -> Schema:
         return self._schema
+
+    # -- mutation observation ------------------------------------------------
+
+    def set_observer(self, observer) -> None:
+        """Subscribe ``observer(event, **data)`` to mutations (or
+        ``None`` to unsubscribe).  Events fire *after* a successful
+        mutation: ``add_object(obj=)``, ``update_attribute(oid=,
+        attribute=, value=)``, ``remove_object(oid=, force=)``."""
+        self._observer = observer
+
+    def _notify(self, event: str, **data) -> None:
+        if self._observer is not None:
+            self._observer(event, **data)
 
     # -- population ---------------------------------------------------------
 
@@ -114,6 +130,7 @@ class Database:
         obj = DBObject(oid, class_name, values)
         self._objects[oid] = obj
         self._direct_extents.setdefault(class_name, []).append(oid)
+        self._notify("add_object", obj=obj)
         return obj
 
     def add_cst_instance(self, class_name: str, cst: CSTObject,
@@ -302,6 +319,8 @@ class Database:
         except IntegrityError:
             obj.restore(attribute, previous)
             raise
+        self._notify("update_attribute", oid=oid, attribute=attribute,
+                     value=obj.get(attribute))
 
     def remove_object(self, oid: Oid, *, force: bool = False) -> None:
         """Delete an object; refuses (without ``force``) when other
@@ -320,6 +339,7 @@ class Database:
         extent = self._direct_extents.get(obj.class_name, [])
         if oid in extent:
             extent.remove(oid)
+        self._notify("remove_object", oid=oid, force=force)
 
     # -- CST convenience ----------------------------------------------------------------
 

@@ -184,13 +184,28 @@ class Schema:
         self._classes: dict[str, ClassDef] = {}
         for name in BUILTIN_CLASSES:
             self._classes[name] = ClassDef(name=name)
+        #: DDL observer ``(event, **data)`` — the durable store's
+        #: write-ahead log subscribes here (:mod:`repro.storage`).
+        self._observer = None
 
     # -- construction -----------------------------------------------------
+
+    def set_observer(self, observer) -> None:
+        """Subscribe ``observer(event, **data)`` to DDL (or ``None`` to
+        unsubscribe): ``add_class(class_def=)`` after a class is
+        defined, ``cst_class(dimension=)`` when a ``CST(n)`` class
+        materializes."""
+        self._observer = observer
+
+    def _notify(self, event: str, **data) -> None:
+        if self._observer is not None:
+            self._observer(event, **data)
 
     def add_class(self, class_def: ClassDef) -> ClassDef:
         if class_def.name in self._classes:
             raise SchemaError(f"class {class_def.name!r} already defined")
         self._classes[class_def.name] = class_def
+        self._notify("add_class", class_def=class_def)
         return class_def
 
     def define(self, name: str, parents: Iterable[str] = (),
@@ -217,6 +232,7 @@ class Schema:
         if name not in self._classes:
             self._classes[name] = ClassDef(name=name,
                                            cst_dimension=dimension)
+            self._notify("cst_class", dimension=dimension)
         return self._classes[name]
 
     # -- lookup ---------------------------------------------------------------

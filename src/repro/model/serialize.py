@@ -90,6 +90,30 @@ def load_oid(payload: Any) -> Oid:
 # ---------------------------------------------------------------------------
 
 
+def dump_class_def(cls: ClassDef) -> dict:
+    """One class definition as a JSON-able dict (methods are code and
+    do not serialize; a loaded class re-attaches them via
+    :meth:`Schema.add_method`)."""
+    return {
+        "name": cls.name,
+        "parents": list(cls.parents),
+        "interface": [v.name for v in cls.interface],
+        "cst_dimension": cls.cst_dimension,
+        "attributes": [_dump_attribute(a)
+                       for a in cls.attributes.values()],
+    }
+
+
+def load_class_def(payload: dict) -> ClassDef:
+    return ClassDef(
+        name=payload["name"],
+        parents=tuple(payload["parents"]),
+        interface=tuple(payload["interface"]),
+        attributes={a["name"]: _load_attribute(a)
+                    for a in payload["attributes"]},
+        cst_dimension=payload.get("cst_dimension"))
+
+
 def dump_schema(schema: Schema) -> dict:
     classes = []
     cst_dimensions = []
@@ -101,14 +125,7 @@ def dump_schema(schema: Schema) -> dict:
             # Built-in CST classes are recorded by dimension only.
             cst_dimensions.append(cls.cst_dimension)
             continue
-        classes.append({
-            "name": cls.name,
-            "parents": list(cls.parents),
-            "interface": [v.name for v in cls.interface],
-            "cst_dimension": cls.cst_dimension,
-            "attributes": [_dump_attribute(a)
-                           for a in cls.attributes.values()],
-        })
+        classes.append(dump_class_def(cls))
     return {"version": FORMAT_VERSION, "classes": classes,
             "cst_classes": cst_dimensions}
 
@@ -139,13 +156,7 @@ def load_schema(payload: dict) -> Schema:
             if parent.startswith("CST(") and parent.endswith(")"):
                 schema.ensure_cst_class(int(parent[4:-1]))
     for cls in payload["classes"]:
-        schema.add_class(ClassDef(
-            name=cls["name"],
-            parents=tuple(cls["parents"]),
-            interface=tuple(cls["interface"]),
-            attributes={a["name"]: _load_attribute(a)
-                        for a in cls["attributes"]},
-            cst_dimension=cls.get("cst_dimension")))
+        schema.add_class(load_class_def(cls))
     schema.validate()
     return schema
 
@@ -154,11 +165,15 @@ def _load_attribute(payload: dict) -> AttributeDef:
     if "cst" in payload:
         return AttributeDef(payload["name"], CSTSpec(payload["cst"]),
                             set_valued=payload["set_valued"])
+    # ``is not None``, not truthiness: an *empty* renaming ``()`` is a
+    # meaningful value (the target class declares no interface) and
+    # must survive the round trip distinct from "no renaming".
+    interface_args = payload.get("interface_args")
     return AttributeDef(
         payload["name"], payload["target"],
         set_valued=payload["set_valued"],
-        interface_args=tuple(payload["interface_args"])
-        if payload.get("interface_args") else None)
+        interface_args=tuple(interface_args)
+        if interface_args is not None else None)
 
 
 # ---------------------------------------------------------------------------
@@ -166,26 +181,45 @@ def _load_attribute(payload: dict) -> AttributeDef:
 # ---------------------------------------------------------------------------
 
 
+def dump_value(raw: Any) -> Any:
+    """One stored attribute value: a tagged set for set-valued
+    attributes, a plain oid payload otherwise."""
+    if isinstance(raw, frozenset):
+        return {"set": [dump_oid(v) for v in sorted(raw, key=str)]}
+    return dump_oid(raw)
+
+
+def load_value(raw: Any) -> Any:
+    """Inverse of :func:`dump_value`; set values load as lists, which
+    :meth:`DBObject.set` coerces back to frozensets."""
+    if isinstance(raw, dict) and "set" in raw:
+        return [load_oid(v) for v in raw["set"]]
+    return load_oid(raw)
+
+
+def dump_object(obj: Any) -> dict:
+    """One stored object (oid, class, attribute values) as a
+    JSON-able dict — the snapshot *and* WAL representation."""
+    return {
+        "oid": dump_oid(obj.oid),
+        "class": obj.class_name,
+        "values": {name: dump_value(obj.get(name))
+                   for name in obj.attribute_names},
+    }
+
+
+def load_object_into(db: Database, payload: dict) -> None:
+    """Add a :func:`dump_object` payload to ``db``."""
+    db.add_object(load_oid(payload["oid"]), payload["class"],
+                  {name: load_value(raw)
+                   for name, raw in payload["values"].items()})
+
+
 def dump_database(db: Database) -> dict:
-    objects = []
-    for obj in db.objects():
-        values = {}
-        for name in obj.attribute_names:
-            raw = obj.get(name)
-            if isinstance(raw, frozenset):
-                values[name] = {"set": [dump_oid(v) for v in
-                                        sorted(raw, key=str)]}
-            else:
-                values[name] = dump_oid(raw)
-        objects.append({
-            "oid": dump_oid(obj.oid),
-            "class": obj.class_name,
-            "values": values,
-        })
     return {
         "version": FORMAT_VERSION,
         "schema": dump_schema(db.schema),
-        "objects": objects,
+        "objects": [dump_object(obj) for obj in db.objects()],
     }
 
 
@@ -197,13 +231,7 @@ def load_database(payload: dict) -> Database:
     schema = load_schema(payload["schema"])
     db = Database(schema)
     for obj in payload["objects"]:
-        values: dict = {}
-        for name, raw in obj["values"].items():
-            if isinstance(raw, dict) and "set" in raw:
-                values[name] = [load_oid(v) for v in raw["set"]]
-            else:
-                values[name] = load_oid(raw)
-        db.add_object(load_oid(obj["oid"]), obj["class"], values)
+        load_object_into(db, obj)
     db.validate()
     return db
 

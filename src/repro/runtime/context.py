@@ -49,6 +49,7 @@ from repro.runtime.guard import ExecutionGuard
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.runtime.cache import ConstraintCache
     from repro.runtime.faults import FaultPlan
+    from repro.storage.store import Store
 
 T = TypeVar("T")
 
@@ -124,6 +125,10 @@ class ExecutionStats:
     numeric_fallbacks: int = 0
     # -- box index / parallel execution --------------------------------
     index_builds: int = 0
+    #: Box indexes brought current by *extending* a cached index with
+    #: appended rows instead of rebuilding from scratch
+    #: (:func:`repro.sqlc.index.index_for`).
+    index_extends: int = 0
     index_probes: int = 0
     index_candidates: int = 0
     candidates_pruned: int = 0
@@ -215,7 +220,7 @@ _UNSET: Any = object()
 #: The attributes :meth:`QueryContext.derive` may override.
 _DERIVABLE = frozenset({
     "guard", "cache", "prefilter", "indexing", "parallelism",
-    "numeric", "use_optimizer", "catalog", "stats",
+    "numeric", "use_optimizer", "catalog", "stats", "store",
 })
 
 
@@ -232,7 +237,7 @@ class QueryContext:
 
     __slots__ = ("guard", "cache", "prefilter", "indexing",
                  "parallelism", "numeric", "use_optimizer", "catalog",
-                 "stats")
+                 "stats", "store")
 
     def __init__(self, *,
                  guard: ExecutionGuard | None = None,
@@ -243,7 +248,8 @@ class QueryContext:
                  numeric: bool | None = None,
                  use_optimizer: bool = True,
                  catalog: Mapping[str, Any] | None = None,
-                 stats: ExecutionStats | None = None) -> None:
+                 stats: ExecutionStats | None = None,
+                 store: "Store | None" = None) -> None:
         if parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1, got {parallelism!r}")
@@ -259,6 +265,11 @@ class QueryContext:
         self.use_optimizer = use_optimizer
         self.catalog = catalog
         self.stats = stats if stats is not None else ExecutionStats()
+        #: The durable :class:`~repro.storage.store.Store` this query
+        #: runs against, when any — carried so layers can reach the
+        #: store's relations and report durability state without a
+        #: second channel.  ``None`` for purely in-memory execution.
+        self.store = store
 
     # -- derived views ---------------------------------------------------
 
@@ -396,6 +407,8 @@ class QueryContext:
             parts.append(f"parallelism={self.parallelism}")
         if not self.use_optimizer:
             parts.append("optimizer=off")
+        if self.store is not None:
+            parts.append(f"store={self.store.path!r}")
         return f"QueryContext({', '.join(parts)})"
 
 

@@ -63,14 +63,18 @@ DENSITY_THRESHOLD = 0.25
 #: Effectiveness counters (process-global, like ``bounds``; the engine
 #: reports per-execution deltas and the parallel evaluator absorbs
 #: worker-side deltas).
-_stats = {"builds": 0, "probes": 0, "pruned": 0, "candidates": 0}
+_stats = {"builds": 0, "extends": 0, "probes": 0, "pruned": 0,
+          "candidates": 0}
 
 
 def stats() -> dict[str, int]:
     """A copy of the global index counters.
 
     ``builds``
-        box indexes constructed (cache misses);
+        box indexes constructed from scratch (cache misses);
+    ``extends``
+        indexes brought current by extending a cached index with
+        appended rows only (the incremental-maintenance path);
     ``probes``
         coarse candidate pairs examined by the sweep/grid phase;
     ``pruned``
@@ -191,6 +195,53 @@ class BoxIndex:
         """How many rows the variable actually bounds."""
         return len(self.bounded.get(var, ()))
 
+    def extended(self, relation: ConstraintRelation, column: str,
+                 boxer: Boxer) -> "BoxIndex":
+        """A *new* index covering ``relation``'s current rows, built by
+        boxing only the rows appended since this index was taken.
+
+        Copy-on-extend: this index is never mutated, so references
+        handed out earlier (a join still sweeping it, a worker that
+        shipped it) stay frozen at their row count.  The result is
+        structurally identical to ``BoxIndex(relation, column, boxer)``
+        — per-variable lists keep ascending row-position order because
+        appends only ever add larger positions.
+        """
+        cell_index = relation.column_index(column)
+        fresh_boxes = [boxer(row[cell_index])
+                       for row in list(relation)[self.n_rows:]]
+        new = BoxIndex.__new__(BoxIndex)
+        new.n_rows = len(relation)
+        new.boxes = self.boxes + fresh_boxes
+        new.nonempty = list(self.nonempty)
+        new.bounded = {var: list(iv) for var, iv in self.bounded.items()}
+        new.unbounded = {var: list(ps)
+                         for var, ps in self.unbounded.items()}
+        for box in fresh_boxes:
+            if box:
+                for var in box:
+                    if var not in new.bounded:
+                        # A variable first bounded by an appended row:
+                        # every earlier nonempty row leaves it free.
+                        new.bounded[var] = []
+                        new.unbounded[var] = list(self.nonempty)
+        for offset, box in enumerate(fresh_boxes):
+            pos = self.n_rows + offset
+            if box is None:
+                continue
+            new.nonempty.append(pos)
+            for var in new.bounded:
+                interval = box.get(var)
+                if interval is None:
+                    new.unbounded[var].append(pos)
+                else:
+                    lo, _lo_open, hi, _hi_open = interval
+                    new.bounded[var].append((
+                        _NEG_INF if lo is None else lo,
+                        _POS_INF if hi is None else hi,
+                        pos))
+        return new
+
 
 # ---------------------------------------------------------------------------
 # Index cache (weak-keyed on the relation, invalidated by version)
@@ -204,23 +255,52 @@ def index_for(relation: ConstraintRelation, column: str,
               ctx: QueryContext | None = None) -> BoxIndex:
     """The (possibly cached) box index of ``relation[column]``.
 
-    Entries are keyed by ``(column, boxer)`` and stamped with the
-    relation's mutation :attr:`~ConstraintRelation.version`; a mutated
-    relation gets a fresh index on the next probe, and dropping the
-    relation drops its indexes (weak keys).
+    Entries are keyed by ``(column, boxer, version)`` — the version is
+    *part of the key*, so an index returned for one version is never
+    revised under a caller's feet when the relation mutates and is
+    probed again mid-scan (stale-read safety for interleaved mutation
+    and query).  On a version miss, when every missed mutation is an
+    appended row (the relation's version delta equals its row-count
+    delta — :meth:`~ConstraintRelation.add_row` is the only version
+    bump), the newest cached index is *extended* with just the new
+    rows (:meth:`BoxIndex.extended`); anything else — including
+    derived relations whose rows were assigned wholesale — rebuilds
+    from scratch.  Older versions are pruned from the cache once
+    superseded; dropping the relation drops its indexes (weak keys).
     """
     per_relation = _index_cache.get(relation)
     if per_relation is None:
         per_relation = {}
         _index_cache[relation] = per_relation
-    key = (column, boxer)
-    entry = per_relation.get(key)
-    if entry is not None and entry[0] == relation.version:
-        return entry[1]
-    built = BoxIndex(relation, column, boxer)
-    _stats["builds"] += 1
-    context_mod.resolve(ctx).stats.index_builds += 1
-    per_relation[key] = (relation.version, built)
+    key = (column, boxer, relation.version)
+    hit = per_relation.get(key)
+    if hit is not None:
+        return hit
+    newest_version, newest = -1, None
+    for (col, bxr, version), index in per_relation.items():
+        if col == column and bxr == boxer \
+                and version > newest_version:
+            newest_version, newest = version, index
+    appended_only = (
+        newest is not None
+        and newest_version < relation.version
+        and relation.version - newest_version
+        == len(relation) - newest.n_rows
+        and len(relation) >= newest.n_rows)
+    if appended_only:
+        built = newest.extended(relation, column, boxer)
+        _stats["extends"] += 1
+        context_mod.resolve(ctx).stats.index_extends += 1
+    else:
+        built = BoxIndex(relation, column, boxer)
+        _stats["builds"] += 1
+        context_mod.resolve(ctx).stats.index_builds += 1
+    stale = [k for k in per_relation
+             if k[0] == column and k[1] == boxer
+             and k[2] != relation.version]
+    for k in stale:
+        del per_relation[k]
+    per_relation[key] = built
     return built
 
 

@@ -24,7 +24,7 @@ class ConstraintRelation:
     """
 
     __slots__ = ("_name", "_columns", "_rows", "_index", "_version",
-                 "__weakref__")
+                 "_observer", "__weakref__")
 
     def __init__(self, name: str, columns: Sequence[str],
                  rows: Iterable[Sequence] = ()):
@@ -37,10 +37,17 @@ class ConstraintRelation:
         self._rows: list[tuple[Oid, ...]] = []
         self._index = {c: i for i, c in enumerate(self._columns)}
         self._version = 0
+        self._observer = None
         for row in rows:
             self.add_row(row)
 
     # -- construction ------------------------------------------------------
+
+    def set_observer(self, observer) -> None:
+        """Subscribe ``observer(relation, row)`` to :meth:`add_row`
+        (or ``None`` to unsubscribe) — the durable store's write-ahead
+        log hooks every appended row here (:mod:`repro.storage`)."""
+        self._observer = observer
 
     def add_row(self, row: Sequence) -> None:
         values = tuple(as_oid(v) for v in row)
@@ -51,6 +58,8 @@ class ConstraintRelation:
                 f"{self._columns}")
         self._rows.append(values)
         self._version += 1
+        if self._observer is not None:
+            self._observer(self, values)
 
     # -- inspection ----------------------------------------------------------
 

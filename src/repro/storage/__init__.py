@@ -1,0 +1,49 @@
+"""Crash-safe durable storage: snapshots + a write-ahead log.
+
+Public surface:
+
+* :class:`Store` — create / open / verify a store directory; mutations
+  of the attached database and relations are logged automatically.
+* :class:`RecoveryReport` and the states :data:`CLEAN`,
+  :data:`RECOVERED`, :data:`UNRECOVERABLE`.
+* :data:`DURABILITY_POLICIES` — ``always`` / ``batch`` / ``off``.
+
+See :mod:`repro.storage.store` for the recovery model and
+:mod:`repro.storage.format` for the on-disk framing.
+"""
+
+from repro.storage.format import (
+    STORAGE_FORMAT_VERSION,
+    TAIL_CLEAN,
+    TAIL_CORRUPT,
+    TAIL_TORN,
+)
+from repro.storage.store import (
+    CLEAN,
+    RECOVERED,
+    UNRECOVERABLE,
+    RecoveryReport,
+    Store,
+)
+from repro.storage.wal import (
+    DURABILITY_POLICIES,
+    StorageIO,
+    WriteAheadLog,
+    read_wal,
+)
+
+__all__ = [
+    "CLEAN",
+    "DURABILITY_POLICIES",
+    "RECOVERED",
+    "RecoveryReport",
+    "STORAGE_FORMAT_VERSION",
+    "Store",
+    "StorageIO",
+    "TAIL_CLEAN",
+    "TAIL_CORRUPT",
+    "TAIL_TORN",
+    "UNRECOVERABLE",
+    "WriteAheadLog",
+    "read_wal",
+]

@@ -1,0 +1,218 @@
+"""The write-ahead log: append-only, checksummed, fsync'd on policy.
+
+Every mutation of a stored database reaches disk *first* as one WAL
+record (:func:`repro.storage.format.encode_record`), so a crash at any
+byte boundary loses at most the unsynced suffix of the log — never a
+record the caller was told is durable.
+
+Durability is a dial, not a boolean (:data:`DURABILITY_POLICIES`):
+
+``always``
+    fsync after every append — an acknowledged record survives any
+    crash;
+``batch``
+    fsync every ``batch_size`` records and on every explicit
+    :meth:`WriteAheadLog.flush` / snapshot / close — bounded loss
+    under OS crash, no loss under process crash;
+``off``
+    never fsync — the OS flushes on its own schedule (the benchmark
+    and bulk-load setting).
+
+All file writes and fsyncs go through :class:`StorageIO`, which counts
+them and consults the active :class:`repro.runtime.faults.FaultPlan`
+I/O hooks — failed writes, torn writes, fsync failures, and disk-full
+are injected deterministically there, which is what makes
+crash-at-every-record recovery property-testable without killing
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, BinaryIO
+
+from repro.errors import StoreError, StoreWriteError
+from repro.runtime.faults import FaultPlan
+from repro.storage import format as fmt
+
+DURABILITY_POLICIES = ("always", "batch", "off")
+
+
+class StorageIO:
+    """Counted, fault-injectable file writes and fsyncs.
+
+    One instance is shared by everything a :class:`~repro.storage.
+    store.Store` writes (WAL appends *and* snapshot files), so a fault
+    plan's 1-based write/fsync counters address every storage write
+    the store performs, in order.
+    """
+
+    def __init__(self, faults: FaultPlan | None = None):
+        self.faults = faults
+        self.writes = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        """Write ``data``, or raise :class:`StoreWriteError` — possibly
+        after persisting a prefix (torn write / disk full), exactly the
+        artifact crash recovery must tolerate."""
+        self.writes += 1
+        plan = self.faults
+        if plan is not None:
+            if plan.write_should_fail(self.writes):
+                raise StoreWriteError(
+                    f"injected write failure (write #{self.writes})")
+            if plan.write_torn(self.writes):
+                keep = max(0, min(plan.torn_write_bytes, len(data)))
+                handle.write(data[:keep])
+                handle.flush()
+                self.bytes_written += keep
+                raise StoreWriteError(
+                    f"injected torn write (write #{self.writes}, "
+                    f"{keep} of {len(data)} bytes persisted)")
+            admitted = plan.bytes_admitted(self.bytes_written,
+                                           len(data))
+            if admitted < len(data):
+                handle.write(data[:admitted])
+                handle.flush()
+                self.bytes_written += admitted
+                raise StoreWriteError(
+                    f"injected disk full (write #{self.writes}, "
+                    f"{admitted} of {len(data)} bytes persisted)")
+        try:
+            handle.write(data)
+        except OSError as exc:  # pragma: no cover - real I/O failure
+            raise StoreWriteError(f"write failed: {exc}") from exc
+        self.bytes_written += len(data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        self.fsyncs += 1
+        if self.faults is not None \
+                and self.faults.fsync_should_fail(self.fsyncs):
+            raise StoreWriteError(
+                f"injected fsync failure (fsync #{self.fsyncs})")
+        try:
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError as exc:  # pragma: no cover - real I/O failure
+            raise StoreWriteError(f"fsync failed: {exc}") from exc
+
+
+class WriteAheadLog:
+    """Appender over one ``wal-<generation>.log`` file.
+
+    ``synced_records`` counts records known durable (covered by a
+    completed fsync); with policy ``always`` that is every acknowledged
+    append.  After any :class:`StoreWriteError` the log is *broken* —
+    the file may end mid-record — and refuses further appends; the
+    owning store surfaces that as a store-level failure and recovery
+    truncates the torn tail on the next open.
+    """
+
+    def __init__(self, path: str, *, generation: int,
+                 fingerprint: bytes, io: StorageIO,
+                 durability: str = "batch", batch_size: int = 64,
+                 create: bool = True):
+        if durability not in DURABILITY_POLICIES:
+            raise StoreError(
+                f"unknown durability policy {durability!r}; expected "
+                f"one of {DURABILITY_POLICIES}")
+        if batch_size < 1:
+            raise StoreError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = path
+        self.generation = generation
+        self.durability = durability
+        self.batch_size = batch_size
+        self.records = 0
+        self.synced_records = 0
+        self._unsynced = 0
+        self._broken = False
+        self._io = io
+        if create:
+            self._handle: BinaryIO | None = open(path, "xb")
+            io.write(self._handle, fmt.pack_wal_header(generation,
+                                                       fingerprint))
+            if durability != "off":
+                io.fsync(self._handle)
+        else:
+            self._handle = open(path, "r+b")
+            self._handle.seek(0, os.SEEK_END)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def mark_broken(self) -> None:
+        """Refuse all further appends.  The owning store calls this
+        when a *rotation* fails mid-way: growing this log past a newer
+        snapshot already on disk would desynchronise the generation
+        chain."""
+        self._broken = True
+
+    def append(self, record: Any) -> None:
+        """Durably append one record (per the policy); raises
+        :class:`StoreWriteError` and breaks the log on I/O failure."""
+        if self._broken or self._handle is None:
+            raise StoreError(
+                f"WAL {self.path} is closed or broken; reopen the "
+                f"store to recover")
+        data = fmt.encode_record(record)
+        try:
+            self._io.write(self._handle, data)
+            self.records += 1
+            self._unsynced += 1
+            if self.durability == "always" \
+                    or (self.durability == "batch"
+                        and self._unsynced >= self.batch_size):
+                self._sync()
+        except StoreWriteError:
+            self._broken = True
+            raise
+
+    def flush(self) -> None:
+        """Make every appended record durable now (any policy)."""
+        if self._broken or self._handle is None:
+            raise StoreError(
+                f"WAL {self.path} is closed or broken; reopen the "
+                f"store to recover")
+        if self._unsynced:
+            try:
+                self._sync()
+            except StoreWriteError:
+                self._broken = True
+                raise
+
+    def _sync(self) -> None:
+        if self.durability != "off":
+            self._io.fsync(self._handle)
+        self.synced_records = self.records
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            if not self._broken and self._unsynced \
+                    and self.durability != "off":
+                self._sync()
+        finally:
+            self._handle.close()
+            self._handle = None
+
+
+def read_wal(path: str) -> tuple[int, bytes, list[Any], str, int]:
+    """Decode a WAL file from disk.
+
+    Returns ``(generation, fingerprint, records, tail, valid_end)``
+    where ``tail``/``valid_end`` come from
+    :func:`repro.storage.format.scan_records`.  Raises
+    :class:`~repro.errors.StoreCorruptError` only for a damaged
+    *header* — a damaged record tail is data, reported, not raised.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    generation, fingerprint = fmt.read_wal_header(data)
+    records, tail, valid_end = fmt.scan_records(
+        data, offset=fmt.WAL_HEADER_SIZE)
+    return generation, fingerprint, records, tail, valid_end

@@ -129,10 +129,20 @@ class TestBoxIndex:
         assert again is first
         assert index.stats()["builds"] == 1
         rel.add_row((oid("d"), parse_cst("((x) | 7 <= x <= 8)")))
-        rebuilt = index.index_for(rel, "e", index.cst_cell_box)
-        assert rebuilt is not first
-        assert rebuilt.n_rows == 4
-        assert index.stats()["builds"] == 2
+        # A pure append extends the cached index (copy-on-extend)
+        # instead of rebuilding; the old object stays frozen.
+        extended = index.index_for(rel, "e", index.cst_cell_box)
+        assert extended is not first
+        assert extended.n_rows == 4
+        assert first.n_rows == 3
+        assert index.stats()["builds"] == 1
+        assert index.stats()["extends"] == 1
+        # The extended index is structurally identical to a rebuild.
+        rebuilt = index.BoxIndex(rel, "e", index.cst_cell_box)
+        assert extended.boxes == rebuilt.boxes
+        assert extended.nonempty == rebuilt.nonempty
+        assert extended.bounded == rebuilt.bounded
+        assert extended.unbounded == rebuilt.unbounded
 
 
 class TestIndexJoin:

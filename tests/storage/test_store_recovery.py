@@ -1,0 +1,427 @@
+"""Crash-recovery property tests for the durable store.
+
+The invariant everything here checks: *whatever* the crash point —
+every record boundary, every byte inside a record, a failed or torn
+write, a crash mid-snapshot-rotation — reopening the store yields the
+state after some prefix of the mutation history, with every record
+acknowledged as fsync'd still present, and never an unhandled
+exception.
+"""
+
+import os
+import shutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.parser import parse_cst
+from repro.errors import StoreCorruptError, StoreError, StoreWriteError
+from repro.model.database import Database
+from repro.model.schema import AttributeDef, CSTSpec, ClassDef, Schema
+from repro.model.serialize import dump_database, dump_oid
+from repro.runtime.faults import FaultPlan
+from repro.sqlc.relation import ConstraintRelation
+from repro.storage import CLEAN, RECOVERED, UNRECOVERABLE, Store
+from repro.storage import format as fmt
+
+CST_A = "((x,y) | 0 <= x <= 4 and 1 <= y <= 3)"
+CST_B = "((x,y) | x + y <= 10 and x >= -2)"
+
+#: The mutation script.  Each op maps to EXACTLY one WAL record, so
+#: "prefix of the history" and "prefix of the log" coincide.
+OPS = [
+    ("add_class",),
+    ("add_object", "i1", {"name": "a"}),
+    ("add_object", "i2", {"ext": CST_A}),
+    ("create_relation", "R", ("a", "b")),
+    ("add_row", "R", ("i1", CST_A)),
+    ("update", "i1", "name", "b"),
+    ("add_object", "i3", {"name": "c", "ext": CST_B}),
+    ("add_row", "R", ("i3", CST_B)),
+    ("remove", "i3"),
+    ("add_object", "i4", {"name": "d"}),
+]
+
+
+def _item_class():
+    return ClassDef(name="Item", attributes={
+        "name": AttributeDef("name", "string"),
+        "ext": AttributeDef("ext", CSTSpec(("x", "y"))),
+    })
+
+
+def _coerce(values):
+    return {k: parse_cst(v) if k == "ext" else v
+            for k, v in values.items()}
+
+
+def apply_op(op, db, create_relation, add_row):
+    kind = op[0]
+    if kind == "add_class":
+        db.schema.add_class(_item_class())
+    elif kind == "add_object":
+        db.add_object(op[1], "Item", _coerce(op[2]))
+    elif kind == "create_relation":
+        create_relation(op[1], op[2])
+    elif kind == "add_row":
+        add_row(op[1], (op[2][0], parse_cst(op[2][1])))
+    elif kind == "update":
+        db.update_attribute(
+            next(o.oid for o in db.objects() if str(o.oid) == op[1]),
+            op[2], op[3])
+    elif kind == "remove":
+        db.remove_object(
+            next(o.oid for o in db.objects() if str(o.oid) == op[1]))
+    else:  # pragma: no cover - script bug
+        raise AssertionError(kind)
+
+
+def run_ops_on_store(store, ops):
+    for op in ops:
+        apply_op(op, store.db, store.create_relation,
+                 lambda name, row: store.relation(name).add_row(row))
+
+
+def plain_state(k):
+    """The in-memory state after the first ``k`` ops, no store."""
+    db = Database(Schema())
+    relations = {}
+
+    def create_relation(name, columns):
+        relations[name] = ConstraintRelation(name, columns)
+
+    for op in OPS[:k]:
+        apply_op(op, db, create_relation,
+                 lambda name, row: relations[name].add_row(row))
+    return db, relations
+
+
+def fingerprint(db, relations):
+    return fmt.canonical_json({
+        "db": dump_database(db),
+        "rels": {name: [[dump_oid(c) for c in row] for row in rel]
+                 for name, rel in sorted(relations.items())},
+    })
+
+
+_PREFIXES = None
+
+
+def prefix_fingerprints():
+    global _PREFIXES
+    if _PREFIXES is None:
+        _PREFIXES = [fingerprint(*plain_state(k))
+                     for k in range(len(OPS) + 1)]
+    return _PREFIXES
+
+
+def recovered_prefix(store):
+    """Which prefix of the history the store's state equals; fails the
+    test if it matches none (a torn state leaked through)."""
+    fp = fingerprint(store.db, store.relations)
+    prefixes = prefix_fingerprints()
+    assert fp in prefixes, "recovered state matches no history prefix"
+    return prefixes.index(fp)
+
+
+def wal_file(directory):
+    names = sorted(n for n in os.listdir(directory)
+                   if n.startswith("wal-"))
+    assert names, f"no WAL in {directory}"
+    return os.path.join(directory, names[-1])
+
+
+class TestCleanRoundTrip:
+    def test_full_history_round_trips(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS)
+        store.close()
+        with Store.open(path) as reopened:
+            assert reopened.report.state == CLEAN
+            assert recovered_prefix(reopened) == len(OPS)
+
+    def test_snapshot_compacts_and_round_trips(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS[:5])
+        assert store.snapshot() == 2
+        run_ops_on_store(store, OPS[5:])
+        store.close()
+        with Store.open(path) as reopened:
+            assert reopened.report.state == CLEAN
+            assert reopened.generation == 2
+            assert recovered_prefix(reopened) == len(OPS)
+
+    def test_verify_is_read_only(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS)
+        store.close()
+        before = sorted((p.name, p.stat().st_size)
+                        for p in (tmp_path / "store").iterdir())
+        report = Store.verify(path)
+        assert report.state == CLEAN
+        after = sorted((p.name, p.stat().st_size)
+                       for p in (tmp_path / "store").iterdir())
+        assert before == after
+
+
+class TestCrashAtEveryRecord:
+    """Fail or tear the write of record n, for every n: recovery must
+    land exactly on the n-1 prefix, keeping every fsync'd record."""
+
+    @pytest.mark.parametrize("n", range(1, len(OPS) + 1))
+    def test_failed_write_of_record_n(self, tmp_path, n):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        store.io.faults = FaultPlan(fail_write_at=store.io.writes + n)
+        with pytest.raises(StoreWriteError):
+            run_ops_on_store(store, OPS)
+        synced = store.synced_records
+        assert synced == n - 1
+        # The store is broken: further mutations are refused even
+        # though the in-memory database would accept them.
+        with pytest.raises(StoreError, match="broken"):
+            store.db.add_object("late", "Item", {"name": "z"})
+        store.close()
+        with Store.open(path) as reopened:
+            # A write that never reached the file leaves a clean log.
+            assert reopened.report.state == CLEAN
+            assert recovered_prefix(reopened) == n - 1
+            assert reopened.report.records_applied >= synced
+
+    @pytest.mark.parametrize("n", range(1, len(OPS) + 1))
+    @pytest.mark.parametrize("torn_bytes", [1, 6])
+    def test_torn_write_of_record_n(self, tmp_path, n, torn_bytes):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        store.io.faults = FaultPlan(
+            torn_write_at=store.io.writes + n,
+            torn_write_bytes=torn_bytes)
+        with pytest.raises(StoreWriteError):
+            run_ops_on_store(store, OPS)
+        store.close()
+        with Store.open(path) as reopened:
+            assert reopened.report.state == RECOVERED  # torn tail
+            assert recovered_prefix(reopened) == n - 1
+        # The repair truncated the tail: a second open is clean.
+        with Store.open(path) as again:
+            assert again.report.state == CLEAN
+            assert recovered_prefix(again) == n - 1
+
+    def test_fsync_failure_is_a_crash_point_too(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        store.io.faults = FaultPlan(fail_fsync_at=store.io.fsyncs + 3)
+        with pytest.raises(StoreWriteError, match="fsync"):
+            run_ops_on_store(store, OPS)
+        assert store.synced_records == 2
+        store.close()
+        with Store.open(path) as reopened:
+            # The record's bytes DID land; only the acknowledgment
+            # failed.  Recovery may keep it: prefix 2 or 3, never less.
+            assert recovered_prefix(reopened) in (2, 3)
+
+
+class TestCrashAtEveryByte:
+    """Truncate the WAL at every byte offset: recovery always yields
+    exactly the complete records before the cut."""
+
+    @pytest.fixture(scope="class")
+    def clean_store(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("bytes")
+        path = str(root / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS)
+        store.close()
+        return path
+
+    def test_truncate_everywhere(self, clean_store, tmp_path):
+        data = open(wal_file(clean_store), "rb").read()
+        boundaries = [fmt.WAL_HEADER_SIZE] + [
+            end for _start, end in fmt.iter_record_offsets(
+                data, offset=fmt.WAL_HEADER_SIZE)]
+        for cut in range(fmt.WAL_HEADER_SIZE, len(data)):
+            work = str(tmp_path / f"cut{cut}")
+            shutil.copytree(clean_store, work)
+            with open(wal_file(work), "r+b") as handle:
+                handle.truncate(cut)
+            with Store.open(work) as store:
+                expected = sum(1 for b in boundaries if b <= cut) - 1
+                assert recovered_prefix(store) == expected
+                if cut in boundaries:
+                    assert store.report.state == CLEAN
+                else:
+                    assert store.report.state == RECOVERED
+            shutil.rmtree(work)
+
+    @given(st.integers(min_value=0, max_value=1_000_000),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_flip_anywhere_yields_a_prefix(self, clean_store,
+                                               tmp_path_factory,
+                                               position, bit):
+        work = str(tmp_path_factory.mktemp("flip") / "store")
+        shutil.copytree(clean_store, work)
+        victim = wal_file(work)
+        data = bytearray(open(victim, "rb").read())
+        position %= len(data)
+        data[position] ^= 1 << bit
+        with open(victim, "wb") as handle:
+            handle.write(bytes(data))
+
+        report = Store.verify(work)
+        assert report.state in (CLEAN, RECOVERED)
+        with Store.open(work) as store:
+            prefix = recovered_prefix(store)
+        if position < fmt.WAL_HEADER_SIZE:
+            # Header damage invalidates the whole log, never more.
+            assert prefix == 0
+            assert report.state == RECOVERED
+        else:
+            # Exactly the records before the damaged one survive.
+            ends = [end for _start, end in fmt.iter_record_offsets(
+                open(wal_file(clean_store), "rb").read(),
+                offset=fmt.WAL_HEADER_SIZE)]
+            damaged = sum(1 for end in ends if end <= position)
+            assert prefix == damaged
+            assert report.state == RECOVERED
+        shutil.rmtree(work)
+
+
+class TestRotationCrashWindows:
+    """Crash inside snapshot(): every write of the rotation sequence
+    (snapshot blob, new WAL header, CURRENT flip) is a crash point.
+    The store turns broken — appending to the old WAL past the new
+    snapshot would break the chain — and reopening lands on the exact
+    pre-rotation state."""
+
+    @pytest.mark.parametrize("w", [1, 2, 3])
+    def test_crash_mid_rotation(self, tmp_path, w):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS[:5])
+        store.io.faults = FaultPlan(fail_write_at=store.io.writes + w)
+        with pytest.raises(StoreWriteError):
+            store.snapshot()
+        store.io.faults = None
+        assert store.broken
+        with pytest.raises(StoreError, match="broken"):
+            run_ops_on_store(store, OPS[5:6])
+        store.close()
+        with Store.open(path) as reopened:
+            assert recovered_prefix(reopened) == 5
+        # Recovery repaired to a stable generation: open again, still 5.
+        with Store.open(path) as again:
+            assert recovered_prefix(again) == 5
+            again.snapshot()  # and rotation works again after repair
+        with Store.open(path) as final:
+            assert recovered_prefix(final) == 5
+
+    def test_fsync_crash_mid_rotation(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS[:5])
+        store.io.faults = FaultPlan(fail_fsync_at=store.io.fsyncs + 1)
+        with pytest.raises(StoreWriteError, match="fsync"):
+            store.snapshot()
+        store.close()
+        with Store.open(path) as reopened:
+            assert recovered_prefix(reopened) == 5
+
+
+class TestChainedGenerations:
+    def test_corrupt_newest_snapshot_falls_back_across_wals(
+            self, tmp_path):
+        """Snapshot n dies; snapshot n-1 + wal n-1 + wal n still reach
+        the exact latest state."""
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS[:5])
+        store.snapshot()
+        run_ops_on_store(store, OPS[5:])
+        store.close()
+        snap2 = tmp_path / "store" / "snapshot-000002.lyrc"
+        blob = bytearray(snap2.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        snap2.write_bytes(bytes(blob))
+        with Store.open(path) as reopened:
+            assert reopened.report.state == RECOVERED
+            assert any("falling back" in w
+                       for w in reopened.report.warnings)
+            assert recovered_prefix(reopened) == len(OPS)
+
+    def test_missing_current_scans_for_newest(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS)
+        store.close()
+        (tmp_path / "store" / "CURRENT").unlink()
+        with Store.open(path) as reopened:
+            assert reopened.report.state == RECOVERED
+            assert any("CURRENT" in w for w in reopened.report.warnings)
+            assert recovered_prefix(reopened) == len(OPS)
+
+    def test_all_snapshots_dead_is_unrecoverable(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        run_ops_on_store(store, OPS)
+        store.close()
+        for p in (tmp_path / "store").iterdir():
+            if p.name.startswith("snapshot-"):
+                p.write_bytes(b"nothing left")
+        assert Store.verify(path).state == UNRECOVERABLE
+        with pytest.raises(StoreCorruptError):
+            Store.open(path)
+
+    def test_retention_prunes_old_generations(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="batch", retain=2)
+        run_ops_on_store(store, OPS[:3])
+        for _ in range(3):
+            store.snapshot()
+        store.close()
+        names = {p.name for p in (tmp_path / "store").iterdir()}
+        assert "snapshot-000001.lyrc" not in names
+        assert "snapshot-000003.lyrc" in names
+        assert "snapshot-000004.lyrc" in names
+        with Store.open(path) as reopened:
+            assert recovered_prefix(reopened) == 3
+
+
+class TestReadonlyAndBrokenSemantics:
+    def test_readonly_refuses_mutation(self, tmp_path):
+        path = str(tmp_path / "store")
+        Store.create(path, durability="off").close()
+        store = Store.open(path, readonly=True)
+        with pytest.raises(StoreError, match="read-only"):
+            store.db.schema.add_class(_item_class())
+        with pytest.raises(StoreError, match="read-only"):
+            store.snapshot()
+        store.close()
+
+    def test_adopted_relation_rows_are_logged(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="always")
+        rel = ConstraintRelation("pre", ("c",),
+                                 [(parse_cst(CST_A),)])
+        store.add_relation(rel)
+        rel.add_row((parse_cst(CST_B),))
+        store.close()
+        with Store.open(path) as reopened:
+            assert len(reopened.relation("pre")) == 2
+
+    def test_duplicate_relation_name_refused(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = Store.create(path, durability="off")
+        store.create_relation("R", ("a",))
+        with pytest.raises(StoreError, match="already exists"):
+            store.create_relation("R", ("b",))
+        store.close()
+
+    def test_create_refuses_existing_store(self, tmp_path):
+        path = str(tmp_path / "store")
+        Store.create(path).close()
+        with pytest.raises(StoreError, match="already contains"):
+            Store.create(path)

@@ -1,0 +1,158 @@
+"""Unit tests for the write-ahead log appender: durability policies,
+fault-injected writes/fsyncs, and broken-log semantics."""
+
+import pytest
+
+from repro.errors import StoreError, StoreWriteError
+from repro.runtime.faults import FaultPlan
+from repro.storage import format as fmt
+from repro.storage.wal import StorageIO, WriteAheadLog, read_wal
+
+FP = b"\x01" * 16
+
+
+def make_wal(tmp_path, *, durability="always", faults=None,
+             batch_size=64):
+    io = StorageIO(faults)
+    wal = WriteAheadLog(str(tmp_path / "wal-000001.log"),
+                        generation=1, fingerprint=FP, io=io,
+                        durability=durability, batch_size=batch_size)
+    return wal, io
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        wal, _io = make_wal(tmp_path)
+        for i in range(5):
+            wal.append({"op": "n", "i": i})
+        wal.close()
+        generation, fingerprint, records, tail, _end = \
+            read_wal(str(tmp_path / "wal-000001.log"))
+        assert generation == 1
+        assert fingerprint == FP
+        assert records == [{"op": "n", "i": i} for i in range(5)]
+        assert tail == fmt.TAIL_CLEAN
+
+    def test_create_refuses_existing_file(self, tmp_path):
+        make_wal(tmp_path)[0].close()
+        with pytest.raises(OSError):
+            make_wal(tmp_path)
+
+    def test_reopen_appends(self, tmp_path):
+        wal, io = make_wal(tmp_path)
+        wal.append({"i": 0})
+        wal.close()
+        wal2 = WriteAheadLog(str(tmp_path / "wal-000001.log"),
+                             generation=1, fingerprint=FP, io=io,
+                             durability="always", create=False)
+        wal2.append({"i": 1})
+        wal2.close()
+        _g, _f, records, tail, _e = \
+            read_wal(str(tmp_path / "wal-000001.log"))
+        assert records == [{"i": 0}, {"i": 1}]
+        assert tail == fmt.TAIL_CLEAN
+
+
+class TestDurabilityPolicies:
+    def test_always_syncs_every_append(self, tmp_path):
+        wal, io = make_wal(tmp_path, durability="always")
+        baseline = io.fsyncs
+        for i in range(3):
+            wal.append({"i": i})
+            assert wal.synced_records == i + 1
+        assert io.fsyncs == baseline + 3
+
+    def test_batch_syncs_on_threshold_and_flush(self, tmp_path):
+        wal, io = make_wal(tmp_path, durability="batch", batch_size=3)
+        wal.append({"i": 0})
+        wal.append({"i": 1})
+        assert wal.synced_records == 0
+        wal.append({"i": 2})       # hits the batch threshold
+        assert wal.synced_records == 3
+        wal.append({"i": 3})
+        wal.flush()
+        assert wal.synced_records == 4
+
+    def test_off_never_fsyncs(self, tmp_path):
+        wal, io = make_wal(tmp_path, durability="off")
+        for i in range(5):
+            wal.append({"i": i})
+        wal.flush()
+        wal.close()
+        assert io.fsyncs == 0
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="durability"):
+            make_wal(tmp_path, durability="sometimes")
+
+
+class TestInjectedFaults:
+    def test_failed_write_breaks_log(self, tmp_path):
+        # Write 1 is the WAL header; fail the second append.
+        wal, _io = make_wal(tmp_path,
+                            faults=FaultPlan(fail_write_at=3))
+        wal.append({"i": 0})
+        with pytest.raises(StoreWriteError, match="write"):
+            wal.append({"i": 1})
+        assert wal.broken
+        with pytest.raises(StoreError, match="broken"):
+            wal.append({"i": 2})
+        with pytest.raises(StoreError, match="broken"):
+            wal.flush()
+        wal.close()
+        _g, _f, records, tail, _e = \
+            read_wal(str(tmp_path / "wal-000001.log"))
+        assert records == [{"i": 0}]
+        assert tail == fmt.TAIL_CLEAN  # nothing of the failed write landed
+
+    def test_torn_write_leaves_partial_record(self, tmp_path):
+        wal, _io = make_wal(
+            tmp_path,
+            faults=FaultPlan(torn_write_at=3, torn_write_bytes=5))
+        wal.append({"i": 0})
+        with pytest.raises(StoreWriteError, match="torn"):
+            wal.append({"i": 1})
+        wal.close()
+        _g, _f, records, tail, end = \
+            read_wal(str(tmp_path / "wal-000001.log"))
+        assert records == [{"i": 0}]
+        assert tail == fmt.TAIL_TORN
+        # valid_end names the truncation point before the torn bytes.
+        path = tmp_path / "wal-000001.log"
+        assert end < path.stat().st_size
+
+    def test_fsync_failure_counts_as_unsynced(self, tmp_path):
+        wal, _io = make_wal(tmp_path,
+                            faults=FaultPlan(fail_fsync_at=2))
+        with pytest.raises(StoreWriteError, match="fsync"):
+            wal.append({"i": 0})
+        assert wal.broken
+        assert wal.synced_records == 0
+
+    def test_disk_full_admits_prefix(self, tmp_path):
+        header = fmt.WAL_HEADER_SIZE
+        wal, io = make_wal(
+            tmp_path,
+            faults=FaultPlan(disk_full_after_bytes=header + 10))
+        with pytest.raises(StoreWriteError, match="disk full"):
+            wal.append({"i": 0})
+        assert io.bytes_written == header + 10
+        wal.close()
+        _g, _f, records, tail, _e = \
+            read_wal(str(tmp_path / "wal-000001.log"))
+        assert records == []
+        assert tail == fmt.TAIL_TORN
+
+    def test_io_counters_shared_across_files(self, tmp_path):
+        io = StorageIO(None)
+        one = WriteAheadLog(str(tmp_path / "wal-000001.log"),
+                            generation=1, fingerprint=FP, io=io,
+                            durability="off")
+        two = WriteAheadLog(str(tmp_path / "wal-000002.log"),
+                            generation=2, fingerprint=FP, io=io,
+                            durability="off")
+        one.append({})
+        two.append({})
+        assert io.writes == 4  # two headers + two records
+        one.close()
+        two.close()
