@@ -1,0 +1,187 @@
+"""ISSUE 7 — compiled-plan cache on a repeated-small-query workload.
+
+The acceptance benchmark: the query-server shape (many executions of a
+small set of query templates, parameter bindings varying per call) must
+run at least 5x faster with the plan cache on than with it off
+(``plan_cache=None``, i.e. ``--no-plan-cache``), with byte-identical
+results.  The templates are wide multi-join queries over a small
+database — the prepared-statement regime, where compilation
+(translation plus the full rewrite pipeline) dominates execution.  The
+measured numbers are written to ``BENCH_plancache.json`` at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro import lyric
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.runtime.plancache import PlanCache
+from repro.workloads import office
+
+RESULT_PATH = Path(__file__).resolve().parents[1] \
+    / "BENCH_plancache.json"
+
+#: Query templates (text, parameter names): wide joins with several
+#: predicates each, so the compile half is the dominant cost on a
+#: small database.
+TEMPLATES = [
+    ("""
+        SELECT A, B, O
+        FROM Office_Object A, Office_Object B, Object_in_Room O
+        WHERE A.color = $col and B.color = A.color
+          and A.name = B.name and O.catalog_object[A]
+          and A.extent[E] and B.extent[F] and O.inv_number = $inv
+     """, ("col", "inv")),
+    ("""
+        SELECT X, C, DX, DC
+        FROM Desk X, File_Cabinet C, Drawer DX, Drawer DC
+        WHERE X.drawer[DX] and C.drawer[DC] and DX.color = DC.color
+          and X.color = $col and C.extent[E] and X.extent[F]
+     """, ("col",)),
+    ("""
+        SELECT O, P
+        FROM Object_in_Room O, Object_in_Room P, Office_Object A
+        WHERE O.catalog_object[A] and P.catalog_object[A]
+          and O.location[L] and P.location[M] and A.translation[D]
+          and O.inv_number = $inv
+     """, ("inv",)),
+    ("""
+        SELECT A, D2
+        FROM Office_Object A, Drawer D2, Object_in_Room O
+        WHERE A.drawer[D2] and D2.color = $col
+          and O.catalog_object[A] and O.location[L]
+          and A.extent[E] and A.cat_number = $cat
+     """, ("col", "cat")),
+]
+
+#: How many times the template set is swept per measured run.
+SWEEPS = 8
+ROUNDS = 3
+
+_COLORS = ["red", "grey", "blue", "white"]
+
+
+def _calls():
+    """The workload: every template, ``SWEEPS`` times, bindings varying
+    per call so no two consecutive calls are identical requests."""
+    calls = []
+    for sweep in range(SWEEPS):
+        for text, names in TEMPLATES:
+            pool = {"col": _COLORS[sweep % len(_COLORS)],
+                    "inv": f"INV-{sweep % 2:05d}",
+                    "cat": f"CAT-{sweep % 2:04d}"}
+            params = {n: pool[n] for n in names} or None
+            calls.append((text, params))
+    return calls
+
+
+def _run_workload(db, calls, cache):
+    ctx = QueryContext(stats=ExecutionStats(), plan_cache=cache)
+    rows = []
+    for text, params in calls:
+        result = lyric.query_translated(db, text, ctx=ctx,
+                                        params=params)
+        rows.append(sorted(f"{r.oid!r}|{r.values!r}" for r in result))
+    return rows, ctx.stats
+
+
+def _median_time(fn) -> tuple[float, object]:
+    samples, result = [], None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
+
+
+def test_plan_cache_speedup_and_equivalence():
+    db = office.generate(2, seed=0).db
+    calls = _calls()
+    # One warm-up sweep so the (shared) constraint cache is equally
+    # warm in both measured modes.
+    _run_workload(db, calls, None)
+
+    t_off, (baseline, stats_off) = _median_time(
+        lambda: _run_workload(db, calls, None))
+
+    # Repeat-query throughput is steady state: one unmeasured sweep
+    # pays the compile misses, the measured sweeps are all hits.
+    cache = PlanCache()
+    _run_workload(db, calls, cache)
+    t_on, (cached, stats_on) = _median_time(
+        lambda: _run_workload(db, calls, cache))
+    counters = cache.counters()
+
+    # Byte-identical results between the modes.
+    assert json.dumps(baseline).encode() == json.dumps(cached).encode()
+    # Off means off: not a single lookup happened.
+    assert stats_off.plan_cache_hits == 0
+    assert stats_off.plan_cache_misses == 0
+    # On: one compile per (template, options) shape, all else hits.
+    assert counters["misses"] == len(TEMPLATES)
+    assert counters["hits"] \
+        == (ROUNDS + 1) * len(calls) - len(TEMPLATES)
+
+    speedup = t_off / t_on
+    hit_rate = counters["hits"] / max(
+        1, counters["hits"] + counters["misses"])
+    per_query_off = t_off / len(calls)
+    per_query_on = t_on / len(calls)
+    payload = {
+        "experiment": "E20",
+        "workload": {
+            "templates": len(TEMPLATES),
+            "sweeps": SWEEPS,
+            "total_queries": len(calls),
+        },
+        "median_seconds_disabled": round(t_off, 4),
+        "median_seconds_cached": round(t_on, 4),
+        "per_query_ms_disabled": round(per_query_off * 1000, 3),
+        "per_query_ms_cached": round(per_query_on * 1000, 3),
+        "speedup": round(speedup, 2),
+        "hit_rate": round(hit_rate, 3),
+        "plan_cache_hits": counters["hits"],
+        "plan_cache_misses": counters["misses"],
+        "compile_seconds_saved": round(counters["compile_saved"], 4),
+        "results_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= 5.0, (
+        f"plan-cache speedup {speedup:.2f}x below the 5x acceptance "
+        f"threshold (see {RESULT_PATH})")
+
+
+def test_warm_cache_serves_every_repeat():
+    """After the first sweep, every call is a hit — and the analyze
+    trace confirms a hit replays zero compile phases."""
+    db = office.generate(2, seed=1).db
+    cache = PlanCache()
+    calls = _calls()
+    _run_workload(db, calls, cache)
+    warm_hits = cache.hits
+    rows, stats = _run_workload(db, calls, cache)
+    assert cache.hits - warm_hits == len(calls)
+    names = {r.name for r in stats.phases}
+    assert "translate" not in names
+    assert "physical-plan" not in names
+
+
+def test_parameter_bindings_share_one_plan():
+    """Distinct bindings of the same template are all served by the
+    single compiled plan, and each matches a fresh compile."""
+    db = office.generate(3, seed=2).db
+    text, names = TEMPLATES[0]
+    cache = PlanCache()
+    for sweep in range(4):
+        params = {"col": _COLORS[sweep], "inv": "INV-00000"}
+        cached, _ = _run_workload(db, [(text, params)], cache)
+        fresh, _ = _run_workload(db, [(text, params)], None)
+        assert cached == fresh
+    assert cache.misses == 1
+    assert cache.hits == 3

@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 from repro import lyric
@@ -33,6 +34,7 @@ from repro.runtime import (
     ConstraintCache,
     ExecutionGuard,
     ExecutionStats,
+    PlanCache,
     QueryContext,
 )
 from repro.runtime import cache as cache_mod
@@ -127,6 +129,14 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--cache-size", type=_positive_int, metavar="N",
                        help="use a fresh constraint cache of at most "
                             "N entries for this command")
+    group = parser.add_argument_group("plan cache")
+    group.add_argument("--no-plan-cache", action="store_true",
+                       help="compile every query from scratch "
+                            "(disable the compiled-plan cache)")
+    group.add_argument("--plan-cache-size", type=_positive_int,
+                       metavar="N",
+                       help="use a fresh compiled-plan cache of at "
+                            "most N entries for this command")
     group = parser.add_argument_group("execution strategy")
     group.add_argument("--parallel", type=_positive_int, metavar="N",
                        default=1,
@@ -163,6 +173,10 @@ def _context_from(args, guard: ExecutionGuard | None = None
         kwargs["prefilter"] = False
     elif getattr(args, "cache_size", None) is not None:
         kwargs["cache"] = ConstraintCache(maxsize=args.cache_size)
+    if getattr(args, "no_plan_cache", False):
+        kwargs["plan_cache"] = None
+    elif getattr(args, "plan_cache_size", None) is not None:
+        kwargs["plan_cache"] = PlanCache(maxsize=args.plan_cache_size)
     return QueryContext(**kwargs)
 
 
@@ -193,6 +207,10 @@ def _print_analysis(stats: ExecutionStats) -> None:
     print(f"numeric: {stats.numeric_accepts} accepts, "
           f"{stats.numeric_rejects} rejects, "
           f"{stats.numeric_fallbacks} exact fallbacks")
+    print(f"plan cache: {stats.plan_cache_hits} hits, "
+          f"{stats.plan_cache_misses} misses, "
+          f"{stats.plan_cache_invalidations} invalidations, "
+          f"{stats.plan_compile_saved * 1000:.3f} ms compile saved")
 
 
 def _guard_from(args) -> ExecutionGuard | None:
@@ -266,7 +284,79 @@ def cmd_shell(args) -> int:
     return 0
 
 
+_PREPARE_RE = re.compile(
+    r"^prepare\s+([A-Za-z_]\w*)\s+as\s+(.+)$",
+    re.IGNORECASE | re.DOTALL)
+_EXECUTE_RE = re.compile(
+    r"^execute\s+([A-Za-z_]\w*)\s*(?:\((.*)\))?\s*$",
+    re.IGNORECASE | re.DOTALL)
+
+
+def _execute_bindings(args_text: str | None,
+                      param_names: tuple[str, ...]) -> dict:
+    """EXECUTE argument list -> parameter bindings.
+
+    Arguments are positional (mapped onto the prepared query's
+    parameter order) or named (``p = 3`` / ``$p = 3``); values are
+    numbers, quoted strings, or bare identifiers (symbolic oids).
+    """
+    from fractions import Fraction
+
+    from repro.core.lexer import tokenize
+    from repro.errors import LyricSyntaxError
+    from repro.model.oid import LiteralOid, SymbolicOid
+
+    bindings: dict = {}
+    positional: list = []
+    if args_text and args_text.strip():
+        tokens = tokenize(args_text)
+        i = 0
+
+        def value_at(i: int):
+            token = tokens[i]
+            if token.kind == "number":
+                return LiteralOid(Fraction(token.value)), i + 1
+            if token.kind == "symbol" and token.value == "-" \
+                    and tokens[i + 1].kind == "number":
+                return LiteralOid(-Fraction(tokens[i + 1].value)), i + 2
+            if token.kind == "string":
+                return LiteralOid(token.value), i + 1
+            if token.kind in ("ident", "kw"):
+                return SymbolicOid(token.value), i + 1
+            raise LyricSyntaxError(
+                f"EXECUTE argument: unexpected {token.value or token.kind!r}")
+
+        while tokens[i].kind != "eof":
+            token = tokens[i]
+            if token.kind in ("ident", "param") \
+                    and tokens[i + 1].kind == "symbol" \
+                    and tokens[i + 1].value == "=":
+                value, i = value_at(i + 2)
+                bindings[token.value] = value
+            else:
+                value, i = value_at(i)
+                positional.append(value)
+            if tokens[i].kind == "symbol" and tokens[i].value == ",":
+                i += 1
+            elif tokens[i].kind != "eof":
+                raise LyricSyntaxError(
+                    "EXECUTE arguments must be comma-separated")
+    if len(positional) > len(param_names):
+        raise LyricSyntaxError(
+            f"EXECUTE: {len(positional)} positional arguments for "
+            f"{len(param_names)} parameters")
+    for name, value in zip(param_names, positional):
+        bindings.setdefault(name, value)
+    unknown = set(bindings) - set(param_names)
+    if unknown:
+        raise LyricSyntaxError(
+            "EXECUTE: unknown parameters "
+            + ", ".join(f"${n}" for n in sorted(unknown)))
+    return bindings
+
+
 def _shell_loop(db: Database, args, buffer: list[str], stream) -> None:
+    prepared: dict[str, lyric.PreparedQuery] = {}
     while True:
         try:
             line = stream.readline()
@@ -287,7 +377,30 @@ def _shell_loop(db: Database, args, buffer: list[str], stream) -> None:
             # A fresh guard per statement: one exhausted query must not
             # poison the budgets of the next.
             ctx = _context_from(args, guard=_guard_from(args))
-            if text.lower().startswith("create"):
+            prepare_match = _PREPARE_RE.match(text)
+            execute_match = _EXECUTE_RE.match(text)
+            if prepare_match:
+                name = prepare_match.group(1)
+                prepared[name] = lyric.prepare(db,
+                                               prepare_match.group(2))
+                slots = prepared[name].params
+                suffix = (" (parameters: "
+                          + ", ".join(f"${p}" for p in slots) + ")"
+                          if slots else "")
+                print(f"prepared {name}{suffix}")
+            elif execute_match:
+                name = execute_match.group(1)
+                statement = prepared.get(name)
+                if statement is None:
+                    print(f"error: no prepared query {name!r}",
+                          file=sys.stderr)
+                    continue
+                bindings = _execute_bindings(execute_match.group(2),
+                                             statement.params)
+                result = statement.run(db, ctx=ctx, params=bindings)
+                print(result.pretty())
+                print(f"({len(result)} rows)")
+            elif text.lower().startswith("create"):
                 created = lyric.view(db, text, ctx=ctx)
                 for name in created.classes:
                     members = created.instances.get(name, [])

@@ -50,6 +50,18 @@ class AName(Arith):
 
 
 @dataclass(frozen=True)
+class AParam(Arith):
+    """A query parameter ``$name`` in arithmetic position.  It must be
+    bound to a numeric constant at execution time; compiled plans keep
+    the slot symbolic so one plan serves every binding."""
+
+    name: str
+
+    def __str__(self):
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
 class APath(Arith):
     """A path expression that must instantiate to a numeric constant."""
 
@@ -235,6 +247,19 @@ class Where:
 
 
 @dataclass(frozen=True)
+class Param:
+    """A query parameter ``$name`` in comparison-operand position.
+    Resolved to an oid from the active context's bindings at execution
+    time, never at compile time — the parameter slot is what lets a
+    cached plan serve all bindings."""
+
+    name: str
+
+    def __str__(self):
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
 class WPath(Where):
     """A path expression used as a boolean predicate (true iff some
     database path satisfies a ground instance)."""
@@ -249,9 +274,9 @@ class WPath(Where):
 class WCompare(Where):
     """Comparison of path-expression values (sets of tail objects)."""
 
-    left: Union[PathExpression, Oid]
+    left: Union[PathExpression, Oid, "Param"]
     op: str  # '=', '!=', '<', '<=', '>', '>=', 'contains', 'in'
-    right: Union[PathExpression, Oid]
+    right: Union[PathExpression, Oid, "Param"]
 
     def __str__(self):
         return f"{self.left} {self.op} {self.right}"

@@ -297,6 +297,15 @@ def _arith(db: Database, analysis: AnalyzedQuery, node: ast.Arith,
         raise EvaluationError(
             f"variable {node.name!r} is bound to {bound}, which is not "
             "a numeric constant usable in a pseudo-linear formula")
+    if isinstance(node, ast.AParam):
+        from repro.runtime.context import param_value
+        bound = param_value(node.name)
+        if isinstance(bound, LiteralOid) \
+                and isinstance(bound.value, Fraction):
+            return LinearExpression.constant(bound.value)
+        raise EvaluationError(
+            f"parameter ${node.name} is bound to {bound}, which is not "
+            "a numeric constant usable in a pseudo-linear formula")
     if isinstance(node, ast.APath):
         return LinearExpression.constant(
             _numeric_path_value(db, node.path, env))

@@ -26,13 +26,14 @@ _TOKEN_RE = re.compile(r"""
   | (?P<number>\d+(?:\.\d+)?)
   | (?P<string>'(?:[^'\\]|\\.)*')
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<symbol>\|=|=>>|=>|<=|>=|==|!=|<>|[-+*/().,\[\]|=<>])
 """, re.VERBOSE)
 
 
 @dataclass(frozen=True)
 class Token:
-    kind: str       # 'kw', 'ident', 'number', 'string', 'symbol', 'eof'
+    kind: str  # 'kw', 'ident', 'number', 'string', 'param', 'symbol', 'eof'
     value: str
     line: int
     column: int
@@ -64,6 +65,9 @@ def tokenize(text: str) -> list[Token]:
             continue
         if kind == "ident" and value.lower() in KEYWORDS:
             tokens.append(Token("kw", value.lower(), line, column))
+        elif kind == "param":
+            # Parameter tokens carry the bare name, '$' stripped.
+            tokens.append(Token("param", value[1:], line, column))
         elif kind == "string":
             inner = value[1:-1].replace("\\'", "'").replace("\\\\", "\\")
             tokens.append(Token("string", inner, line, column))

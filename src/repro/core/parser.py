@@ -300,6 +300,9 @@ class _Parser:
 
     def parse_path_or_literal(self):
         token = self.peek()
+        if token.kind == "param":
+            self.next()
+            return ast.Param(token.value)
         if token.kind == "string":
             self.next()
             return LiteralOid(token.value)
@@ -489,6 +492,9 @@ class _Parser:
                     "*", ast.ANum(value),
                     self.parse_factor())
             return ast.ANum(value)
+        if token.kind == "param":
+            self.next()
+            return ast.AParam(token.value)
         if token.kind == "ident":
             path = self.parse_path()
             if not path.steps:

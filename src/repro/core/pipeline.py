@@ -16,7 +16,14 @@ restages it as an explicit :class:`Pipeline` of named phases over one
   after;
 * **physical-plan** — the physical rules (index-join selection,
   parallelism annotation) produce the executable plan;
+* **bind** — a fresh flat catalog and a context carrying the database
+  attach the (database-free) plan to this execution;
 * **execute** — :func:`repro.sqlc.engine.execute` evaluates it.
+
+With an active :class:`~repro.runtime.plancache.PlanCache` the whole
+compile half is memoized on (raw AST, schema fingerprint, options): a
+hit replays none of the phases above parse, recording a single
+``plan-cache`` phase instead.
 
 Every phase appends a :class:`~repro.runtime.context.PhaseRecord`
 (timing, detail, and plan snapshots where applicable) to the context's
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import cast
 
 from repro.core import ast
 from repro.core.parser import parse_query
@@ -43,23 +51,28 @@ from repro.runtime.context import (
     PhaseRecord,
     QueryContext,
 )
+from repro.runtime import plancache as plancache_mod
 from repro.sqlc import engine
 from repro.sqlc import optimizer as optimizer_mod
-from repro.sqlc.algebra import Catalog, Plan
+from repro.sqlc.algebra import Plan
 from repro.sqlc.relation import ConstraintRelation
 
 
 @dataclass
 class CompiledQuery:
-    """Product of the compile stages: an executable physical plan bound
-    to the catalog and context it was compiled against."""
+    """Product of the compile stages: a *database-free* physical plan.
+
+    Plan nodes reference relations by catalog name and predicate
+    closures resolve the database through
+    :func:`repro.runtime.context.bound_db`, so a compiled query holds
+    no live relations or context — it is exactly the value the plan
+    cache shares across executions (and across databases with equal
+    schemas).  :meth:`Pipeline.execute` binds it to a database."""
 
     analysis: AnalyzedQuery
     plan: Plan
     columns: tuple[str, ...]
     oid_column: str | None
-    catalog: Catalog
-    ctx: QueryContext
     optimized: bool
 
 
@@ -82,13 +95,49 @@ class Pipeline:
     # -- phases ----------------------------------------------------------
 
     def compile(self, query: str | ast.Query) -> CompiledQuery:
-        """Run every compile phase; execution is left to :meth:`run`."""
+        """Run every compile phase; execution is left to :meth:`run`.
+
+        With an active plan cache the raw parsed AST is keyed against
+        (schema fingerprint, plan-relevant options) first: a hit
+        returns the shared :class:`CompiledQuery` after one guard
+        checkpoint, recording a single ``plan-cache`` phase — analysis,
+        translation and every rewrite are skipped entirely."""
         from repro.core.translator import translate_analyzed
         stats = self.ctx.stats
 
         started = time.perf_counter()
-        query_ast = parse_query(query) if isinstance(query, str) \
-            else query
+        cache = self.ctx.active_plan_cache()
+        if not isinstance(query, str):
+            query_ast = query
+        elif cache is not None:
+            # Parsing is pure syntax, so the cache memoizes it too —
+            # the repeat-query path skips the tokenizer as well.
+            query_ast = cache.ast_for(query, parse_query)
+        else:
+            query_ast = parse_query(query)
+
+        key = None
+        if cache is not None:
+            invalidated_before = cache.invalidations
+            fingerprint = cache.note_schema(self.db.schema)
+            stats.plan_cache_invalidations += \
+                cache.invalidations - invalidated_before
+            key = plancache_mod.plan_key(query_ast, fingerprint,
+                                         self.ctx)
+            hit, compiled, saved = cache.lookup(key)
+            if hit:
+                stats.plan_cache_hits += 1
+                stats.plan_compile_saved += saved
+                stats.phases.append(PhaseRecord(
+                    "plan-cache", time.perf_counter() - started,
+                    detail=f"hit; skipped compile "
+                           f"({saved * 1000:.3f} ms saved)"))
+                if self.ctx.guard is not None:
+                    self.ctx.guard.checkpoint("plan-cache")
+                return cast(CompiledQuery, compiled)
+            stats.plan_cache_misses += 1
+
+        compile_started = time.perf_counter()
         analysis = analyze(self.db.schema, query_ast)
         stats.phases.append(PhaseRecord(
             "parse", time.perf_counter() - started,
@@ -103,6 +152,9 @@ class Pipeline:
             plan_after=translated.plan.explain()))
 
         started = time.perf_counter()
+        # The catalog built here feeds the cost-based rewrites only
+        # (row-count estimates); execution flattens its own, so stale
+        # sizes can cost performance but never correctness.
         catalog = flatten(self.db)
         exec_ctx = self.ctx.derive(catalog=catalog)
         total_rows = sum(len(r) for r in catalog.values())
@@ -126,21 +178,34 @@ class Pipeline:
                 detail="index-join selection, parallelism",
                 plan_after=plan.explain()))
 
-        return CompiledQuery(
+        compiled = CompiledQuery(
             analysis=analysis, plan=plan,
             columns=translated.columns,
             oid_column=translated.oid_column,
-            catalog=catalog, ctx=exec_ctx,
             optimized=exec_ctx.use_optimizer)
+        if cache is not None:
+            cache.store(key, compiled,
+                        time.perf_counter() - compile_started)
+        return compiled
 
     def execute(self, compiled: CompiledQuery) -> ConstraintRelation:
-        """The execute phase: evaluate an already-rewritten plan."""
+        """Bind the database and evaluate an already-rewritten plan.
+
+        The bind step is what replaces compile-time capture: a fresh
+        flat catalog plus a context carrying ``db`` (for the plan's
+        late-bound closures), recorded as its own phase."""
+        stats = self.ctx.stats
+        started = time.perf_counter()
+        catalog = flatten(self.db)
+        exec_ctx = self.ctx.derive(catalog=catalog, db=self.db)
+        stats.phases.append(PhaseRecord(
+            "bind", time.perf_counter() - started,
+            detail=f"catalog: {len(catalog)} relations"))
         started = time.perf_counter()
         relation = engine.execute(
-            compiled.plan, compiled.catalog,
+            compiled.plan, catalog,
             use_optimizer=False,  # the rewrite phases already ran
-            ctx=compiled.ctx)
-        stats = compiled.ctx.stats
+            ctx=exec_ctx)
         stats.phases.append(PhaseRecord(
             "execute", time.perf_counter() - started,
             detail=f"{len(relation)} rows"))
@@ -150,10 +215,14 @@ class Pipeline:
     def run(self, query: str | ast.Query) -> ResultSet:
         """All phases end to end, re-packaging the flat relation into a
         :class:`ResultSet` comparable with the naive evaluator's."""
-        compiled = self.compile(query)
+        return self.run_compiled(self.compile(query))
+
+    def run_compiled(self, compiled: CompiledQuery) -> ResultSet:
+        """Execute a compiled (possibly cache-shared) query against
+        this pipeline's database and package the rows."""
         relation = self.execute(compiled)
         result = ResultSet(compiled.columns)
-        for warning in compiled.ctx.stats.warnings:
+        for warning in self.ctx.stats.warnings:
             result.add_warning(warning)
         for row in relation:
             mapping = relation.row_dict(row)

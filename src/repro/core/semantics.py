@@ -80,6 +80,9 @@ class AnalyzedQuery:
     #: of database paths ... could be empty because of a type error",
     #: Section 2.2).  Warnings, not errors — the query still runs.
     warnings: list[str] = field(default_factory=list)
+    #: Parameter slots (``$name`` placeholders) in first-occurrence
+    #: order — the positional signature EXECUTE binds arguments to.
+    params: tuple[str, ...] = ()
 
     def info(self, name: str) -> VarInfo | None:
         return self.var_info.get(name)
@@ -107,7 +110,64 @@ def analyze(schema: Schema, query: ast.Query) -> AnalyzedQuery:
 
     analysis.query = replace(query, select=resolved_select,
                              where=resolved_where)
+    analysis.params = _collect_params(query)
     return analysis
+
+
+def _collect_params(query: ast.Query) -> tuple[str, ...]:
+    """All ``$name`` parameter slots, in first-occurrence order (WHERE
+    before SELECT, mirroring binding-skeleton evaluation order)."""
+    names: list[str] = []
+
+    def add(name: str) -> None:
+        if name not in names:
+            names.append(name)
+
+    def arith(node: ast.Arith) -> None:
+        if isinstance(node, ast.AParam):
+            add(node.name)
+        elif isinstance(node, ast.ABinary):
+            arith(node.left)
+            arith(node.right)
+        elif isinstance(node, ast.ANeg):
+            arith(node.operand)
+
+    def formula(node: ast.Formula) -> None:
+        if isinstance(node, ast.FAtom):
+            arith(node.left)
+            arith(node.right)
+        elif isinstance(node, (ast.FAnd, ast.FOr)):
+            for part in node.parts:
+                formula(part)
+        elif isinstance(node, ast.FNot):
+            formula(node.part)
+
+    def where(node: ast.Where | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.WCompare):
+            for side in (node.left, node.right):
+                if isinstance(side, ast.Param):
+                    add(side.name)
+        elif isinstance(node, (ast.WAnd, ast.WOr)):
+            for part in node.parts:
+                where(part)
+        elif isinstance(node, ast.WNot):
+            where(node.part)
+        elif isinstance(node, ast.WSat):
+            formula(node.formula.body)
+        elif isinstance(node, ast.WEntails):
+            formula(node.left.body)
+            formula(node.right.body)
+
+    where(query.where)
+    for item in query.select:
+        if isinstance(item.expr, ast.FormulaOut):
+            formula(item.expr.formula.body)
+        elif isinstance(item.expr, ast.OptimizeOut):
+            arith(item.expr.objective)
+            formula(item.expr.formula.body)
+    return tuple(names)
 
 
 # ---------------------------------------------------------------------------
@@ -449,7 +509,9 @@ def _path_cst_info(analysis: AnalyzedQuery, path: PathExpression):
 
 
 def _resolve_arith(analysis: AnalyzedQuery, node: ast.Arith) -> ast.Arith:
-    if isinstance(node, (ast.ANum, ast.AName)):
+    if isinstance(node, (ast.ANum, ast.AName, ast.AParam)):
+        # Parameters stay symbolic: their value is typed (numeric
+        # constant required) when the binding arrives at run time.
         return node
     if isinstance(node, ast.APath):
         return ast.APath(_type_path(analysis, node.path, declare=False))

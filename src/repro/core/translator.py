@@ -39,12 +39,20 @@ from repro.model.relations import (
     flatten,
 )
 from repro.runtime import context as context_mod
-from repro.runtime.context import QueryContext
+from repro.runtime.context import QueryContext, bound_db
 from repro.sqlc import algebra, engine
 
 
 class TranslationError(SemanticError):
     """The query uses a feature outside the translatable fragment."""
+
+
+# Plans are database-free: the closures compiled below resolve the
+# database through :func:`repro.runtime.context.bound_db` at evaluation
+# time (the pipeline's bind step sets ``ctx.db``), keeping the
+# translate-time database only as a fallback for direct ``translate()``
+# + ``plan.evaluate()`` callers.  This is what makes a compiled plan
+# cacheable and reusable across databases sharing a schema.
 
 
 @dataclass
@@ -274,7 +282,7 @@ class _Translator:
         def test(*values, _cols=columns, _node=node):
             from repro.core.evaluator import compare
             env = dict(zip(_cols, values))
-            return compare(db, _node, env)
+            return compare(bound_db(db), _node, env)
 
         return algebra.CstPredicate(columns, test, f"compare:{node.op}")
 
@@ -352,7 +360,8 @@ class _Translator:
 
         def test(*values, _cols=columns):
             env = dict(zip(_cols, values))
-            return formulas.satisfiable(db, analysis, formula, env)
+            return formulas.satisfiable(bound_db(db), analysis,
+                                        formula, env)
 
         conjunction = None
         if formula.head is None:
@@ -365,7 +374,7 @@ class _Translator:
             def conjunction(*values, _cols=columns):
                 env = dict(zip(_cols, values))
                 return formulas.instantiate_formula(
-                    db, analysis, formula, env)
+                    bound_db(db), analysis, formula, env)
 
         return algebra.CstPredicate(columns, test, "SAT",
                                     self._conjunct_boxers(formula),
@@ -422,7 +431,7 @@ class _Translator:
 
         def test(*values, _cols=columns):
             env = dict(zip(_cols, values))
-            return formulas.entails(db, analysis, node.left,
+            return formulas.entails(bound_db(db), analysis, node.left,
                                     node.right, env)
 
         return algebra.CstPredicate(columns, test, "|=")
@@ -454,7 +463,7 @@ class _Translator:
                 from repro.model.oid import CstOid
                 env = {n: row[n] for n in _needed}
                 return CstOid(formulas.formula_to_cst(
-                    db, analysis, _formula, env))
+                    bound_db(db), analysis, _formula, env))
 
             return column, algebra.Extend(plan, column, compute,
                                           "cst-formula")
@@ -465,7 +474,8 @@ class _Translator:
 
             def compute_opt(row, _needed=needed, _opt=opt):
                 env = {n: row[n] for n in _needed}
-                return formulas.optimize(db, analysis, _opt, env)
+                return formulas.optimize(bound_db(db), analysis, _opt,
+                                         env)
 
             return column, algebra.Extend(plan, column, compute_opt,
                                           opt.kind.value)

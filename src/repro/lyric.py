@@ -19,13 +19,16 @@ parameters remain as conveniences that derive a context on the fly.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.core import ast
 from repro.core.evaluator import evaluate
 from repro.core.parser import parse, parse_query, parse_view
 from repro.core.result import ResultSet
-from repro.core.translator import run_translated
+from repro.core.translator import TranslationError, run_translated
 from repro.core.views import ViewResult, create_view
 from repro.model.database import Database
+from repro.model.oid import Oid, as_oid
 from repro.runtime import ExecutionGuard, QueryContext, guarded
 from repro.runtime import context as context_mod
 from repro.runtime.context import ExecutionStats
@@ -46,9 +49,20 @@ def _call_context(guard: ExecutionGuard | None,
     return base.derive(**overrides) if overrides else base
 
 
+def _coerce_params(params: Mapping[str, object] | None
+                   ) -> dict[str, Oid] | None:
+    """Parameter bindings with plain Python values coerced to oids
+    (ints/floats/strings become literal oids, CST objects become CST
+    oids; oids pass through)."""
+    if params is None:
+        return None
+    return {name: as_oid(value) for name, value in params.items()}
+
+
 def query(db: Database, text: str | ast.Query,
           guard: ExecutionGuard | None = None,
-          ctx: QueryContext | None = None) -> ResultSet:
+          ctx: QueryContext | None = None,
+          params: Mapping[str, object] | None = None) -> ResultSet:
     """Evaluate a LyriC query with the naive object-level evaluator.
 
     An optional :class:`~repro.runtime.ExecutionGuard` bounds the
@@ -56,19 +70,28 @@ def query(db: Database, text: str | ast.Query,
     budgets, cancellation); with ``on_exhaustion="degrade"`` the result
     is partial-with-warnings instead of an error.  ``ctx`` supplies the
     full execution state (cache, stats, options) explicitly.
+    ``params`` binds the query's ``$name`` placeholders.
     """
-    return evaluate(db, text, ctx=_call_context(guard, ctx))
+    overrides = {}
+    if params is not None:
+        overrides["params"] = _coerce_params(params)
+    return evaluate(db, text, ctx=_call_context(guard, ctx, **overrides))
 
 
 def query_translated(db: Database, text: str | ast.Query,
                      use_optimizer: bool = True,
                      guard: ExecutionGuard | None = None,
-                     ctx: QueryContext | None = None) -> ResultSet:
+                     ctx: QueryContext | None = None,
+                     params: Mapping[str, object] | None = None
+                     ) -> ResultSet:
     """Evaluate via the Section 5 translation to flat SQL with
     constraints (the second, independent evaluation path), through the
     staged compile pipeline."""
+    overrides = {}
+    if params is not None:
+        overrides["params"] = _coerce_params(params)
     return run_translated(db, text, use_optimizer=use_optimizer,
-                          ctx=_call_context(guard, ctx))
+                          ctx=_call_context(guard, ctx, **overrides))
 
 
 def view(db: Database, text: str | ast.CreateView,
@@ -97,10 +120,13 @@ def explain(db: Database, text: str | ast.Query,
     compiled = Pipeline(db, call_ctx).compile(text)
     if not analyze:
         return compiled.plan.explain()
+    from repro.model.relations import flatten
+    catalog = flatten(db)
+    exec_ctx = call_ctx.derive(catalog=catalog, db=db)
     started = time.perf_counter()
-    rendered = explain_analyze(compiled.plan, compiled.catalog,
-                               use_optimizer=False, ctx=compiled.ctx)
-    compiled.ctx.stats.phases.append(PhaseRecord(
+    rendered = explain_analyze(compiled.plan, catalog,
+                               use_optimizer=False, ctx=exec_ctx)
+    call_ctx.stats.phases.append(PhaseRecord(
         "execute", time.perf_counter() - started,
         detail="explain analyze (per-node evaluation)"))
     return rendered
@@ -116,16 +142,32 @@ def warnings_for(db: Database, text: str | ast.Query) -> list[str]:
 
 
 class PreparedQuery:
-    """A parsed and analyzed query bound to a schema, reusable across
-    executions (and databases sharing that schema) without re-running
-    the parser or the semantic analysis."""
+    """A query parsed, analyzed **and compiled** once, reusable across
+    executions — the PREPARE half of PREPARE/EXECUTE.
+
+    Binding is by schema *content*, not object identity: the schema
+    fingerprint recorded at prepare time must equal the target
+    database's, so a database restored via
+    :class:`~repro.storage.store.Store` runs plans prepared against the
+    original, while any DDL mutation correctly invalidates them.
+
+    The compiled plan is memoized per plan-relevant option combination
+    (numeric/indexing/optimizer/parallelism); queries outside the
+    translatable fragment fall back to the naive evaluator, as does any
+    run under fault injection (a memoized plan would shift the fault
+    schedule's compile-phase ticks).
+    """
 
     def __init__(self, schema, text: str | ast.Query):
         from repro.core.parser import parse_query
         from repro.core.semantics import analyze as analyze_query
         query_ast = parse_query(text) if isinstance(text, str) else text
         self._schema = schema
+        self._fingerprint = schema.fingerprint()
+        self._query_ast = query_ast
         self._analysis = analyze_query(schema, query_ast)
+        #: options key -> CompiledQuery, or None for "untranslatable".
+        self._plans: dict = {}
 
     @property
     def warnings(self) -> list[str]:
@@ -135,18 +177,49 @@ class PreparedQuery:
     def query(self) -> ast.Query:
         return self._analysis.query
 
+    @property
+    def params(self) -> tuple[str, ...]:
+        """Parameter slots in positional (first-occurrence) order."""
+        return self._analysis.params
+
     def run(self, db: Database,
-            ctx: QueryContext | None = None) -> ResultSet:
-        if db.schema is not self._schema:
+            ctx: QueryContext | None = None,
+            params: Mapping[str, object] | None = None) -> ResultSet:
+        if db.schema.fingerprint() != self._fingerprint:
             raise ValueError(
                 "prepared query bound to a different schema")
+        overrides = {}
+        if params is not None:
+            overrides["params"] = _coerce_params(params)
+        call_ctx = _call_context(None, ctx, **overrides)
+        bound = call_ctx.params or {}
+        missing = [p for p in self._analysis.params if p not in bound]
+        if missing:
+            from repro.errors import EvaluationError
+            raise EvaluationError(
+                "unbound parameters: "
+                + ", ".join(f"${p}" for p in missing))
         from repro.core.evaluator import evaluate_analyzed
-        return evaluate_analyzed(db, self._analysis,
-                                 ctx=_call_context(None, ctx))
+        if call_ctx.faults is not None:
+            return evaluate_analyzed(db, self._analysis, ctx=call_ctx)
+        from repro.core.pipeline import Pipeline
+        from repro.runtime.plancache import plan_options_key
+        key = plan_options_key(call_ctx)
+        pipeline = Pipeline(db, call_ctx)
+        if key not in self._plans:
+            try:
+                self._plans[key] = pipeline.compile(self._query_ast)
+            except TranslationError:
+                self._plans[key] = None
+        compiled = self._plans[key]
+        if compiled is None:
+            return evaluate_analyzed(db, self._analysis, ctx=call_ctx)
+        return pipeline.run_compiled(compiled)
 
 
 def prepare(db: Database, text: str | ast.Query) -> PreparedQuery:
-    """Parse and analyze once; execute many times with ``.run(db)``."""
+    """Parse, analyze and (lazily) compile once; execute many times
+    with ``.run(db, params=...)``."""
     return PreparedQuery(db.schema, text)
 
 

@@ -187,6 +187,36 @@ class Schema:
         #: DDL observer ``(event, **data)`` — the durable store's
         #: write-ahead log subscribes here (:mod:`repro.storage`).
         self._observer = None
+        #: Mutation counter: bumped by every DDL change (class added,
+        #: CST class materialized, method attached).  Cached plans key
+        #: on the content fingerprint; the version makes the expensive
+        #: fingerprint computable lazily and cacheable per mutation.
+        self._version = 0
+        self._fingerprint: tuple[int, bytes] | None = None
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone DDL mutation counter (0 for a fresh schema)."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
+
+    def fingerprint(self) -> bytes:
+        """Content digest of the schema (16 bytes), equal for two
+        schemas declaring the same classes — the plan-cache key
+        component and :class:`~repro.lyric.PreparedQuery`'s binding
+        check.  Recomputed only when :attr:`version` changed since the
+        last call."""
+        cached = self._fingerprint
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from repro.storage.format import schema_fingerprint
+        digest = schema_fingerprint(self)
+        self._fingerprint = (self._version, digest)
+        return digest
 
     # -- construction -----------------------------------------------------
 
@@ -205,6 +235,7 @@ class Schema:
         if class_def.name in self._classes:
             raise SchemaError(f"class {class_def.name!r} already defined")
         self._classes[class_def.name] = class_def
+        self._mutated()
         self._notify("add_class", class_def=class_def)
         return class_def
 
@@ -226,12 +257,14 @@ class Schema:
         """Attach a method to an existing class (inherited by
         subclasses, like attributes)."""
         self.class_def(class_name).methods[method.name] = method
+        self._mutated()
 
     def ensure_cst_class(self, dimension: int) -> ClassDef:
         name = cst_class_name(dimension)
         if name not in self._classes:
             self._classes[name] = ClassDef(name=name,
                                            cst_dimension=dimension)
+            self._mutated()
             self._notify("cst_class", dimension=dimension)
         return self._classes[name]
 

@@ -15,6 +15,9 @@ Public surface:
 * :class:`ConstraintCache` / :func:`caching` / :func:`prefilter` — the
   constraint-level memoization layer and the interval-prefilter gate
   (see ``docs/API.md``, "Performance: caching and prefilters");
+* :class:`PlanCache` — the compiled-plan cache keyed on (query AST,
+  schema fingerprint, options); see ``docs/API.md``, "Prepared queries
+  & the plan cache";
 * :func:`parallelism` / :func:`current_parallelism` — the partitioned
   parallel evaluator's worker-count gate (see ``docs/API.md``,
   "Indexing & parallel execution");
@@ -42,6 +45,12 @@ from repro.runtime.context import (
     default_context,
 )
 from repro.runtime.faults import BUDGETS, FaultPlan
+from repro.runtime.plancache import (
+    PlanCache,
+    active_plan_cache,
+    clear_global_plan_cache,
+    get_global_plan_cache,
+)
 from repro.runtime.numeric import (
     numeric_available,
     numeric_mode,
@@ -69,10 +78,14 @@ __all__ = [
     "ExecutionStats",
     "FaultPlan",
     "PhaseRecord",
+    "PlanCache",
     "QueryContext",
     "active_cache",
+    "active_plan_cache",
     "caching",
     "clear_global_cache",
+    "clear_global_plan_cache",
+    "get_global_plan_cache",
     "current_context",
     "current_guard",
     "current_parallelism",

@@ -47,8 +47,11 @@ from typing import (
 from repro.runtime.guard import ExecutionGuard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.model.database import Database
+    from repro.model.oid import Oid
     from repro.runtime.cache import ConstraintCache
     from repro.runtime.faults import FaultPlan
+    from repro.runtime.plancache import PlanCache
     from repro.storage.store import Store
 
 T = TypeVar("T")
@@ -136,6 +139,13 @@ class ExecutionStats:
     workers: int = _merged(merge="max")
     parallel_runs: int = 0
     parallel_fallbacks: int = 0
+    # -- compiled-plan cache --------------------------------------------
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Cached plans evicted because their schema changed underneath.
+    plan_cache_invalidations: int = 0
+    #: Compile seconds skipped by plan-cache hits.
+    plan_compile_saved: float = 0.0
     # -- pipeline phase trace ------------------------------------------
     phases: list[PhaseRecord] = field(default_factory=list,
                                       metadata={"merge": "extend"})
@@ -221,6 +231,7 @@ _UNSET: Any = object()
 _DERIVABLE = frozenset({
     "guard", "cache", "prefilter", "indexing", "parallelism",
     "numeric", "use_optimizer", "catalog", "stats", "store",
+    "db", "params", "plan_cache",
 })
 
 
@@ -237,7 +248,7 @@ class QueryContext:
 
     __slots__ = ("guard", "cache", "prefilter", "indexing",
                  "parallelism", "numeric", "use_optimizer", "catalog",
-                 "stats", "store")
+                 "stats", "store", "db", "params", "plan_cache")
 
     def __init__(self, *,
                  guard: ExecutionGuard | None = None,
@@ -249,13 +260,19 @@ class QueryContext:
                  use_optimizer: bool = True,
                  catalog: Mapping[str, Any] | None = None,
                  stats: ExecutionStats | None = None,
-                 store: "Store | None" = None) -> None:
+                 store: "Store | None" = None,
+                 db: "Database | None" = None,
+                 params: "Mapping[str, Oid] | None" = None,
+                 plan_cache: "PlanCache | None" = _UNSET) -> None:
         if parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1, got {parallelism!r}")
         if cache is _UNSET:
             from repro.runtime.cache import get_global_cache
             cache = get_global_cache()
+        if plan_cache is _UNSET:
+            from repro.runtime.plancache import get_global_plan_cache
+            plan_cache = get_global_plan_cache()
         self.guard = guard
         self.cache = cache
         self.prefilter = prefilter
@@ -270,6 +287,15 @@ class QueryContext:
         #: store's relations and report durability state without a
         #: second channel.  ``None`` for purely in-memory execution.
         self.store = store
+        #: The database a cached (database-free) plan is bound to for
+        #: this execution — set by the pipeline's execute step; plan
+        #: closures read it through :func:`bound_db`.
+        self.db = db
+        #: Parameter bindings (``$name`` -> oid) for this execution.
+        self.params = params
+        #: The compiled-plan cache, or ``None`` to compile every query
+        #: from scratch (the ``--no-plan-cache`` baseline).
+        self.plan_cache = plan_cache
 
     # -- derived views ---------------------------------------------------
 
@@ -294,6 +320,17 @@ class QueryContext:
         if self.guard is not None and self.guard.faults is not None:
             return None
         return self.cache
+
+    def active_plan_cache(self) -> "PlanCache | None":
+        """The compiled-plan cache this context should use, or
+        ``None``: plan caching disabled, or the guard injects faults
+        (a fault schedule counts compile-phase ticks, so a cached plan
+        would shift every injected failure)."""
+        if self.plan_cache is None:
+            return None
+        if self.guard is not None and self.guard.faults is not None:
+            return None
+        return self.plan_cache
 
     def prefilter_active(self) -> bool:
         """Is the interval prefilter enabled?  Off under fault
@@ -409,6 +446,10 @@ class QueryContext:
             parts.append("optimizer=off")
         if self.store is not None:
             parts.append(f"store={self.store.path!r}")
+        if self.plan_cache is None:
+            parts.append("plan-cache=off")
+        if self.params:
+            parts.append(f"params={sorted(self.params)}")
         return f"QueryContext({', '.join(parts)})"
 
 
@@ -443,3 +484,27 @@ def resolve(ctx: QueryContext | None) -> QueryContext:
     """The explicit ``ctx`` when given, else the ambient context — the
     one-line shim every public entry point uses."""
     return ctx if ctx is not None else current_context()
+
+
+def bound_db(fallback: "Database | None" = None) -> "Database | None":
+    """The database the active context binds plans to, falling back to
+    ``fallback`` (the translate-time database) for direct plan
+    evaluation outside the pipeline's bind step."""
+    db = current_context().db
+    return db if db is not None else fallback
+
+
+def param_value(name: str) -> "Oid":
+    """The oid bound to parameter ``$name`` in the active context.
+
+    Raises :class:`~repro.errors.EvaluationError` when the execution
+    carries no binding for it — parameters are resolved at evaluation
+    time, so an unbound slot is a run-time error, not a compile-time
+    one."""
+    from repro.errors import EvaluationError
+    params = current_context().params
+    if params is None or name not in params:
+        raise EvaluationError(
+            f"unbound parameter ${name}; bind it via EXECUTE arguments "
+            "or the params= mapping")
+    return params[name]

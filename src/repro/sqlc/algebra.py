@@ -8,6 +8,14 @@ satisfiability and entailment tests, evaluated by the constraint engine.
 
 This is the evaluation target of the Section 5 translation; the
 optimizer (:mod:`repro.sqlc.optimizer`) rewrites these trees.
+
+Plans are *database-free*: base relations are referenced by catalog
+name (:class:`Scan`), and the closures inside
+:class:`CstPredicate`/:class:`Extend` resolve the database through
+:func:`repro.runtime.context.bound_db` at evaluation time.  That makes
+a plan tree a pure function of (query, schema, options) — the contract
+the compiled-plan cache (:mod:`repro.runtime.plancache`) relies on to
+share one plan across executions, databases and parameter bindings.
 """
 
 from __future__ import annotations

@@ -40,7 +40,10 @@ def execute(plan: Plan, catalog: Catalog,
 
     State comes from ``ctx`` (or the ambient context), with ``stats``
     and ``guard`` as per-call overrides; the derived context is active
-    for the duration of the call.  When the guard's policy is
+    for the duration of the call.  Plans are database-free, so a
+    caller executing a cached plan passes a context carrying ``db``
+    (the pipeline's bind step does) for the plan's late-bound closures
+    to resolve.  When the guard's policy is
     ``"degrade"``, budget exhaustion yields an **empty relation with
     the plan's columns** plus a warning in the stats instead of an
     exception — the flat engine evaluates bottom-up, so there is no

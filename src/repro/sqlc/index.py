@@ -255,6 +255,11 @@ def index_for(relation: ConstraintRelation, column: str,
               ctx: QueryContext | None = None) -> BoxIndex:
     """The (possibly cached) box index of ``relation[column]``.
 
+    The boxer participates by *object identity*, and boxers are pure
+    schema-derived closures attached to the plan at translate time —
+    so a plan-cache hit, which reuses the plan's boxer objects, keeps
+    hitting the same index-cache entries across executions.
+
     Entries are keyed by ``(column, boxer, version)`` — the version is
     *part of the key*, so an index returned for one version is never
     revised under a caller's feet when the relation mutates and is

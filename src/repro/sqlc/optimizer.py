@@ -75,6 +75,10 @@ def _rule_push_selections(plan: Plan, ctx: QueryContext) -> Plan:
 
 
 def _rule_reorder_joins(plan: Plan, ctx: QueryContext) -> Plan:
+    # The catalog here is the *compile-time* snapshot and feeds row
+    # estimates only: a plan-cache hit may execute a join order chosen
+    # against stale sizes, which can cost performance, never
+    # correctness.
     return reorder_joins(plan, ctx.catalog or {})
 
 

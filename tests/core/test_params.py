@@ -1,0 +1,222 @@
+"""Parameterized queries: ``$name`` slots from token to result row.
+
+Covers the whole stack — lexer token, AST nodes, semantic collection,
+both evaluators resolving bindings from the context, and the shell's
+PREPARE/EXECUTE verbs.
+"""
+
+import io
+
+import pytest
+
+from repro import lyric
+from repro.cli import main
+from repro.core import ast
+from repro.core.lexer import tokenize
+from repro.core.parser import parse_query
+from repro.core.semantics import analyze
+from repro.errors import EvaluationError, LyricSyntaxError
+from repro.model.office import build_office_database
+from repro.runtime.plancache import clear_global_plan_cache
+
+PAPER_PARAM_QUERY = """
+    SELECT CO, ((u,v) | E and D and x = $px and y = $py)
+    FROM Office_Object CO
+    WHERE CO.extent[E] and CO.translation[D]
+"""
+
+PAPER_LITERAL_QUERY = PAPER_PARAM_QUERY.replace("$px", "6") \
+                                       .replace("$py", "4")
+
+
+@pytest.fixture(autouse=True)
+def _cold_plan_cache():
+    clear_global_plan_cache()
+    yield
+    clear_global_plan_cache()
+
+
+@pytest.fixture
+def office():
+    db, _ = build_office_database()
+    return db
+
+
+class TestLexer:
+    def test_param_token_strips_dollar(self):
+        token, _eof = tokenize("$limit")
+        assert token.kind == "param"
+        assert token.value == "limit"
+
+    def test_param_allows_underscore_and_digits(self):
+        token, _eof = tokenize("$max_width2")
+        assert token.value == "max_width2"
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(LyricSyntaxError):
+            tokenize("$ 1")
+
+    def test_dollar_digit_rejected(self):
+        with pytest.raises(LyricSyntaxError):
+            tokenize("$1")
+
+
+class TestParser:
+    def test_comparison_operand(self):
+        query = parse_query(
+            "SELECT X FROM Desk X WHERE X.color = $col")
+        compare = query.where
+        assert isinstance(compare.right, ast.Param)
+        assert compare.right.name == "col"
+        assert str(compare.right) == "$col"
+
+    def test_arith_factor_in_formula(self):
+        query = parse_query(PAPER_PARAM_QUERY)
+        rendered = str(query)
+        assert "$px" in rendered and "$py" in rendered
+
+    def test_param_on_left_side(self):
+        query = parse_query(
+            "SELECT X FROM Desk X WHERE $col = X.color")
+        assert isinstance(query.where.left, ast.Param)
+
+
+class TestSemantics:
+    def test_params_collected_in_first_occurrence_order(self, office):
+        analysis = analyze(office.schema, parse_query(
+            PAPER_PARAM_QUERY))
+        assert analysis.params == ("px", "py")
+
+    def test_where_params_precede_select_params(self, office):
+        analysis = analyze(office.schema, parse_query("""
+            SELECT CO, ((u,v) | E and u = $a)
+            FROM Office_Object CO
+            WHERE CO.extent[E] and CO.name = $b
+        """))
+        assert analysis.params == ("b", "a")
+
+    def test_duplicate_slots_collected_once(self, office):
+        analysis = analyze(office.schema, parse_query(
+            "SELECT X FROM Desk X "
+            "WHERE X.color = $c and X.name = $c"))
+        assert analysis.params == ("c",)
+
+    def test_literal_query_has_no_params(self, office):
+        analysis = analyze(office.schema, parse_query(
+            PAPER_LITERAL_QUERY))
+        assert analysis.params == ()
+
+
+class TestEvaluation:
+    def test_naive_and_translated_agree(self, office):
+        bindings = {"px": 6, "py": 4}
+        naive = lyric.query(office, PAPER_PARAM_QUERY, params=bindings)
+        translated = lyric.query_translated(
+            office, PAPER_PARAM_QUERY, params=bindings)
+        literal = lyric.query(office, PAPER_LITERAL_QUERY)
+        assert len(naive) == len(literal) > 0
+        assert sorted(r.values for r in naive) \
+            == sorted(r.values for r in translated)
+
+    def test_string_param_comparison(self, office):
+        rows = lyric.query_translated(
+            office, "SELECT X FROM Office_Object X "
+                    "WHERE X.color = $col",
+            params={"col": "red"})
+        assert len(rows) == len(lyric.query_translated(
+            office, "SELECT X FROM Office_Object X "
+                    "WHERE X.color = 'red'"))
+
+    def test_one_plan_serves_all_bindings(self, office):
+        text = "SELECT X FROM Office_Object X WHERE X.color = $col"
+        red = lyric.query_translated(office, text,
+                                     params={"col": "red"})
+        none = lyric.query_translated(office, text,
+                                      params={"col": "chartreuse"})
+        assert len(red) > 0
+        assert len(none) == 0
+
+    def test_unbound_param_raises(self, office):
+        with pytest.raises(EvaluationError, match=r"\$col"):
+            lyric.query(office, "SELECT X FROM Desk X "
+                                "WHERE X.color = $col")
+
+    def test_unbound_param_raises_translated(self, office):
+        with pytest.raises(EvaluationError, match=r"\$px"):
+            lyric.query_translated(office, PAPER_PARAM_QUERY,
+                                   params={"py": 4})
+
+    def test_non_numeric_binding_in_formula_raises(self, office):
+        with pytest.raises(EvaluationError, match="numeric"):
+            lyric.query(office, PAPER_PARAM_QUERY,
+                        params={"px": "wide", "py": 4})
+
+    def test_prepared_query_exposes_slots(self, office):
+        prepared = lyric.prepare(office, PAPER_PARAM_QUERY)
+        assert prepared.params == ("px", "py")
+        rows = prepared.run(office, params={"px": 6, "py": 4})
+        assert len(rows) == len(lyric.query(office,
+                                            PAPER_LITERAL_QUERY))
+
+    def test_prepared_query_reports_all_missing(self, office):
+        prepared = lyric.prepare(office, PAPER_PARAM_QUERY)
+        with pytest.raises(EvaluationError,
+                           match=r"\$px.*\$py"):
+            prepared.run(office)
+
+
+class TestShellPrepareExecute:
+    def run_shell(self, monkeypatch, capsys, script: str):
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        code = main(["shell", "--office"])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_prepare_then_execute_positional(self, monkeypatch, capsys):
+        code, out, _ = self.run_shell(
+            monkeypatch, capsys,
+            "PREPARE by_color AS SELECT X FROM Office_Object X "
+            "WHERE X.color = $col;\n"
+            "EXECUTE by_color('red');\n")
+        assert code == 0
+        assert "prepared by_color" in out
+        assert "$col" in out
+        assert "rows" in out or "OID" in out
+
+    def test_execute_named_arguments(self, monkeypatch, capsys):
+        _, out, err = self.run_shell(
+            monkeypatch, capsys,
+            "PREPARE q AS SELECT X FROM Office_Object X "
+            "WHERE X.color = $col;\n"
+            "EXECUTE q(col = 'red');\n"
+            "EXECUTE q($col = 'red');\n")
+        assert err == ""
+        assert out.count("(") >= 1
+
+    def test_execute_unknown_statement(self, monkeypatch, capsys):
+        _, _, err = self.run_shell(
+            monkeypatch, capsys, "EXECUTE nothing(1);\n")
+        assert "nothing" in err
+
+    def test_execute_too_many_positional(self, monkeypatch, capsys):
+        _, _, err = self.run_shell(
+            monkeypatch, capsys,
+            "PREPARE q AS SELECT X FROM Desk X;\n"
+            "EXECUTE q(1);\n")
+        assert "error:" in err
+
+    def test_execute_unknown_parameter(self, monkeypatch, capsys):
+        _, _, err = self.run_shell(
+            monkeypatch, capsys,
+            "PREPARE q AS SELECT X FROM Office_Object X "
+            "WHERE X.color = $col;\n"
+            "EXECUTE q(hue = 'red');\n")
+        assert "error:" in err
+
+    def test_execute_missing_binding(self, monkeypatch, capsys):
+        _, _, err = self.run_shell(
+            monkeypatch, capsys,
+            "PREPARE q AS SELECT X FROM Office_Object X "
+            "WHERE X.color = $col;\n"
+            "EXECUTE q();\n")
+        assert "error:" in err

@@ -5,6 +5,7 @@ import pytest
 from repro.core.pipeline import CompiledQuery, Pipeline, render_trace
 from repro.model.office import build_office_database
 from repro.runtime.context import ExecutionStats, QueryContext
+from repro.runtime.plancache import clear_global_plan_cache
 from repro.sqlc.optimizer import LOGICAL_RULES, PHYSICAL_RULES
 
 QUERY = """
@@ -12,6 +13,15 @@ QUERY = """
     FROM Office_Object CO
     WHERE CO.extent[E] and CO.translation[D]
 """
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    # Phase-trace assertions assume a cold compile; a warm global plan
+    # cache would replay a single "plan-cache" phase instead.
+    clear_global_plan_cache()
+    yield
+    clear_global_plan_cache()
 
 
 @pytest.fixture

@@ -33,12 +33,21 @@ class TestPrepare:
         db.add_object("second_desk", "Desk", {"color": "blue"})
         assert len(prepared.run(db)) == 2
 
-    def test_schema_binding_enforced(self, office):
+    def test_equal_content_schema_is_accepted(self, office):
+        # Binding is by schema *content* (fingerprint), not object
+        # identity — a Store-restored database reuses the statement.
         db, _ = office
         prepared = lyric.prepare(db, "SELECT X FROM Desk X")
         other = Database(build_office_schema())
+        assert len(prepared.run(other)) == 0
+
+    def test_mutated_schema_is_rejected(self, office):
+        db, _ = office
+        prepared = lyric.prepare(db, "SELECT X FROM Desk X")
+        other_schema = build_office_schema()
+        other_schema.define("Shelf", parents=["Office_Object"])
         with pytest.raises(ValueError):
-            prepared.run(other)
+            prepared.run(Database(other_schema))
 
     def test_warnings_exposed(self, office):
         db, _ = office
