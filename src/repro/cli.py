@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 
@@ -92,6 +93,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _shard_count(text: str) -> int:
+    value = int(text)
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            f"needs at least 2 shards, got {text!r}")
+    return value
+
+
 def _positive_float(text: str) -> float:
     value = float(text)
     if value <= 0:
@@ -139,10 +148,18 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
                             "most N entries for this command")
     group = parser.add_argument_group("execution strategy")
     group.add_argument("--parallel", type=_positive_int, metavar="N",
-                       default=1,
+                       nargs="?", const=os.cpu_count() or 1, default=1,
                        help="evaluate large joins/filters with up to N "
                             "worker processes (default 1 = serial; "
+                            "bare --parallel uses the CPU count; "
                             "fault-injection runs stay serial)")
+    group.add_argument("--shards", type=_shard_count, metavar="N",
+                       default=0,
+                       help="range-partition catalog relations into N "
+                            "shards with per-shard indexes maintained "
+                            "at ingest, enabling scatter-gather joins "
+                            "with shard-pair envelope pruning "
+                            "(default 0 = monolithic; N >= 2)")
     group.add_argument("--no-index", action="store_true",
                        help="disable box-index join acceleration (the "
                             "optimizer keeps plain NaturalJoin plans)")
@@ -163,6 +180,7 @@ def _context_from(args, guard: ExecutionGuard | None = None
         "guard": guard if guard is not None else _guard_from(args),
         "indexing": not getattr(args, "no_index", False),
         "parallelism": getattr(args, "parallel", 1),
+        "shards": getattr(args, "shards", 0),
         "stats": ExecutionStats(),
         "store": getattr(args, "_open_store", None),
     }
@@ -204,6 +222,16 @@ def _print_analysis(stats: ExecutionStats) -> None:
           f"{stats.box_refutations} refutations")
     print(f"index: {stats.index_probes} probes, "
           f"{stats.candidates_pruned} pairs pruned")
+    if stats.shard_joins:
+        print(f"shards: {stats.shard_joins} scatter-gather joins, "
+              f"{stats.shard_pairs_probed} shard pairs probed, "
+              f"{stats.shard_pairs_pruned} pruned by envelope")
+    if stats.parallel_runs or stats.parallel_fallbacks:
+        print(f"parallel: {stats.workers} workers, "
+              f"{stats.partitions} partitions, "
+              f"{stats.pool_dispatches} pool dispatches "
+              f"({'cold' if stats.pool_cold_starts else 'warm'} pool), "
+              f"{stats.parallel_fallbacks} serial fallbacks")
     print(f"numeric: {stats.numeric_accepts} accepts, "
           f"{stats.numeric_rejects} rejects, "
           f"{stats.numeric_fallbacks} exact fallbacks")
@@ -603,9 +631,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _expand_bare_parallel(argv: list[str]) -> list[str]:
+    """``--parallel`` takes an optional worker count, but argparse's
+    ``nargs="?"`` would greedily consume a following positional (the
+    query text).  Pin the value explicitly unless the next token really
+    is a count, so ``--parallel "SELECT ..."`` means "all cores"."""
+    expanded = []
+    for i, token in enumerate(argv):
+        expanded.append(token)
+        if token == "--parallel":
+            following = argv[i + 1] if i + 1 < len(argv) else None
+            if following is None or not following.isdigit():
+                expanded[-1] = f"--parallel={os.cpu_count() or 1}"
+    return expanded
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_expand_bare_parallel(
+        sys.argv[1:] if argv is None else list(argv)))
     try:
         return args.fn(args)
     except (LyricSyntaxError, ConstraintSyntaxError) as exc:

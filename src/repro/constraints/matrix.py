@@ -321,6 +321,13 @@ class RelationMatrix:
         unknown to this relation (or not a CST)."""
         return self._by_cell.get(id(cell))
 
+    def has_cell(self, cell: object) -> bool:
+        """Was ``cell`` packed by this matrix?  Distinguishes "not this
+        relation's cell" from "packed to None (non-CST)" — sharded
+        relations scan their shard matrices with this before trusting
+        :meth:`unit_for`."""
+        return id(cell) in self._by_cell
+
 
 _relation_cache: WeakKeyDictionary = WeakKeyDictionary()
 

@@ -155,7 +155,7 @@ class Pipeline:
         # The catalog built here feeds the cost-based rewrites only
         # (row-count estimates); execution flattens its own, so stale
         # sizes can cost performance but never correctness.
-        catalog = flatten(self.db)
+        catalog = flatten(self.db, shards=self.ctx.shards)
         exec_ctx = self.ctx.derive(catalog=catalog)
         total_rows = sum(len(r) for r in catalog.values())
         stats.phases.append(PhaseRecord(
@@ -196,7 +196,7 @@ class Pipeline:
         late-bound closures), recorded as its own phase."""
         stats = self.ctx.stats
         started = time.perf_counter()
-        catalog = flatten(self.db)
+        catalog = flatten(self.db, shards=self.ctx.shards)
         exec_ctx = self.ctx.derive(catalog=catalog, db=self.db)
         stats.phases.append(PhaseRecord(
             "bind", time.perf_counter() - started,

@@ -121,7 +121,7 @@ def explain(db: Database, text: str | ast.Query,
     if not analyze:
         return compiled.plan.explain()
     from repro.model.relations import flatten
-    catalog = flatten(db)
+    catalog = flatten(db, shards=call_ctx.shards)
     exec_ctx = call_ctx.derive(catalog=catalog, db=db)
     started = time.perf_counter()
     rendered = explain_analyze(compiled.plan, catalog,

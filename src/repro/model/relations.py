@@ -32,8 +32,17 @@ def attribute_relation_name(attribute: str) -> str:
     return ATTRIBUTE_PREFIX + attribute
 
 
-def flatten(db: Database) -> dict[str, ConstraintRelation]:
-    """The flat-relation encoding of the database."""
+def flatten(db: Database,
+            shards: int = 0) -> dict[str, ConstraintRelation]:
+    """The flat-relation encoding of the database.
+
+    With ``shards >= 2`` every *attribute* relation is materialized as
+    a :class:`~repro.sqlc.shard.ShardedConstraintRelation`
+    range-partitioned on its ``value`` column — the CST-bearing column
+    scatter-gather joins prune on.  Extent relations stay monolithic
+    (they are unary oid lists with no geometry to partition).  Row
+    content and order are identical either way.
+    """
     catalog: dict[str, ConstraintRelation] = {}
 
     for class_name in db.schema.class_names:
@@ -41,8 +50,7 @@ def flatten(db: Database) -> dict[str, ConstraintRelation]:
             continue
         name = extent_relation_name(class_name)
         rel = ConstraintRelation(name, ("oid",))
-        for oid in db.extent(class_name):
-            rel.add_row((oid,))
+        rel.add_rows([(oid,) for oid in db.extent(class_name)])
         catalog[name] = rel
 
     attribute_rows: dict[str, list] = {}
@@ -53,8 +61,12 @@ def flatten(db: Database) -> dict[str, ConstraintRelation]:
                 rows.append((obj.oid, value))
     for attr_name, rows in attribute_rows.items():
         name = attribute_relation_name(attr_name)
-        rel = ConstraintRelation(name, ("oid", "value"))
-        for row in rows:
-            rel.add_row(row)
+        if shards >= 2:
+            from repro.sqlc.shard import ShardedConstraintRelation
+            rel = ShardedConstraintRelation(
+                name, ("oid", "value"), rows,
+                shards=shards, partition_by="value")
+        else:
+            rel = ConstraintRelation(name, ("oid", "value"), rows)
         catalog[name] = rel
     return catalog

@@ -139,6 +139,21 @@ class ExecutionStats:
     workers: int = _merged(merge="max")
     parallel_runs: int = 0
     parallel_fallbacks: int = 0
+    # -- sharded scatter-gather execution -------------------------------
+    #: Scatter-gather joins evaluated over sharded relations.
+    shard_joins: int = 0
+    #: Shard pairs whose bounding envelopes were disjoint — skipped
+    #: without probing either shard's index.
+    shard_pairs_pruned: int = 0
+    #: Shard pairs that survived the envelope test and were probed.
+    shard_pairs_probed: int = 0
+    # -- persistent worker pool -----------------------------------------
+    #: Parallel regions dispatched through the persistent pool (the
+    #: remainder took the legacy fork-per-query or serial path).
+    pool_dispatches: int = 0
+    #: Pool dispatches that had to create (or grow) the pool first;
+    #: ``pool_dispatches - pool_cold_starts`` ran on warm workers.
+    pool_cold_starts: int = 0
     # -- compiled-plan cache --------------------------------------------
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -231,7 +246,7 @@ _UNSET: Any = object()
 _DERIVABLE = frozenset({
     "guard", "cache", "prefilter", "indexing", "parallelism",
     "numeric", "use_optimizer", "catalog", "stats", "store",
-    "db", "params", "plan_cache",
+    "db", "params", "plan_cache", "shards",
 })
 
 
@@ -248,7 +263,8 @@ class QueryContext:
 
     __slots__ = ("guard", "cache", "prefilter", "indexing",
                  "parallelism", "numeric", "use_optimizer", "catalog",
-                 "stats", "store", "db", "params", "plan_cache")
+                 "stats", "store", "db", "params", "plan_cache",
+                 "shards")
 
     def __init__(self, *,
                  guard: ExecutionGuard | None = None,
@@ -263,10 +279,14 @@ class QueryContext:
                  store: "Store | None" = None,
                  db: "Database | None" = None,
                  params: "Mapping[str, Oid] | None" = None,
-                 plan_cache: "PlanCache | None" = _UNSET) -> None:
+                 plan_cache: "PlanCache | None" = _UNSET,
+                 shards: int = 0) -> None:
         if parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1, got {parallelism!r}")
+        if shards < 0 or shards == 1:
+            raise ValueError(
+                f"shards must be 0 (unsharded) or >= 2, got {shards!r}")
         if cache is _UNSET:
             from repro.runtime.cache import get_global_cache
             cache = get_global_cache()
@@ -296,6 +316,11 @@ class QueryContext:
         #: The compiled-plan cache, or ``None`` to compile every query
         #: from scratch (the ``--no-plan-cache`` baseline).
         self.plan_cache = plan_cache
+        #: Hash/range-partition catalog relations into this many shards
+        #: when flattening (0 = monolithic relations, the default).
+        #: Sharded catalogs enable the scatter-gather
+        #: :class:`~repro.sqlc.algebra.ShardedIndexJoin`.
+        self.shards = shards
 
     # -- derived views ---------------------------------------------------
 
@@ -442,6 +467,8 @@ class QueryContext:
             parts.append(f"numeric={'on' if self.numeric else 'off'}")
         if self.parallelism > 1:
             parts.append(f"parallelism={self.parallelism}")
+        if self.shards:
+            parts.append(f"shards={self.shards}")
         if not self.use_optimizer:
             parts.append("optimizer=off")
         if self.store is not None:

@@ -43,19 +43,33 @@ need no second write.
 pickling (keyword-only constructors), so workers ship plain dicts and
 the parent reconstructs the exception class by name.
 
-**Transport.**  The row payload is published in a module global before
-the pool is created; workers are forked lazily on first submit and
-inherit it, so neither the rows (oid trees) nor the predicate (a
-closure over the constraint engine) ever crosses a pickle boundary.
-Only chunk bounds and budget dicts are pickled in, and plain row
-indices and counter dicts are pickled out.  Platforms without ``fork``
-fall back to serial evaluation.
+**Transport.**  Two transports, picked per filter by whether the
+predicate pickles:
+
+* **Persistent pool** (preferred) — a lazily created, process-wide
+  :class:`WorkerPool` of warm fork workers reused across queries.
+  Each task ships ``(columns, row chunk, predicate, budgets, context
+  options)`` over the pickle boundary, so warm workers never see stale
+  fork-inherited state: they rebuild a fresh context from the shipped
+  options every task.  Dispatch to a warm pool skips the per-query
+  fork/teardown entirely (``pool_dispatches`` vs ``pool_cold_starts``
+  in :class:`~repro.runtime.context.ExecutionStats`).  A dead pool
+  (:class:`~concurrent.futures.process.BrokenProcessPool`) is
+  discarded and the filter falls back to the legacy transport below.
+* **Fork-per-query** (legacy fallback) — translator predicates are
+  closures over the constraint engine and don't pickle; for those the
+  payload is published in a module global, a one-shot pool is forked
+  (inheriting it), and only chunk bounds cross the pickle boundary.
+
+Platforms without ``fork`` fall back to serial evaluation.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence
 
@@ -76,13 +90,16 @@ _DIVIDED_BUDGETS = (
     ("max_canonical", "canonical_steps"),
 )
 
-_stats = {"runs": 0, "partitions": 0, "max_workers": 0, "fallbacks": 0}
+_stats = {"runs": 0, "partitions": 0, "max_workers": 0, "fallbacks": 0,
+          "pool_dispatches": 0, "pool_cold_starts": 0}
 
 
 def stats() -> dict[str, int]:
     """Cumulative counters: ``runs`` (parallel regions executed),
     ``partitions`` (chunks dispatched), ``max_workers`` (largest pool
-    used), ``fallbacks`` (regions degraded to serial at runtime)."""
+    used), ``fallbacks`` (regions degraded to serial at runtime),
+    ``pool_dispatches`` (tasks sent to the persistent pool),
+    ``pool_cold_starts`` (persistent pools created)."""
     return dict(_stats)
 
 
@@ -139,6 +156,72 @@ def _should_partition(n_rows: int, ctx: QueryContext,
 
 
 # ---------------------------------------------------------------------------
+# The persistent worker pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent fork-based worker pool, reused across queries.
+
+    Thin wrapper over :class:`~concurrent.futures.ProcessPoolExecutor`
+    carrying its nominal size (executors don't expose theirs) so
+    :func:`get_pool` can decide when a bigger pool is needed.
+    """
+
+    __slots__ = ("workers", "_executor")
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"))
+
+    def submit(self, fn, /, *args):
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+_POOL: WorkerPool | None = None
+
+
+def get_pool(min_workers: int) -> tuple[WorkerPool, bool]:
+    """The process-wide pool, created (or grown) lazily.  Returns
+    ``(pool, cold)`` — ``cold`` when this call had to (re)create it.
+    Growing replaces the pool: warm workers are cheap to refork and a
+    single pool keeps the process-count bound obvious."""
+    global _POOL
+    if _POOL is not None and _POOL.workers >= min_workers:
+        return _POOL, False
+    if _POOL is not None:
+        _POOL.shutdown()
+    _POOL = WorkerPool(min_workers)
+    _stats["pool_cold_starts"] += 1
+    return _POOL, True
+
+
+def shutdown_pool() -> None:
+    """Discard the persistent pool (tests; broken-pool recovery).  The
+    next pool dispatch cold-starts a fresh one."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+def _transportable(predicate) -> bool:
+    """Does the predicate survive a pickle round-trip?  Translator
+    predicates are closures (they don't); module-level functions and
+    functools.partial over them do, and take the warm-pool path."""
+    try:
+        pickle.dumps(predicate)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
 # The partitioned filter
 # ---------------------------------------------------------------------------
 
@@ -159,11 +242,19 @@ def filter_rows(columns: Sequence[str], rows: list,
     optimizer's parallelism rule) allows, serially otherwise."""
     ctx = context_mod.resolve(ctx)
     limit = workers if workers is not None else ctx.parallelism
+    cols = tuple(columns)
     if not _should_partition(len(rows), ctx, limit):
-        cols = tuple(columns)
         return [row for row in rows
                 if predicate(dict(zip(cols, row)))]
-    return _parallel_filter(tuple(columns), rows, predicate, ctx, limit)
+    if _transportable(predicate):
+        try:
+            return _pool_filter(cols, rows, predicate, ctx, limit)
+        except BrokenProcessPool:
+            # A worker died mid-task (OOM kill, signal).  No outcome
+            # was merged yet, so rerunning is safe; the legacy
+            # fork-per-query transport gets a fresh set of processes.
+            shutdown_pool()
+    return _parallel_filter(cols, rows, predicate, ctx, limit)
 
 
 def _chunk_bounds(n_rows: int, chunks: int) -> list[tuple[int, int]]:
@@ -207,6 +298,104 @@ class _NoHeadroom(Exception):
     """Internal: a budget is already exhausted; run serial."""
 
 
+def _serial_fallback(columns: tuple, rows: list,
+                     predicate: Callable[[dict], bool],
+                     ctx: QueryContext) -> list:
+    _stats["fallbacks"] += 1
+    ctx.stats.parallel_fallbacks += 1
+    return [row for row in rows
+            if predicate(dict(zip(columns, row)))]
+
+
+def _book_run(ctx: QueryContext, n_chunks: int) -> None:
+    _stats["runs"] += 1
+    _stats["partitions"] += n_chunks
+    _stats["max_workers"] = max(_stats["max_workers"], n_chunks)
+    ctx.stats.parallel_runs += 1
+    ctx.stats.partitions += n_chunks
+    if n_chunks > ctx.stats.workers:
+        ctx.stats.workers = n_chunks
+
+
+def _merge_outcomes(ctx: QueryContext, guard: ExecutionGuard | None,
+                    outcomes: list[dict]) -> None:
+    """Fold worker outcome dicts into the parent context — both
+    transports ship the same shape.  Raises the first (chunk-order)
+    worker exhaustion after all counters merged, then runs the guard's
+    cancellation/deadline checkpoint (workers can't see a cancel issued
+    after they were handed their task)."""
+    first_error: dict | None = None
+    for outcome in outcomes:
+        snapshot = outcome["stats"]
+        if guard is not None:
+            guard.absorb_spend(outcome["spend"])
+        # One generic merge covers every declared counter — including
+        # any added after this code was written.
+        ctx.stats.merge(snapshot)
+        # The cache object still needs the worker deltas (the entries
+        # and cumulative counters a worker wrote die with its process
+        # or stay in the pool worker).  Bounds traffic, by contrast,
+        # lives *only* in ExecutionStats now — the old
+        # ``bounds.absorb`` mirror write here counted the same checks
+        # twice.
+        cache = ctx.active_cache()
+        if cache is not None:
+            cache.absorb({
+                "hits": snapshot.get("cache_hits", 0),
+                "misses": snapshot.get("cache_misses", 0),
+                "evictions": snapshot.get("cache_evictions", 0),
+                "simplex_saved": snapshot.get("cache_simplex_saved", 0),
+            })
+        if outcome["error"] is not None and first_error is None:
+            first_error = outcome["error"]
+    if first_error is not None:
+        raise _rebuild_exhaustion(guard, first_error)
+    if guard is not None:
+        guard.checkpoint("parallel-merge")
+
+
+def _pool_filter(columns: tuple, rows: list,
+                 predicate: Callable[[dict], bool],
+                 ctx: QueryContext, limit: int) -> list:
+    """The persistent-pool transport: chunk rows and predicate cross
+    the pickle boundary into warm workers.  Raises
+    :class:`BrokenProcessPool` (caller falls back) when the pool died;
+    every other degradation handles itself serially here."""
+    guard = ctx.guard
+    workers = min(limit, len(rows))
+    chunks = _chunk_bounds(len(rows), workers)
+    try:
+        limits = _worker_limits(guard, len(chunks))
+    except _NoHeadroom:
+        return _serial_fallback(columns, rows, predicate, ctx)
+    options = {"prefilter": ctx.prefilter, "indexing": ctx.indexing,
+               "numeric": ctx.numeric}
+    try:
+        pool, cold = get_pool(len(chunks))
+        if cold:
+            ctx.stats.pool_cold_starts += 1
+        futures = [pool.submit(_run_pool_task, columns,
+                               rows[start:stop], predicate, limits,
+                               options)
+                   for start, stop in chunks]
+        outcomes = [f.result() for f in futures]
+    except BrokenProcessPool:
+        raise
+    except (OSError, RuntimeError):
+        # Pool startup failure (fork limits, sandboxing): serial is
+        # always a correct answer.
+        return _serial_fallback(columns, rows, predicate, ctx)
+
+    _book_run(ctx, len(chunks))
+    _stats["pool_dispatches"] += len(chunks)
+    ctx.stats.pool_dispatches += len(chunks)
+    _merge_outcomes(ctx, guard, outcomes)
+    kept: list = []
+    for (start, _stop), outcome in zip(chunks, outcomes):
+        kept.extend(rows[start + i] for i in outcome["kept"])
+    return kept
+
+
 def _parallel_filter(columns: tuple, rows: list,
                      predicate: Callable[[dict], bool],
                      ctx: QueryContext, limit: int) -> list:
@@ -217,10 +406,7 @@ def _parallel_filter(columns: tuple, rows: list,
     try:
         limits = _worker_limits(guard, len(chunks))
     except _NoHeadroom:
-        _stats["fallbacks"] += 1
-        ctx.stats.parallel_fallbacks += 1
-        return [row for row in rows
-                if predicate(dict(zip(columns, row)))]
+        return _serial_fallback(columns, rows, predicate, ctx)
 
     _PAYLOAD = (columns, rows, predicate)
     try:
@@ -233,52 +419,15 @@ def _parallel_filter(columns: tuple, rows: list,
     except (OSError, RuntimeError):
         # Pool startup failure (fork limits, sandboxing): serial is
         # always a correct answer.
-        _stats["fallbacks"] += 1
-        ctx.stats.parallel_fallbacks += 1
-        return [row for row in rows
-                if predicate(dict(zip(columns, row)))]
+        return _serial_fallback(columns, rows, predicate, ctx)
     finally:
         _PAYLOAD = None
 
-    _stats["runs"] += 1
-    _stats["partitions"] += len(chunks)
-    _stats["max_workers"] = max(_stats["max_workers"], len(chunks))
-    ctx.stats.parallel_runs += 1
-    ctx.stats.partitions += len(chunks)
-    if len(chunks) > ctx.stats.workers:
-        ctx.stats.workers = len(chunks)
-
+    _book_run(ctx, len(chunks))
+    _merge_outcomes(ctx, guard, outcomes)
     kept: list = []
-    first_error: dict | None = None
     for outcome in outcomes:
-        snapshot = outcome["stats"]
-        if guard is not None:
-            guard.absorb_spend(outcome["spend"])
-        # One generic merge covers every declared counter — including
-        # any added after this code was written.
-        ctx.stats.merge(snapshot)
-        # The cache object still needs the worker deltas (the entries
-        # and cumulative counters a forked worker wrote die with it).
-        # Bounds traffic, by contrast, lives *only* in ExecutionStats
-        # now — the old ``bounds.absorb`` mirror write here counted
-        # the same checks twice.
-        cache = ctx.active_cache()
-        if cache is not None:
-            cache.absorb({
-                "hits": snapshot.get("cache_hits", 0),
-                "misses": snapshot.get("cache_misses", 0),
-                "evictions": snapshot.get("cache_evictions", 0),
-                "simplex_saved": snapshot.get("cache_simplex_saved", 0),
-            })
-        if outcome["error"] is not None and first_error is None:
-            first_error = outcome["error"]
         kept.extend(rows[i] for i in outcome["kept"])
-    if first_error is not None:
-        raise _rebuild_exhaustion(guard, first_error)
-    if guard is not None:
-        # Cancellation/deadline observed at the merge point (workers
-        # can't see a cancel issued after they forked).
-        guard.checkpoint("parallel-merge")
     return kept
 
 
@@ -306,8 +455,47 @@ def _rebuild_exhaustion(guard: ExecutionGuard | None,
 # ---------------------------------------------------------------------------
 
 
+def _build_worker_guard(limits: dict | None) -> ExecutionGuard | None:
+    """The pro-rated per-worker guard — always ``on_exhaustion="fail"``
+    so exhaustion travels back as an exception for the parent to
+    re-raise under its own policy."""
+    if limits is None:
+        return None
+    return ExecutionGuard(
+        deadline=limits.get("deadline"),
+        max_pivots=limits.get("max_pivots"),
+        max_branches=limits.get("max_branches"),
+        max_disjuncts=limits.get("max_disjuncts"),
+        max_canonical=limits.get("max_canonical"),
+        on_exhaustion="fail")
+
+
+def _exhaustion_dict(exc: ResourceExhausted) -> dict:
+    # str(exc) already embeds the [budget=...] diagnostics block;
+    # ship the bare message so reconstruction doesn't double it.
+    return {
+        "kind": type(exc).__name__,
+        "message": ("deadline exceeded" if exc.budget == "deadline"
+                    else f"{exc.budget} budget exhausted"),
+        "budget": exc.budget,
+        "limit": exc.limit,
+        "spent": exc.spent,
+        "fragment": exc.fragment,
+    }
+
+
+def _finish_outcome(worker_ctx: QueryContext,
+                    worker_guard: ExecutionGuard | None,
+                    kept: list[int], error: dict | None) -> dict:
+    worker_ctx.stats.capture_guard(worker_guard)
+    spend = worker_guard.spend() if worker_guard is not None else {}
+    return {"kept": kept, "spend": spend,
+            "stats": worker_ctx.stats.snapshot(), "error": error}
+
+
 def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
-    """Evaluate one chunk in a forked worker.
+    """Evaluate one chunk in a one-shot forked worker (legacy
+    transport).
 
     The worker activates a context derived from the fork-inherited one
     with a pro-rated guard and a *fresh* ``ExecutionStats``, so its
@@ -319,15 +507,7 @@ def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
     global _IN_WORKER
     _IN_WORKER = True
     columns, rows, predicate = _PAYLOAD
-    worker_guard = None
-    if limits is not None:
-        worker_guard = ExecutionGuard(
-            deadline=limits.get("deadline"),
-            max_pivots=limits.get("max_pivots"),
-            max_branches=limits.get("max_branches"),
-            max_disjuncts=limits.get("max_disjuncts"),
-            max_canonical=limits.get("max_canonical"),
-            on_exhaustion="fail")
+    worker_guard = _build_worker_guard(limits)
     worker_ctx = context_mod.current_context().derive(
         guard=worker_guard, stats=ExecutionStats())
 
@@ -339,19 +519,39 @@ def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
                 if predicate(dict(zip(columns, rows[i]))):
                     kept.append(i)
     except ResourceExhausted as exc:
-        # str(exc) already embeds the [budget=...] diagnostics block;
-        # ship the bare message so reconstruction doesn't double it.
-        error = {
-            "kind": type(exc).__name__,
-            "message": ("deadline exceeded" if exc.budget == "deadline"
-                        else f"{exc.budget} budget exhausted"),
-            "budget": exc.budget,
-            "limit": exc.limit,
-            "spent": exc.spent,
-            "fragment": exc.fragment,
-        }
+        error = _exhaustion_dict(exc)
+    return _finish_outcome(worker_ctx, worker_guard, kept, error)
 
-    worker_ctx.stats.capture_guard(worker_guard)
-    spend = worker_guard.spend() if worker_guard is not None else {}
-    return {"kept": kept, "spend": spend,
-            "stats": worker_ctx.stats.snapshot(), "error": error}
+
+def _run_pool_task(columns: tuple, rows: list,
+                   predicate: Callable[[dict], bool],
+                   limits: dict | None, options: dict) -> dict:
+    """Evaluate one shipped chunk in a warm pool worker.
+
+    Unlike :func:`_run_chunk`, nothing fork-inherited is trusted — the
+    pool may have been forked during an unrelated earlier query — so
+    the context is rebuilt from the shipped option flags (the worker's
+    own process-wide constraint cache stays, deliberately: it is what
+    makes warm workers *warm*).  Returns chunk-local kept indices; the
+    parent offsets them by the chunk start.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    worker_guard = _build_worker_guard(limits)
+    worker_ctx = QueryContext(
+        guard=worker_guard,
+        prefilter=options["prefilter"],
+        indexing=options["indexing"],
+        numeric=options["numeric"],
+        stats=ExecutionStats())
+
+    kept: list[int] = []
+    error: dict | None = None
+    try:
+        with worker_ctx.activate():
+            for i, row in enumerate(rows):
+                if predicate(dict(zip(columns, row))):
+                    kept.append(i)
+    except ResourceExhausted as exc:
+        error = _exhaustion_dict(exc)
+    return _finish_outcome(worker_ctx, worker_guard, kept, error)

@@ -28,8 +28,9 @@ Keys are ``(query AST, schema fingerprint, plan-relevant options)``:
   schemas share plans (a ``Store``-restored database reuses plans
   prepared against the original), and any DDL mutation changes the key;
 * the **options** that change the compiled plan: ``numeric``,
-  ``indexing``, ``use_optimizer`` and ``parallelism`` (they steer the
-  physical rewrites, so they must partition the cache).
+  ``indexing``, ``use_optimizer``, ``parallelism`` and ``shards``
+  (they steer the physical rewrites — sharding selects scatter-gather
+  join nodes — so they must partition the cache).
 
 Guard interaction mirrors the constraint cache
 (:mod:`repro.runtime.cache`): a hit runs one guard checkpoint (done by
@@ -66,7 +67,7 @@ def plan_options_key(ctx: "QueryContext") -> tuple:
     """The plan-relevant slice of a context's options — everything that
     changes what the compile pipeline produces."""
     return (ctx.numeric, ctx.indexing, ctx.use_optimizer,
-            ctx.parallelism)
+            ctx.parallelism, ctx.shards)
 
 
 def plan_key(query_ast: Hashable, fingerprint: bytes,

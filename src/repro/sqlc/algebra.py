@@ -236,13 +236,17 @@ class IndexJoin(Plan):
         ctx = context_mod.resolve(ctx)
         left = self.left.evaluate(catalog, ctx)
         right = self.right.evaluate(catalog, ctx)
-        shared = [c for c in left.columns if c in right.columns]
-        other_only = [c for c in right.columns if c not in left.columns]
-        out_columns = tuple(left.columns) + tuple(other_only)
-        left_rows = list(left)
-        right_rows = list(right)
-        total = len(left_rows) * len(right_rows)
+        pairs = self._candidate_pairs(left, right, ctx)
+        return self._join_candidates(left, right, pairs, ctx)
 
+    def _candidate_pairs(self, left: ConstraintRelation,
+                         right: ConstraintRelation,
+                         ctx: QueryContext) -> list[tuple[int, int]]:
+        """Candidate row-position pairs via one monolithic box index
+        per side (or full enumeration when indexing/prefilter is off).
+        Also plants the ``_last`` probe record ``explain_analyze``
+        renders."""
+        total = len(left) * len(right)
         if ctx.indexing and ctx.prefilter_active():
             left_index = index_mod.index_for(
                 left, self.left_column, self.left_boxer, ctx=ctx)
@@ -259,9 +263,23 @@ class IndexJoin(Plan):
                 "total": total,
             })
         else:
-            pairs = [(l, r) for l in range(len(left_rows))
-                     for r in range(len(right_rows))]
+            pairs = [(l, r) for l in range(len(left))
+                     for r in range(len(right))]
             object.__setattr__(self, "_last", None)
+        return pairs
+
+    def _join_candidates(self, left: ConstraintRelation,
+                         right: ConstraintRelation,
+                         pairs: list[tuple[int, int]],
+                         ctx: QueryContext) -> ConstraintRelation:
+        """The exact tail shared by every candidate source: equality
+        on shared columns, row assembly in ``(left, right)`` order, and
+        the batched exact predicate."""
+        shared = [c for c in left.columns if c in right.columns]
+        other_only = [c for c in right.columns if c not in left.columns]
+        out_columns = tuple(left.columns) + tuple(other_only)
+        left_rows = list(left)
+        right_rows = list(right)
 
         if shared:
             left_idx = [left.column_index(c) for c in shared]
@@ -289,6 +307,60 @@ class IndexJoin(Plan):
 
     def describe(self) -> str:
         return (f"IndexJoin({self.left_column} box-overlap "
+                f"{self.right_column}; exact {self.predicate})")
+
+
+@dataclass(frozen=True, eq=False)
+class ShardedIndexJoin(IndexJoin):
+    """Scatter-gather :class:`IndexJoin` over sharded relations.
+
+    Selected by the optimizer when both sides scan
+    :class:`~repro.sqlc.shard.ShardedConstraintRelation` catalog
+    entries.  Candidate generation probes the per-shard box indexes
+    pairwise, pruning shard *pairs* whose bounding envelopes are
+    disjoint before any per-pair work
+    (``ExecutionStats.shard_pairs_pruned``); surviving shard-local
+    candidates map back to global row positions and sort into the same
+    nested-loop order a monolithic index produces, so the exact phase
+    — and therefore the result, byte for byte — is identical to
+    :class:`IndexJoin`.
+
+    Plans outlive catalogs (the plan cache shares them across
+    executions): when a bound side turns out *not* to be sharded — the
+    relation was rebuilt monolithic, or the node is evaluated against
+    a hand-built catalog — the node degrades to the plain
+    :class:`IndexJoin` path.  Sharding is an execution layout, never a
+    correctness requirement.
+    """
+
+    def _candidate_pairs(self, left: ConstraintRelation,
+                         right: ConstraintRelation,
+                         ctx: QueryContext) -> list[tuple[int, int]]:
+        from repro.sqlc.shard import ShardedConstraintRelation
+        from repro.sqlc.shard import scatter_pairs
+        if not (isinstance(left, ShardedConstraintRelation)
+                and isinstance(right, ShardedConstraintRelation)) \
+                or not (ctx.indexing and ctx.prefilter_active()):
+            return super()._candidate_pairs(left, right, ctx)
+        total = len(left) * len(right)
+        before = index_mod.stats()
+        pairs, info = scatter_pairs(
+            left, right, self.left_column, self.right_column,
+            self.left_boxer, self.right_boxer, ctx=ctx)
+        after = index_mod.stats()
+        object.__setattr__(self, "_last", {
+            "probes": after["probes"] - before["probes"],
+            "candidates": len(pairs),
+            "pruned": total - len(pairs),
+            "total": total,
+            "shards": info["shards"],
+            "shard_pairs_pruned": info["shard_pairs_pruned"],
+            "shard_pairs_probed": info["shard_pairs_probed"],
+        })
+        return pairs
+
+    def describe(self) -> str:
+        return (f"ShardedIndexJoin({self.left_column} box-overlap "
                 f"{self.right_column}; exact {self.predicate})")
 
 

@@ -70,6 +70,13 @@ def _units_for(cst: CstPredicate, cells: Sequence[tuple],
     extractor = cst.conjunction
     if (extractor is matrix.cell_constraint and relation is not None
             and len(cst.columns) == 1):
+        from repro.sqlc.shard import ShardedConstraintRelation
+        if isinstance(relation, ShardedConstraintRelation):
+            # Sharded relations keep one matrix per shard, extended
+            # eagerly at ingest; look each cell up across them instead
+            # of packing a redundant monolithic matrix.
+            return relation.sequence_units(cst.columns[0],
+                                           [c[0] for c in cells])
         # The standard single-cell extractor over a base relation:
         # systems were packed once per relation version.
         rm = matrix.matrix_for(relation, cst.columns[0])

@@ -145,6 +145,12 @@ def explain_analyze(plan: Plan, catalog: Catalog,
             line += (f"  [index: probed {probe['probes']}, pruned "
                      f"{probe['pruned']} of {probe['total']} pairs, "
                      f"{probe['candidates']} candidates]")
+            if "shards" in probe:
+                left_n, right_n = probe["shards"]
+                line += (f"  [shards: {left_n}x{right_n}, "
+                         f"{probe['shard_pairs_pruned']} shard pairs "
+                         f"pruned, {probe['shard_pairs_probed']} "
+                         f"probed]")
         for child in getattr(node, "children", ()):
             line += "\n" + render(child, depth + 1)
         return line

@@ -150,11 +150,17 @@ _NEG_INF = -math.inf
 _POS_INF = math.inf
 
 
+#: Lazily-computed :meth:`BoxIndex.envelope` not taken yet (the value
+#: itself may legitimately be ``None`` — a provably empty index).
+_ENVELOPE_UNSET: object = object()
+
+
 class BoxIndex:
     """Per-row boxes of one CST column, with per-variable sorted
     interval lists for the sweep."""
 
-    __slots__ = ("n_rows", "boxes", "nonempty", "bounded", "unbounded")
+    __slots__ = ("n_rows", "boxes", "nonempty", "bounded", "unbounded",
+                 "_envelope")
 
     def __init__(self, relation: ConstraintRelation, column: str,
                  boxer: Boxer):
@@ -190,10 +196,38 @@ class BoxIndex:
                         pos))
             self.bounded[var] = intervals
             self.unbounded[var] = free
+        self._envelope = _ENVELOPE_UNSET
 
     def coverage(self, var) -> int:
         """How many rows the variable actually bounds."""
         return len(self.bounded.get(var, ()))
+
+    def envelope(self) -> "dict | None":
+        """The bounding envelope of every row in this index, computed
+        once per index (indexes are immutable; an extension is a new
+        index with a fresh envelope).
+
+        ``None`` means *provably empty* — no row can ever match.  A
+        dict maps each variable that **every** nonempty row bounds to
+        the closed hull ``(min lo, max hi)`` of their intervals; a
+        variable any row leaves free is omitted (that row overlaps
+        everything along it, so the hull would prove nothing).  An
+        empty dict is the unknown envelope: it overlaps everything.
+        """
+        if self._envelope is _ENVELOPE_UNSET:
+            self._envelope = self._compute_envelope()
+        return self._envelope
+
+    def _compute_envelope(self) -> "dict | None":
+        if not self.nonempty:
+            return None
+        envelope: dict = {}
+        for var, intervals in self.bounded.items():
+            if not intervals or self.unbounded.get(var):
+                continue
+            envelope[var] = (min(iv[0] for iv in intervals),
+                             max(iv[1] for iv in intervals))
+        return envelope
 
     def extended(self, relation: ConstraintRelation, column: str,
                  boxer: Boxer) -> "BoxIndex":
@@ -240,7 +274,32 @@ class BoxIndex:
                         _NEG_INF if lo is None else lo,
                         _POS_INF if hi is None else hi,
                         pos))
+        new._envelope = _ENVELOPE_UNSET
         return new
+
+
+def envelopes_disjoint(left: "dict | None", right: "dict | None") -> bool:
+    """Are two :meth:`BoxIndex.envelope` values provably disjoint?
+
+    ``True`` only when *every* cross pair of rows has disjoint boxes:
+    either side is empty, or the closed hulls are strictly separated
+    along a variable both sides bound on all rows — then each left
+    box's interval lies entirely below (or above) each right box's,
+    which is exactly what :func:`repro.constraints.bounds.
+    boxes_disjoint` would conclude pair by pair.  Strict inequality
+    keeps the test sound for open endpoints: touching hulls are never
+    pruned.
+    """
+    if left is None or right is None:
+        return True
+    for var, (left_lo, left_hi) in left.items():
+        other = right.get(var)
+        if other is None:
+            continue
+        right_lo, right_hi = other
+        if left_hi < right_lo or right_hi < left_lo:
+            return True
+    return False
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,10 @@ as a named :class:`RewriteRule` with signature ``(plan, ctx) -> plan``:
   of the join below it becomes an :class:`~repro.sqlc.algebra.
   IndexJoin`, which probes per-relation box indexes to enumerate only
   box-overlapping candidate pairs before the exact test;
+* ``select-sharded-joins`` (physical) — an IndexJoin whose two sides
+  scan sharded catalog relations becomes a :class:`~repro.sqlc.algebra.
+  ShardedIndexJoin`, scatter-gathering over per-shard box indexes and
+  pruning shard pairs with disjoint bounding envelopes;
 * ``decide-parallelism`` (physical) — filter-bearing nodes are
   annotated with the context's worker count, making the degree of
   parallelism an explicit plan property.
@@ -58,6 +62,7 @@ from repro.sqlc.algebra import (
     Rename,
     Scan,
     Select,
+    ShardedIndexJoin,
     Union,
 )
 
@@ -90,6 +95,16 @@ def _rule_select_index_joins(plan: Plan, ctx: QueryContext) -> Plan:
     return select_index_joins(plan) if ctx.indexing else plan
 
 
+def _rule_select_sharded_joins(plan: Plan, ctx: QueryContext) -> Plan:
+    # Like reorder-joins, this reads the compile-time catalog snapshot:
+    # a stale decision degrades to the monolithic path at evaluation
+    # time (ShardedIndexJoin re-checks the bound relations), so a
+    # plan-cache hit can only cost performance, never correctness.
+    if ctx.indexing and ctx.catalog:
+        return select_sharded_joins(plan, ctx.catalog)
+    return plan
+
+
 def _rule_decide_parallelism(plan: Plan, ctx: QueryContext) -> Plan:
     if ctx.parallelism > 1:
         return decide_parallelism(plan, ctx.parallelism)
@@ -108,6 +123,7 @@ LOGICAL_RULES: tuple[RewriteRule, ...] = (
 #: Physical rewrites (execution strategy), gated on context options.
 PHYSICAL_RULES: tuple[RewriteRule, ...] = (
     RewriteRule("select-index-joins", _rule_select_index_joins),
+    RewriteRule("select-sharded-joins", _rule_select_sharded_joins),
     RewriteRule("decide-parallelism", _rule_decide_parallelism),
 )
 
@@ -451,6 +467,67 @@ def _try_index_join(join: NaturalJoin,
                          boxer_map[left_pick], boxer_map[right_pick],
                          predicate)
     return None
+
+
+# ---------------------------------------------------------------------------
+# Sharded-join selection
+# ---------------------------------------------------------------------------
+
+
+def _scans_sharded(plan: Plan, catalog: Catalog) -> bool:
+    """True when ``plan`` is a Scan of a sharded catalog relation,
+    possibly under Rename wrappers (the shape the translator emits for
+    aliased attribute scans) — renaming is shard-preserving, so the
+    layout survives to evaluation time.  Any other operator (Select,
+    Project, joins) materializes a fresh monolithic relation and
+    disqualifies the side."""
+    from repro.sqlc.shard import ShardedConstraintRelation
+    while isinstance(plan, Rename):
+        plan = plan.child
+    return isinstance(plan, Scan) \
+        and isinstance(catalog.get(plan.relation),
+                       ShardedConstraintRelation)
+
+
+def select_sharded_joins(plan: Plan, catalog: Catalog) -> Plan:
+    """Upgrade every :class:`IndexJoin` whose sides both scan sharded
+    relations to a :class:`ShardedIndexJoin`.  Semantics-preserving by
+    construction: the sharded node produces the same candidate set in
+    the same order as the monolithic index (envelope pruning only drops
+    pairs the pairwise box test would drop), and degrades to the parent
+    path when the bound relations turn out not to be sharded."""
+    if isinstance(plan, IndexJoin) \
+            and not isinstance(plan, ShardedIndexJoin):
+        left = select_sharded_joins(plan.left, catalog)
+        right = select_sharded_joins(plan.right, catalog)
+        if _scans_sharded(left, catalog) \
+                and _scans_sharded(right, catalog):
+            return ShardedIndexJoin(
+                left, right, plan.left_column, plan.right_column,
+                plan.left_boxer, plan.right_boxer, plan.predicate,
+                plan.workers)
+        return dataclasses.replace(plan, left=left, right=right)
+    if isinstance(plan, Select):
+        return Select(select_sharded_joins(plan.child, catalog),
+                      plan.predicate, plan.workers)
+    if isinstance(plan, NaturalJoin):
+        return NaturalJoin(select_sharded_joins(plan.left, catalog),
+                           select_sharded_joins(plan.right, catalog))
+    if isinstance(plan, Union):
+        return Union(select_sharded_joins(plan.left, catalog),
+                     select_sharded_joins(plan.right, catalog))
+    if isinstance(plan, Project):
+        return Project(select_sharded_joins(plan.child, catalog),
+                       plan.kept)
+    if isinstance(plan, Rename):
+        return Rename(select_sharded_joins(plan.child, catalog),
+                      plan.mapping)
+    if isinstance(plan, Distinct):
+        return Distinct(select_sharded_joins(plan.child, catalog))
+    if isinstance(plan, Extend):
+        return Extend(select_sharded_joins(plan.child, catalog),
+                      plan.column, plan.compute, plan.label)
+    return plan
 
 
 def _greedy_join(leaves: list[Plan], catalog: Catalog) -> Plan:

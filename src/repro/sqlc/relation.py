@@ -24,7 +24,7 @@ class ConstraintRelation:
     """
 
     __slots__ = ("_name", "_columns", "_rows", "_index", "_version",
-                 "_observer", "__weakref__")
+                 "_observer", "_batch_observer", "__weakref__")
 
     def __init__(self, name: str, columns: Sequence[str],
                  rows: Iterable[Sequence] = ()):
@@ -38,28 +38,57 @@ class ConstraintRelation:
         self._index = {c: i for i, c in enumerate(self._columns)}
         self._version = 0
         self._observer = None
-        for row in rows:
-            self.add_row(row)
+        self._batch_observer = None
+        rows = list(rows)
+        if rows:
+            self.add_rows(rows)
 
     # -- construction ------------------------------------------------------
 
-    def set_observer(self, observer) -> None:
+    def set_observer(self, observer, batch_observer=None) -> None:
         """Subscribe ``observer(relation, row)`` to :meth:`add_row`
         (or ``None`` to unsubscribe) — the durable store's write-ahead
-        log hooks every appended row here (:mod:`repro.storage`)."""
-        self._observer = observer
+        log hooks every appended row here (:mod:`repro.storage`).
 
-    def add_row(self, row: Sequence) -> None:
+        ``batch_observer(relation, rows)``, when given, receives one
+        call per :meth:`add_rows` batch instead of one per row, so a
+        bulk ingest costs one WAL record; without it ``add_rows`` falls
+        back to per-row ``observer`` notifications."""
+        self._observer = observer
+        self._batch_observer = batch_observer
+
+    def _prepare_row(self, row: Sequence) -> tuple[Oid, ...]:
         values = tuple(as_oid(v) for v in row)
         if len(values) != len(self._columns):
             raise EvaluationError(
                 f"cannot add a {len(values)}-value row to relation "
                 f"{self._name!r}: it has {len(self._columns)} columns "
                 f"{self._columns}")
+        return values
+
+    def add_row(self, row: Sequence) -> None:
+        values = self._prepare_row(row)
         self._rows.append(values)
         self._version += 1
         if self._observer is not None:
             self._observer(self, values)
+
+    def add_rows(self, rows: Iterable[Sequence]) -> int:
+        """Bulk append: validates and appends every row, bumping the
+        version once per row (so derived-structure caches still see an
+        append-only delta) but notifying observers once per *batch*.
+        Returns the number of rows appended."""
+        prepared = [self._prepare_row(row) for row in rows]
+        if not prepared:
+            return 0
+        self._rows.extend(prepared)
+        self._version += len(prepared)
+        if self._batch_observer is not None:
+            self._batch_observer(self, prepared)
+        elif self._observer is not None:
+            for values in prepared:
+                self._observer(self, values)
+        return len(prepared)
 
     # -- inspection ----------------------------------------------------------
 

@@ -253,18 +253,24 @@ class Store:
 
     # -- relation catalog ------------------------------------------------
 
-    def create_relation(self, name: str,
-                        columns: Iterable[str]) -> ConstraintRelation:
+    def create_relation(self, name: str, columns: Iterable[str],
+                        shards: int = 0,
+                        partition_by: str | None = None
+                        ) -> ConstraintRelation:
         """A new empty flat relation registered with the store: its
-        DDL is logged now, every future ``add_row`` automatically."""
+        DDL is logged now, every future ``add_row``/``add_rows``
+        automatically.  With ``shards >= 2`` the relation is a
+        :class:`~repro.sqlc.shard.ShardedConstraintRelation`; the
+        shard layout is part of the DDL record and survives recovery.
+        """
         self._require_writable()
         if name in self._relations:
             raise StoreError(f"relation {name!r} already exists")
-        relation = ConstraintRelation(name, tuple(columns))
-        self._append({"op": "create_relation", "name": name,
-                      "columns": list(relation.columns)})
+        relation = _build_relation(name, tuple(columns), shards,
+                                   partition_by)
+        self._append(_relation_ddl(relation))
         self._relations[name] = relation
-        relation.set_observer(self._on_add_row)
+        relation.set_observer(self._on_add_row, self._on_add_rows)
         return relation
 
     def add_relation(self, relation: ConstraintRelation
@@ -275,13 +281,13 @@ class Store:
         if relation.name in self._relations:
             raise StoreError(
                 f"relation {relation.name!r} already exists")
-        self._append({"op": "create_relation", "name": relation.name,
-                      "columns": list(relation.columns)})
-        for row in relation:
-            self._append({"op": "add_row", "relation": relation.name,
-                          "row": [dump_oid(cell) for cell in row]})
+        self._append(_relation_ddl(relation))
+        if len(relation):
+            self._append({"op": "add_rows", "relation": relation.name,
+                          "rows": [[dump_oid(cell) for cell in row]
+                                   for row in relation]})
         self._relations[relation.name] = relation
-        relation.set_observer(self._on_add_row)
+        relation.set_observer(self._on_add_row, self._on_add_rows)
         return relation
 
     def relation(self, name: str) -> ConstraintRelation:
@@ -363,7 +369,7 @@ class Store:
         self.db.set_observer(self._on_db_event)
         self.db.schema.set_observer(self._on_schema_event)
         for relation in self._relations.values():
-            relation.set_observer(self._on_add_row)
+            relation.set_observer(self._on_add_row, self._on_add_rows)
 
     def _wire_readonly_observers(self) -> None:
         def refuse(event: str, **data: Any) -> None:
@@ -375,7 +381,8 @@ class Store:
         self.db.schema.set_observer(refuse)
         for relation in self._relations.values():
             relation.set_observer(
-                lambda rel, row: refuse("add_row", relation=rel.name))
+                lambda rel, row: refuse("add_row", relation=rel.name),
+                lambda rel, rows: refuse("add_rows", relation=rel.name))
 
     def _on_db_event(self, event: str, **data: Any) -> None:
         if event == "add_object":
@@ -404,6 +411,14 @@ class Store:
         self._append({"op": "add_row", "relation": relation.name,
                       "row": [dump_oid(cell) for cell in row]})
 
+    def _on_add_rows(self, relation: ConstraintRelation,
+                     rows: list[tuple]) -> None:
+        """One WAL record (hence at most one fsync) per ``add_rows``
+        batch — the durability half of bulk-append batching."""
+        self._append({"op": "add_rows", "relation": relation.name,
+                      "rows": [[dump_oid(cell) for cell in row]
+                               for row in rows]})
+
     def _append(self, record: dict) -> None:
         self._require_writable()
         assert self._wal is not None
@@ -422,13 +437,19 @@ class Store:
     # -- snapshot payload -------------------------------------------------
 
     def _snapshot_payload(self) -> dict:
+        dumped_relations = []
+        for rel in self._relations.values():
+            dumped = {"name": rel.name, "columns": list(rel.columns),
+                      "rows": [[dump_oid(cell) for cell in row]
+                               for row in rel]}
+            shards = getattr(rel, "shard_count", 0)
+            if shards:
+                dumped["shards"] = shards
+                dumped["partition_by"] = rel.partition_by
+            dumped_relations.append(dumped)
         return {
             "database": dump_database(self.db),
-            "relations": [
-                {"name": rel.name, "columns": list(rel.columns),
-                 "rows": [[dump_oid(cell) for cell in row]
-                          for row in rel]}
-                for rel in self._relations.values()],
+            "relations": dumped_relations,
         }
 
     @staticmethod
@@ -438,10 +459,13 @@ class Store:
             db = load_database(payload["database"])
             relations: dict[str, ConstraintRelation] = {}
             for dumped in payload["relations"]:
-                relation = ConstraintRelation(dumped["name"],
-                                              tuple(dumped["columns"]))
-                for row in dumped["rows"]:
-                    relation.add_row([load_oid(cell) for cell in row])
+                relation = _build_relation(
+                    dumped["name"], tuple(dumped["columns"]),
+                    dumped.get("shards", 0),
+                    dumped.get("partition_by"))
+                relation.add_rows(
+                    [[load_oid(cell) for cell in row]
+                     for row in dumped["rows"]])
                 relations[dumped["name"]] = relation
         except (ReproError, KeyError, TypeError) as exc:
             raise StoreCorruptError(
@@ -658,6 +682,34 @@ class Store:
                 os.unlink(path)
 
 
+def _build_relation(name: str, columns: tuple,
+                    shards: int = 0,
+                    partition_by: str | None = None
+                    ) -> ConstraintRelation:
+    """A store-managed relation: sharded when the DDL says so.  A
+    replayed/restored sharded relation re-derives its range boundaries
+    from the rows it sees — possibly different boundaries than the
+    original process used, which affects only pruning effectiveness,
+    never row content or order."""
+    if shards:
+        from repro.sqlc.shard import ShardedConstraintRelation
+        return ShardedConstraintRelation(
+            name, columns, shards=shards, partition_by=partition_by)
+    return ConstraintRelation(name, columns)
+
+
+def _relation_ddl(relation: ConstraintRelation) -> dict:
+    """The ``create_relation`` WAL record, shard layout included."""
+    record: dict[str, Any] = {
+        "op": "create_relation", "name": relation.name,
+        "columns": list(relation.columns)}
+    shards = getattr(relation, "shard_count", 0)
+    if shards:
+        record["shards"] = shards
+        record["partition_by"] = relation.partition_by
+    return record
+
+
 def _apply_record(db: Database,
                   relations: dict[str, ConstraintRelation],
                   record: Any) -> None:
@@ -682,13 +734,21 @@ def _apply_record(db: Database,
         name = record["name"]
         if name in relations:
             raise StoreError(f"relation {name!r} created twice")
-        relations[name] = ConstraintRelation(
-            name, tuple(record["columns"]))
+        relations[name] = _build_relation(
+            name, tuple(record["columns"]),
+            record.get("shards", 0), record.get("partition_by"))
     elif op == "add_row":
         name = record["relation"]
         if name not in relations:
             raise StoreError(f"add_row to unknown relation {name!r}")
         relations[name].add_row(
             [load_oid(cell) for cell in record["row"]])
+    elif op == "add_rows":
+        name = record["relation"]
+        if name not in relations:
+            raise StoreError(f"add_rows to unknown relation {name!r}")
+        relations[name].add_rows(
+            [[load_oid(cell) for cell in row]
+             for row in record["rows"]])
     else:
         raise StoreError(f"unknown WAL op {op!r}")

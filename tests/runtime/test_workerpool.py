@@ -1,0 +1,164 @@
+"""Unit tests for the persistent worker pool (the picklable-predicate
+transport of :mod:`repro.runtime.parallel`)."""
+
+import pytest
+
+from repro.errors import PivotBudgetExceeded
+from repro.runtime import parallel
+from repro.runtime.guard import ExecutionGuard, current_guard, guarded
+from repro.runtime.parallel import (
+    filter_rows,
+    get_pool,
+    parallelism,
+    shutdown_pool,
+)
+
+ROWS = [(i,) for i in range(200)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_state():
+    parallel.reset_stats()
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+# Module-level predicates pickle by reference — the pool transport.
+
+
+def _thirds(row):
+    return row["a"] % 3 == 0
+
+
+def _ticking(row):
+    current_guard().tick_pivots(1)
+    return True
+
+
+def _serial_filter(rows, predicate=_thirds):
+    return [row for row in rows if predicate({"a": row[0]})]
+
+
+def _skip_unless_parallel():
+    if parallel.stats()["fallbacks"]:
+        pytest.skip("process pool unavailable")
+
+
+class TestTransportSelection:
+    def test_picklable_predicate_takes_the_pool(self):
+        with parallelism(3):
+            kept = filter_rows(("a",), ROWS, _thirds)
+        _skip_unless_parallel()
+        assert kept == _serial_filter(ROWS)
+        stats = parallel.stats()
+        assert stats["pool_dispatches"] == 3
+        assert stats["pool_cold_starts"] == 1
+        assert stats["runs"] == 1
+
+    def test_closure_takes_the_legacy_transport(self):
+        bound = 3
+
+        def closure(row):
+            return row["a"] % bound == 0
+
+        with parallelism(3):
+            kept = filter_rows(("a",), ROWS, closure)
+        _skip_unless_parallel()
+        assert kept == _serial_filter(ROWS)
+        stats = parallel.stats()
+        assert stats["pool_dispatches"] == 0
+        assert stats["pool_cold_starts"] == 0
+        assert stats["runs"] == 1
+
+
+class TestWarmReuse:
+    def test_second_dispatch_reuses_the_pool(self):
+        with parallelism(3):
+            filter_rows(("a",), ROWS, _thirds)
+            _skip_unless_parallel()
+            filter_rows(("a",), ROWS, _thirds)
+        stats = parallel.stats()
+        assert stats["pool_cold_starts"] == 1
+        assert stats["pool_dispatches"] == 6
+
+    def test_growing_replaces_the_pool(self):
+        with parallelism(2):
+            filter_rows(("a",), ROWS, _thirds)
+        _skip_unless_parallel()
+        with parallelism(4):
+            filter_rows(("a",), ROWS, _thirds)
+        assert parallel.stats()["pool_cold_starts"] == 2
+
+    def test_smaller_request_keeps_the_bigger_pool(self):
+        pool, cold = get_pool(4)
+        assert cold
+        again, cold = get_pool(2)
+        assert again is pool and not cold
+
+    def test_context_stats_record_warm_and_cold(self):
+        from repro.runtime import context as context_mod
+        from repro.runtime.context import ExecutionStats
+        ctx = context_mod.current_context().derive(
+            parallelism=3, stats=ExecutionStats())
+        with ctx.activate():
+            filter_rows(("a",), ROWS, _thirds)
+            _skip_unless_parallel()
+            filter_rows(("a",), ROWS, _thirds)
+        assert ctx.stats.pool_cold_starts == 1
+        assert ctx.stats.pool_dispatches == 6
+
+
+class TestPoolDeath:
+    def test_dead_pool_falls_back_and_recovers(self):
+        with parallelism(2):
+            kept = filter_rows(("a",), ROWS, _thirds)
+            _skip_unless_parallel()
+            assert kept == _serial_filter(ROWS)
+            # Kill every warm worker behind the pool's back.
+            pool, cold = get_pool(2)
+            assert not cold
+            for proc in list(pool._executor._processes.values()):
+                proc.terminate()
+                proc.join()
+            # The broken pool is detected, discarded, and the filter
+            # falls back to the legacy transport — same rows out.
+            kept = filter_rows(("a",), ROWS, _thirds)
+            assert kept == _serial_filter(ROWS)
+            # The next dispatch cold-starts a fresh pool.
+            kept = filter_rows(("a",), ROWS, _thirds)
+            assert kept == _serial_filter(ROWS)
+        assert parallel.stats()["pool_cold_starts"] >= 2
+
+
+class TestPoolBudgets:
+    def test_guard_spend_absorbed_through_the_pool(self):
+        guard = ExecutionGuard(max_pivots=10_000)
+        with guarded(guard), parallelism(2):
+            kept = filter_rows(("a",), ROWS, _ticking)
+        _skip_unless_parallel()
+        assert parallel.stats()["pool_dispatches"] == 2
+        assert len(kept) == len(ROWS)
+        assert guard.pivots == len(ROWS)
+        assert guard.checkpoints >= 1
+
+    def test_budget_trip_rebuilds_exception(self):
+        guard = ExecutionGuard(max_pivots=10)
+        with guarded(guard), parallelism(2):
+            with pytest.raises(PivotBudgetExceeded) as exc:
+                filter_rows(("a",), ROWS, _ticking)
+        _skip_unless_parallel()
+        assert parallel.stats()["pool_dispatches"] == 2
+        assert exc.value.budget == "pivots"
+        assert guard.exhausted == "pivots"
+        assert str(exc.value).count("[budget=") == 1
+
+    def test_exhausted_parent_budget_falls_back_serial(self):
+        guard = ExecutionGuard(max_pivots=5)
+        guard.absorb_spend({"pivots": 5})
+        with guarded(guard), parallelism(2):
+            kept = filter_rows(("a",), ROWS, _thirds)
+        assert kept == _serial_filter(ROWS)
+        stats = parallel.stats()
+        assert stats["fallbacks"] == 1
+        assert stats["pool_dispatches"] == 0

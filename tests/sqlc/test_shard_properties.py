@@ -1,0 +1,190 @@
+"""Property tests: sharded scatter-gather execution ≡ unsharded, byte
+for byte, across random partitionings — including under degraded
+budgets, with the cache off, with the numeric prefilter off, and after
+a store save/restore round-trip."""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cst_object import CSTObject
+from repro.model.oid import LiteralOid
+from repro.runtime.cache import caching
+from repro.runtime.context import QueryContext
+from repro.runtime.guard import ExecutionGuard
+from repro.sqlc import index
+from repro.sqlc.algebra import (
+    CstPredicate,
+    IndexJoin,
+    Scan,
+    ShardedIndexJoin,
+)
+from repro.sqlc.engine import execute
+from repro.sqlc.relation import ConstraintRelation
+from repro.sqlc.shard import ShardedConstraintRelation
+from repro.workloads.random_constraints import (
+    make_variables,
+    scattered_boxes,
+)
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_index_state():
+    index.reset_stats()
+    index.clear_index_cache()
+    yield
+
+
+def _sat_intersection(a, b):
+    return a.cst.intersect(b.cst).is_satisfiable()
+
+
+def _predicate():
+    return CstPredicate(
+        ("e", "f"), _sat_intersection, "SAT",
+        (("e", index.cst_cell_box), ("f", index.cst_cell_box)))
+
+
+def _rows(count, seed, spread, size=10):
+    vars_ = make_variables(1)
+    return [(LiteralOid(i), CSTObject(vars_, c))
+            for i, c in enumerate(
+                scattered_boxes(count, seed=seed, spread=spread,
+                                size=size))]
+
+
+def _catalogs(seed, shards, partition_by, n_left=14, n_right=12,
+              spread=60):
+    """(plain, sharded) catalog pair over identical row lists.
+    ``partition_by`` toggles range vs round-robin partitioning."""
+    left_rows = _rows(n_left, seed, spread)
+    right_rows = _rows(n_right, seed + 7919, spread)
+    plain = {
+        "L": ConstraintRelation("L", ("lid", "e"), left_rows),
+        "R": ConstraintRelation("R", ("rid", "f"), right_rows),
+    }
+    sharded = {
+        "L": ShardedConstraintRelation(
+            "L", ("lid", "e"), left_rows, shards=shards,
+            partition_by="e" if partition_by else None),
+        "R": ShardedConstraintRelation(
+            "R", ("rid", "f"), right_rows, shards=shards,
+            partition_by="f" if partition_by else None),
+    }
+    return plain, sharded
+
+
+def _plain_plan():
+    return IndexJoin(Scan("L", ("lid", "e")), Scan("R", ("rid", "f")),
+                     "e", "f", index.cst_cell_box,
+                     index.cst_cell_box, _predicate())
+
+
+def _sharded_plan():
+    return ShardedIndexJoin(
+        Scan("L", ("lid", "e")), Scan("R", ("rid", "f")),
+        "e", "f", index.cst_cell_box, index.cst_cell_box,
+        _predicate())
+
+
+def _same_relation(a, b):
+    assert a.columns == b.columns
+    assert [tuple(map(repr, row)) for row in a] \
+        == [tuple(map(repr, row)) for row in b]
+
+
+class TestShardedEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=7),
+           partition_by=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_unsharded(self, seed, shards, partition_by):
+        plain, sharded = _catalogs(seed, shards, partition_by)
+        baseline = execute(_plain_plan(), plain, use_optimizer=False)
+        result = execute(_sharded_plan(), sharded,
+                         use_optimizer=False)
+        _same_relation(baseline, result)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_without_cache(self, seed, shards):
+        plain, sharded = _catalogs(seed, shards, True)
+        with caching(None):
+            baseline = execute(_plain_plan(), plain,
+                               use_optimizer=False)
+            result = execute(_sharded_plan(), sharded,
+                             use_optimizer=False)
+        _same_relation(baseline, result)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_with_numeric_off(self, seed, shards):
+        plain, sharded = _catalogs(seed, shards, True)
+        baseline = execute(_plain_plan(), plain, use_optimizer=False,
+                           ctx=QueryContext(numeric=False))
+        result = execute(_sharded_plan(), sharded,
+                         use_optimizer=False,
+                         ctx=QueryContext(numeric=False))
+        _same_relation(baseline, result)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_under_degrade(self, seed, shards):
+        plain, sharded = _catalogs(seed, shards, True)
+        baseline = execute(
+            _plain_plan(), plain, use_optimizer=False,
+            guard=ExecutionGuard(max_pivots=1_000_000,
+                                 on_exhaustion="degrade"))
+        result = execute(
+            _sharded_plan(), sharded, use_optimizer=False,
+            guard=ExecutionGuard(max_pivots=1_000_000,
+                                 on_exhaustion="degrade"))
+        _same_relation(baseline, result)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_degrade_to_partial(self, seed, shards):
+        # A budget tight enough to actually trip mid-join: the
+        # degraded partial result must still be identical, because
+        # candidate order (hence budget spend order) is identical.
+        plain, sharded = _catalogs(seed, shards, True)
+        with caching(None):
+            baseline = execute(
+                _plain_plan(), plain, use_optimizer=False,
+                guard=ExecutionGuard(max_pivots=60,
+                                     on_exhaustion="degrade"))
+            result = execute(
+                _sharded_plan(), sharded, use_optimizer=False,
+                guard=ExecutionGuard(max_pivots=60,
+                                     on_exhaustion="degrade"))
+        _same_relation(baseline, result)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=6, deadline=None)
+    def test_matches_after_store_round_trip(self, seed, shards):
+        from repro.storage.store import Store
+        plain, sharded = _catalogs(seed, shards, True)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "s")
+            with Store.create(path) as store:
+                store.add_relation(sharded["L"])
+                store.add_relation(sharded["R"])
+            with Store.open(path) as store:
+                restored = {"L": store.relation("L"),
+                            "R": store.relation("R")}
+                assert isinstance(restored["L"],
+                                  ShardedConstraintRelation)
+                baseline = execute(_plain_plan(), plain,
+                                   use_optimizer=False)
+                result = execute(_sharded_plan(), restored,
+                                 use_optimizer=False)
+                _same_relation(baseline, result)
