@@ -1,0 +1,210 @@
+"""ISSUE 9 / E22 — the query server under concurrent load.
+
+Scenarios (all over one loop, server and clients in-process):
+
+* ``mixed_cached`` — N clients sweep a small template pool in the
+  same order (the dashboard regime: many clients asking the same few
+  questions).  Concurrent identical requests collapse into shared
+  executions, so aggregate throughput must *scale* with clients even
+  though the solver work is GIL-serial: the acceptance criterion is
+  >= 2x throughput at 16 clients vs 1.
+* ``mixed_distinct`` — every client salts its own parameters, so far
+  fewer requests collapse; the contrast column that shows where the
+  scaling comes from.
+* ``identical`` — every client repeats one expensive query; the
+  dedup hit rate must be positive (it is in fact (N-1)/N).
+
+Per-request latencies (p50/p99) and dedup counters are recorded for
+every scenario; results are checked byte-identical to in-process
+execution.  Numbers land in ``BENCH_serve.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro import lyric
+from repro.client import connect
+from repro.server import LyricServer, QueryService
+from repro.workloads import office
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+CLIENT_COUNTS = (1, 4, 16, 64)
+CALLS_PER_CLIENT = 12
+
+#: The template pool: two solver-bound CST queries and two cheap
+#: lookups, parameterized per request index.
+TEMPLATES = [
+    (office.PLACED_EXTENT_QUERY, ()),
+    ("SELECT X FROM Office_Object X WHERE X.color = $col", ("col",)),
+    ("""
+        SELECT CO, ((u,v) | E and D and x = $px and y = $py)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+     """, ("px", "py")),
+    ("SELECT O FROM Object_in_Room O WHERE O.inv_number = $inv",
+     ("inv",)),
+]
+
+#: One expensive pairwise query for the identical-request scenario.
+PAIRWISE = """
+    SELECT A, B, ((u,v) | EA and DA and EB and DB)
+    FROM Office_Object A, Office_Object B
+    WHERE A.extent[EA] and A.translation[DA]
+      and B.extent[EB] and B.translation[DB]
+"""
+
+_COLORS = ["red", "grey", "blue", "white"]
+
+
+def call_for(i: int, client: int | None = None):
+    """Request ``i`` of a sweep.  With ``client=None`` every client
+    issues the identical call (the dedup-friendly regime); otherwise
+    the bindings are salted per client and rarely collapse."""
+    text, names = TEMPLATES[i % len(TEMPLATES)]
+    salt = 0 if client is None else client
+    pool = {"col": _COLORS[(i + salt) % len(_COLORS)],
+            "px": (i * 3 + salt * 7) % 11,
+            "py": (i * 5 + salt * 3) % 9,
+            "inv": f"INV-{(i + salt) % 3:05d}"}
+    return text, {n: pool[n] for n in names} or None
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_scenario(db, n_clients: int, *, distinct: bool = False,
+                 identical: bool = False) -> dict:
+    async def main():
+        service = QueryService(db, executor_threads=8)
+        server = LyricServer(service, port=0, max_sessions=256)
+        await server.start()
+        clients = [await connect(port=server.port)
+                   for _ in range(n_clients)]
+
+        # Steady state: one unmeasured sweep warms the plan and
+        # constraint caches of THIS service equally for every N.
+        for i in range(len(TEMPLATES)):
+            text, params = call_for(i)
+            await clients[0].query(text, params=params)
+        await clients[0].query(PAIRWISE, translated=False)
+        warm = await clients[0].stats()
+
+        latencies: list[float] = []
+
+        async def one_client(index: int, client) -> None:
+            for i in range(CALLS_PER_CLIENT):
+                if identical:
+                    text, params = PAIRWISE, None
+                else:
+                    text, params = call_for(
+                        i, client=index if distinct else None)
+                begin = time.perf_counter()
+                await client.query(
+                    text, params=params,
+                    translated=not identical)
+                latencies.append(time.perf_counter() - begin)
+
+        begin = time.perf_counter()
+        await asyncio.gather(*[one_client(index, client)
+                               for index, client
+                               in enumerate(clients)])
+        wall = time.perf_counter() - begin
+        stats = await clients[0].stats()
+        for client in clients:
+            await client.close()
+        await server.shutdown()
+
+        requests = n_clients * CALLS_PER_CLIENT
+        hits = stats["dedup_hits"] - warm["dedup_hits"]
+        misses = stats["dedup_misses"] - warm["dedup_misses"]
+        return {
+            "clients": n_clients,
+            "requests": requests,
+            "wall_seconds": round(wall, 4),
+            "throughput_rps": round(requests / wall, 2),
+            "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+            "dedup_hits": hits,
+            "dedup_misses": misses,
+            "dedup_hit_rate": round(hits / max(1, hits + misses), 3),
+        }
+    return asyncio.run(main())
+
+
+def rows_bytes(result) -> bytes:
+    return "\n".join(
+        sorted(f"{r.oid!r}|{r.values!r}" for r in result)
+    ).encode()
+
+
+def check_equivalence(db) -> bool:
+    """Every template's wire result matches in-process execution."""
+    async def main():
+        service = QueryService(db, executor_threads=2)
+        server = LyricServer(service, port=0)
+        await server.start()
+        client = await connect(port=server.port)
+        remote = []
+        for i in range(len(TEMPLATES)):
+            text, params = call_for(i)
+            remote.append((text, params,
+                           await client.query(text, params=params)))
+        await client.close()
+        await server.shutdown()
+        return remote
+    for text, params, result in asyncio.run(main()):
+        local = lyric.query_translated(db, text, params=params)
+        if rows_bytes(result) != rows_bytes(local):
+            return False
+    return True
+
+
+def test_serve_throughput_dedup_and_equivalence():
+    db = office.generate(10, seed=0).db
+
+    results_identical = check_equivalence(db)
+    assert results_identical, \
+        "server results diverged from in-process execution"
+
+    mixed_cached = {n: run_scenario(db, n) for n in CLIENT_COUNTS}
+    mixed_distinct = {16: run_scenario(db, 16, distinct=True)}
+    identical = {16: run_scenario(db, 16, identical=True)}
+
+    scaling = mixed_cached[16]["throughput_rps"] \
+        / mixed_cached[1]["throughput_rps"]
+    dedup_rate = identical[16]["dedup_hit_rate"]
+
+    payload = {
+        "experiment": "E22",
+        "workload": {
+            "database_objects": 10,
+            "templates": len(TEMPLATES),
+            "calls_per_client": CALLS_PER_CLIENT,
+            "client_counts": list(CLIENT_COUNTS),
+        },
+        "scenarios": {
+            "mixed_cached": {str(n): r
+                             for n, r in mixed_cached.items()},
+            "mixed_distinct": {str(n): r
+                               for n, r in mixed_distinct.items()},
+            "identical": {str(n): r for n, r in identical.items()},
+        },
+        "throughput_scaling_16_vs_1": round(scaling, 2),
+        "dedup_hit_rate_identical": dedup_rate,
+        "results_identical": results_identical,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert scaling >= 2.0, (
+        f"aggregate throughput at 16 clients only {scaling:.2f}x the "
+        f"single-client rate (acceptance floor: 2x; see {RESULT_PATH})")
+    assert dedup_rate > 0, (
+        "identical-query scenario produced no dedup hits "
+        f"(see {RESULT_PATH})")

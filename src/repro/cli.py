@@ -525,6 +525,57 @@ def cmd_db_snapshot(args) -> int:
     return EXIT_STORE_RECOVERED if state == RECOVERED else 0
 
 
+# ---------------------------------------------------------------------------
+# The query server
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Serve the database over TCP (framed JSON + telnet line mode)."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.server import LyricServer, QueryService, ServerLimits
+
+    db = _load(args)
+    store = getattr(args, "_open_store", None)
+    limits = ServerLimits(
+        deadline=args.guard_timeout,
+        max_pivots=args.guard_max_pivots,
+        max_branches=args.guard_max_branches,
+        max_disjuncts=args.guard_max_disjuncts,
+        max_canonical=args.guard_max_canonical)
+    service = QueryService(db, store=store, limits=limits,
+                           executor_threads=args.executor_threads)
+    server = LyricServer(service, host=args.host, port=args.port,
+                         max_sessions=args.max_sessions,
+                         drain_timeout=args.drain_timeout)
+
+    async def serve() -> None:
+        await server.start()
+        # Scraped by scripts and the CI smoke test: the actual bound
+        # port (``--port 0`` lets the OS pick).
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def request_shutdown() -> None:
+            asyncio.ensure_future(server.shutdown())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loops
+        await server.wait_closed()
+
+    asyncio.run(serve())
+    if args.dump_stats_on_exit:
+        print(json.dumps(service.stats.snapshot(), indent=2,
+                         sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -589,6 +640,51 @@ def build_parser() -> argparse.ArgumentParser:
     schema.add_argument("--store", metavar="DIR",
                         help="read the schema from a durable store")
     schema.set_defaults(fn=cmd_schema)
+
+    serve = sub.add_parser(
+        "serve", help="serve the database over TCP (framed JSON "
+                      "protocol; telnet-friendly line mode)")
+    serve.add_argument("database", nargs="?",
+                       help="JSON database file")
+    serve.add_argument("--office", action="store_true",
+                       help="serve the built-in office database")
+    serve.add_argument("--store", metavar="DIR",
+                       help="serve a durable store directory "
+                            "(opened writable; CREATE VIEW is "
+                            "write-ahead logged)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7407,
+                       help="TCP port (0 = let the OS pick; the "
+                            "bound port is printed)")
+    serve.add_argument("--max-sessions", type=_positive_int,
+                       default=64,
+                       help="concurrent connection limit (excess "
+                            "connections get a max_sessions error "
+                            "frame)")
+    serve.add_argument("--drain-timeout", type=_positive_float,
+                       default=5.0, metavar="SECONDS",
+                       help="graceful-shutdown drain window before "
+                            "in-flight queries are cancelled")
+    serve.add_argument("--executor-threads", type=_positive_int,
+                       default=8,
+                       help="worker threads executing query bodies")
+    serve.add_argument("--dump-stats-on-exit", action="store_true",
+                       help="print the aggregate service statistics "
+                            "as JSON after shutdown")
+    guards = serve.add_argument_group(
+        "server-side guard caps (per-request budgets are the "
+        "smaller of the client's request and these)")
+    guards.add_argument("--guard-timeout", type=_positive_float,
+                        metavar="SECONDS", default=None)
+    guards.add_argument("--guard-max-pivots", type=_positive_int,
+                        metavar="N", default=None)
+    guards.add_argument("--guard-max-branches", type=_positive_int,
+                        metavar="N", default=None)
+    guards.add_argument("--guard-max-disjuncts", type=_positive_int,
+                        metavar="N", default=None)
+    guards.add_argument("--guard-max-canonical", type=_positive_int,
+                        metavar="N", default=None)
+    serve.set_defaults(fn=cmd_serve, _store_readonly=False)
 
     dbp = sub.add_parser(
         "db", help="durable store operations (save / load / verify / "

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import cast
+from typing import Iterator, cast
 
 from repro.core import ast
 from repro.core.parser import parse_query
@@ -74,6 +74,11 @@ class CompiledQuery:
     columns: tuple[str, ...]
     oid_column: str | None
     optimized: bool
+
+
+#: Rows between guard checkpoints while streaming packaged results —
+#: the granularity at which a cooperative cancel lands mid-stream.
+STREAM_CHECK_EVERY = 64
 
 
 class Pipeline:
@@ -224,13 +229,48 @@ class Pipeline:
         result = ResultSet(compiled.columns)
         for warning in self.ctx.stats.warnings:
             result.add_warning(warning)
+        for row in self._package_rows(compiled, relation):
+            result.add(row)
+        return result
+
+    def stream_compiled(self, compiled: CompiledQuery
+                        ) -> "Iterator[ResultRow]":
+        """Incremental variant of :meth:`run_compiled`: a generator of
+        packaged result rows (deduplicated, in relation order).
+
+        The flat engine evaluates bottom-up, so the *plan* still runs
+        to completion on the first pull — cancellation during the
+        solver-bound phase fires at the guard checkpoints inside plan
+        evaluation — but row packaging (the per-row oid materialization
+        the serving layer streams out) is lazy, with a guard checkpoint
+        every :data:`STREAM_CHECK_EVERY` rows so a cooperative cancel
+        issued mid-stream lands between batches.  Degrade policy is the
+        caller's: under ``on_exhaustion="degrade"`` the engine already
+        yields an empty relation plus a warning in the context's stats,
+        which the caller surfaces (:class:`repro.lyric.QueryStream`
+        turns it into ``warning`` frames)."""
+        relation = self.execute(compiled)
+        guard = self.ctx.guard
+        for i, row in enumerate(self._package_rows(compiled, relation)):
+            if guard is not None and i and i % STREAM_CHECK_EVERY == 0:
+                guard.checkpoint("stream")
+            yield row
+
+    def _package_rows(self, compiled: CompiledQuery, relation:
+                      ConstraintRelation) -> "Iterator[ResultRow]":
+        """Flat relation rows -> deduplicated :class:`ResultRow`\\ s,
+        mirroring :class:`~repro.core.result.ResultSet` insertion
+        semantics so streamed rows match materialized ones exactly."""
+        seen: set[tuple] = set()
         for row in relation:
             mapping = relation.row_dict(row)
             values = tuple(mapping[c] for c in compiled.columns)
             oid = mapping.get(compiled.oid_column) \
                 if compiled.oid_column else None
-            result.add(ResultRow(values, oid))
-        return result
+            key = (values, oid)
+            if key not in seen:
+                seen.add(key)
+                yield ResultRow(values, oid)
 
 
 def render_trace(stats: ExecutionStats) -> str:

@@ -21,17 +21,21 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from typing import Iterator
+
 from repro.core import ast
 from repro.core.evaluator import evaluate
 from repro.core.parser import parse, parse_query, parse_view
-from repro.core.result import ResultSet
+from repro.core.result import ResultRow, ResultSet
 from repro.core.translator import TranslationError, run_translated
 from repro.core.views import ViewResult, create_view
+from repro.errors import QueryCancelled, ResourceExhausted
 from repro.model.database import Database
 from repro.model.oid import Oid, as_oid
 from repro.runtime import ExecutionGuard, QueryContext, guarded
 from repro.runtime import context as context_mod
 from repro.runtime.context import ExecutionStats
+from repro.runtime.guard import should_degrade
 
 
 def _call_context(guard: ExecutionGuard | None,
@@ -141,6 +145,164 @@ def warnings_for(db: Database, text: str | ast.Query) -> list[str]:
     return list(analyze_query(db.schema, query).warnings)
 
 
+class QueryStream:
+    """Incremental query results: an iterator of
+    :class:`~repro.core.result.ResultRow`\\ s plus the metadata a
+    consumer streams out alongside them (columns, warnings, stats).
+    Created by :func:`stream`; the serving layer pumps one of these per
+    request, shipping rows as frames between guard checkpoints.
+
+    Every pull re-activates the stream's context: generators resume in
+    the *caller's* contextvar scope, so without this the engine's
+    late-bound closures (parameter slots, ``bound_db``, the constraint
+    cache) would resolve against whatever context the pumping thread
+    happens to have active.
+
+    Exhaustion policy matches the materializing entry points: under
+    ``on_exhaustion="degrade"`` a tripped budget ends the stream with a
+    ``partial result: ...`` warning instead of raising.  The one
+    deliberate divergence is :class:`~repro.errors.QueryCancelled`,
+    which always propagates — an explicit cancel is a verdict, not a
+    partial answer (the server turns it into an ``error`` frame with
+    code ``cancelled``).
+    """
+
+    def __init__(self, ctx: QueryContext, columns: tuple[str, ...],
+                 rows: Iterator[ResultRow], engine: str):
+        self._ctx = ctx
+        self._rows = rows
+        self._columns = tuple(columns)
+        self._engine = engine
+        self._own_warnings: list[str] = []
+        self._done = False
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def engine(self) -> str:
+        """Which evaluator produces the rows: ``"translated"`` (the
+        Section 5 compile pipeline) or ``"naive"`` (the reference
+        evaluator — the fallback outside the translatable fragment)."""
+        return self._engine
+
+    @property
+    def ctx(self) -> QueryContext:
+        return self._ctx
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self._ctx.stats
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has yielded its last row (normally or
+        by degrading)."""
+        return self._done
+
+    @property
+    def warnings(self) -> tuple[str, ...]:
+        """Warnings so far: the context account's (the translated
+        engine degrades internally, leaving its warning there) plus the
+        stream's own (a budget tripped between pulls under degrade).
+        Complete only once :attr:`exhausted`."""
+        return tuple(self._ctx.stats.warnings) \
+            + tuple(self._own_warnings)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        while True:
+            row = self._pull()
+            if row is None:
+                return
+            yield row
+
+    def next_batch(self, size: int = 64) -> list[ResultRow]:
+        """Up to ``size`` more rows; ``[]`` means the stream is done."""
+        batch: list[ResultRow] = []
+        while len(batch) < size:
+            row = self._pull()
+            if row is None:
+                break
+            batch.append(row)
+        return batch
+
+    def _pull(self) -> ResultRow | None:
+        if self._done:
+            return None
+        try:
+            with self._ctx.activate():
+                return next(self._rows)
+        except StopIteration:
+            self._done = True
+            return None
+        except QueryCancelled:
+            self._done = True
+            raise
+        except ResourceExhausted as exc:
+            self._done = True
+            if not should_degrade(self._ctx.guard):
+                raise
+            self._own_warnings.append(f"partial result: {exc}")
+            return None
+
+    def result(self) -> ResultSet:
+        """Drain the stream and materialize — identical to what the
+        equivalent :func:`query`/:func:`query_translated` call
+        returns."""
+        rows = list(self)
+        result = ResultSet(self._columns)
+        for warning in self.warnings:
+            result.add_warning(warning)
+        for row in rows:
+            result.add(row)
+        return result
+
+
+def stream(db: Database, text: str | ast.Query,
+           translated: bool = True,
+           use_optimizer: bool = True,
+           guard: ExecutionGuard | None = None,
+           ctx: QueryContext | None = None,
+           params: Mapping[str, object] | None = None) -> QueryStream:
+    """Evaluate a query incrementally, returning a
+    :class:`QueryStream` of rows instead of a materialized
+    :class:`~repro.core.result.ResultSet`.
+
+    Compilation (parse, analysis, and — when ``translated`` — the plan
+    pipeline) runs eagerly, so syntax and translation problems surface
+    here; execution is deferred to the first pull.  ``translated``
+    queries outside the translatable fragment fall back to the naive
+    evaluator, as does any run under fault injection (matching
+    :class:`PreparedQuery`); :attr:`QueryStream.engine` reports which
+    path was taken.
+    """
+    overrides: dict = {}
+    if params is not None:
+        overrides["params"] = _coerce_params(params)
+    if translated:
+        overrides["use_optimizer"] = use_optimizer
+    call_ctx = _call_context(guard, ctx, **overrides)
+    query_ast = parse_query(text) if isinstance(text, str) else text
+    if translated and call_ctx.faults is None:
+        from repro.core.pipeline import Pipeline
+        pipeline = Pipeline(db, call_ctx)
+        try:
+            compiled = pipeline.compile(query_ast)
+        except TranslationError:
+            compiled = None
+        if compiled is not None:
+            return QueryStream(call_ctx, compiled.columns,
+                               pipeline.stream_compiled(compiled),
+                               "translated")
+    from repro.core import evaluator as evaluator_mod
+    from repro.core.semantics import analyze as analyze_query
+    analysis = analyze_query(db.schema, query_ast)
+    rows = evaluator_mod.stream_analyzed(db, analysis, ctx=call_ctx)
+    columns = evaluator_mod._column_names(analysis.query)
+    return QueryStream(call_ctx, columns, rows, "naive")
+
+
 class PreparedQuery:
     """A query parsed, analyzed **and compiled** once, reusable across
     executions — the PREPARE half of PREPARE/EXECUTE.
@@ -240,5 +402,7 @@ __all__ = [
     "parse_view",
     "query",
     "query_translated",
+    "stream",
+    "QueryStream",
     "view",
 ]

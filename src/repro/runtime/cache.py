@@ -33,6 +33,7 @@ deriving a context, which is what the CLI's
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Hashable, Iterator, TypeVar
@@ -51,10 +52,18 @@ class ConstraintCache:
     solves the original (miss-time) computation performed — the
     headline effectiveness number reported by ``ExecutionStats`` and
     the E16 benchmark.
+
+    Methods are individually thread-safe (one internal lock): the
+    process-global cache is shared by every concurrent server session,
+    and ``OrderedDict`` recency updates corrupt under unsynchronized
+    interleaving.  Check-then-act across calls (two threads miss the
+    same key, both compute, both store) stays possible and is benign —
+    decision results are deterministic, the second store overwrites
+    with an equal value.
     """
 
     __slots__ = ("maxsize", "hits", "misses", "evictions",
-                 "simplex_saved", "_data")
+                 "simplex_saved", "_data", "_lock")
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
         if maxsize <= 0:
@@ -67,56 +76,63 @@ class ConstraintCache:
         self.simplex_saved = 0
         self._data: OrderedDict[Hashable, tuple[object, int]] \
             = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def lookup(self, key: Hashable) -> tuple[bool, object]:
         """``(hit, value)``; a hit refreshes the entry's recency."""
-        entry = self._data.get(key)
-        if entry is None:
-            self.misses += 1
-            return False, None
-        self._data.move_to_end(key)
-        self.hits += 1
-        self.simplex_saved += entry[1]
-        return True, entry[0]
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self.hits += 1
+            self.simplex_saved += entry[1]
+            return True, entry[0]
 
     def store(self, key: Hashable, value: object, cost: int = 0) -> None:
         """Insert ``value`` (costing ``cost`` simplex solves to
         compute), evicting the least-recently-used entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        elif len(self._data) >= self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-        self._data[key] = (value, cost)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            elif len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = (value, cost)
 
     def clear(self) -> None:
         """Drop all entries and reset every counter."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.simplex_saved = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.simplex_saved = 0
 
     def absorb(self, delta: dict) -> None:
         """Fold a worker process's counter deltas into this cache (the
         entries a forked worker stored die with it, but its lookup
         traffic belongs in the parent's account)."""
-        self.hits += delta.get("hits", 0)
-        self.misses += delta.get("misses", 0)
-        self.evictions += delta.get("evictions", 0)
-        self.simplex_saved += delta.get("simplex_saved", 0)
+        with self._lock:
+            self.hits += delta.get("hits", 0)
+            self.misses += delta.get("misses", 0)
+            self.evictions += delta.get("evictions", 0)
+            self.simplex_saved += delta.get("simplex_saved", 0)
 
     def counters(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "simplex_saved": self.simplex_saved,
-            "entries": len(self._data),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "simplex_saved": self.simplex_saved,
+                "entries": len(self._data),
+            }
 
 
 # ---------------------------------------------------------------------------

@@ -68,6 +68,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -185,6 +186,13 @@ class WorkerPool:
 
 _POOL: WorkerPool | None = None
 
+#: Guards creation/growth/discard of the process-wide pool: concurrent
+#: server sessions reach :func:`get_pool` from executor threads, and an
+#: unsynchronized grow would leak (and double-fork) executors.
+#: ``submit`` on the returned pool needs no extra locking —
+#: ``ProcessPoolExecutor`` is itself thread-safe.
+_POOL_LOCK = threading.Lock()
+
 
 def get_pool(min_workers: int) -> tuple[WorkerPool, bool]:
     """The process-wide pool, created (or grown) lazily.  Returns
@@ -192,22 +200,24 @@ def get_pool(min_workers: int) -> tuple[WorkerPool, bool]:
     Growing replaces the pool: warm workers are cheap to refork and a
     single pool keeps the process-count bound obvious."""
     global _POOL
-    if _POOL is not None and _POOL.workers >= min_workers:
-        return _POOL, False
-    if _POOL is not None:
-        _POOL.shutdown()
-    _POOL = WorkerPool(min_workers)
-    _stats["pool_cold_starts"] += 1
-    return _POOL, True
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL.workers >= min_workers:
+            return _POOL, False
+        if _POOL is not None:
+            _POOL.shutdown()
+        _POOL = WorkerPool(min_workers)
+        _stats["pool_cold_starts"] += 1
+        return _POOL, True
 
 
 def shutdown_pool() -> None:
     """Discard the persistent pool (tests; broken-pool recovery).  The
     next pool dispatch cold-starts a fresh one."""
     global _POOL
-    if _POOL is not None:
-        _POOL.shutdown()
-        _POOL = None
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
 
 
 def _transportable(predicate) -> bool:

@@ -49,6 +49,7 @@ the fingerprint too, so even an un-evicted stale entry can never be
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, TYPE_CHECKING
 from weakref import WeakKeyDictionary
@@ -83,11 +84,18 @@ class PlanCache:
     seconds the original (miss-time) compilation spent past parsing —
     the headline number reported by ``--analyze`` and the E20
     benchmark.
+
+    Every public method holds an internal lock: the process default is
+    shared by all concurrent server sessions, and an unsynchronized
+    ``OrderedDict`` corrupts under interleaved ``move_to_end`` /
+    ``popitem``.  The widest race left open is check-then-act across
+    calls (two threads miss the same key and both compile) — benign,
+    the second ``store`` overwrites with an equal plan.
     """
 
     __slots__ = ("maxsize", "hits", "misses", "evictions",
                  "invalidations", "compile_saved", "_data", "_asts",
-                 "_schema_fingerprints", "__weakref__")
+                 "_schema_fingerprints", "_lock", "__weakref__")
 
     def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE):
         if maxsize <= 0:
@@ -111,21 +119,28 @@ class PlanCache:
         #: DDL ran and the old fingerprint's entries are dead.
         self._schema_fingerprints: WeakKeyDictionary
         self._schema_fingerprints = WeakKeyDictionary()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def ast_for(self, text: str, parser) -> Any:
         """The parsed AST for ``text``, memoized (LRU, same bound as
-        the plan table)."""
-        entry = self._asts.get(text)
-        if entry is None:
-            entry = parser(text)
-            if len(self._asts) >= self.maxsize:
+        the plan table).  ``parser`` runs outside the lock — parsing is
+        pure, so two racing threads at worst parse the same text twice.
+        """
+        with self._lock:
+            entry = self._asts.get(text)
+            if entry is not None:
+                self._asts.move_to_end(text)
+                return entry
+        entry = parser(text)
+        with self._lock:
+            if text not in self._asts \
+                    and len(self._asts) >= self.maxsize:
                 self._asts.popitem(last=False)
             self._asts[text] = entry
-        else:
-            self._asts.move_to_end(text)
         return entry
 
     # -- schema tracking --------------------------------------------------
@@ -136,13 +151,15 @@ class PlanCache:
         object (counted in ``invalidations``).  Returns the fingerprint
         for key building."""
         fingerprint = schema.fingerprint()
-        previous = self._schema_fingerprints.get(schema)
-        if previous is not None and previous != fingerprint:
-            stale = [key for key in self._data if key[1] == previous]
-            for key in stale:
-                del self._data[key]
-            self.invalidations += len(stale)
-        self._schema_fingerprints[schema] = fingerprint
+        with self._lock:
+            previous = self._schema_fingerprints.get(schema)
+            if previous is not None and previous != fingerprint:
+                stale = [key for key in self._data
+                         if key[1] == previous]
+                for key in stale:
+                    del self._data[key]
+                self.invalidations += len(stale)
+            self._schema_fingerprints[schema] = fingerprint
         return fingerprint
 
     # -- LRU protocol -----------------------------------------------------
@@ -150,46 +167,50 @@ class PlanCache:
     def lookup(self, key: Hashable) -> tuple[bool, Any, float]:
         """``(hit, compiled, seconds_saved)``; a hit refreshes the
         entry's recency."""
-        entry = self._data.get(key)
-        if entry is None:
-            self.misses += 1
-            return False, None, 0.0
-        self._data.move_to_end(key)
-        self.hits += 1
-        self.compile_saved += entry[1]
-        return True, entry[0], entry[1]
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None, 0.0
+            self._data.move_to_end(key)
+            self.hits += 1
+            self.compile_saved += entry[1]
+            return True, entry[0], entry[1]
 
     def store(self, key: Hashable, compiled: Any,
               seconds: float) -> None:
         """Insert a compiled plan (costing ``seconds`` to compile past
         parsing), evicting the least-recently-used entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        elif len(self._data) >= self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-        self._data[key] = (compiled, seconds)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            elif len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = (compiled, seconds)
 
     def clear(self) -> None:
         """Drop all entries and reset every counter."""
-        self._data.clear()
-        self._asts.clear()
-        self._schema_fingerprints.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.compile_saved = 0.0
+        with self._lock:
+            self._data.clear()
+            self._asts.clear()
+            self._schema_fingerprints.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
+            self.compile_saved = 0.0
 
     def counters(self) -> dict[str, Any]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "compile_saved": self.compile_saved,
-            "entries": len(self._data),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "compile_saved": self.compile_saved,
+                "entries": len(self._data),
+            }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""LyriC-as-a-service: the asyncio query server.
+
+Three layers, one per module:
+
+* :mod:`repro.server.protocol` — the wire format: length-prefixed JSON
+  frames over TCP, plus a thin line mode for telnet debugging;
+* :mod:`repro.server.session` — one :class:`Session` per connection:
+  request dispatch, per-request guard budgets, streaming row frames,
+  cooperative cancel;
+* :mod:`repro.server.service` — the process-wide
+  :class:`QueryService`: the shared database, plan/constraint caches,
+  the blocking-work executor, in-flight request deduplication, and the
+  aggregate statistics account.
+
+:mod:`repro.server.server` ties them together as :class:`LyricServer`
+(accept loop, session limits, graceful shutdown); ``repro serve`` is
+the CLI front end and :mod:`repro.client` the matching async client.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    encode_frame,
+    error_code,
+    read_frame,
+    stats_payload,
+)
+from repro.server.service import QueryService, ServerLimits, ServiceStats
+from repro.server.session import Session
+from repro.server.server import LyricServer
+
+__all__ = [
+    "LyricServer",
+    "MAX_FRAME",
+    "ProtocolError",
+    "QueryService",
+    "ServerLimits",
+    "ServiceStats",
+    "Session",
+    "encode_frame",
+    "error_code",
+    "read_frame",
+    "stats_payload",
+]

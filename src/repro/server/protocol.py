@@ -1,0 +1,153 @@
+"""The server's wire format.
+
+Two client dialects share one port, distinguished by the first byte a
+client sends:
+
+* **framed** (``0x00`` first) — every message is a 4-byte big-endian
+  length followed by a UTF-8 JSON object.  The length of any sane
+  frame is far below 2\\ :sup:`24`, so its first (most significant)
+  byte is always ``0x00`` — which is exactly how the server detects
+  the mode without a handshake byte of its own.  This is what
+  :mod:`repro.client` speaks.
+* **line** (anything else first) — newline-terminated text commands
+  (``HELLO`` / ``QUERY <text>`` / ``PREPARE <name> AS <text>`` /
+  ``EXECUTE <name> (args)`` / ``CANCEL <id>`` / ``STATS`` /
+  ``CLOSE``), answered with human-readable lines.  A debugging
+  convenience for ``telnet``/``nc``; it carries the same verbs but
+  renders oids as text instead of tagged terms.
+
+Framed requests carry ``{"op": ..., "id": ...}`` plus op-specific
+fields; responses echo the request ``id`` and stream ``row`` /
+``warning`` / ``stats`` / ``done`` / ``error`` frames (queries), or a
+single reply frame (everything else).  Result values cross the wire as
+:func:`repro.model.serialize.dump_oid` tagged terms, whose round trip
+is exact — the property suite holds server results byte-identical to
+in-process execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Any
+
+from repro.core.translator import TranslationError
+from repro.errors import (
+    ConstraintSyntaxError,
+    EvaluationError,
+    LyricSyntaxError,
+    QueryCancelled,
+    ReproError,
+    ResourceExhausted,
+    SemanticError,
+)
+from repro.runtime.context import ExecutionStats
+
+#: Hard cap on a single frame — a guard against a garbage length
+#: prefix allocating gigabytes, not a practical limit (row frames are
+#: a few hundred bytes).
+MAX_FRAME = 32 * 1024 * 1024
+
+#: Protocol revision, reported by the HELLO reply.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ReproError):
+    """A malformed frame or command (oversized, bad JSON, missing
+    fields).  Sessions answer with a ``bad_request`` error frame and
+    keep the connection usable."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """A JSON object as one length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return len(body).to_bytes(4, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     prefix: bytes = b"") -> dict | None:
+    """The next frame as a dict, or ``None`` at a clean EOF.
+
+    ``prefix`` holds bytes already consumed by mode detection (the
+    peeked ``0x00``), logically prepended to the stream.
+    """
+    header = prefix
+    try:
+        if len(header) < 4:
+            header += await reader.readexactly(4 - len(header))
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and not prefix:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable machine-readable code an exception maps to in an
+    ``error`` frame.  Scripts (and the smoke-test client) branch on
+    these, mirroring the CLI's exit-code taxonomy."""
+    if isinstance(exc, QueryCancelled):
+        return "cancelled"
+    if isinstance(exc, ResourceExhausted):
+        return "resource"
+    if isinstance(exc, (LyricSyntaxError, ConstraintSyntaxError)):
+        return "syntax"
+    if isinstance(exc, TranslationError):
+        # Before SemanticError: TranslationError subclasses it.
+        return "untranslatable"
+    if isinstance(exc, SemanticError):
+        return "semantic"
+    if isinstance(exc, (EvaluationError, ProtocolError)):
+        return "bad_request" if isinstance(exc, ProtocolError) \
+            else "evaluation"
+    if isinstance(exc, ReproError):
+        return "error"
+    return "internal"
+
+
+# ---------------------------------------------------------------------------
+# Stats transport
+# ---------------------------------------------------------------------------
+
+
+def stats_payload(stats: ExecutionStats) -> dict[str, Any]:
+    """An :class:`ExecutionStats` as a JSON-able dict: scalar counters
+    verbatim, warnings as strings, the phase trace flattened to
+    name/seconds/detail triples (rendered plans are dropped — they are
+    a debugging artifact, not a counter)."""
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if f.name == "phases":
+            out[f.name] = [{"name": p.name,
+                            "seconds": p.seconds,
+                            "detail": p.detail} for p in value]
+        elif isinstance(value, list):
+            out[f.name] = list(value)
+        else:
+            out[f.name] = value
+    return out

@@ -1,0 +1,138 @@
+"""The accept loop: session limits and graceful shutdown.
+
+:class:`LyricServer` binds one TCP endpoint over one
+:class:`~repro.server.service.QueryService`.  Beyond accepting
+sessions, its job is the two edges of the lifecycle:
+
+* **admission** — past ``max_sessions`` (or once shutdown has begun) a
+  new connection is answered with a single framed ``error``
+  (``max_sessions`` / ``shutting_down``) and closed, so clients
+  distinguish "busy" from "gone";
+* **graceful shutdown** — :meth:`shutdown` stops admitting work, waits
+  up to ``drain_timeout`` seconds for in-flight requests to finish on
+  their own, then cooperatively cancels the stragglers (their clients
+  see a ``cancelled`` error frame), flushes the store's WAL to disk
+  when one is attached, and closes every connection.  SIGINT/SIGTERM
+  are wired to this by ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import StoreError
+from repro.server import protocol
+from repro.server.service import QueryService
+from repro.server.session import Session
+
+
+class LyricServer:
+    def __init__(self, service: QueryService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_sessions: int = 64,
+                 drain_timeout: float = 5.0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_sessions = max_sessions
+        self.drain_timeout = drain_timeout
+        self.sessions: set[Session] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._shutting_down = False
+        self._closed = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port)
+        # Resolve the bound port (``port=0`` asks the OS to pick).
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutting_down
+
+    # -- admission -------------------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        if self._shutting_down:
+            await self._reject(writer, "shutting_down",
+                               "server is shutting down")
+            return
+        if len(self.sessions) >= self.max_sessions:
+            await self._reject(
+                writer, "max_sessions",
+                f"session limit ({self.max_sessions}) reached")
+            return
+        session = Session(self.service, reader, writer)
+        self.sessions.add(session)
+        task = asyncio.ensure_future(session.run())
+        self._tasks.add(task)
+
+        def _done(t: asyncio.Task) -> None:
+            self.sessions.discard(session)
+            self._tasks.discard(t)
+        task.add_done_callback(_done)
+
+    @staticmethod
+    async def _reject(writer: asyncio.StreamWriter, code: str,
+                      message: str) -> None:
+        try:
+            writer.write(protocol.encode_frame(
+                {"id": None, "type": "error", "code": code,
+                 "message": message}))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    # -- shutdown --------------------------------------------------------
+
+    async def shutdown(self) -> None:
+        """Drain, then stop.  Idempotent; returns when fully closed."""
+        if self._shutting_down:
+            await self._closed.wait()
+            return
+        self._shutting_down = True
+        self.service.draining = True
+
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while loop.time() < deadline \
+                and any(s.active for s in self.sessions):
+            await asyncio.sleep(0.02)
+
+        # Past the deadline: cooperatively cancel what's still running
+        # and give the cancels a moment to land (each needs one guard
+        # checkpoint in the worker).
+        if any(s.active for s in self.sessions):
+            for session in list(self.sessions):
+                session.force_cancel()
+            grace = loop.time() + 1.0
+            while loop.time() < grace \
+                    and any(s.active for s in self.sessions):
+                await asyncio.sleep(0.02)
+
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self.sessions):
+            session.writer.close()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+
+        if self.service.store is not None:
+            # The whole point of draining before dying: what was
+            # acknowledged is on disk.
+            try:
+                self.service.store.flush()
+            except StoreError:
+                pass
+        self.service.close()
+        self._closed.set()

@@ -1,0 +1,197 @@
+"""Property suite for the query server (acceptance criterion of E22).
+
+The invariant: the server is *observationally invisible*.  For random
+generated databases, random queries (with and without parameters),
+both engines, and every option combination — including budgets that
+degrade mid-stream — a result obtained over the wire is byte-identical
+to one computed in-process, warning for warning.  Deduplicated
+concurrent requests and cancelled-then-reused sessions preserve it.
+"""
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro import lyric
+from repro.errors import QueryCancelled
+from repro.runtime import ExecutionGuard
+from repro.runtime.cache import clear_global_cache
+from repro.workloads import office
+
+from tests.server.harness import (
+    SLOW_QUERY,
+    client_for,
+    rows_bytes,
+    serving,
+)
+
+#: Queries mixing plain, CST-heavy, and parameterized shapes — the
+#: same pool the plan-cache property suite draws from.  Each entry is
+#: (text, binding names).
+QUERIES = [
+    ("SELECT X FROM Office_Object X WHERE X.color = 'red'", ()),
+    (office.PLACED_EXTENT_QUERY, ()),
+    ("SELECT X FROM Office_Object X WHERE X.color = $col", ("col",)),
+    ("""
+        SELECT CO, ((u,v) | E and D and x = $px and y = $py)
+        FROM Office_Object CO
+        WHERE CO.extent[E] and CO.translation[D]
+     """, ("px", "py")),
+]
+
+colors = st.sampled_from(["red", "blue", "grey", "chartreuse"])
+coords = st.integers(min_value=-4, max_value=10)
+
+
+def bindings_for(names, color, px, py):
+    pool = {"col": color, "px": px, "py": py}
+    return {name: pool[name] for name in names} or None
+
+
+def fingerprint(result):
+    return (rows_bytes(result), tuple(result.columns),
+            tuple(result.warnings))
+
+
+def run_local(db, text, params, *, translated, use_optimizer=True,
+              guard=None):
+    if translated:
+        return lyric.query_translated(db, text, params=params,
+                                      use_optimizer=use_optimizer,
+                                      guard=guard)
+    return lyric.query(db, text, params=params, guard=guard)
+
+
+def run_remote(db, text, params, *, translated, use_optimizer=True,
+               guard_spec=None):
+    async def main():
+        async with serving(db, executor_threads=2) as server, \
+                client_for(server) as client:
+            return await client.query(
+                text, params=params, translated=translated,
+                use_optimizer=use_optimizer, guard=guard_spec)
+    return asyncio.run(main())
+
+
+class TestServerEqualsInProcess:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=4),
+           st.integers(min_value=0, max_value=len(QUERIES) - 1),
+           colors, coords, coords,
+           st.booleans(), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_wire_result_is_byte_identical(
+            self, n, seed, query_index, color, px, py,
+            translated, use_optimizer):
+        db = office.generate(n, seed=seed).db
+        text, names = QUERIES[query_index]
+        params = bindings_for(names, color, px, py)
+
+        local = run_local(db, text, params, translated=translated,
+                          use_optimizer=use_optimizer)
+        remote = run_remote(db, text, params, translated=translated,
+                            use_optimizer=use_optimizer)
+        assert fingerprint(remote) == fingerprint(local)
+
+    @given(st.integers(min_value=4, max_value=8),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=40, max_value=400))
+    @settings(max_examples=8, deadline=None)
+    def test_degrading_budgets_degrade_identically(
+            self, n, seed, max_pivots):
+        """Whether or not the budget trips, and wherever it trips,
+        the partial result and its warnings match in-process.
+
+        Each side gets its own freshly generated (deterministic) db:
+        CSTObject memoizes satisfiability per *instance* (``_sat``),
+        which clear_global_cache() can't reach, so a second run over
+        the same objects spends fewer pivots and keeps more rows
+        before the budget trips — warm-vs-cold, not server-vs-local.
+        """
+        text = office.PLACED_EXTENT_QUERY
+
+        clear_global_cache()
+        local = run_local(
+            office.generate(n, seed=seed).db, text, None,
+            translated=False,
+            guard=ExecutionGuard(on_exhaustion="degrade",
+                                 max_pivots=max_pivots))
+        clear_global_cache()
+        remote = run_remote(
+            office.generate(n, seed=seed).db, text, None,
+            translated=False,
+            guard_spec={"max_pivots": max_pivots,
+                        "on_exhaustion": "degrade"})
+        assert fingerprint(remote) == fingerprint(local)
+
+
+class TestDedupPreservesResults:
+    @given(st.integers(min_value=8, max_value=14),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=6, deadline=None)
+    def test_concurrent_identical_queries_all_match(
+            self, n, seed, fanout):
+        db = office.generate(n, seed=seed).db
+        local = run_local(db, SLOW_QUERY, None, translated=False)
+
+        async def main():
+            async with serving(db, executor_threads=2) as server, \
+                    client_for(server) as client:
+                results = await asyncio.gather(*[
+                    client.query(SLOW_QUERY, translated=False)
+                    for _ in range(fanout)])
+                stats = await client.stats()
+                return results, stats
+        results, stats = asyncio.run(main())
+        expected = fingerprint(local)
+        for result in results:
+            assert fingerprint(result) == expected
+        # However the races fell, every request was accounted for.
+        assert stats["dedup_hits"] + stats["dedup_misses"] == fanout
+
+    def test_slow_fanout_actually_dedups(self):
+        """Non-property anchor: with a genuinely slow query the later
+        requests must join the first execution."""
+        db = office.generate(20, seed=0).db
+
+        async def main():
+            async with serving(db, executor_threads=2) as server, \
+                    client_for(server) as client:
+                results = await asyncio.gather(*[
+                    client.query(SLOW_QUERY, translated=False)
+                    for _ in range(4)])
+                stats = await client.stats()
+                return results, stats
+        results, stats = asyncio.run(main())
+        assert stats["dedup_hits"] == 3
+        assert stats["requests"] == 1
+        assert len({fingerprint(r) for r in results}) == 1
+
+
+class TestCancelLeavesSessionUsable:
+    @given(st.integers(min_value=0, max_value=3),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_cancel_then_requery(self, seed, cancel_after):
+        db = office.generate(18, seed=seed).db
+        follow_up, names = QUERIES[2]
+        params = bindings_for(names, "red", 0, 0)
+        local = run_local(db, follow_up, params, translated=True)
+
+        async def main():
+            async with serving(db, executor_threads=2) as server, \
+                    client_for(server) as client:
+                stream = await client.stream(SLOW_QUERY,
+                                             translated=False)
+                seen = 0
+                try:
+                    async for _row in stream:
+                        seen += 1
+                        if seen >= cancel_after:
+                            await stream.cancel()
+                except QueryCancelled:
+                    pass
+                return await client.query(follow_up, params=params)
+        remote = asyncio.run(main())
+        assert fingerprint(remote) == fingerprint(local)

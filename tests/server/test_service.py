@@ -1,0 +1,311 @@
+"""The service layer without sockets: dedup, jobs, the read/write
+gate, and the aggregate statistics account."""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro import lyric
+from repro.errors import EvaluationError
+from repro.runtime import ExecutionGuard
+from repro.runtime.context import ExecutionStats, PhaseRecord
+from repro.server.service import (
+    QueryService,
+    ServiceStats,
+    _Job,
+    _ReadWriteGate,
+)
+
+from tests.server.harness import SLOW_QUERY, office_db
+
+
+async def drain(subscription):
+    """All of a subscription's events, terminal included."""
+    return [event async for event in subscription.events()]
+
+
+def row_events(events):
+    return [e for e in events if e[0] == "rows"]
+
+
+def terminal(events):
+    return events[-1]
+
+
+class TestDedup:
+    def test_identical_concurrent_queries_share_one_execution(self):
+        async def main():
+            service = QueryService(office_db(12), executor_threads=2)
+            try:
+                query_ast = service.parse(SLOW_QUERY)
+                first = await service.submit(query_ast)
+                second = await service.submit(query_ast)
+                assert first.deduped is False
+                assert second.deduped is True
+                a, b = await asyncio.gather(drain(first), drain(second))
+                # Byte-identical: the same buffered event objects.
+                assert row_events(a) == row_events(b)
+                assert terminal(a)[0] == "done"
+                assert terminal(a)[1]["rows"] == 144
+                assert terminal(b)[1] == terminal(a)[1]
+                assert service.stats.dedup_hits == 1
+                assert service.stats.dedup_misses == 1
+                # One execution was recorded, not two.
+                assert service.stats.requests == 1
+            finally:
+                service.close()
+        asyncio.run(main())
+
+    def test_different_params_do_not_join(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2)
+            try:
+                from repro.model.oid import as_oid
+                text = ("SELECT X FROM Office_Object X "
+                        "WHERE X.color = $col")
+                query_ast = service.parse(text)
+                first = await service.submit(
+                    query_ast, params={"col": as_oid("red")})
+                second = await service.submit(
+                    query_ast, params={"col": as_oid("blue")})
+                assert second.deduped is False
+                await asyncio.gather(drain(first), drain(second))
+                assert service.stats.dedup_hits == 0
+            finally:
+                service.close()
+        asyncio.run(main())
+
+    def test_mutation_bumps_version_and_splits_the_key(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2)
+            try:
+                query_ast = service.parse(
+                    "SELECT X FROM Office_Object X")
+                await drain(await service.submit(query_ast))
+                assert service.db_version == 0
+                await service.run_view(
+                    "CREATE VIEW Tall AS SUBCLASS OF Office_Object "
+                    "SELECT CO FROM Office_Object CO")
+                assert service.db_version == 1
+                assert service.stats.mutations == 1
+                # The same AST resubmitted must not join any
+                # pre-mutation job (both submissions are misses).
+                after = await service.submit(query_ast)
+                assert after.deduped is False
+                await drain(after)
+                assert service.stats.dedup_hits == 0
+            finally:
+                service.close()
+        asyncio.run(main())
+
+
+class TestJob:
+    def test_late_subscriber_replays_the_buffered_prefix(self):
+        async def main():
+            job = _Job(("key",), ExecutionGuard())
+            job.publish(("rows", [(["a"], None)]))
+            job.publish(("warning", "partial result: pivots"))
+            early = job.attach(deduped=True)
+            job.publish(("done", {"rows": 1}))
+            late = job.attach(deduped=True)
+            assert await drain(early) == await drain(late) == [
+                ("rows", [(["a"], None)]),
+                ("warning", "partial result: pivots"),
+                ("done", {"rows": 1}),
+            ]
+        asyncio.run(main())
+
+    def test_last_detach_cancels_the_shared_guard(self):
+        async def main():
+            guard = ExecutionGuard()
+            job = _Job(("key",), guard)
+            first = job.attach(deduped=False)
+            second = job.attach(deduped=True)
+            first.cancel()
+            assert not guard.cancelled  # second still listening
+            second.cancel()
+            assert guard.cancelled
+            # A cancelled subscriber's stream ends with the local
+            # cancelled error, regardless of the shared job.
+            assert terminal(await drain(first)) == \
+                ("error", "cancelled", "query cancelled by client")
+        asyncio.run(main())
+
+    def test_cancel_is_idempotent(self):
+        async def main():
+            job = _Job(("key",), ExecutionGuard())
+            subscription = job.attach(deduped=False)
+            subscription.cancel()
+            subscription.cancel()
+            events = await drain(subscription)
+            assert len(events) == 1  # exactly one cancelled terminal
+        asyncio.run(main())
+
+
+class TestReadWriteGate:
+    def test_writer_waits_for_readers_and_blocks_new_ones(self):
+        async def main():
+            gate = _ReadWriteGate()
+            order = []
+
+            await gate.acquire_read()
+
+            async def writer():
+                await gate.acquire_write()
+                order.append("write")
+                await gate.release_write()
+
+            async def late_reader():
+                await gate.acquire_read()
+                order.append("read")
+                await gate.release_read()
+
+            writer_task = asyncio.ensure_future(writer())
+            await asyncio.sleep(0)       # writer now waiting
+            reader_task = asyncio.ensure_future(late_reader())
+            await asyncio.sleep(0.01)
+            # Neither ran: the writer waits on us, the late reader
+            # queues behind the waiting writer (writer-greedy).
+            assert order == []
+            await gate.release_read()
+            await asyncio.gather(writer_task, reader_task)
+            assert order == ["write", "read"]
+        asyncio.run(main())
+
+    def test_mutation_serializes_against_inflight_reads(self):
+        async def main():
+            service = QueryService(office_db(12), executor_threads=2)
+            try:
+                slow = await service.submit(service.parse(SLOW_QUERY))
+                view = asyncio.ensure_future(service.run_view(
+                    "CREATE VIEW Tall AS SUBCLASS OF Office_Object "
+                    "SELECT CO FROM Office_Object CO"))
+                events = await drain(slow)
+                # The read ran to completion — the writer waited
+                # instead of mutating under it.
+                assert terminal(events)[0] == "done"
+                summary = await view
+                assert "Tall" in summary["classes"]
+            finally:
+                service.close()
+        asyncio.run(main())
+
+
+class TestServiceStats:
+    def test_every_execution_field_survives_into_the_snapshot(self):
+        """Mirror of the runtime field-survival regression: ANY
+        non-skip ExecutionStats counter — including ones added after
+        this test was written — must survive ``record_request`` into
+        ``snapshot()["execution"]``, except the unbounded transcript
+        fields (phases, warnings), which are deliberately stripped."""
+        worker = ExecutionStats()
+        expected = {}
+        for f in dataclasses.fields(worker):
+            how = f.metadata.get("merge", "sum")
+            if how == "skip":
+                continue
+            if isinstance(getattr(worker, f.name), bool):
+                value = True
+            elif isinstance(getattr(worker, f.name), float):
+                value = 1.5
+            elif isinstance(getattr(worker, f.name), int):
+                value = 7
+            elif isinstance(getattr(worker, f.name), list):
+                value = [PhaseRecord("synthetic", 0.1)] \
+                    if f.name == "phases" else ["synthetic"]
+            else:
+                value = "synthetic"
+            setattr(worker, f.name, value)
+            if f.name not in ("phases", "warnings"):
+                expected[f.name] = value
+
+        stats = ServiceStats()
+        stats.record_request(worker, rows=3, outcome="ok")
+        execution = stats.snapshot()["execution"]
+
+        assert "phases" not in execution
+        assert "warnings" not in execution
+        for name, value in expected.items():
+            assert execution[name] == value, (
+                f"counter {name!r} was lost in the aggregate: "
+                f"sent {value!r}, snapshot has {execution.get(name)!r}")
+
+    def test_outcomes_and_counters(self):
+        stats = ServiceStats()
+        stats.record_request(ExecutionStats(), rows=5, outcome="ok")
+        stats.record_request(None, outcome="error")
+        stats.record_request(None, outcome="cancelled")
+        stats.note_dedup(True)
+        stats.note_dedup(False)
+        stats.note_mutation()
+        stats.note_session(opened=True)
+        stats.note_session(opened=False)
+        snap = stats.snapshot()
+        assert snap["requests"] == 3
+        assert snap["failures"] == 1
+        assert snap["cancellations"] == 1
+        assert snap["rows_streamed"] == 5
+        assert snap["dedup_hits"] == 1
+        assert snap["dedup_misses"] == 1
+        assert snap["mutations"] == 1
+        assert snap["sessions_opened"] == 1
+        assert snap["sessions_closed"] == 1
+
+    def test_snapshot_is_json_able(self):
+        import json
+        stats = ServiceStats()
+        worker = ExecutionStats()
+        worker.pivots = 3
+        stats.record_request(worker, rows=1)
+        json.dumps(stats.snapshot())
+
+    def test_aggregate_sums_across_requests(self):
+        stats = ServiceStats()
+        for _ in range(3):
+            worker = ExecutionStats()
+            worker.pivots = 10
+            stats.record_request(worker, rows=2)
+        snap = stats.snapshot()
+        assert snap["execution"]["pivots"] == 30
+        assert snap["rows_streamed"] == 6
+
+
+class TestPrepared:
+    def test_analyze_reports_parameter_slots(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2)
+            try:
+                _ast, params, _warnings = service.analyze_prepared(
+                    "SELECT X FROM Office_Object X "
+                    "WHERE X.color = $col")
+                assert params == ("col",)
+            finally:
+                service.close()
+        asyncio.run(main())
+
+    def test_check_params_names_every_missing_slot(self):
+        with pytest.raises(EvaluationError) as excinfo:
+            QueryService.check_params(("px", "py"), {})
+        assert "$px" in str(excinfo.value)
+        assert "$py" in str(excinfo.value)
+        QueryService.check_params((), None)  # nothing required: fine
+
+
+class TestErrorPath:
+    def test_worker_error_becomes_an_error_event(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2)
+            try:
+                # Semantically invalid: unknown class only detected at
+                # execution time (parse succeeds).
+                query_ast = service.parse("SELECT X FROM Nonexistent X")
+                events = await drain(await service.submit(query_ast))
+                kind, code, message = terminal(events)
+                assert kind == "error"
+                assert code == "semantic"
+                assert "Nonexistent" in message
+                assert service.stats.failures == 1
+            finally:
+                service.close()
+        asyncio.run(main())
