@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from pathlib import Path
+
+import pytest
 
 from repro import lyric
 from repro.client import connect
@@ -32,6 +35,20 @@ from repro.server import LyricServer, QueryService
 from repro.workloads import office
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+
+def _merge(payload: dict) -> None:
+    """Fold ``payload``'s top-level keys into BENCH_serve.json, so the
+    throughput suite and the executor-mode suite can land results
+    independently."""
+    existing = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            pass
+    existing.update(payload)
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 CLIENT_COUNTS = (1, 4, 16, 64)
 CALLS_PER_CLIENT = 12
@@ -80,9 +97,11 @@ def percentile(samples: list[float], q: float) -> float:
 
 
 def run_scenario(db, n_clients: int, *, distinct: bool = False,
-                 identical: bool = False) -> dict:
+                 identical: bool = False,
+                 executor: str = "thread") -> dict:
     async def main():
-        service = QueryService(db, executor_threads=8)
+        service = QueryService(db, executor_threads=8,
+                               executor=executor)
         server = LyricServer(service, port=0, max_sessions=256)
         await server.start()
         clients = [await connect(port=server.port)
@@ -125,6 +144,11 @@ def run_scenario(db, n_clients: int, *, distinct: bool = False,
         hits = stats["dedup_hits"] - warm["dedup_hits"]
         misses = stats["dedup_misses"] - warm["dedup_misses"]
         return {
+            "executor": stats["executor"],
+            "process_requests": stats["process_requests"]
+            - warm["process_requests"],
+            "process_fallbacks": stats["process_fallbacks"]
+            - warm["process_fallbacks"],
             "clients": n_clients,
             "requests": requests,
             "wall_seconds": round(wall, 4),
@@ -144,10 +168,11 @@ def rows_bytes(result) -> bytes:
     ).encode()
 
 
-def check_equivalence(db) -> bool:
+def check_equivalence(db, executor: str = "thread") -> bool:
     """Every template's wire result matches in-process execution."""
     async def main():
-        service = QueryService(db, executor_threads=2)
+        service = QueryService(db, executor_threads=2,
+                               executor=executor)
         server = LyricServer(service, port=0)
         await server.start()
         client = await connect(port=server.port)
@@ -200,11 +225,61 @@ def test_serve_throughput_dedup_and_equivalence():
         "dedup_hit_rate_identical": dedup_rate,
         "results_identical": results_identical,
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge(payload)
 
     assert scaling >= 2.0, (
         f"aggregate throughput at 16 clients only {scaling:.2f}x the "
         f"single-client rate (acceptance floor: 2x; see {RESULT_PATH})")
     assert dedup_rate > 0, (
         "identical-query scenario produced no dedup hits "
+        f"(see {RESULT_PATH})")
+
+
+def test_serve_executor_modes():
+    """ISSUE 10 / E23 — the process executor vs the thread executor on
+    *distinct*-query load, where dedup cannot collapse work and the
+    thread path is GIL-serial.  Results are verified byte-identical to
+    in-process execution per mode; throughput for both modes is always
+    recorded, and the >= 2x acceptance assert only applies on a
+    multicore runner (on the 1–2 core case the pool cannot beat one
+    interpreter, and the honest number says so)."""
+    db = office.generate(10, seed=0).db
+
+    identical = {mode: check_equivalence(db, executor=mode)
+                 for mode in ("thread", "process")}
+    assert identical["thread"] and identical["process"], \
+        "an executor mode diverged from in-process execution"
+
+    modes = {}
+    for mode in ("thread", "process"):
+        modes[mode] = {
+            str(n): run_scenario(db, n, distinct=True, executor=mode)
+            for n in (8, 16)}
+
+    speedup = {
+        str(n): round(
+            modes["process"][str(n)]["throughput_rps"]
+            / modes["thread"][str(n)]["throughput_rps"], 2)
+        for n in (8, 16)}
+    pool_served = modes["process"]["8"]["process_requests"]
+    _merge({"executor_modes": {
+        "scenario": "mixed_distinct",
+        "calls_per_client": CALLS_PER_CLIENT,
+        "cpu_count": os.cpu_count(),
+        "thread": modes["thread"],
+        "process": modes["process"],
+        "process_vs_thread_speedup": speedup,
+        "results_identical": True,
+    }})
+
+    if pool_served == 0:
+        pytest.skip("process pool unavailable: thread fallback "
+                    "measured, equivalence still asserted")
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("executor speedup acceptance needs a multicore "
+                    f"runner (measured {speedup['8']}x at 8 clients; "
+                    "recorded)")
+    assert speedup["8"] >= 2.0, (
+        f"process executor only {speedup['8']}x thread throughput at "
+        f"8 distinct-query clients on {os.cpu_count()} cores "
         f"(see {RESULT_PATH})")

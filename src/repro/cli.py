@@ -224,7 +224,8 @@ def _print_analysis(stats: ExecutionStats) -> None:
           f"{stats.candidates_pruned} pairs pruned")
     if stats.shard_joins:
         print(f"shards: {stats.shard_joins} scatter-gather joins, "
-              f"{stats.shard_pairs_probed} shard pairs probed, "
+              f"{stats.shard_pairs_probed} shard pairs probed "
+              f"({stats.shard_pairs_parallel} in pool workers), "
               f"{stats.shard_pairs_pruned} pruned by envelope")
     if stats.parallel_runs or stats.parallel_fallbacks:
         print(f"parallel: {stats.workers} workers, "
@@ -545,12 +546,18 @@ def cmd_serve(args) -> int:
         max_pivots=args.guard_max_pivots,
         max_branches=args.guard_max_branches,
         max_disjuncts=args.guard_max_disjuncts,
-        max_canonical=args.guard_max_canonical)
+        max_canonical=args.guard_max_canonical,
+        max_workers=args.max_workers)
     service = QueryService(db, store=store, limits=limits,
-                           executor_threads=args.executor_threads)
+                           executor_threads=args.executor_threads,
+                           executor=args.executor)
     server = LyricServer(service, host=args.host, port=args.port,
                          max_sessions=args.max_sessions,
                          drain_timeout=args.drain_timeout)
+    if args.warm_pool:
+        warmed = service.warm_pool()
+        if warmed:
+            print(f"warmed {warmed} pool workers", flush=True)
 
     async def serve() -> None:
         await server.start()
@@ -668,6 +675,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--executor-threads", type=_positive_int,
                        default=8,
                        help="worker threads executing query bodies")
+    serve.add_argument("--executor",
+                       choices=("auto", "thread", "process"),
+                       default="auto",
+                       help="query executor: 'process' runs picklable "
+                            "requests in worker pool processes (true "
+                            "parallelism for distinct-query load); "
+                            "'auto' picks process on multi-core fork "
+                            "platforms")
+    serve.add_argument("--warm-pool", action="store_true",
+                       help="pre-fork the worker pool at startup so "
+                            "the first process-executed request skips "
+                            "the cold start")
+    serve.add_argument("--max-workers", type=_positive_int,
+                       default=None, metavar="N",
+                       help="cap concurrent process-executor workers "
+                            "(excess requests take the thread path)")
     serve.add_argument("--dump-stats-on-exit", action="store_true",
                        help="print the aggregate service statistics "
                             "as JSON after shutdown")

@@ -147,6 +147,9 @@ class ExecutionStats:
     shard_pairs_pruned: int = 0
     #: Shard pairs that survived the envelope test and were probed.
     shard_pairs_probed: int = 0
+    #: Surviving shard pairs whose index probes ran concurrently in
+    #: pool workers (the rest probed serially in-process).
+    shard_pairs_parallel: int = 0
     # -- persistent worker pool -----------------------------------------
     #: Parallel regions dispatched through the persistent pool (the
     #: remainder took the legacy fork-per-query or serial path).

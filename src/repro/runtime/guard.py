@@ -74,7 +74,7 @@ class ExecutionGuard:
         "max_canonical", "on_exhaustion", "faults",
         "pivots", "branches", "canonical_steps", "peak_disjuncts",
         "checkpoints", "simplex_calls", "exhausted",
-        "_clock", "_started", "_cancelled",
+        "_clock", "_started", "_cancelled", "_cancel_probe",
     )
 
     def __init__(self, *,
@@ -117,6 +117,7 @@ class ExecutionGuard:
         self._clock = clock
         self._started: float | None = None
         self._cancelled = False
+        self._cancel_probe: Callable[[], bool] | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -143,6 +144,15 @@ class ExecutionGuard:
     def cancelled(self) -> bool:
         return self._cancelled
 
+    def bind_cancel_probe(self, probe: Callable[[], bool] | None) -> None:
+        """Attach an external cancellation source, polled at every
+        checkpoint.  This is how a *worker process* guard observes a
+        cancel issued in the parent: :meth:`cancel` sets a flag in this
+        process only, but a probe can read fork-shared memory (the
+        cancel board of :mod:`repro.runtime.parallel`) that the parent
+        writes after the worker was forked."""
+        self._cancel_probe = probe
+
     # -- checkpoints and spend ticks -------------------------------------
 
     def checkpoint(self, fragment: str | None = None) -> None:
@@ -154,6 +164,9 @@ class ExecutionGuard:
         self.checkpoints += 1
         if self.faults is not None \
                 and self.faults.cancels_at(self.checkpoints):
+            self._cancelled = True
+        if not self._cancelled and self._cancel_probe is not None \
+                and self._cancel_probe():
             self._cancelled = True
         if self._cancelled:
             self.exhausted = "cancellation"

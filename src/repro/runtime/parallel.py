@@ -62,6 +62,26 @@ predicate pickles:
   (inheriting it), and only chunk bounds cross the pickle boundary.
 
 Platforms without ``fork`` fall back to serial evaluation.
+
+**Task-level scatter.**  :func:`scatter_tasks` generalizes the
+row-filter transport into a futures API: any picklable ``fn(*args)``
+tasks are dispatched to the warm pool, run under pro-rated worker
+guards, and their values gathered back *in task order* (deterministic
+merge).  :class:`~repro.sqlc.shard.ShardedIndexJoin` uses it to probe
+surviving shard pairs concurrently; the server's process executor uses
+the same pool for whole-query execution.
+
+**Cross-process cancellation.**  A worker cannot see
+:meth:`~repro.runtime.guard.ExecutionGuard.cancel` called in the
+parent — the flag lives in parent memory.  The *cancel board* closes
+the gap: a small shared-memory byte array allocated at import time, so
+every forked pool inherits it.  A dispatch that wants mid-flight
+cancellation reserves a slot, ships the slot number with the task, and
+the worker guard polls the slot at every checkpoint
+(:meth:`~repro.runtime.guard.ExecutionGuard.bind_cancel_probe`); the
+parent's gather loop writes the slot when it observes its own guard
+cancelled, and the workers wind down with ``QueryCancelled`` at their
+next checkpoint.
 """
 
 from __future__ import annotations
@@ -69,7 +89,9 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence
@@ -92,7 +114,8 @@ _DIVIDED_BUDGETS = (
 )
 
 _stats = {"runs": 0, "partitions": 0, "max_workers": 0, "fallbacks": 0,
-          "pool_dispatches": 0, "pool_cold_starts": 0}
+          "pool_dispatches": 0, "pool_cold_starts": 0,
+          "scatters": 0, "salvaged_chunks": 0}
 
 
 def stats() -> dict[str, int]:
@@ -100,7 +123,9 @@ def stats() -> dict[str, int]:
     ``partitions`` (chunks dispatched), ``max_workers`` (largest pool
     used), ``fallbacks`` (regions degraded to serial at runtime),
     ``pool_dispatches`` (tasks sent to the persistent pool),
-    ``pool_cold_starts`` (persistent pools created)."""
+    ``pool_cold_starts`` (persistent pools created), ``scatters``
+    (task-level scatter regions), ``salvaged_chunks`` (chunk outcomes
+    kept across a mid-run pool death instead of being recomputed)."""
     return dict(_stats)
 
 
@@ -157,8 +182,73 @@ def _should_partition(n_rows: int, ctx: QueryContext,
 
 
 # ---------------------------------------------------------------------------
+# The cancel board (cross-process cooperative cancellation)
+# ---------------------------------------------------------------------------
+
+#: Concurrent dispatches that can each carry a live cancel channel.
+#: A dispatch that finds no free slot simply runs without one (its
+#: workers still terminate on their pro-rated deadline).
+CANCEL_SLOTS = 128
+
+try:
+    #: Allocated at import time — *before* any pool can fork — so every
+    #: worker inherits the same shared mapping and parent writes are
+    #: visible worker-side.
+    _CANCEL_BOARD = multiprocessing.RawArray("b", CANCEL_SLOTS)
+except Exception:  # pragma: no cover - exotic platforms
+    _CANCEL_BOARD = None
+
+_SLOT_LOCK = threading.Lock()
+_SLOTS_IN_USE: set[int] = set()
+
+
+def acquire_cancel_slot() -> int | None:
+    """Reserve (and clear) a cancel-board slot, or ``None`` when the
+    board is unavailable or fully busy.  A slot freed while a stale
+    worker still polls it is harmless: the worker belongs to an
+    abandoned dispatch, so a spurious cancel only stops wasted work."""
+    if _CANCEL_BOARD is None:
+        return None
+    with _SLOT_LOCK:
+        for slot in range(CANCEL_SLOTS):
+            if slot not in _SLOTS_IN_USE:
+                _SLOTS_IN_USE.add(slot)
+                _CANCEL_BOARD[slot] = 0
+                return slot
+    return None
+
+
+def release_cancel_slot(slot: int | None) -> None:
+    if slot is None or _CANCEL_BOARD is None:
+        return
+    with _SLOT_LOCK:
+        _CANCEL_BOARD[slot] = 0
+        _SLOTS_IN_USE.discard(slot)
+
+
+def signal_cancel(slot: int | None) -> None:
+    """Flip a slot: every worker guard bound to it cancels at its next
+    checkpoint."""
+    if slot is not None and _CANCEL_BOARD is not None:
+        _CANCEL_BOARD[slot] = 1
+
+
+def slot_cancelled(slot: int | None) -> bool:
+    return (slot is not None and _CANCEL_BOARD is not None
+            and bool(_CANCEL_BOARD[slot]))
+
+
+# ---------------------------------------------------------------------------
 # The persistent worker pool
 # ---------------------------------------------------------------------------
+
+
+def _warm_task() -> int:
+    """A pre-fork no-op.  The short sleep keeps each warm-up task
+    occupying a worker long enough that every submit sees no idle
+    worker and spawns a fresh process (the executor forks lazily)."""
+    time.sleep(0.02)
+    return multiprocessing.current_process().pid or 0
 
 
 class WorkerPool:
@@ -179,6 +269,20 @@ class WorkerPool:
 
     def submit(self, fn, /, *args):
         return self._executor.submit(fn, *args)
+
+    def warm(self) -> int:
+        """Pre-fork the pool's workers now (they normally spawn on
+        first dispatch, which PR 8 measured as a 6x cold-start penalty
+        on the first query).  Returns the number of distinct worker
+        processes that answered."""
+        futures = [self.submit(_warm_task) for _ in range(self.workers)]
+        pids = set()
+        for future in futures:
+            try:
+                pids.add(future.result(timeout=30))
+            except Exception:  # pragma: no cover - fork pressure
+                break
+        return len(pids)
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
@@ -210,6 +314,17 @@ def get_pool(min_workers: int) -> tuple[WorkerPool, bool]:
         return _POOL, True
 
 
+def warm(workers: int) -> int:
+    """Create (or grow) the process-wide pool to ``workers`` and
+    pre-fork every worker (``repro serve --warm-pool``).  Returns the
+    number of workers that answered the warm-up, 0 when ``fork`` is
+    unavailable."""
+    if workers < 1 or not _fork_available():
+        return 0
+    pool, _cold = get_pool(workers)
+    return pool.warm()
+
+
 def shutdown_pool() -> None:
     """Discard the persistent pool (tests; broken-pool recovery).  The
     next pool dispatch cold-starts a fresh one."""
@@ -229,6 +344,11 @@ def _transportable(predicate) -> bool:
         return True
     except Exception:
         return False
+
+
+#: Public name for callers gating their own pool dispatch on
+#: picklability (shard scatter, the server's process executor).
+transportable = _transportable
 
 
 # ---------------------------------------------------------------------------
@@ -260,9 +380,13 @@ def filter_rows(columns: Sequence[str], rows: list,
         try:
             return _pool_filter(cols, rows, predicate, ctx, limit)
         except BrokenProcessPool:
-            # A worker died mid-task (OOM kill, signal).  No outcome
-            # was merged yet, so rerunning is safe; the legacy
-            # fork-per-query transport gets a fresh set of processes.
+            # Every worker died before producing anything (OOM kill,
+            # signal).  No outcome was merged, so rerunning the whole
+            # set is safe; the legacy fork-per-query transport gets a
+            # fresh set of processes.  (A *partial* death never lands
+            # here — _pool_filter salvages the completed chunks and
+            # finishes the lost ones itself, so nothing re-dispatched
+            # was already absorbed.)
             shutdown_pool()
     return _parallel_filter(cols, rows, predicate, ctx, limit)
 
@@ -327,6 +451,35 @@ def _book_run(ctx: QueryContext, n_chunks: int) -> None:
         ctx.stats.workers = n_chunks
 
 
+def _absorb_outcome(ctx: QueryContext, guard: ExecutionGuard | None,
+                    outcome: dict) -> None:
+    """Fold ONE worker outcome dict into the parent context.  Callers
+    must absorb each outcome exactly once — the salvage path after a
+    mid-run pool death keeps completed outcomes and re-runs only the
+    lost chunks, so a second absorption would double-count the dead
+    workers' counters."""
+    snapshot = outcome["stats"]
+    if guard is not None:
+        guard.absorb_spend(outcome["spend"])
+    # One generic merge covers every declared counter — including
+    # any added after this code was written.
+    ctx.stats.merge(snapshot)
+    # The cache object still needs the worker deltas (the entries
+    # and cumulative counters a worker wrote die with its process
+    # or stay in the pool worker).  Bounds traffic, by contrast,
+    # lives *only* in ExecutionStats now — the old
+    # ``bounds.absorb`` mirror write here counted the same checks
+    # twice.
+    cache = ctx.active_cache()
+    if cache is not None:
+        cache.absorb({
+            "hits": snapshot.get("cache_hits", 0),
+            "misses": snapshot.get("cache_misses", 0),
+            "evictions": snapshot.get("cache_evictions", 0),
+            "simplex_saved": snapshot.get("cache_simplex_saved", 0),
+        })
+
+
 def _merge_outcomes(ctx: QueryContext, guard: ExecutionGuard | None,
                     outcomes: list[dict]) -> None:
     """Fold worker outcome dicts into the parent context — both
@@ -336,26 +489,7 @@ def _merge_outcomes(ctx: QueryContext, guard: ExecutionGuard | None,
     after they were handed their task)."""
     first_error: dict | None = None
     for outcome in outcomes:
-        snapshot = outcome["stats"]
-        if guard is not None:
-            guard.absorb_spend(outcome["spend"])
-        # One generic merge covers every declared counter — including
-        # any added after this code was written.
-        ctx.stats.merge(snapshot)
-        # The cache object still needs the worker deltas (the entries
-        # and cumulative counters a worker wrote die with its process
-        # or stay in the pool worker).  Bounds traffic, by contrast,
-        # lives *only* in ExecutionStats now — the old
-        # ``bounds.absorb`` mirror write here counted the same checks
-        # twice.
-        cache = ctx.active_cache()
-        if cache is not None:
-            cache.absorb({
-                "hits": snapshot.get("cache_hits", 0),
-                "misses": snapshot.get("cache_misses", 0),
-                "evictions": snapshot.get("cache_evictions", 0),
-                "simplex_saved": snapshot.get("cache_simplex_saved", 0),
-            })
+        _absorb_outcome(ctx, guard, outcome)
         if outcome["error"] is not None and first_error is None:
             first_error = outcome["error"]
     if first_error is not None:
@@ -364,13 +498,55 @@ def _merge_outcomes(ctx: QueryContext, guard: ExecutionGuard | None,
         guard.checkpoint("parallel-merge")
 
 
+def _gather(futures: list, guard: ExecutionGuard | None,
+            slot: int | None) -> tuple[list, bool]:
+    """Collect outcomes in dispatch order, propagating a parent-side
+    cancel to the workers through the cancel board.
+
+    Returns ``(outcomes, broken)`` where ``outcomes[i]`` is ``None``
+    for futures lost to a pool death (``broken`` then ``True``).  On
+    cancel the workers are *not* abandoned: the board flip makes each
+    one raise ``QueryCancelled`` at its next checkpoint, its error
+    outcome ships back normally, and the ordinary merge re-raises it —
+    so the pool stays clean and the spend is still accounted."""
+    outcomes: list = [None] * len(futures)
+    broken = False
+    signalled = False
+    for i, future in enumerate(futures):
+        while True:
+            if not signalled and slot is not None \
+                    and guard is not None and guard.cancelled:
+                signal_cancel(slot)
+                signalled = True
+            try:
+                outcomes[i] = future.result(timeout=0.05)
+                break
+            except FuturesTimeout:
+                continue
+            except BrokenProcessPool:
+                broken = True
+                break
+            except (OSError, RuntimeError):
+                broken = True
+                break
+    return outcomes, broken
+
+
+def _context_options(ctx: QueryContext) -> dict:
+    """The option flags a worker rebuilds its fresh context from."""
+    return {"prefilter": ctx.prefilter, "indexing": ctx.indexing,
+            "numeric": ctx.numeric}
+
+
 def _pool_filter(columns: tuple, rows: list,
                  predicate: Callable[[dict], bool],
                  ctx: QueryContext, limit: int) -> list:
     """The persistent-pool transport: chunk rows and predicate cross
     the pickle boundary into warm workers.  Raises
-    :class:`BrokenProcessPool` (caller falls back) when the pool died;
-    every other degradation handles itself serially here."""
+    :class:`BrokenProcessPool` (caller falls back) only when the pool
+    died with *nothing* completed; a partial death is salvaged here —
+    completed chunk outcomes are absorbed exactly once and only the
+    lost chunks are recomputed, serially, under the parent guard."""
     guard = ctx.guard
     workers = min(limit, len(rows))
     chunks = _chunk_bounds(len(rows), workers)
@@ -378,23 +554,39 @@ def _pool_filter(columns: tuple, rows: list,
         limits = _worker_limits(guard, len(chunks))
     except _NoHeadroom:
         return _serial_fallback(columns, rows, predicate, ctx)
-    options = {"prefilter": ctx.prefilter, "indexing": ctx.indexing,
-               "numeric": ctx.numeric}
+    options = _context_options(ctx)
+    slot = acquire_cancel_slot() if guard is not None else None
+    if slot is not None:
+        limits = dict(limits)
+        limits["cancel_slot"] = slot
     try:
-        pool, cold = get_pool(len(chunks))
-        if cold:
-            ctx.stats.pool_cold_starts += 1
-        futures = [pool.submit(_run_pool_task, columns,
-                               rows[start:stop], predicate, limits,
-                               options)
-                   for start, stop in chunks]
-        outcomes = [f.result() for f in futures]
-    except BrokenProcessPool:
-        raise
-    except (OSError, RuntimeError):
-        # Pool startup failure (fork limits, sandboxing): serial is
-        # always a correct answer.
-        return _serial_fallback(columns, rows, predicate, ctx)
+        try:
+            pool, cold = get_pool(len(chunks))
+            if cold:
+                ctx.stats.pool_cold_starts += 1
+            futures = [pool.submit(_run_pool_task, columns,
+                                   rows[start:stop], predicate, limits,
+                                   options)
+                       for start, stop in chunks]
+        except BrokenProcessPool:
+            # Submitting to an already-dead pool: nothing ran, the
+            # caller's whole-set fallback is exactly right.
+            raise
+        except (OSError, RuntimeError):
+            # Pool startup failure (fork limits, sandboxing): serial
+            # is always a correct answer.
+            return _serial_fallback(columns, rows, predicate, ctx)
+        outcomes, broken = _gather(futures, guard, slot)
+    finally:
+        release_cancel_slot(slot)
+
+    if broken:
+        shutdown_pool()
+        if not any(outcome is not None for outcome in outcomes):
+            raise BrokenProcessPool(
+                "worker pool died before any chunk completed")
+        return _salvage_filter(columns, rows, predicate, ctx,
+                               chunks, outcomes)
 
     _book_run(ctx, len(chunks))
     _stats["pool_dispatches"] += len(chunks)
@@ -403,6 +595,47 @@ def _pool_filter(columns: tuple, rows: list,
     kept: list = []
     for (start, _stop), outcome in zip(chunks, outcomes):
         kept.extend(rows[start + i] for i in outcome["kept"])
+    return kept
+
+
+def _salvage_filter(columns: tuple, rows: list,
+                    predicate: Callable[[dict], bool],
+                    ctx: QueryContext, chunks: list[tuple[int, int]],
+                    outcomes: list) -> list:
+    """Finish a filter whose pool died mid-run: keep every completed
+    chunk's outcome (absorbed exactly once), recompute only the lost
+    chunks serially under the parent guard, preserving chunk order —
+    so the result, and the merged counters, match a clean run.
+
+    Absorption idempotence is the point: the pre-PR-10 path re-ran the
+    *whole* chunk set through the legacy transport after a death, which
+    double-counts whenever some workers had already finished their
+    work (their spend is in the counters the moment they return)."""
+    guard = ctx.guard
+    completed = [o for o in outcomes if o is not None]
+    _book_run(ctx, len(chunks))
+    _stats["pool_dispatches"] += len(completed)
+    ctx.stats.pool_dispatches += len(completed)
+    _stats["salvaged_chunks"] += len(completed)
+    _stats["fallbacks"] += 1
+    ctx.stats.parallel_fallbacks += 1
+    for outcome in completed:
+        _absorb_outcome(ctx, guard, outcome)
+    kept: list = []
+    for (start, stop), outcome in zip(chunks, outcomes):
+        if outcome is not None:
+            if outcome["error"] is not None:
+                raise _rebuild_exhaustion(guard, outcome["error"])
+            kept.extend(rows[start + i] for i in outcome["kept"])
+        else:
+            # Lost chunk: evaluate in-process.  The parent guard is
+            # active, so this spend ticks it directly (no pro-rating,
+            # no second absorption), and an exhaustion raises at the
+            # position the serial run would have reached.
+            kept.extend(row for row in rows[start:stop]
+                        if predicate(dict(zip(columns, row))))
+    if guard is not None:
+        guard.checkpoint("parallel-merge")
     return kept
 
 
@@ -441,6 +674,119 @@ def _parallel_filter(columns: tuple, rows: list,
     return kept
 
 
+# ---------------------------------------------------------------------------
+# Task-level scatter (the futures API)
+# ---------------------------------------------------------------------------
+
+
+def should_scatter(n_tasks: int, ctx: QueryContext | None = None,
+                   workers: int | None = None) -> bool:
+    """Dispatch ``n_tasks`` independent tasks to the pool?  Mirrors
+    :func:`should_partition`: needs parallelism in the context (or the
+    explicit ``workers`` annotation), at least two tasks, no FaultPlan
+    (fault schedules count ticks on one guard), ``fork``, and not
+    already being inside a worker."""
+    ctx = context_mod.resolve(ctx)
+    limit = workers if workers is not None else ctx.parallelism
+    if _IN_WORKER or limit < 2 or n_tasks < 2:
+        return False
+    guard = ctx.guard
+    if guard is not None and guard.faults is not None:
+        return False
+    return _fork_available()
+
+
+def scatter_tasks(fn: Callable, tasks: Sequence[tuple],
+                  ctx: QueryContext | None = None,
+                  workers: int | None = None) -> list:
+    """Run ``fn(*task)`` for every task in warm pool workers and return
+    the values **in task order** (the deterministic merge: callers that
+    fold the values in sequence get exactly the serial loop's result).
+
+    The caller is responsible for gating on :func:`should_scatter` and
+    on :func:`transportable` for ``fn``/``tasks``/values.  Semantics
+    match the partitioned filter: each worker runs under a fresh
+    context (rebuilt from the parent's option flags) and a pro-rated
+    guard (``remaining // n_tasks`` of each work budget, the full
+    remaining deadline); worker counters merge generically into the
+    parent; the first task-order exhaustion re-raises after all
+    counters merged.  A parent-side cancel propagates through the
+    cancel board; a mid-run pool death salvages completed outcomes
+    (absorbed exactly once) and re-runs only the lost tasks serially."""
+    ctx = context_mod.resolve(ctx)
+    guard = ctx.guard
+    limit = workers if workers is not None else ctx.parallelism
+    try:
+        limits = _worker_limits(guard, len(tasks))
+    except _NoHeadroom:
+        return _serial_tasks(fn, tasks, ctx)
+    options = _context_options(ctx)
+    slot = acquire_cancel_slot() if guard is not None else None
+    if slot is not None:
+        limits = dict(limits)
+        limits["cancel_slot"] = slot
+    try:
+        try:
+            pool, cold = get_pool(min(limit, len(tasks)))
+            if cold:
+                ctx.stats.pool_cold_starts += 1
+            futures = [pool.submit(_run_task, fn, task, limits, options)
+                       for task in tasks]
+        except BrokenProcessPool:
+            # Already-dead pool at submit time: discard it (the next
+            # dispatch cold-starts) and run this region serially.
+            shutdown_pool()
+            return _serial_tasks(fn, tasks, ctx)
+        except (OSError, RuntimeError):
+            return _serial_tasks(fn, tasks, ctx)
+        outcomes, broken = _gather(futures, guard, slot)
+    finally:
+        release_cancel_slot(slot)
+
+    if broken:
+        shutdown_pool()
+    completed = [o for o in outcomes if o is not None]
+    # Book the region by hand: tasks can outnumber the pool, so the
+    # worker peak is the pool size, not the task count.
+    pool_workers = min(limit, len(tasks))
+    _stats["runs"] += 1
+    _stats["partitions"] += len(tasks)
+    _stats["max_workers"] = max(_stats["max_workers"], pool_workers)
+    ctx.stats.parallel_runs += 1
+    ctx.stats.partitions += len(tasks)
+    if pool_workers > ctx.stats.workers:
+        ctx.stats.workers = pool_workers
+    _stats["scatters"] += 1
+    _stats["pool_dispatches"] += len(completed)
+    ctx.stats.pool_dispatches += len(completed)
+    if broken:
+        _stats["salvaged_chunks"] += len(completed)
+        _stats["fallbacks"] += 1
+        ctx.stats.parallel_fallbacks += 1
+    for outcome in completed:
+        _absorb_outcome(ctx, guard, outcome)
+    values: list = []
+    for task, outcome in zip(tasks, outcomes):
+        if outcome is None:
+            # Lost to the pool death: run in-process under the parent
+            # guard (absorbed outcomes stay absorbed — no re-dispatch).
+            values.append(fn(*task))
+        elif outcome["error"] is not None:
+            raise _rebuild_exhaustion(guard, outcome["error"])
+        else:
+            values.append(outcome["value"])
+    if guard is not None:
+        guard.checkpoint("scatter-merge")
+    return values
+
+
+def _serial_tasks(fn: Callable, tasks: Sequence[tuple],
+                  ctx: QueryContext) -> list:
+    _stats["fallbacks"] += 1
+    ctx.stats.parallel_fallbacks += 1
+    return [fn(*task) for task in tasks]
+
+
 def _rebuild_exhaustion(guard: ExecutionGuard | None,
                         error: dict) -> ResourceExhausted:
     """A worker's exhaustion dict back into the exception the serial
@@ -468,16 +814,22 @@ def _rebuild_exhaustion(guard: ExecutionGuard | None,
 def _build_worker_guard(limits: dict | None) -> ExecutionGuard | None:
     """The pro-rated per-worker guard — always ``on_exhaustion="fail"``
     so exhaustion travels back as an exception for the parent to
-    re-raise under its own policy."""
+    re-raise under its own policy.  When the dispatch carries a cancel
+    slot, the guard polls it at every checkpoint — the parent's cancel
+    reaches this process through the fork-shared board."""
     if limits is None:
         return None
-    return ExecutionGuard(
+    guard = ExecutionGuard(
         deadline=limits.get("deadline"),
         max_pivots=limits.get("max_pivots"),
         max_branches=limits.get("max_branches"),
         max_disjuncts=limits.get("max_disjuncts"),
         max_canonical=limits.get("max_canonical"),
         on_exhaustion="fail")
+    slot = limits.get("cancel_slot")
+    if slot is not None:
+        guard.bind_cancel_probe(lambda: slot_cancelled(slot))
+    return guard
 
 
 def _exhaustion_dict(exc: ResourceExhausted) -> dict:
@@ -531,6 +883,39 @@ def _run_chunk(start: int, stop: int, limits: dict | None) -> dict:
     except ResourceExhausted as exc:
         error = _exhaustion_dict(exc)
     return _finish_outcome(worker_ctx, worker_guard, kept, error)
+
+
+def _run_task(fn: Callable, args: tuple, limits: dict | None,
+              options: dict) -> dict:
+    """Evaluate one scatter task in a warm pool worker.
+
+    Like :func:`_run_pool_task`, nothing fork-inherited is trusted:
+    the context is rebuilt from the shipped option flags, under a
+    pro-rated guard (with the cancel-board probe when the dispatch
+    carries a slot).  ``fn`` reads the context ambiently — the task
+    body runs inside ``worker_ctx.activate()`` — and its return value
+    ships back in the outcome's ``value`` field.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    worker_guard = _build_worker_guard(limits)
+    worker_ctx = QueryContext(
+        guard=worker_guard,
+        prefilter=options["prefilter"],
+        indexing=options["indexing"],
+        numeric=options["numeric"],
+        stats=ExecutionStats())
+
+    value = None
+    error: dict | None = None
+    try:
+        with worker_ctx.activate():
+            value = fn(*args)
+    except ResourceExhausted as exc:
+        error = _exhaustion_dict(exc)
+    outcome = _finish_outcome(worker_ctx, worker_guard, [], error)
+    outcome["value"] = value
+    return outcome
 
 
 def _run_pool_task(columns: tuple, rows: list,

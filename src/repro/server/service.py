@@ -26,13 +26,27 @@ key, so no later query can join a pre-mutation job.
 Everything here runs on the event loop thread except the query bodies
 themselves, which :meth:`QueryService.submit` ships to the executor;
 workers publish events back via ``loop.call_soon_threadsafe``.
+
+**Executor modes.**  The executor above is always a thread pool; with
+``executor="process"`` (or ``"auto"`` on a multi-core fork platform)
+each executor thread first tries to run its query in a
+:class:`~repro.runtime.parallel.WorkerPool` *process* via
+:mod:`repro.server.procexec` — true parallelism for distinct-query
+load — and falls back to the in-thread body whenever the request
+cannot ship (unpicklable AST or params), the pool is saturated or
+broken, or the worker's inherited database is stale.  The fallback is
+taken before anything is published, so clients cannot observe which
+path served them except through STATS.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Mapping
 
@@ -43,9 +57,10 @@ from repro.model.database import Database
 from repro.model.oid import Oid
 from repro.model.serialize import dump_oid
 from repro.runtime import ExecutionGuard, QueryContext
+from repro.runtime import parallel
 from repro.runtime.context import ExecutionStats
 from repro.runtime.plancache import plan_options_key
-from repro.server import protocol
+from repro.server import procexec, protocol
 from repro.storage.store import Store
 
 #: Rows per published event — the granularity at which the worker
@@ -65,13 +80,19 @@ class ServerLimits:
     A client asks for budgets in its request; the effective budget on
     each axis is the *smaller* of what it asked for and the cap here
     (a cap alone applies to clients that asked for nothing).  ``None``
-    means uncapped on that axis."""
+    means uncapped on that axis.
+
+    ``max_workers`` is not a guard budget: it caps how many pool
+    *processes* the process executor may occupy at once (``None`` =
+    size the pool to the machine).  Requests beyond the cap take the
+    thread path instead of queueing."""
 
     deadline: float | None = None
     max_pivots: int | None = None
     max_branches: int | None = None
     max_disjuncts: int | None = None
     max_canonical: int | None = None
+    max_workers: int | None = None
 
     def effective_guard(self, spec: Mapping[str, Any] | None
                         ) -> ExecutionGuard:
@@ -141,6 +162,14 @@ class ServiceStats:
         self.mutations = 0
         self.sessions_opened = 0
         self.sessions_closed = 0
+        #: Resolved executor mode ("thread" / "process"), set by the
+        #: owning service.
+        self.executor = "thread"
+        #: Requests served end-to-end in a pool worker process, and
+        #: requests that fell back to the thread path (unpicklable,
+        #: saturated, stale, or broken pool).
+        self.process_requests = 0
+        self.process_fallbacks = 0
 
     def record_request(self, stats: ExecutionStats | None, *,
                        rows: int = 0, outcome: str = "ok") -> None:
@@ -177,6 +206,13 @@ class ServiceStats:
             else:
                 self.sessions_closed += 1
 
+    def note_process(self, *, fallback: bool) -> None:
+        with self._lock:
+            if fallback:
+                self.process_fallbacks += 1
+            else:
+                self.process_requests += 1
+
     def snapshot(self) -> dict[str, Any]:
         """The whole account as a JSON-able dict (the STATS reply and
         the ``--dump-stats-on-exit`` report)."""
@@ -184,6 +220,7 @@ class ServiceStats:
             execution = protocol.stats_payload(self._execution)
             execution.pop("phases", None)
             execution.pop("warnings", None)
+            pool = parallel.stats()
             return {
                 "requests": self.requests,
                 "failures": self.failures,
@@ -194,6 +231,13 @@ class ServiceStats:
                 "mutations": self.mutations,
                 "sessions_opened": self.sessions_opened,
                 "sessions_closed": self.sessions_closed,
+                "executor": self.executor,
+                "process_requests": self.process_requests,
+                "process_fallbacks": self.process_fallbacks,
+                #: The process-wide worker-pool account — in particular
+                #: ``pool_cold_starts``, the warm-pool satellite's
+                #: observable.
+                "pool": pool,
                 "execution": execution,
             }
 
@@ -340,6 +384,7 @@ class QueryService:
                  store: Store | None = None,
                  limits: ServerLimits | None = None,
                  executor_threads: int = 8,
+                 executor: str = "auto",
                  base_ctx: QueryContext | None = None) -> None:
         self.db = db
         self.store = store
@@ -360,6 +405,40 @@ class QueryService:
         self._jobs: dict[tuple, _Job] = {}
         self._gate = _ReadWriteGate()
         self._loop: asyncio.AbstractEventLoop | None = None
+        #: Resolved executor mode: "process" runs picklable requests
+        #: in pool workers, "thread" keeps everything in-process.
+        self.executor_mode = self._resolve_executor(executor)
+        self.stats.executor = self.executor_mode
+        self._pool_size = self.limits.max_workers \
+            or max(2, os.cpu_count() or 2)
+        #: Caps concurrent process-executor requests (ServerLimits.
+        #: max_workers); a request that finds no free slot takes the
+        #: thread path instead of queueing behind the pool.
+        self._worker_slots = threading.Semaphore(self._pool_size)
+        if self.executor_mode == "process":
+            # Discard any pool forked before this publish: its workers
+            # inherited someone else's database (or none at all), and
+            # a colliding db_version would let the staleness check
+            # pass against the wrong state.
+            parallel.shutdown_pool()
+            procexec.publish(self.db_version, db)
+
+    @staticmethod
+    def _resolve_executor(executor: str) -> str:
+        """``auto`` means "process" exactly when it can pay off: a
+        ``fork`` platform with more than one core.  An explicit
+        ``process`` on a fork-less platform degrades to ``thread``
+        (the pool could never start)."""
+        if executor not in ("auto", "thread", "process"):
+            raise ValueError(
+                f"executor must be auto/thread/process, "
+                f"got {executor!r}")
+        if not parallel._fork_available():
+            return "thread"
+        if executor == "auto":
+            return "process" if (os.cpu_count() or 1) >= 2 \
+                else "thread"
+        return executor
 
     # -- lifecycle -------------------------------------------------------
 
@@ -371,6 +450,17 @@ class QueryService:
 
     def close(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.executor_mode == "process":
+            parallel.shutdown_pool()
+
+    def warm_pool(self) -> int:
+        """Pre-fork the worker pool (``repro serve --warm-pool``), so
+        the first process-executed request does not pay the cold-start
+        penalty.  Returns the worker count that answered (0 in thread
+        mode)."""
+        if self.executor_mode != "process":
+            return 0
+        return parallel.warm(self._pool_size)
 
     @property
     def inflight(self) -> int:
@@ -419,8 +509,15 @@ class QueryService:
         self._jobs[key] = job
         subscription = job.attach(deduped=False)
         db = self.db
+        db_version = self.db_version
 
         def work() -> None:
+            if self.executor_mode == "process":
+                if self._execute_via_pool(job, db_version, query_ast,
+                                          params, translated,
+                                          use_optimizer):
+                    return
+                self.stats.note_process(fallback=True)
             self._execute(job, db, query_ast, params,
                           translated, use_optimizer)
 
@@ -489,6 +586,116 @@ class QueryService:
                 else "error")
             post(("error", code, str(exc)))
 
+    def _execute_via_pool(self, job: _Job, db_version: int,
+                          query_ast: ast.Query,
+                          params: Mapping[str, Oid] | None,
+                          translated: bool,
+                          use_optimizer: bool) -> bool:
+        """Try to run the request in a pool worker process.  Returns
+        False — with *nothing published* — whenever the thread path
+        must serve instead: the request doesn't pickle, the worker cap
+        is reached, the pool broke, or the worker's fork-inherited
+        database is stale."""
+        if not parallel.transportable(
+                (query_ast, tuple(sorted((params or {}).items())))):
+            return False
+        if not self._worker_slots.acquire(blocking=False):
+            return False
+        slot = parallel.acquire_cancel_slot()
+        try:
+            guard = job.guard
+            limits: dict[str, Any] = {
+                name: getattr(guard, name) for name in BUDGET_FIELDS}
+            limits["on_exhaustion"] = guard.on_exhaustion
+            limits["cancel_slot"] = slot
+            base = self._base_ctx
+            options = {
+                "prefilter": base.prefilter,
+                "indexing": base.indexing,
+                "numeric": base.numeric,
+                "shards": base.shards,
+                "cache_off": base.cache is None,
+                "plan_cache_off": base.plan_cache is None,
+            }
+            try:
+                pool, cold = parallel.get_pool(self._pool_size)
+                future = pool.submit(
+                    procexec.run_query, db_version, query_ast, params,
+                    translated, use_optimizer, options, limits)
+            except Exception:
+                parallel.shutdown_pool()
+                return False
+            signalled = False
+            while True:
+                if guard.cancelled and not signalled:
+                    # Propagate the parent-side cancel; the worker's
+                    # guard observes the board at its next checkpoint
+                    # and ships a clean "cancelled" reply.
+                    parallel.signal_cancel(slot)
+                    signalled = True
+                try:
+                    reply = future.result(timeout=0.05)
+                    break
+                except FuturesTimeout:
+                    continue
+                except (BrokenProcessPool, OSError, RuntimeError):
+                    parallel.shutdown_pool()
+                    return False
+            if reply.get("stale"):
+                return False
+            # Count the process-served request *before* the terminal
+            # frame goes out (same invariant as record_request in the
+            # thread path: anyone who observed "done" also sees this
+            # request in the aggregate).
+            self.stats.note_process(fallback=False)
+            self._publish_reply(job, reply, cold)
+            return True
+        finally:
+            parallel.release_cancel_slot(slot)
+            self._worker_slots.release()
+
+    def _publish_reply(self, job: _Job, reply: dict,
+                       cold: bool) -> None:
+        """Publish a worker reply as the exact event sequence the
+        thread path would have produced (frames are byte-identical;
+        only their timing differs — the worker ships the whole result
+        at once)."""
+        loop = self._loop
+        assert loop is not None
+
+        def post(event: tuple) -> None:
+            loop.call_soon_threadsafe(job.publish, event)
+
+        stats = ExecutionStats()
+        stats.merge(reply["stats"])
+        stats.pool_dispatches += 1
+        if cold:
+            stats.pool_cold_starts += 1
+        parallel._stats["pool_dispatches"] += 1
+        job.guard.absorb_spend(reply["spend"])
+        rows = reply["rows"]
+        for i in range(0, len(rows), ROW_BATCH):
+            post(("rows", rows[i:i + ROW_BATCH]))
+        code = reply.get("error_code")
+        if code is None:
+            for warning in reply["warnings"]:
+                post(("warning", warning))
+            post(("stats", protocol.stats_payload(stats)))
+            self.stats.record_request(stats, rows=len(rows),
+                                      outcome="ok")
+            post(("done", {
+                "columns": reply["columns"],
+                "engine": reply["engine"],
+                "rows": len(rows),
+                "partial": reply["partial"],
+            }))
+        else:
+            self.stats.record_request(
+                stats, rows=len(rows),
+                outcome="cancelled" if code == "cancelled"
+                else "error")
+            post(("error", code, reply["error_message"]))
+
     # -- mutations -------------------------------------------------------
 
     async def run_view(self, text: str | ast.CreateView,
@@ -517,6 +724,13 @@ class QueryService:
             summary = await loop.run_in_executor(self._executor, work)
             self.db_version += 1
             self.stats.note_mutation()
+            if self.executor_mode == "process":
+                # Pool workers inherited the pre-mutation database by
+                # fork.  Re-publish for the *next* fork and discard the
+                # pool (exclusive write: no process query is running);
+                # the version check in the worker covers any stragglers.
+                procexec.publish(self.db_version, self.db)
+                parallel.shutdown_pool()
             return summary
         finally:
             await self._gate.release_write()

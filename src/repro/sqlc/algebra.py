@@ -346,7 +346,8 @@ class ShardedIndexJoin(IndexJoin):
         before = index_mod.stats()
         pairs, info = scatter_pairs(
             left, right, self.left_column, self.right_column,
-            self.left_boxer, self.right_boxer, ctx=ctx)
+            self.left_boxer, self.right_boxer, ctx=ctx,
+            workers=self.workers)
         after = index_mod.stats()
         object.__setattr__(self, "_last", {
             "probes": after["probes"] - before["probes"],
@@ -356,6 +357,7 @@ class ShardedIndexJoin(IndexJoin):
             "shards": info["shards"],
             "shard_pairs_pruned": info["shard_pairs_pruned"],
             "shard_pairs_probed": info["shard_pairs_probed"],
+            "shard_pairs_parallel": info["shard_pairs_parallel"],
         })
         return pairs
 

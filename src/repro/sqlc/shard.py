@@ -53,6 +53,7 @@ from repro.constraints import matrix as matrix_mod
 from repro.errors import EvaluationError
 from repro.model.oid import CstOid, LiteralOid, Oid
 from repro.runtime import context as context_mod
+from repro.runtime import parallel as parallel_mod
 from repro.runtime.context import QueryContext
 from repro.sqlc import index as index_mod
 from repro.sqlc.index import Boxer, cst_cell_box
@@ -332,11 +333,20 @@ class ShardedConstraintRelation(ConstraintRelation):
 # ---------------------------------------------------------------------------
 
 
+def _probe_shard_pair(left_index, right_index):
+    """Pool-worker task body: probe one surviving shard pair.  Runs
+    under the worker's ambient :class:`QueryContext` (installed by the
+    pool), so probe counters land on the worker's stats snapshot and
+    merge back into the parent's on gather."""
+    return index_mod.candidate_pairs(left_index, right_index)
+
+
 def scatter_pairs(left: ShardedConstraintRelation,
                   right: ShardedConstraintRelation,
                   left_column: str, right_column: str,
                   left_boxer: Boxer, right_boxer: Boxer,
-                  ctx: QueryContext | None = None
+                  ctx: QueryContext | None = None,
+                  workers: int | None = None
                   ) -> tuple[list[tuple[int, int]], dict]:
     """Global candidate (left, right) row-position pairs for a sharded
     join, with shard-pair envelope pruning.
@@ -349,6 +359,15 @@ def scatter_pairs(left: ShardedConstraintRelation,
     maintained) per-shard indexes; shard-local positions map back
     through each shard's global-position list and the union is sorted
     into nested-loop order.
+
+    When the persistent worker pool is available (and the context's
+    fault plan does not force serial execution), the surviving pairs
+    are probed *concurrently*: each pair ships its two
+    :class:`~repro.sqlc.index.BoxIndex` objects — pure data, so they
+    pickle — to a pool worker and the shard-local results merge back in
+    global shard-pair order.  Probing spends no guard budget (only
+    stats), so the parallel path returns the byte-identical pair list
+    the serial loop produces, under any budget.
     """
     ctx = context_mod.resolve(ctx)
     left.register_index(left_column, left_boxer, ctx=ctx)
@@ -362,11 +381,13 @@ def scatter_pairs(left: ShardedConstraintRelation,
                                         ctx=ctx), len(rel))
         for rel, positions in right.shard_tables()]
 
-    pairs: list[tuple[int, int]] = []
-    pruned = probed = 0
-    for left_positions, left_index, left_size in left_shards:
+    # Pass 1: envelope pruning — collect the surviving shard pairs so
+    # the probe phase can dispatch them as one task batch.
+    surviving: list[tuple[int, int]] = []
+    pruned = 0
+    for li, (_, left_index, left_size) in enumerate(left_shards):
         left_env = left_index.envelope()
-        for right_positions, right_index, right_size in right_shards:
+        for ri, (_, right_index, right_size) in enumerate(right_shards):
             if index_mod.envelopes_disjoint(left_env,
                                             right_index.envelope()):
                 pruned += 1
@@ -374,17 +395,41 @@ def scatter_pairs(left: ShardedConstraintRelation,
                 # relation-level pruning counter meaningful.
                 ctx.stats.candidates_pruned += left_size * right_size
                 continue
-            probed += 1
-            local = index_mod.candidate_pairs(left_index, right_index,
-                                              ctx=ctx)
-            pairs.extend((left_positions[l], right_positions[r])
-                         for l, r in local)
+            surviving.append((li, ri))
+    probed = len(surviving)
+
+    # Pass 2: probe the survivors — concurrently through the pool when
+    # it is worth it, serially otherwise.  Either way ``local_sets``
+    # lines up with ``surviving`` (deterministic merge order).
+    local_sets = None
+    parallel_probes = 0
+    if parallel_mod.should_scatter(probed, ctx, workers):
+        tasks = [(left_shards[li][1], right_shards[ri][1])
+                 for li, ri in surviving]
+        if parallel_mod.transportable(tasks[0]):
+            local_sets = parallel_mod.scatter_tasks(
+                _probe_shard_pair, tasks, ctx=ctx, workers=workers)
+            parallel_probes = probed
+    if local_sets is None:
+        local_sets = [
+            index_mod.candidate_pairs(left_shards[li][1],
+                                      right_shards[ri][1], ctx=ctx)
+            for li, ri in surviving]
+
+    pairs: list[tuple[int, int]] = []
+    for (li, ri), local in zip(surviving, local_sets):
+        left_positions = left_shards[li][0]
+        right_positions = right_shards[ri][0]
+        pairs.extend((left_positions[l], right_positions[r])
+                     for l, r in local)
     pairs.sort()
     ctx.stats.shard_joins += 1
     ctx.stats.shard_pairs_pruned += pruned
     ctx.stats.shard_pairs_probed += probed
+    ctx.stats.shard_pairs_parallel += parallel_probes
     return pairs, {
         "shards": (len(left_shards), len(right_shards)),
         "shard_pairs_pruned": pruned,
         "shard_pairs_probed": probed,
+        "shard_pairs_parallel": parallel_probes,
     }

@@ -1,10 +1,12 @@
-"""Unit tests for the persistent worker pool (the picklable-predicate
-transport of :mod:`repro.runtime.parallel`)."""
+"""Unit tests for the persistent worker pool: the picklable-predicate
+filter transport, the task-level scatter API, cross-process
+cancellation, warm-up, and salvage after a mid-run pool death."""
 
 import pytest
 
-from repro.errors import PivotBudgetExceeded
+from repro.errors import PivotBudgetExceeded, QueryCancelled
 from repro.runtime import parallel
+from repro.runtime.faults import FaultPlan
 from repro.runtime.guard import ExecutionGuard, current_guard, guarded
 from repro.runtime.parallel import (
     filter_rows,
@@ -162,3 +164,165 @@ class TestPoolBudgets:
         stats = parallel.stats()
         assert stats["fallbacks"] == 1
         assert stats["pool_dispatches"] == 0
+
+
+def _pool_available() -> bool:
+    """Probe once whether real pool dispatch works on this runner,
+    then reset the counters the probe touched."""
+    with parallelism(2):
+        filter_rows(("a",), ROWS[:8], _thirds)
+    available = not parallel.stats()["fallbacks"]
+    parallel.reset_stats()
+    return available
+
+
+class TestSalvage:
+    """Satellite regression: a mid-run pool death must absorb each
+    completed chunk's counters exactly once and recompute only the
+    lost chunks (the old path re-dispatched the whole set, which
+    double-counted the finished workers' spend)."""
+
+    def test_partial_death_absorbs_each_chunk_once(self, monkeypatch):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+        real_gather = parallel._gather
+
+        def partial_gather(futures, guard, slot):
+            outcomes, broken = real_gather(futures, guard, slot)
+            # Pretend the pool died after two of three chunks landed.
+            outcomes[1] = None
+            return outcomes, True
+
+        monkeypatch.setattr(parallel, "_gather", partial_gather)
+        guard = ExecutionGuard(max_pivots=10_000)
+        with guarded(guard), parallelism(3):
+            kept = filter_rows(("a",), ROWS, _ticking)
+        assert len(kept) == len(ROWS)
+        # Exactly one tick per row: completed chunks absorbed once,
+        # the lost chunk recomputed under the parent guard.
+        assert guard.pivots == len(ROWS)
+        stats = parallel.stats()
+        assert stats["salvaged_chunks"] == 2
+        assert stats["pool_dispatches"] == 2
+        assert stats["fallbacks"] == 1
+
+    def test_total_death_absorbs_nothing_then_recovers(
+            self, monkeypatch):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+
+        def dead_gather(futures, guard, slot):
+            for future in futures:
+                future.cancel()
+            return [None] * len(futures), True
+
+        monkeypatch.setattr(parallel, "_gather", dead_gather)
+        guard = ExecutionGuard(max_pivots=10_000)
+        with guarded(guard), parallelism(3):
+            kept = filter_rows(("a",), ROWS, _ticking)
+        # Whole-set legacy fallback: still one tick per row, because
+        # nothing was absorbed before the fallback re-ran everything.
+        assert len(kept) == len(ROWS)
+        assert guard.pivots == len(ROWS)
+        assert parallel.stats()["salvaged_chunks"] == 0
+
+
+def _square(x):
+    current_guard().tick_pivots(1)
+    return x * x
+
+
+def _checkpointing(x):
+    current_guard().checkpoint("scatter-test")
+    return x
+
+
+class TestScatterTasks:
+    def test_values_in_task_order_spend_absorbed(self):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+        guard = ExecutionGuard(max_pivots=10_000)
+        with guarded(guard), parallelism(3):
+            values = parallel.scatter_tasks(
+                _square, [(i,) for i in range(7)])
+        assert values == [i * i for i in range(7)]
+        assert guard.pivots == 7
+        stats = parallel.stats()
+        assert stats["scatters"] == 1
+        assert stats["pool_dispatches"] == 7
+        assert stats["max_workers"] == 3
+
+    def test_no_headroom_falls_back_serial(self):
+        guard = ExecutionGuard(max_pivots=5)
+        guard.absorb_spend({"pivots": 5})
+        with guarded(guard), parallelism(3):
+            # The serial fallback runs under the parent guard, so the
+            # budget trips exactly where a serial run would trip it.
+            with pytest.raises(PivotBudgetExceeded):
+                parallel.scatter_tasks(
+                    _square, [(i,) for i in range(4)])
+        stats = parallel.stats()
+        assert stats["fallbacks"] == 1
+        assert stats["scatters"] == 0
+
+    def test_cancel_propagates_through_the_board(self):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+        guard = ExecutionGuard()
+        guard.cancel()
+        with guarded(guard), parallelism(2):
+            with pytest.raises(QueryCancelled):
+                parallel.scatter_tasks(
+                    _checkpointing, [(i,) for i in range(4)])
+
+    def test_should_scatter_gates(self):
+        from repro.runtime import context as context_mod
+        ctx = context_mod.current_context().derive(parallelism=4)
+        with ctx.activate():
+            assert not parallel.should_scatter(1)
+            faulted = ctx.derive(
+                guard=ExecutionGuard(faults=FaultPlan()))
+            with faulted.activate():
+                assert not parallel.should_scatter(4)
+        serial_ctx = context_mod.current_context().derive(
+            parallelism=1)
+        with serial_ctx.activate():
+            assert not parallel.should_scatter(4)
+            # The explicit workers annotation overrides the context.
+            if parallel._fork_available():
+                assert parallel.should_scatter(4, workers=4)
+
+    def test_salvages_lost_tasks_in_process(self, monkeypatch):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+        real_gather = parallel._gather
+
+        def partial_gather(futures, guard, slot):
+            outcomes, broken = real_gather(futures, guard, slot)
+            outcomes[2] = None
+            return outcomes, True
+
+        monkeypatch.setattr(parallel, "_gather", partial_gather)
+        guard = ExecutionGuard(max_pivots=10_000)
+        with guarded(guard), parallelism(3):
+            values = parallel.scatter_tasks(
+                _square, [(i,) for i in range(5)])
+        assert values == [i * i for i in range(5)]
+        # 4 absorbed worker ticks + 1 in-process re-run tick.
+        assert guard.pivots == 5
+        stats = parallel.stats()
+        assert stats["salvaged_chunks"] == 4
+        assert stats["fallbacks"] == 1
+
+
+class TestWarm:
+    def test_warm_preforks_workers(self):
+        if not _pool_available():
+            pytest.skip("process pool unavailable")
+        answered = parallel.warm(2)
+        assert answered >= 1
+        assert parallel.stats()["pool_cold_starts"] == 1
+        # A dispatch after warm-up reuses the warmed pool.
+        with parallelism(2):
+            filter_rows(("a",), ROWS, _thirds)
+        assert parallel.stats()["pool_cold_starts"] == 1

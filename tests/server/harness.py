@@ -45,10 +45,12 @@ def rows_bytes(result) -> bytes:
 async def serving(db=None, *, limits=None, store=None,
                   max_sessions: int = 64,
                   drain_timeout: float = 10.0,
-                  executor_threads: int = 4):
+                  executor_threads: int = 4,
+                  executor: str = "thread"):
     service = QueryService(db if db is not None else office_db(),
                            store=store, limits=limits,
-                           executor_threads=executor_threads)
+                           executor_threads=executor_threads,
+                           executor=executor)
     server = LyricServer(service, port=0, max_sessions=max_sessions,
                          drain_timeout=drain_timeout)
     await server.start()

@@ -1,0 +1,268 @@
+"""The process executor end to end: pool-worker execution publishes
+the exact frames the thread path would (stats timing aside), CANCEL
+crosses the cancel board into a busy worker, every fallback path
+(unpicklable, stale fork, saturated slots) still serves correct rows
+through the threads, and warm-up/STATS surface the pool account."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueryCancelled
+from repro.runtime import parallel
+from repro.runtime.cache import clear_global_cache
+from repro.server import QueryService, procexec
+
+from tests.server.harness import (
+    SLOW_QUERY,
+    client_for,
+    office_db,
+    rows_bytes,
+    serving,
+)
+
+pytestmark = pytest.mark.skipif(
+    not parallel._fork_available(),
+    reason="process executor needs a fork platform")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_state():
+    parallel.reset_stats()
+    parallel.shutdown_pool()
+    yield
+    parallel.shutdown_pool()
+
+
+async def drain(subscription):
+    return [event async for event in subscription.events()]
+
+
+def frames(events):
+    """Everything but the stats frame — the one frame where the two
+    executors legitimately differ (timing, cache warmth, pool
+    bookkeeping).  Rows, warnings, and the terminal must match byte
+    for byte."""
+    return [e for e in events if e[0] != "stats"]
+
+
+async def _run_once(db, text, executor, *, guard_spec=None,
+                    translated=True):
+    service = QueryService(db, executor_threads=2, executor=executor)
+    try:
+        subscription = await service.submit(
+            service.parse(text), guard_spec=guard_spec,
+            translated=translated)
+        events = await drain(subscription)
+        return events, service.stats.snapshot()
+    finally:
+        service.close()
+
+
+class TestFrameEquivalence:
+    def test_process_frames_match_thread_frames(self):
+        db = office_db(6, seed=3)
+        text = "SELECT X, X.color FROM Office_Object X"
+
+        async def main():
+            thread_events, thread_snap = await _run_once(
+                db, text, "thread")
+            process_events, process_snap = await _run_once(
+                db, text, "process")
+            return (thread_events, thread_snap,
+                    process_events, process_snap)
+        thread_events, thread_snap, process_events, process_snap = \
+            asyncio.run(main())
+        assert frames(process_events) == frames(thread_events)
+        assert thread_snap["executor"] == "thread"
+        assert thread_snap["process_requests"] == 0
+        assert process_snap["executor"] == "process"
+        assert process_snap["process_requests"] == 1
+        assert process_snap["process_fallbacks"] == 0
+
+    def test_degrade_partial_frames_match(self):
+        # The partial prefix depends on where the budget trips, which
+        # depends on constraint-cache warmth — equalize by clearing
+        # before each run (the pool forks after the clear, so workers
+        # inherit the same cold cache the thread run started from).
+        db = office_db(10, seed=4)
+        spec = {"max_pivots": 60, "on_exhaustion": "degrade"}
+
+        async def main():
+            clear_global_cache()
+            thread_events, _ = await _run_once(
+                db, SLOW_QUERY, "thread", guard_spec=spec,
+                translated=False)
+            clear_global_cache()
+            process_events, snap = await _run_once(
+                db, SLOW_QUERY, "process", guard_spec=spec,
+                translated=False)
+            return thread_events, process_events, snap
+        thread_events, process_events, snap = asyncio.run(main())
+        assert process_events[-1][0] == "done"
+        assert process_events[-1][1]["partial"] is True
+        assert frames(process_events) == frames(thread_events)
+        assert snap["process_requests"] == 1
+
+
+class TestCancellation:
+    def test_cancel_crosses_the_board_into_the_worker(self):
+        db = office_db(30)
+
+        async def main():
+            service = QueryService(db, executor_threads=2,
+                                   executor="process")
+            try:
+                subscription = await service.submit(
+                    service.parse(SLOW_QUERY))
+                await asyncio.sleep(0.3)  # worker is mid-solve
+                subscription.cancel()
+                events = await drain(subscription)
+                assert events[-1][:2] == ("error", "cancelled")
+                # The worker observes the board at its next checkpoint
+                # and ships a clean cancelled reply — wait for the
+                # request to drain rather than hang in the pool.
+                for _ in range(200):
+                    if service.stats.snapshot()["cancellations"]:
+                        break
+                    await asyncio.sleep(0.05)
+                snap = service.stats.snapshot()
+                assert snap["cancellations"] == 1
+                assert snap["process_requests"] == 1
+            finally:
+                service.close()
+        asyncio.run(main())
+
+    def test_cancel_mid_stream_over_the_wire(self):
+        db = office_db(30, seed=0)
+
+        async def main():
+            async with serving(db, executor="process") as server, \
+                    client_for(server) as client:
+                stream = await client.stream(SLOW_QUERY,
+                                             translated=False)
+                await asyncio.sleep(0.3)
+                await stream.cancel()
+                with pytest.raises(QueryCancelled):
+                    async for _row in stream:
+                        pass
+                # Same connection, next query: fine.
+                result = await client.query("SELECT X FROM Desk X")
+                assert len(result.rows) > 0
+                # The worker only observes the cancel board at its
+                # next checkpoint, so the cancelled request drains
+                # asynchronously — poll for its accounting.
+                stats = await client.stats()
+                for _ in range(200):
+                    if stats["cancellations"]:
+                        break
+                    await asyncio.sleep(0.05)
+                    stats = await client.stats()
+                assert stats["cancellations"] >= 1
+                assert stats["executor"] == "process"
+        asyncio.run(main())
+
+
+class TestFallbacks:
+    def test_unpicklable_request_takes_the_thread_path(
+            self, monkeypatch):
+        db = office_db(5, seed=1)
+        text = "SELECT X, X.color FROM Office_Object X"
+
+        async def main():
+            baseline_events, _ = await _run_once(db, text, "thread")
+            monkeypatch.setattr(parallel, "transportable",
+                                lambda payload: False)
+            fallback_events, snap = await _run_once(
+                db, text, "process")
+            return baseline_events, fallback_events, snap
+        baseline_events, fallback_events, snap = asyncio.run(main())
+        assert frames(fallback_events) == frames(baseline_events)
+        assert snap["process_requests"] == 0
+        assert snap["process_fallbacks"] == 1
+
+    def test_stale_fork_falls_back_silently(self):
+        db = office_db(5, seed=2)
+        text = "SELECT X FROM Office_Object X"
+
+        async def main():
+            baseline_events, _ = await _run_once(db, text, "thread")
+            service = QueryService(db, executor_threads=2,
+                                   executor="process")
+            try:
+                # Sabotage: the pool will fork inheriting a version
+                # the service never serves, so the worker reports
+                # stale and the threads answer instead.
+                procexec.publish(999, db)
+                events = await drain(await service.submit(
+                    service.parse(text)))
+                snap = service.stats.snapshot()
+            finally:
+                service.close()
+            return baseline_events, events, snap
+        baseline_events, events, snap = asyncio.run(main())
+        assert frames(events) == frames(baseline_events)
+        assert snap["process_requests"] == 0
+        assert snap["process_fallbacks"] == 1
+
+    def test_mutation_republishes_to_fresh_workers(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2,
+                                   executor="process")
+            try:
+                await drain(await service.submit(
+                    service.parse("SELECT X FROM Office_Object X")))
+                await service.run_view(
+                    "CREATE VIEW Tall AS SUBCLASS OF Office_Object "
+                    "SELECT CO FROM Office_Object CO")
+                events = await drain(await service.submit(
+                    service.parse("SELECT T FROM Tall T")))
+                assert events[-1][0] == "done"
+                assert events[-1][1]["rows"] > 0
+                snap = service.stats.snapshot()
+                # Both queries ran in workers: the post-mutation pool
+                # forked fresh and inherited the new database.
+                assert snap["process_requests"] == 2
+                assert snap["process_fallbacks"] == 0
+            finally:
+                service.close()
+        asyncio.run(main())
+
+
+class TestWarmAndStats:
+    def test_warm_pool_preforks_and_stats_expose_the_account(self):
+        async def main():
+            service = QueryService(office_db(4), executor_threads=2,
+                                   executor="process")
+            try:
+                assert service.warm_pool() >= 1
+                snap = service.stats.snapshot()
+                assert snap["pool"]["pool_cold_starts"] == 1
+                await drain(await service.submit(
+                    service.parse("SELECT X FROM Office_Object X")))
+                snap = service.stats.snapshot()
+                # The warmed pool served the query — no second fork.
+                assert snap["pool"]["pool_cold_starts"] == 1
+                assert snap["process_requests"] == 1
+            finally:
+                service.close()
+        asyncio.run(main())
+
+    def test_thread_mode_has_no_pool_to_warm(self):
+        service = QueryService(office_db(2), executor_threads=2,
+                               executor="thread")
+        try:
+            assert service.warm_pool() == 0
+        finally:
+            service.close()
+
+    def test_stats_verb_reports_executor_over_the_wire(self):
+        async def main():
+            async with serving(executor="process") as server, \
+                    client_for(server) as client:
+                await client.query("SELECT X FROM Office_Object X")
+                stats = await client.stats()
+                assert stats["executor"] == "process"
+                assert stats["process_requests"] == 1
+                assert "pool_cold_starts" in stats["pool"]
+        asyncio.run(main())

@@ -1,0 +1,204 @@
+"""Property tests: shard-parallel ≡ shard-serial ≡ unsharded, byte for
+byte, across random partitionings — including under degrade-to-partial
+budgets, with the cache off, with the numeric prefilter off, and under
+a FaultPlan (which must keep the probe phase serial).
+
+Shard-pair probes spend no guard budget (only stats counters), so
+probing surviving pairs concurrently in pool workers cannot perturb
+where a budget trips: the merged candidate list sorts into the same
+global nested-loop order, and every unit of spend happens downstream
+in the exact phase.  These properties pin that invariant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cst_object import CSTObject
+from repro.model.oid import LiteralOid
+from repro.runtime import parallel
+from repro.runtime.cache import caching
+from repro.runtime.context import ExecutionStats, QueryContext
+from repro.runtime.faults import FaultPlan
+from repro.runtime.guard import ExecutionGuard
+from repro.sqlc import index
+from repro.sqlc.algebra import (
+    CstPredicate,
+    IndexJoin,
+    Scan,
+    ShardedIndexJoin,
+)
+from repro.sqlc.engine import execute
+from repro.sqlc.relation import ConstraintRelation
+from repro.sqlc.shard import ShardedConstraintRelation
+from repro.workloads.random_constraints import (
+    make_variables,
+    scattered_boxes,
+)
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    index.reset_stats()
+    index.clear_index_cache()
+    parallel.reset_stats()
+    yield
+
+
+def _sat_intersection(a, b):
+    return a.cst.intersect(b.cst).is_satisfiable()
+
+
+def _predicate():
+    return CstPredicate(
+        ("e", "f"), _sat_intersection, "SAT",
+        (("e", index.cst_cell_box), ("f", index.cst_cell_box)))
+
+
+def _rows(count, seed, spread, size=10):
+    vars_ = make_variables(1)
+    return [(LiteralOid(i), CSTObject(vars_, c))
+            for i, c in enumerate(
+                scattered_boxes(count, seed=seed, spread=spread,
+                                size=size))]
+
+
+def _catalogs(seed, shards, partition_by, n_left=14, n_right=12,
+              spread=60):
+    left_rows = _rows(n_left, seed, spread)
+    right_rows = _rows(n_right, seed + 7919, spread)
+    plain = {
+        "L": ConstraintRelation("L", ("lid", "e"), left_rows),
+        "R": ConstraintRelation("R", ("rid", "f"), right_rows),
+    }
+    sharded = {
+        "L": ShardedConstraintRelation(
+            "L", ("lid", "e"), left_rows, shards=shards,
+            partition_by="e" if partition_by else None),
+        "R": ShardedConstraintRelation(
+            "R", ("rid", "f"), right_rows, shards=shards,
+            partition_by="f" if partition_by else None),
+    }
+    return plain, sharded
+
+
+def _plain_plan():
+    return IndexJoin(Scan("L", ("lid", "e")), Scan("R", ("rid", "f")),
+                     "e", "f", index.cst_cell_box,
+                     index.cst_cell_box, _predicate())
+
+
+def _sharded_plan(workers=None):
+    return ShardedIndexJoin(
+        Scan("L", ("lid", "e")), Scan("R", ("rid", "f")),
+        "e", "f", index.cst_cell_box, index.cst_cell_box,
+        _predicate(), workers=workers)
+
+
+def _same_relation(a, b):
+    assert a.columns == b.columns
+    assert [tuple(map(repr, row)) for row in a] \
+        == [tuple(map(repr, row)) for row in b]
+
+
+class TestShardParallelEquivalence:
+    """Hypothesis sweep: whatever the partitioning, the three
+    execution layouts agree byte for byte.  The equivalence asserts
+    hold whether or not the pool actually dispatched (no fork → the
+    concurrent path falls back serial with the same merge), so none of
+    these need gating."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=7),
+           partition_by=st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_three_way_agreement(self, seed, shards, partition_by):
+        plain, sharded = _catalogs(seed, shards, partition_by)
+        baseline = execute(_plain_plan(), plain, use_optimizer=False)
+        serial = execute(_sharded_plan(), sharded,
+                         use_optimizer=False)
+        fanned = execute(_sharded_plan(workers=3), sharded,
+                         use_optimizer=False)
+        _same_relation(baseline, serial)
+        _same_relation(serial, fanned)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_agreement_without_cache(self, seed, shards):
+        plain, sharded = _catalogs(seed, shards, True)
+        with caching(None):
+            baseline = execute(_plain_plan(), plain,
+                               use_optimizer=False)
+            fanned = execute(_sharded_plan(workers=3), sharded,
+                             use_optimizer=False)
+        _same_relation(baseline, fanned)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_agreement_with_numeric_off(self, seed, shards):
+        plain, sharded = _catalogs(seed, shards, True)
+        baseline = execute(_plain_plan(), plain, use_optimizer=False,
+                           ctx=QueryContext(numeric=False))
+        fanned = execute(_sharded_plan(workers=3), sharded,
+                         use_optimizer=False,
+                         ctx=QueryContext(numeric=False))
+        _same_relation(baseline, fanned)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shards=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=5, deadline=None)
+    def test_degrade_to_partial_agreement(self, seed, shards):
+        # A budget tight enough to trip mid-join: probes spend no
+        # budget, so serial and concurrent probing leave the exact
+        # phase identical spend headroom — identical partial rows.
+        plain, sharded = _catalogs(seed, shards, True)
+        with caching(None):
+            baseline = execute(
+                _plain_plan(), plain, use_optimizer=False,
+                guard=ExecutionGuard(max_pivots=60,
+                                     on_exhaustion="degrade"))
+            fanned = execute(
+                _sharded_plan(workers=3), sharded,
+                use_optimizer=False,
+                guard=ExecutionGuard(max_pivots=60,
+                                     on_exhaustion="degrade"))
+        _same_relation(baseline, fanned)
+
+
+class TestShardParallelGates:
+    def test_fault_plan_keeps_probes_serial(self):
+        plain, sharded = _catalogs(11, 3, True)
+        faults_a = ExecutionGuard(faults=FaultPlan())
+        faults_b = ExecutionGuard(faults=FaultPlan())
+        stats = ExecutionStats()
+        baseline = execute(_plain_plan(), plain, use_optimizer=False,
+                           guard=faults_a)
+        fanned = execute(_sharded_plan(workers=3), sharded,
+                         use_optimizer=False, guard=faults_b,
+                         stats=stats)
+        _same_relation(baseline, fanned)
+        assert stats.shard_pairs_parallel == 0
+        assert parallel.stats()["scatters"] == 0
+
+    def test_parallel_probe_stats_surface(self):
+        _, sharded = _catalogs(12, 4, True)
+        serial_stats = ExecutionStats()
+        serial = execute(_sharded_plan(), sharded,
+                         use_optimizer=False, stats=serial_stats)
+        assert serial_stats.shard_pairs_parallel == 0
+        fanned_stats = ExecutionStats()
+        fanned = execute(_sharded_plan(workers=3), sharded,
+                         use_optimizer=False, stats=fanned_stats)
+        _same_relation(serial, fanned)
+        if parallel.stats()["scatters"]:
+            # The pool really ran: every surviving pair probed in a
+            # worker, and the probe work merged back into the account.
+            assert fanned_stats.shard_pairs_parallel \
+                == fanned_stats.shard_pairs_probed > 0
+            assert fanned_stats.index_probes \
+                == serial_stats.index_probes
+        else:  # no fork / unpicklable: serial fallback, still correct
+            assert fanned_stats.shard_pairs_parallel == 0
